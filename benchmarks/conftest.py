@@ -1,0 +1,24 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one paper figure (scaled where noted), records
+the headline numbers in ``benchmark.extra_info`` (visible in pytest-benchmark
+JSON output), and prints the paper-vs-measured table.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(benchmark):
+    """Attach results to the benchmark record and echo the table."""
+
+    def _report(table: str, **extra) -> None:
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+        print("\n" + table)
+
+    return _report

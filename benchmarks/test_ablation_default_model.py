@@ -1,0 +1,80 @@
+"""Ablation: default-model policy for a never-characterized job type (§6.1.2).
+
+A genuinely *unknown* job (FT with no precharacterized model) runs alongside
+EP and IS under a shared budget.  The cluster must pick a stand-in model:
+assume least-sensitive (IS-like) or most-sensitive (EP-like) known type.
+This reproduces Fig. 5's trade-off end-to-end on the emulated cluster rather
+than offline: underprediction slows the unknown job, overprediction slows
+the sensitive co-scheduled job.
+"""
+
+import numpy as np
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
+from repro.core.targets import ConstantTarget
+from repro.modeling.classifier import JobClassifier
+from repro.modeling.default_models import LeastSensitivePolicy, MostSensitivePolicy
+from repro.workloads.nas import NAS_TYPES
+
+
+def run_with_policy(policy, *, seeds=(0, 1)):
+    """Slowdowns of (unknown ft, known ep) with the given default policy."""
+    ft_slow, ep_slow = [], []
+    models = {k: v for k, v in precharacterized_models().items() if k != "ft"}
+    for seed in seeds:
+        classifier = JobClassifier(
+            models, unknown_types={"ft"}, default_policy=policy
+        )
+        system = AnorSystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(3 * 210.0),  # tight 3-node budget
+            classifier=classifier,
+            config=AnorConfig(num_nodes=3, seed=7919 * seed + 5,
+                              feedback_enabled=False),
+        )
+        system.submit_now("ft-0", "ft", nodes=1)
+        system.submit_now("ep-1", "ep", nodes=1)
+        system.submit_now("is-2", "is", nodes=1)
+        result = system.run(until_idle=True, max_time=7200.0)
+        for totals in result.completed:
+            ref = NAS_TYPES[totals.job_type].compute_time(
+                NAS_TYPES[totals.job_type].p_max
+            )
+            slow = totals.runtime / ref - 1.0
+            if totals.job_type == "ft":
+                ft_slow.append(slow)
+            elif totals.job_type == "ep":
+                ep_slow.append(slow)
+    return float(np.mean(ft_slow)), float(np.mean(ep_slow))
+
+
+def test_ablation_default_model_policy(benchmark, report):
+    def sweep():
+        return {
+            "assume-least-sensitive": run_with_policy(LeastSensitivePolicy()),
+            "assume-most-sensitive": run_with_policy(MostSensitivePolicy()),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    under_ft, under_ep = results["assume-least-sensitive"]
+    over_ft, over_ep = results["assume-most-sensitive"]
+
+    # §6.1.2's trade-off, now on the live control plane: assuming
+    # insensitive starves the unknown job; assuming sensitive feeds it at
+    # the co-scheduled sensitive job's expense.
+    assert under_ft > over_ft
+    assert over_ep > under_ep - 0.01
+
+    rows = [
+        f"{'default policy':>24} {'ft(unknown)':>12} {'ep':>8}",
+        f"{'assume least sensitive':>24} {100 * under_ft:>11.1f}% {100 * under_ep:>7.1f}%",
+        f"{'assume most sensitive':>24} {100 * over_ft:>11.1f}% {100 * over_ep:>7.1f}%",
+    ]
+    report(
+        "\n".join(rows),
+        under_ft=round(under_ft, 4),
+        under_ep=round(under_ep, 4),
+        over_ft=round(over_ft, 4),
+        over_ep=round(over_ep, 4),
+    )

@@ -1,0 +1,76 @@
+"""Ablation: FCFS vs EASY backfill under the ANOR control plane.
+
+The paper replays its schedule FCFS; production resource managers backfill.
+This sweep runs the same mixed-width schedule under both schedulers on the
+emulated cluster and reports queue-wait statistics — backfill should cut
+short-narrow jobs' waits without delaying the wide head jobs (EASY's
+reservation guarantee), and power management must keep working identically
+underneath either scheduler.
+"""
+
+import numpy as np
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem
+from repro.core.targets import ConstantTarget
+from repro.sched import EasyBackfillScheduler, FcfsScheduler
+from repro.workloads.nas import NAS_TYPES
+
+
+def run_schedule(scheduler, *, seed=0):
+    """A contrived but realistic mix: wide long heads + narrow short tails."""
+    system = AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(8 * 230.0),
+        scheduler=scheduler,
+        config=AnorConfig(num_nodes=8, seed=seed, feedback_enabled=False),
+    )
+    # Two wide lu jobs monopolise the machine; narrow short jobs queue behind.
+    system.submit_now("lu-0", "lu", nodes=5)
+    system.submit_now("lu-1", "lu", nodes=5)  # blocked head (needs 5 of 8)
+    for i in range(4):
+        system.submit_now(f"is-{i}", "is", nodes=1)
+        system.submit_now(f"mg-{i}", "mg", nodes=1)
+    result = system.run(until_idle=True, max_time=7200.0)
+    waits = {
+        t.job_id: t.sojourn - t.runtime - NAS_TYPES[t.job_type].setup_time
+        - NAS_TYPES[t.job_type].teardown_time
+        for t in result.completed
+    }
+    narrow_waits = [w for jid, w in waits.items() if not jid.startswith("lu")]
+    head_end = [t.sojourn for t in result.completed if t.job_id == "lu-1"][0]
+    return {
+        "mean_narrow_wait": float(np.mean(narrow_waits)),
+        "head_sojourn": float(head_end),
+        "completed": len(result.completed),
+    }
+
+
+def test_ablation_backfill_vs_fcfs(benchmark, report):
+    def sweep():
+        return {
+            "fcfs": run_schedule(FcfsScheduler()),
+            "easy-backfill": run_schedule(EasyBackfillScheduler()),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fcfs, easy = results["fcfs"], results["easy-backfill"]
+
+    assert fcfs["completed"] == easy["completed"] == 10
+    # Backfill slashes narrow jobs' queue waits...
+    assert easy["mean_narrow_wait"] < 0.5 * fcfs["mean_narrow_wait"]
+    # ...without delaying the blocked wide head beyond estimate slack.
+    assert easy["head_sojourn"] <= fcfs["head_sojourn"] * 1.10
+
+    rows = [
+        f"{'scheduler':>15} {'mean narrow wait':>17} {'head sojourn':>13}",
+        f"{'fcfs':>15} {fcfs['mean_narrow_wait']:>16.0f}s {fcfs['head_sojourn']:>12.0f}s",
+        f"{'easy-backfill':>15} {easy['mean_narrow_wait']:>16.0f}s {easy['head_sojourn']:>12.0f}s",
+    ]
+    report(
+        "\n".join(rows),
+        fcfs_narrow_wait=round(fcfs["mean_narrow_wait"], 1),
+        easy_narrow_wait=round(easy["mean_narrow_wait"], 1),
+        fcfs_head=round(fcfs["head_sojourn"], 1),
+        easy_head=round(easy["head_sojourn"], 1),
+    )

@@ -1,0 +1,34 @@
+"""Fig. 4: even-slowdown vs even-power budgeters across shared budgets.
+
+Paper series: estimated slowdown of one instance of each of the 8 job types
+under a budget sweep.  Shape checks: even-slowdown never increases the
+worst-job slowdown, strictly improves it at mid-range budgets, and the two
+policies coincide at the budget extremes (§6.1.1).
+"""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def test_fig4_budgeter_comparison(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig4.run_fig4(n_budgets=40), rounds=1, iterations=1
+    )
+    ep = result.max_slowdown("even-power")
+    es = result.max_slowdown("even-slowdown")
+    assert np.all(es <= ep + 1e-9)
+    mid = len(ep) // 2
+    assert es[mid] < ep[mid]
+    assert es[0] == ep[0]
+    assert es[-1] == ep[-1]
+    # Paper Fig. 4: at mid budgets the ideal budgeter roughly halves the
+    # worst-job slowdown relative to even power caps.
+    improvement = (ep[mid] - es[mid]) / ep[mid]
+    assert improvement > 0.25
+    report(
+        fig4.format_table(result),
+        midrange_worst_even_power=round(float(ep[mid]), 4),
+        midrange_worst_even_slowdown=round(float(es[mid]), 4),
+        midrange_improvement=round(float(improvement), 3),
+    )

@@ -1,0 +1,46 @@
+"""Fig. 6: BT + SP under a shared 840 W budget on the emulated cluster.
+
+Paper bars (slowdown vs no power cap): performance-agnostic hurts BT
+(~11 %) while barely touching SP; the performance-aware balancer pulls the
+two together (~5 %); misclassifying either job reopens the gap (~15 %); and
+online feedback recovers much of the loss in both directions.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def mean(result, policy, job):
+    return float(np.mean(result.slowdowns[policy][job]))
+
+
+def test_fig6_pair_policies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6.run_fig6(trials=3, seed=0, tick=1.0), rounds=1, iterations=1
+    )
+    agnostic_bt = mean(result, "Performance Agnostic", "bt")
+    aware_bt = mean(result, "Performance Aware", "bt")
+    under_bt = mean(result, "Under-estimate bt", "bt=is")
+    under_fb = mean(result, "Under-estimate bt, with feedback", "bt=is")
+    over_bt = mean(result, "Over-estimate sp", "bt")
+    over_fb = mean(result, "Over-estimate sp, with feedback", "bt")
+
+    # Who wins, in the paper's order.
+    assert agnostic_bt > aware_bt  # awareness helps the sensitive job
+    assert under_bt > agnostic_bt * 0.9  # misclassification is the worst case
+    assert under_fb < under_bt  # feedback recovers (under-estimate)
+    assert over_fb < over_bt  # feedback recovers (over-estimate)
+    # Rough factors: agnostic ≈ 2-4× aware for BT; feedback recovers ≥ 25 %.
+    assert agnostic_bt / aware_bt > 1.5
+    assert (under_bt - under_fb) / under_bt > 0.2
+
+    report(
+        fig6.format_table(result),
+        agnostic_bt=round(agnostic_bt, 4),
+        aware_bt=round(aware_bt, 4),
+        under_estimate_bt=round(under_bt, 4),
+        under_estimate_bt_feedback=round(under_fb, 4),
+        over_estimate_bt=round(over_bt, 4),
+        over_estimate_bt_feedback=round(over_fb, 4),
+    )

@@ -1,0 +1,40 @@
+"""Fig. 7: two BT instances, one possibly misclassified as IS (840 W shared).
+
+Paper bars: agnostic ≈ aware when both jobs share one power-performance
+profile (both policies make the same decision); misclassifying one instance
+slows it (~15–20 %); feedback recovers much of the loss.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def mean(result, policy, job):
+    return float(np.mean(result.slowdowns[policy][job]))
+
+
+def test_fig7_same_type_misclassification(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6.run_fig7(trials=3, seed=1, tick=1.0), rounds=1, iterations=1
+    )
+    agnostic = mean(result, "Performance Agnostic", "bt")
+    aware = mean(result, "Performance Aware", "bt")
+    mis = mean(result, "Under-estimate bt", "bt=is")
+    recovered = mean(result, "Under-estimate bt, with feedback", "bt=is")
+
+    # Identical jobs ⇒ agnostic and aware coincide (paper: "both solutions
+    # make the same decisions").
+    assert abs(agnostic - aware) < 0.05
+    # Misclassified instance slows well past the correctly-classified one.
+    assert mis > mean(result, "Under-estimate bt", "bt") + 0.03
+    # Feedback recovers part of the loss.
+    assert recovered < mis
+
+    report(
+        fig6.format_table(result),
+        agnostic=round(agnostic, 4),
+        aware=round(aware, 4),
+        misclassified=round(mis, 4),
+        with_feedback=round(recovered, 4),
+    )

@@ -1,0 +1,104 @@
+"""§8 extension: phase-change handling via drift detection (modeler ablation).
+
+"Some jobs may consist of multiple power-sensitivity profiles through the
+job's lifecycle" (paper §8).  This bench feeds the online modeler the same
+two-phase epoch stream — a sensitive simulation phase, then a near-flat
+analysis phase, observed through the usual dithered caps — once with drift
+detection off and once with it on.  Without detection, the fit keeps
+averaging both phases and mispredicts the current behaviour; with detection
+the stale history is discarded at the transition and the fit converges to
+the live phase.  (End-to-end execution of phased jobs is covered by
+tests/test_workloads_phased.py; this isolates the §8 modeling mechanism.)
+"""
+
+import numpy as np
+
+from repro.modeling.online import OnlineModeler
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.workloads.phased import PhaseSpec, make_two_phase_type
+
+PHASED = make_two_phase_type(
+    "px",
+    nodes=1,
+    epochs=240,
+    t_uncapped=760.0,  # ~3.2 s/epoch: quantisation well below the signal
+    first=PhaseSpec(0.5, 1.9, 272.0),
+    second=PhaseSpec(0.5, 1.0, 235.0),
+)
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def stream_phases(modeler: OnlineModeler, *, seed: int, budget_cap: float = 210.0):
+    """Feed the modeler the phased job's epoch stream at 1 Hz observations."""
+    rng = np.random.default_rng(seed)
+    t, epochs_done = 0.0, 0
+    sign, hold = 1.0, 0
+    carry = 0.0
+    while epochs_done < PHASED.epochs:
+        # Endpoint-style dither: ±6 % held for 12 observations.
+        hold += 1
+        if hold % 12 == 0:
+            sign = -sign
+        applied = budget_cap * (1.0 + 0.06 * sign)
+        progress = epochs_done / PHASED.epochs
+        tau = PHASED.time_per_epoch_at(applied, progress) * float(
+            np.exp(rng.normal(0.0, PHASED.noise))
+        )
+        carry += 1.0 / tau  # one second of progress
+        new = int(carry)
+        if new:
+            carry -= new
+            epochs_done = min(epochs_done + new, PHASED.epochs)
+        t += 1.0
+        modeler.observe(t, epochs_done, applied)
+    return modeler
+
+
+def phase2_error(modeler: OnlineModeler, *, budget_cap: float = 210.0) -> float:
+    """Relative prediction error vs the live (phase-2) curve over the
+    operating window the dither actually visited."""
+    caps = np.linspace(budget_cap * 0.94, budget_cap * 1.06, 7)
+    truth = np.array([PHASED.time_per_epoch_at(float(c), 0.9) for c in caps])
+    pred = np.array([modeler.model.time_at(float(c)) for c in caps])
+    return float(np.mean(np.abs(pred - truth) / truth))
+
+
+def run_ablation(*, detect_drift: bool, seeds=SEEDS):
+    errors, resets = [], 0
+    for seed in seeds:
+        default = QuadraticPowerModel.from_anchors(3.2, 1.4, 140.0, 280.0)
+        modeler = OnlineModeler(140.0, 280.0, default, detect_drift=detect_drift)
+        stream_phases(modeler, seed=seed)
+        errors.append(phase2_error(modeler))
+        resets += modeler.drift_resets
+    return float(np.mean(errors)), resets
+
+
+def test_phase_drift_detection(benchmark, report):
+    def sweep():
+        return {
+            "without": run_ablation(detect_drift=False),
+            "with": run_ablation(detect_drift=True),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    err_without, resets_without = results["without"]
+    err_with, resets_with = results["with"]
+
+    assert resets_without == 0
+    assert resets_with >= len(SEEDS) - 1  # fires on essentially every stream
+    # Detection at least halves the live-phase prediction error.
+    assert err_with < 0.5 * err_without
+
+    rows = [
+        f"{'configuration':>26} {'phase-2 model error':>20} {'resets':>7}",
+        f"{'without drift detection':>26} {100 * err_without:>19.1f}% {resets_without:>7}",
+        f"{'with drift detection':>26} {100 * err_with:>19.1f}% {resets_with:>7}",
+    ]
+    report(
+        "\n".join(rows),
+        err_without=round(err_without, 4),
+        err_with=round(err_with, 4),
+        resets_with=resets_with,
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Automatic epoch detection for uninstrumented jobs (paper §8).
+
+The paper's design needs a `geopm_prof_epoch()` call in each application's
+main loop; §8 proposes "automatic epoch detection (e.g., by identifying
+periodic usage of system resources)" for jobs nobody instrumented.
+
+This example runs a job whose power draw carries the natural per-iteration
+signature real codes have (compute vs. halo-exchange phases), samples node
+power at 1 Hz the way a monitoring daemon would, and feeds the samples to
+an AutoEpochCounter.  The detected epoch count is compared against the
+ground-truth count from the (here: secretly present) instrumentation.
+
+Run with:  python examples/auto_epoch_detection.py
+"""
+
+from dataclasses import replace
+
+from repro.geopm.signals import ControlNames
+from repro.hwsim import EmulatedCluster
+from repro.modeling.epoch_detect import AutoEpochCounter
+from repro.workloads import NAS_TYPES
+
+
+def main() -> None:
+    # An uninstrumented LU-like job with ~4.7 s outer iterations (a 1 Hz
+    # monitor cannot resolve sub-second loops — Nyquist — so this technique
+    # targets codes with seconds-scale iterations) and a ±5 % per-iteration
+    # power signature.
+    job_type = replace(NAS_TYPES["lu"], epochs=60, power_wave=0.05)
+    cluster = EmulatedCluster(1, seed=7)
+    job = cluster.start_job("uninstrumented", job_type)
+    # Cap above the job's demand so the signature is not clipped by RAPL.
+    for node in job.nodes:
+        node.pio.write_control(ControlNames.CPU_POWER_LIMIT_CONTROL, 280.0)
+
+    counter = AutoEpochCounter(dt=1.0, min_strength=0.15)
+    print("sampling node power at 1 Hz; detecting the iteration period...\n")
+    print(f"{'time':>6} {'node power':>11} {'detected period':>16} "
+          f"{'auto count':>11} {'true count':>11}")
+    while cluster.running and cluster.clock.now < 600.0:
+        cluster.clock.advance(1.0)
+        cluster.advance(1.0)
+        node_power = job.nodes[0].last_power
+        auto = counter.push(node_power)
+        now = cluster.clock.now
+        if now % 40 == 0:
+            period = f"{counter.period:.2f}s" if counter.period else "locking..."
+            print(
+                f"{now:>5.0f}s {node_power:>10.1f}W {period:>16} "
+                f"{auto:>11} {job.profiler.epoch_count:>11}"
+            )
+
+    true_count = job.profiler.epoch_count
+    auto_count = counter.epoch_count
+    err = abs(auto_count - true_count) / max(true_count, 1)
+    print(
+        f"\nfinal: detected {auto_count} epochs vs {true_count} instrumented "
+        f"({100 * err:.1f}% error) — close enough to feed the online power "
+        "modeler without touching the application."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Misclassification and recovery: watch online feedback fix a bad model.
+
+The cluster tier believes a BT job (high power sensitivity) is an IS job
+(low sensitivity), so the even-slowdown budgeter starves it.  With feedback
+enabled, the job tier's online modeler learns the true curve from epoch
+timing and ships the coefficients up; the budgeter then re-steers power.
+This example traces the believed sensitivity and the job's power cap over
+time so you can watch the recovery happen (paper Figs. 6–7).
+
+Run with:  python examples/misclassification_recovery.py
+"""
+
+from repro.budget import EvenSlowdownBudgeter
+from repro.core import AnorConfig, AnorSystem, ConstantTarget
+from repro.core.framework import precharacterized_models
+from repro.modeling import JobClassifier
+from repro.workloads import NAS_TYPES
+
+
+def run(feedback: bool) -> None:
+    label = "WITH feedback" if feedback else "WITHOUT feedback"
+    system = AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(840.0),
+        classifier=JobClassifier(precharacterized_models()),
+        config=AnorConfig(num_nodes=4, seed=7, feedback_enabled=feedback),
+    )
+    # The BT job *claims* to be IS — deliberate misclassification.
+    system.submit_now("bt-mis", "bt", claimed_type="is")
+    system.submit_now("sp-ok", "sp")
+
+    print(f"\n=== {label} ===")
+    print(f"{'time':>6} {'bt cap (W/node)':>16} {'believed sensitivity':>22}")
+    last_printed = -60.0
+    while system.cluster.running or system._queue:
+        system.step()
+        now = system.cluster.clock.now
+        record = system.manager.jobs.get("bt-mis")
+        if record is not None and record.last_status and now - last_printed >= 30.0:
+            model = record.active_model
+            print(
+                f"{now:>5.0f}s {record.last_status.applied_cap:>16.0f} "
+                f"{model.sensitivity:>21.2f}x"
+            )
+            last_printed = now
+        if now > 3600.0:
+            break
+
+    bt_truth = NAS_TYPES["bt"]
+    for totals in system.cluster.completed:
+        if totals.job_type != "bt":
+            continue
+        ref = bt_truth.compute_time(bt_truth.p_max)
+        print(
+            f"BT finished: runtime {totals.runtime:.0f}s, "
+            f"slowdown {100 * (totals.runtime / ref - 1):+.1f}% "
+            f"(true sensitivity {bt_truth.truth.sensitivity:.2f}x)"
+        )
+
+
+def main() -> None:
+    print("BT misclassified as IS under an 840 W shared budget.")
+    run(feedback=False)
+    run(feedback=True)
+    print(
+        "\nWith feedback the believed sensitivity climbs from IS's ~1.08x "
+        "toward BT's true 1.65x,\nand the budgeter raises BT's cap — "
+        "recovering most of the lost performance."
+    )
+
+
+if __name__ == "__main__":
+    main()

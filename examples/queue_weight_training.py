@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""AQA queue-weight training over simulations (paper §4.4.2).
+
+"Each queue is assigned a weight of node allocations that is tuned over
+simulations of expected power-constraint and job-submission scenarios."
+This example tunes the six long-running types' queue weights on the tabular
+simulator: the objective charges each simulated hour for energy, credits the
+offered reserve, and adds penalties when the QoS or power-tracking
+constraints break — so the search finds weights that keep sensitive queues
+from starving under the demand-response schedule.
+
+Run with:  python examples/queue_weight_training.py [--iterations 25]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import TrackingConstraint
+from repro.aqa import BoundedRandomWalkSignal, QoSConstraint, train_queue_weights
+from repro.tabsim import SimConfig, SimJobType, TabularClusterSimulator
+from repro.workloads import PoissonScheduleGenerator, long_running_mix
+
+
+def make_objective(*, num_nodes=300, duration=1200.0, seed=0):
+    base_types = long_running_mix()
+    scale = max(1, num_nodes // 130)
+    sim_types = [SimJobType.from_job_type(jt, node_scale=scale) for jt in base_types]
+    scaled = [jt.scaled_nodes(scale) for jt in base_types]
+    qos = QoSConstraint(limit=5.0, probability=0.9)
+    tracking = TrackingConstraint(max_error=0.30, probability=0.90)
+    average_power = num_nodes * 150.0
+    reserve = num_nodes * 15.0
+
+    def objective(weights) -> float:
+        generator = PoissonScheduleGenerator(
+            scaled, utilization=0.75, total_nodes=num_nodes, seed=seed
+        )
+        schedule = generator.generate(duration)
+        signal = BoundedRandomWalkSignal(duration * 4, seed=seed + 1)
+        sim = TabularClusterSimulator(
+            sim_types,
+            schedule,
+            signal,
+            SimConfig(
+                num_nodes=num_nodes,
+                average_power=average_power,
+                reserve=reserve,
+                seed=seed + 2,
+            ),
+            queue_weights=dict(weights),
+        )
+        result = sim.run(duration, drain=True)
+        q_all = np.concatenate(
+            [v for v in result.qos_by_type().values() if v.size] or [np.zeros(1)]
+        )
+        errors = result.tracking_errors(t_start=300.0, t_end=duration)
+        # Cost: energy paid minus reserve credit, plus constraint penalties.
+        cost = average_power - 1.6 * reserve
+        if not qos.satisfied(q_all):
+            cost += 1e6 * (qos.percentile_value(q_all) - qos.limit)
+        if not tracking.satisfied(errors):
+            cost += 1e6
+        # Secondary: prefer lower total QoS degradation (tie-breaker).
+        cost += 1e3 * float(np.mean(q_all))
+        return cost
+
+    return objective, [t.name for t in sim_types]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=25)
+    parser.add_argument("--nodes", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    objective, names = make_objective(num_nodes=args.nodes, seed=args.seed)
+    print(f"Tuning {len(names)} queue weights over {args.iterations} "
+          f"{args.nodes}-node simulations...")
+    result = train_queue_weights(
+        objective, names, iterations=args.iterations, seed=args.seed
+    )
+    total = sum(result.weights.values())
+    print(f"\n{'queue':>7} {'weight':>8} {'share':>7}")
+    for name in names:
+        w = result.weights[name]
+        print(f"{name:>7} {w:>8.3f} {100 * w / total:>6.1f}%")
+    print(f"\nobjective: {result.history[0]:.0f} -> {result.score:.0f} "
+          f"over {result.evaluations} evaluations")
+
+
+if __name__ == "__main__":
+    main()

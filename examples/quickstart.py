@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: run two jobs under a shared power budget with ANOR.
+
+This is the smallest end-to-end use of the public API: build an emulated
+4-node cluster, co-schedule a power-sensitive job (BT) and an insensitive
+one (SP) under an 840 W budget, and compare the performance-aware
+even-slowdown budgeter against the performance-agnostic even-power policy.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.budget import EvenPowerBudgeter, EvenSlowdownBudgeter
+from repro.core import AnorConfig, AnorSystem, ConstantTarget
+from repro.workloads import NAS_TYPES
+
+
+def run_policy(budgeter, label: str) -> None:
+    system = AnorSystem(
+        budgeter=budgeter,
+        target_source=ConstantTarget(840.0),  # 75 % of the 4-node TDP
+        config=AnorConfig(num_nodes=4, seed=42),
+    )
+    system.submit_now("bt-demo", "bt")  # high power sensitivity, 2 nodes
+    system.submit_now("sp-demo", "sp")  # low power sensitivity, 2 nodes
+    result = system.run(until_idle=True, max_time=3600.0)
+
+    print(f"\n=== {label} ===")
+    for totals in result.completed:
+        jt = NAS_TYPES[totals.job_type]
+        reference = jt.compute_time(jt.p_max)  # uncapped compute time
+        slowdown = 100.0 * (totals.runtime / reference - 1.0)
+        print(
+            f"  {totals.job_id:<8} runtime {totals.runtime:6.1f}s "
+            f"(uncapped {reference:5.1f}s, slowdown {slowdown:+5.1f}%), "
+            f"avg power {totals.average_power:5.0f} W over {totals.nodes} nodes"
+        )
+
+
+def main() -> None:
+    print("ANOR quickstart: BT + SP sharing 840 W on 4 emulated nodes")
+    run_policy(EvenPowerBudgeter(), "even power caps (performance-agnostic)")
+    run_policy(EvenSlowdownBudgeter(), "even slowdown (performance-aware)")
+    print(
+        "\nThe performance-aware budgeter steers power toward BT, the more "
+        "power-sensitive job,\nequalising the slowdowns instead of the caps "
+        "(paper Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Offline slowdown estimation under shared budgets (paper §6.1, Figs. 4–5).
+
+The budgeter chooses caps from the models it *believes*; each job then slows
+down according to its *true* curve.  Splitting believed from true models is
+what lets these analyses quantify misclassification: the "mischaracterized"
+budgeter of Fig. 5 believes FT is IS (or EP), allocates accordingly, and the
+resulting slowdowns are read off FT's real curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.budget.base import JobBudgetRequest, PowerBudgeter
+from repro.modeling.quadratic import QuadraticPowerModel
+
+__all__ = ["JobScenario", "estimate_scenario_slowdowns", "sweep_budgets"]
+
+
+@dataclass(frozen=True)
+class JobScenario:
+    """One job in an offline what-if: its truth and what the budgeter thinks."""
+
+    job_id: str
+    nodes: int
+    true_model: QuadraticPowerModel
+    believed_model: QuadraticPowerModel
+    p_min: float
+    p_max: float
+
+    @classmethod
+    def known(
+        cls,
+        job_id: str,
+        nodes: int,
+        model: QuadraticPowerModel,
+        p_min: float,
+        p_max: float,
+    ) -> "JobScenario":
+        """A correctly characterized job: believed = true."""
+        return cls(
+            job_id=job_id,
+            nodes=nodes,
+            true_model=model,
+            believed_model=model,
+            p_min=p_min,
+            p_max=p_max,
+        )
+
+    def to_request(self) -> JobBudgetRequest:
+        return JobBudgetRequest(
+            job_id=self.job_id,
+            nodes=self.nodes,
+            model=self.believed_model,
+            p_min=self.p_min,
+            p_max=self.p_max,
+        )
+
+    def true_slowdown(self, p_cap: float) -> float:
+        """Fractional slowdown the job really experiences at ``p_cap``."""
+        return self.true_model.slowdown_at(p_cap)
+
+
+def estimate_scenario_slowdowns(
+    scenarios: Sequence[JobScenario],
+    budgeter: PowerBudgeter,
+    budget: float,
+) -> dict[str, float]:
+    """Per-job true slowdown when ``budgeter`` splits ``budget`` (fractions)."""
+    allocation = budgeter.allocate([s.to_request() for s in scenarios], budget)
+    return {s.job_id: s.true_slowdown(allocation.caps[s.job_id]) for s in scenarios}
+
+
+def sweep_budgets(
+    scenarios: Sequence[JobScenario],
+    budgeter: PowerBudgeter,
+    budgets: Sequence[float],
+) -> dict[str, np.ndarray]:
+    """Slowdown-vs-budget curves for each job (the Fig. 4/5 series)."""
+    budgets = list(budgets)
+    out = {s.job_id: np.empty(len(budgets)) for s in scenarios}
+    for i, budget in enumerate(budgets):
+        slowdowns = estimate_scenario_slowdowns(scenarios, budgeter, budget)
+        for job_id, slowdown in slowdowns.items():
+            out[job_id][i] = slowdown
+    return out

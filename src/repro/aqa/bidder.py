@@ -1,0 +1,139 @@
+"""Demand-response bidding: choose average power and reserve (paper §4.4.1).
+
+Once per bidding period (an hour in the paper) the cluster decides how much
+average power ``P̄`` to request and how much reserve ``R`` to offer; until
+the next bid it must track targets in ``[P̄ − R, P̄ + R]``.  AQA "searches
+for queue weights and demand response bids (average power and reserve) that
+reduce electricity cost under constraints for QoS and power-tracking error"
+(§4.4.2).  The bidder here grid-searches candidate bids, scores each with a
+caller-supplied evaluator (typically a tabular-simulator run), and keeps the
+cheapest bid whose constraints hold.
+
+The cost model follows regulation-market economics: the cluster pays for the
+energy it requests and is credited for the reserve capacity it offers, so
+
+    cost_rate = energy_price·P̄ − reserve_credit·R      [$ per hour, per W].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Bid", "BidEvaluation", "DemandResponseBidder"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A demand-response commitment: track targets in P̄ ± R."""
+
+    average_power: float
+    reserve: float
+
+    def __post_init__(self) -> None:
+        if self.average_power <= 0:
+            raise ValueError(f"average power must be positive, got {self.average_power}")
+        if self.reserve < 0:
+            raise ValueError(f"reserve must be ≥ 0, got {self.reserve}")
+        if self.reserve >= self.average_power:
+            raise ValueError(
+                f"reserve {self.reserve} must stay below average {self.average_power}"
+            )
+
+    @property
+    def floor(self) -> float:
+        return self.average_power - self.reserve
+
+    @property
+    def ceiling(self) -> float:
+        return self.average_power + self.reserve
+
+
+@dataclass(frozen=True)
+class BidEvaluation:
+    """How one candidate bid fared in the evaluation simulations."""
+
+    bid: Bid
+    qos_ok: bool
+    tracking_ok: bool
+    qos_90th: float
+    tracking_error_90th: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.qos_ok and self.tracking_ok
+
+
+class DemandResponseBidder:
+    """Grid search for the cheapest feasible (P̄, R) bid.
+
+    Parameters
+    ----------
+    p_floor, p_ceiling:
+        Physical cluster power range (min caps + idle .. max caps).
+    energy_price, reserve_credit:
+        Cost-model coefficients; with credit > price the bidder is pushed
+        toward large reserves, bounded by the QoS/tracking constraints.
+    n_power_steps, n_reserve_steps:
+        Grid resolution.
+    """
+
+    def __init__(
+        self,
+        p_floor: float,
+        p_ceiling: float,
+        *,
+        energy_price: float = 1.0,
+        reserve_credit: float = 1.6,
+        n_power_steps: int = 7,
+        n_reserve_steps: int = 6,
+    ) -> None:
+        if not 0 < p_floor < p_ceiling:
+            raise ValueError(f"need 0 < floor < ceiling, got {p_floor}, {p_ceiling}")
+        self.p_floor = float(p_floor)
+        self.p_ceiling = float(p_ceiling)
+        self.energy_price = float(energy_price)
+        self.reserve_credit = float(reserve_credit)
+        self.n_power_steps = int(n_power_steps)
+        self.n_reserve_steps = int(n_reserve_steps)
+
+    def cost_rate(self, bid: Bid) -> float:
+        """$-per-hour-per-watt-scale cost of a bid (lower is better)."""
+        return self.energy_price * bid.average_power - self.reserve_credit * bid.reserve
+
+    def candidates(self) -> list[Bid]:
+        """The bid grid: averages across the feasible band, reserves below
+        the distance to the nearest physical bound."""
+        bids: list[Bid] = []
+        averages = np.linspace(self.p_floor, self.p_ceiling, self.n_power_steps + 2)[1:-1]
+        for avg in averages:
+            max_reserve = min(avg - self.p_floor, self.p_ceiling - avg)
+            for frac in np.linspace(0.0, 1.0, self.n_reserve_steps):
+                reserve = frac * max_reserve
+                if reserve >= avg:
+                    continue
+                bids.append(Bid(average_power=float(avg), reserve=float(reserve)))
+        return bids
+
+    def select(
+        self,
+        evaluate: Callable[[Bid], BidEvaluation],
+        *,
+        candidates: Sequence[Bid] | None = None,
+    ) -> tuple[Bid, list[BidEvaluation]]:
+        """Evaluate candidates and return the cheapest feasible bid.
+
+        Raises ``RuntimeError`` when no candidate satisfies both constraints
+        (the data center should not enroll in demand response at all then).
+        """
+        evaluations = [evaluate(bid) for bid in (candidates or self.candidates())]
+        feasible = [e for e in evaluations if e.feasible]
+        if not feasible:
+            raise RuntimeError(
+                "no feasible demand-response bid: all candidates violated "
+                "QoS or power-tracking constraints"
+            )
+        best = min(feasible, key=lambda e: self.cost_rate(e.bid))
+        return best.bid, evaluations

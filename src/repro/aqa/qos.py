@@ -1,0 +1,93 @@
+"""QoS metrics and constraints (paper §5.2).
+
+A job's QoS degradation is ``Q = (T_sojourn − T_min)/T_min``, where sojourn
+time runs from submission to completion and ``T_min`` is the job's execution
+time when not power limited.  The paper constrains all job types to Q ≤ 5
+with 90 % probability, and justifies the constant against a real queue trace
+whose 90th-percentile wait/execution ratio exceeds 22 — we regenerate that
+justification from a synthetic heavy-tailed trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.util.stats import percentile
+
+__all__ = ["qos_degradation", "QoSConstraint", "generate_queue_trace"]
+
+
+def qos_degradation(sojourn: float, t_min: float) -> float:
+    """Q = (T_sojourn − T_min) / T_min."""
+    if t_min <= 0:
+        raise ValueError(f"t_min must be positive, got {t_min}")
+    if sojourn < 0:
+        raise ValueError(f"sojourn must be ≥ 0, got {sojourn}")
+    return (sojourn - t_min) / t_min
+
+
+@dataclass(frozen=True)
+class QoSConstraint:
+    """Probabilistic QoS bound: Q ≤ ``limit`` with probability ``probability``."""
+
+    limit: float = 5.0
+    probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise ValueError(f"limit must be ≥ 0, got {self.limit}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+
+    def satisfied(self, q_samples: Sequence[float]) -> bool:
+        """True when the required fraction of samples meets the limit."""
+        arr = np.asarray(q_samples, dtype=float)
+        if arr.size == 0:
+            return True  # vacuously: no jobs means no violated jobs
+        return float(np.mean(arr <= self.limit)) >= self.probability
+
+    def percentile_value(self, q_samples: Sequence[float]) -> float:
+        """The Q value at the constraint's probability (e.g. 90th percentile)."""
+        return percentile(q_samples, 100.0 * self.probability)
+
+    def margin(self, q_samples: Sequence[float]) -> float:
+        """limit − percentile_value; positive when the constraint holds."""
+        return self.limit - self.percentile_value(q_samples)
+
+
+def generate_queue_trace(
+    n_jobs: int = 5000,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    median_exec: float = 600.0,
+    wait_sigma: float = 2.6,
+) -> np.ndarray:
+    """Synthetic month-like queue trace of (wait_time, exec_time) pairs.
+
+    Stands in for the real-world job-queue data of [17] used to justify the
+    Q = 5 constraint: execution times are lognormal around ``median_exec``
+    and waits are heavy-tailed lognormal, giving a 90th-percentile
+    wait/execution ratio comfortably above 22 (§5.2).  Returns an array of
+    shape (n_jobs, 2).
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be ≥ 1, got {n_jobs}")
+    rng = ensure_rng(seed)
+    exec_times = rng.lognormal(mean=np.log(median_exec), sigma=1.2, size=n_jobs)
+    # Waits correlate only weakly with job length in real queues; a long
+    # right tail (σ≈2.6) produces the >22 ratio the paper reports.
+    waits = rng.lognormal(mean=np.log(median_exec * 2.0), sigma=wait_sigma, size=n_jobs)
+    return np.column_stack([waits, exec_times])
+
+
+def wait_exec_ratio_percentile(trace: np.ndarray, q: float = 90.0) -> float:
+    """Percentile of wait/exec ratio over a (n, 2) queue trace."""
+    trace = np.asarray(trace, dtype=float)
+    if trace.ndim != 2 or trace.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) trace, got {trace.shape}")
+    ratios = trace[:, 0] / trace[:, 1]
+    return percentile(ratios, q)

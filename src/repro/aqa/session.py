@@ -1,0 +1,151 @@
+"""Multi-hour demand-response operation (paper §4.4.1).
+
+"The bidding decision is made once per hour, influencing the range of power
+targets that will be received until the next bid."  A
+:class:`DemandResponseSession` strings consecutive hours together: before
+each hour it re-runs the bid search (using short evaluation simulations of
+the *upcoming* conditions), commits the winning (P̄, R) for the hour,
+executes it, and accounts QoS, tracking and electricity cost hour by hour.
+
+The session is generic over how an hour is simulated: callers supply an
+``hour_runner`` returning the realised metrics for a bid, so the same
+orchestration drives the tabular simulator, the emulated cluster, or toy
+models in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.aqa.bidder import Bid, BidEvaluation, DemandResponseBidder
+
+__all__ = ["HourMetrics", "HourRecord", "DemandResponseSession"]
+
+
+@dataclass(frozen=True)
+class HourMetrics:
+    """What actually happened during one committed hour."""
+
+    qos_90th: float
+    tracking_error_90th: float
+    mean_power: float
+    jobs_completed: int
+
+    def __post_init__(self) -> None:
+        if self.mean_power < 0:
+            raise ValueError(f"mean power must be ≥ 0, got {self.mean_power}")
+        if self.jobs_completed < 0:
+            raise ValueError(f"jobs completed must be ≥ 0, got {self.jobs_completed}")
+
+
+@dataclass(frozen=True)
+class HourRecord:
+    """One hour of operation: the committed bid and its realised outcome."""
+
+    hour: int
+    bid: Bid
+    metrics: HourMetrics
+    cost: float  # $-scale cost of the hour (energy − reserve credit)
+    candidates_evaluated: int
+
+
+@dataclass
+class DemandResponseSession:
+    """Hourly re-bidding loop.
+
+    Parameters
+    ----------
+    bidder:
+        The (P̄, R) grid search with its cost model.
+    evaluate:
+        Scores a candidate bid for the *upcoming* hour — typically a short,
+        cheap simulation (the paper tunes AQA "over simulations of expected
+        power-constraint and job-submission scenarios", §4.4.2).  Signature:
+        ``evaluate(bid, hour) -> BidEvaluation``.
+    run_hour:
+        Executes a full committed hour under the bid and returns the
+        realised :class:`HourMetrics`.  Signature: ``run_hour(bid, hour)``.
+    carry_bid_on_failure:
+        When no candidate is feasible for an hour, reuse the previous hour's
+        bid instead of raising (a cluster cannot simply unplug mid-session);
+        the first hour still raises, since nothing was ever committed.
+    """
+
+    bidder: DemandResponseBidder
+    evaluate: Callable[[Bid, int], BidEvaluation]
+    run_hour: Callable[[Bid, int], HourMetrics]
+    carry_bid_on_failure: bool = True
+    records: list[HourRecord] = field(default_factory=list)
+
+    def run(self, hours: int) -> list[HourRecord]:
+        """Operate for ``hours`` consecutive hours; returns the ledger."""
+        if hours < 1:
+            raise ValueError(f"hours must be ≥ 1, got {hours}")
+        previous_bid: Bid | None = None
+        for hour in range(hours):
+            candidates = self.bidder.candidates()
+            try:
+                bid, evaluations = self.bidder.select(
+                    lambda b: self.evaluate(b, hour), candidates=candidates
+                )
+                evaluated = len(evaluations)
+            except RuntimeError:
+                if previous_bid is None or not self.carry_bid_on_failure:
+                    raise
+                bid, evaluated = previous_bid, len(candidates)
+            metrics = self.run_hour(bid, hour)
+            cost = self.bidder.cost_rate(bid)
+            self.records.append(
+                HourRecord(
+                    hour=hour,
+                    bid=bid,
+                    metrics=metrics,
+                    cost=cost,
+                    candidates_evaluated=evaluated,
+                )
+            )
+            previous_bid = bid
+        return self.records
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self.records)
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(r.metrics.jobs_completed for r in self.records)
+
+    def worst_qos(self) -> float:
+        if not self.records:
+            raise ValueError("no hours recorded")
+        return max(r.metrics.qos_90th for r in self.records)
+
+    def worst_tracking(self) -> float:
+        if not self.records:
+            raise ValueError("no hours recorded")
+        return max(r.metrics.tracking_error_90th for r in self.records)
+
+    def bids_over_time(self) -> np.ndarray:
+        """(hours, 2) array of committed (average, reserve) per hour."""
+        return np.array(
+            [[r.bid.average_power, r.bid.reserve] for r in self.records]
+        )
+
+    def format_ledger(self) -> str:
+        rows = [
+            f"{'hour':>5} {'P̄ (kW)':>9} {'R (kW)':>8} {'QoS90':>7} "
+            f"{'err90':>7} {'jobs':>6} {'cost':>8}"
+        ]
+        for r in self.records:
+            rows.append(
+                f"{r.hour:>5} {r.bid.average_power / 1000:>9.1f} "
+                f"{r.bid.reserve / 1000:>8.2f} {r.metrics.qos_90th:>7.2f} "
+                f"{100 * r.metrics.tracking_error_90th:>6.1f}% "
+                f"{r.metrics.jobs_completed:>6} {r.cost / 1000:>8.1f}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,123 @@
+"""Queue-weight training and unknown-type sampling (paper §4.4.2).
+
+AQA tunes each queue's node-allocation weight "over simulations of expected
+power-constraint and job-submission scenarios".  For job types unknown at
+training time, the paper simulates a known minimum execution time and
+randomly samples the achievable power range and maximum slowdown from those
+of known types — :func:`sample_unknown_type` implements that rule.
+
+:func:`train_queue_weights` is a seeded random-restart coordinate search:
+generic over the evaluation function so the same trainer drives both the
+tabular simulator and unit-test toy objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["TrainingResult", "train_queue_weights", "sample_unknown_type", "UnknownTypeProperties"]
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Best weights found and the search trajectory."""
+
+    weights: dict[str, float]
+    score: float
+    evaluations: int
+    history: tuple[float, ...]  # best-so-far score after each evaluation
+
+
+def train_queue_weights(
+    evaluate: Callable[[Mapping[str, float]], float],
+    queue_names: Sequence[str],
+    *,
+    iterations: int = 40,
+    seed: int | np.random.Generator | None = 0,
+    init: Mapping[str, float] | None = None,
+    step: float = 0.5,
+) -> TrainingResult:
+    """Minimise ``evaluate(weights)`` over positive per-queue weights.
+
+    The search perturbs one random coordinate at a time by a multiplicative
+    factor, keeping improvements (weights are scale-free — only ratios
+    matter to :meth:`~repro.aqa.queues.QueueSet.node_shares` — so the walk
+    explores ratios).  ``evaluate`` should fold constraint violations into
+    the score (e.g. large penalties), matching how AQA couples cost with QoS
+    and tracking feasibility.
+    """
+    if not queue_names:
+        raise ValueError("need at least one queue")
+    if iterations < 1:
+        raise ValueError(f"iterations must be ≥ 1, got {iterations}")
+    rng = ensure_rng(seed)
+    names = list(queue_names)
+    current = {n: 1.0 for n in names}
+    if init is not None:
+        for n, w in init.items():
+            if n not in current:
+                raise KeyError(f"unknown queue {n!r}")
+            if w <= 0:
+                raise ValueError(f"{n}: initial weight must be positive, got {w}")
+            current[n] = float(w)
+    best_score = float(evaluate(current))
+    best = dict(current)
+    history = [best_score]
+    evaluations = 1
+    for _ in range(iterations):
+        name = names[int(rng.integers(len(names)))]
+        factor = float(np.exp(rng.normal(0.0, step)))
+        trial = dict(best)
+        trial[name] = max(1e-6, trial[name] * factor)
+        score = float(evaluate(trial))
+        evaluations += 1
+        if score < best_score:
+            best_score = score
+            best = trial
+        history.append(best_score)
+    return TrainingResult(
+        weights=best,
+        score=best_score,
+        evaluations=evaluations,
+        history=tuple(history),
+    )
+
+
+@dataclass(frozen=True)
+class UnknownTypeProperties:
+    """Simulated properties for a job type unknown at AQA-training time."""
+
+    t_min: float  # provided at launch time, like a job time limit
+    p_min: float
+    p_max: float
+    max_slowdown: float  # slowdown at the minimum power cap
+
+
+def sample_unknown_type(
+    t_min: float,
+    known_power_ranges: Sequence[tuple[float, float]],
+    known_max_slowdowns: Sequence[float],
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> UnknownTypeProperties:
+    """Simulate an unknown type's properties for AQA training (§4.4.2).
+
+    The minimum execution time is taken as given (the user-supplied limit);
+    the achievable power-demand range and the maximum slowdown are sampled
+    uniformly from those of known job types.
+    """
+    if t_min <= 0:
+        raise ValueError(f"t_min must be positive, got {t_min}")
+    if not known_power_ranges or not known_max_slowdowns:
+        raise ValueError("need at least one known type to sample from")
+    rng = ensure_rng(seed)
+    p_min, p_max = known_power_ranges[int(rng.integers(len(known_power_ranges)))]
+    slowdown = float(known_max_slowdowns[int(rng.integers(len(known_max_slowdowns)))])
+    return UnknownTypeProperties(
+        t_min=float(t_min), p_min=float(p_min), p_max=float(p_max), max_slowdown=slowdown
+    )

@@ -1,0 +1,26 @@
+"""Cluster-tier power budgeters (paper §4.1, §4.4.3).
+
+A *power budgeter* splits the cluster's available CPU power across running
+jobs.  The paper evaluates:
+
+* **Even power caps** (performance-unaware, the AQA rule): every job sits at
+  the same fraction γ of its achievable power range.
+* **Even slowdown** (performance-aware): every job is predicted to slow down
+  by the same factor s, using the job tier's power-performance models.
+* **Uniform node caps**: the same cap on every active node (the baseline
+  "uniform power distribution" of Fig. 10).
+"""
+
+from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.budget.uniform import UniformCapBudgeter
+
+__all__ = [
+    "BudgetAllocation",
+    "JobBudgetRequest",
+    "PowerBudgeter",
+    "EvenPowerBudgeter",
+    "EvenSlowdownBudgeter",
+    "UniformCapBudgeter",
+]

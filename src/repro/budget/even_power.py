@@ -1,0 +1,42 @@
+"""Performance-unaware balancer: even power-range utilization (paper §4.4.3).
+
+Selects one γ ∈ [0, 1] so every job's per-node cap is
+
+    p_cap_j = γ·(p_max_j − p_min_j) + p_min_j
+
+and the total equals the budget (when feasible).  All jobs then operate at
+the same fraction of their achievable power range, but experience *different*
+slowdowns — the performance gap Fig. 4 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
+from repro.util.maths import clamp
+
+__all__ = ["EvenPowerBudgeter"]
+
+
+class EvenPowerBudgeter(PowerBudgeter):
+    """The AQA power-capping rule: same γ across jobs."""
+
+    name = "even-power"
+
+    def allocate(
+        self, jobs: Sequence[JobBudgetRequest], budget: float
+    ) -> BudgetAllocation:
+        self._validate(jobs, budget)
+        if not jobs:
+            return BudgetAllocation(caps={}, budget=budget, meta={"gamma": 0.0})
+        floor = sum(j.p_min * j.nodes for j in jobs)
+        span = sum((j.p_max - j.p_min) * j.nodes for j in jobs)
+        if span <= 0:
+            gamma = 0.0
+        else:
+            gamma = clamp((budget - floor) / span, 0.0, 1.0)
+        caps = {
+            j.job_id: gamma * (j.p_max - j.p_min) + j.p_min for j in jobs
+        }
+        return BudgetAllocation(caps=caps, budget=budget, meta={"gamma": gamma})

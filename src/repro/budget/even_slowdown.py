@@ -1,0 +1,68 @@
+"""Performance-aware balancer: even expected slowdown (paper §4.4.3).
+
+Selects the common expected-slowdown limit ``s`` such that
+
+    p_cap_j = P_j( s · T_j(p_max_j) )
+
+uses the full power budget, where ``T_j`` maps power caps to time per epoch
+(the job's quadratic model) and ``P_j`` is its inverse.  Jobs whose model
+says they barely slow down under capping give up power first, steering watts
+toward power-sensitive jobs.  Low-sensitivity jobs "level off" at the
+platform's minimum cap as the budget shrinks (§6.1.1) — the clamping below
+reproduces that saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
+from repro.util.maths import bisect_scalar, clamp
+
+__all__ = ["EvenSlowdownBudgeter"]
+
+
+class EvenSlowdownBudgeter(PowerBudgeter):
+    """Equalises model-predicted slowdown across jobs (time-balancing)."""
+
+    name = "even-slowdown"
+
+    def __init__(self, *, tol: float = 1e-6) -> None:
+        self.tol = float(tol)
+
+    def _caps_at(self, jobs: Sequence[JobBudgetRequest], s: float) -> dict[str, float]:
+        caps: dict[str, float] = {}
+        for j in jobs:
+            t_fast = j.model.time_per_epoch(j.p_max)
+            p = j.model.power_for_time(s * t_fast)
+            caps[j.job_id] = clamp(p, j.p_min, j.p_max)
+        return caps
+
+    def allocate(
+        self, jobs: Sequence[JobBudgetRequest], budget: float
+    ) -> BudgetAllocation:
+        self._validate(jobs, budget)
+        if not jobs:
+            return BudgetAllocation(caps={}, budget=budget, meta={"slowdown": 1.0})
+
+        def total_at(s: float) -> float:
+            caps = self._caps_at(jobs, s)
+            return sum(caps[j.job_id] * j.nodes for j in jobs)
+
+        # s = 1 gives everyone max power; s_hi saturates everyone at p_min.
+        s_hi = 1.0
+        for j in jobs:
+            t_fast = j.model.time_per_epoch(j.p_max)
+            t_slow = j.model.time_per_epoch(j.p_min)
+            if t_fast > 0:
+                s_hi = max(s_hi, t_slow / t_fast)
+        s_hi *= 1.01  # ensure the bracket truly saturates every job
+
+        if total_at(1.0) <= budget:
+            s = 1.0
+        elif total_at(s_hi) >= budget:
+            s = s_hi
+        else:
+            s = bisect_scalar(lambda x: total_at(x) - budget, 1.0, s_hi, tol=self.tol)
+        caps = self._caps_at(jobs, s)
+        return BudgetAllocation(caps=caps, budget=budget, meta={"slowdown": s})

@@ -1,0 +1,32 @@
+"""Uniform node caps: the same cap on every active node.
+
+This is the "uniform power distribution policy" baseline of Fig. 10 and the
+way AQA applies caps "uniformly across active nodes" (§4.4.2).  It ignores
+both job power ranges and job performance models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
+from repro.util.maths import clamp
+
+__all__ = ["UniformCapBudgeter"]
+
+
+class UniformCapBudgeter(PowerBudgeter):
+    """Every active node gets ``budget / total_nodes`` watts (clamped)."""
+
+    name = "uniform"
+
+    def allocate(
+        self, jobs: Sequence[JobBudgetRequest], budget: float
+    ) -> BudgetAllocation:
+        self._validate(jobs, budget)
+        if not jobs:
+            return BudgetAllocation(caps={}, budget=budget, meta={"node_cap": 0.0})
+        total_nodes = sum(j.nodes for j in jobs)
+        node_cap = budget / total_nodes
+        caps = {j.job_id: clamp(node_cap, j.p_min, j.p_max) for j in jobs}
+        return BudgetAllocation(caps=caps, budget=budget, meta={"node_cap": node_cap})

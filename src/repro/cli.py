@@ -1,0 +1,173 @@
+"""Command-line entry points: ``anor <experiment> [options]``.
+
+Each subcommand regenerates one of the paper's figures and prints the
+paper-vs-measured comparison table.  Scaled-down runs (for quick checks) are
+available through ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _fig3(quick: bool, seed: int) -> str:
+    from repro.experiments import fig3
+
+    result = fig3.run_fig3(
+        runs_per_cap=3 if quick else 10,
+        tick=0.5 if quick else 0.25,
+        seed=seed,
+    )
+    return fig3.format_table(result)
+
+
+def _fig4(quick: bool, seed: int, csv_path: str | None = None) -> str:
+    from repro.experiments import fig4
+
+    result = fig4.run_fig4(n_budgets=15 if quick else 40)
+    if csv_path:
+        from repro.analysis.export import export_fig4
+
+        export_fig4(result, csv_path)
+    return fig4.format_table(result)
+
+
+def _fig5(quick: bool, seed: int) -> str:
+    from repro.experiments import fig5
+
+    return fig5.format_table(fig5.run_fig5(n_budgets=12 if quick else 30))
+
+
+def _fig6(quick: bool, seed: int) -> str:
+    from repro.experiments import fig6
+
+    return fig6.format_table(fig6.run_fig6(trials=1 if quick else 3, seed=seed))
+
+
+def _fig7(quick: bool, seed: int) -> str:
+    from repro.experiments import fig6
+
+    return fig6.format_table(fig6.run_fig7(trials=1 if quick else 3, seed=seed))
+
+
+def _fig8(quick: bool, seed: int) -> str:
+    from repro.experiments import fig6
+
+    return fig6.format_table(fig6.run_fig8(trials=2 if quick else 6, seed=seed))
+
+
+def _fig9(quick: bool, seed: int, csv_path: str | None = None) -> str:
+    from repro.experiments import fig9
+
+    result = fig9.run_fig9(duration=900.0 if quick else 3600.0, seed=seed)
+    if csv_path:
+        from repro.analysis.export import export_power_trace
+
+        export_power_trace(result.result.power_trace, csv_path)
+    return fig9.format_table(result)
+
+
+def _fig10(quick: bool, seed: int) -> str:
+    from repro.experiments import fig10
+
+    result = fig10.run_fig10(duration=1200.0 if quick else 3600.0, seed=seed)
+    return fig10.format_table(result)
+
+
+def _fig11(quick: bool, seed: int, csv_path: str | None = None) -> str:
+    from repro.experiments import fig11
+
+    result = fig11.run_fig11(
+        trials=2 if quick else 10,
+        duration=1800.0 if quick else 3600.0,
+        seed=seed,
+    )
+    if csv_path:
+        from repro.analysis.export import export_fig11
+
+        export_fig11(result, csv_path)
+    return fig11.format_table(result)
+
+
+def _run_all(quick: bool, seed: int, out_dir: str | None) -> str:
+    """Run every figure, optionally archiving tables + CSVs to a directory."""
+    from pathlib import Path
+
+    lines = []
+    out = Path(out_dir) if out_dir else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    for name, (runner, _) in sorted(_COMMANDS.items()):
+        if name == "all":
+            continue
+        start = time.time()
+        if name in ("fig4", "fig9", "fig11") and out is not None:
+            table = runner(quick, seed, str(out / f"{name}.csv"))
+        elif name in ("fig4", "fig9", "fig11"):
+            table = runner(quick, seed, None)
+        else:
+            table = runner(quick, seed)
+        elapsed = time.time() - start
+        if out is not None:
+            (out / f"{name}.txt").write_text(table + "\n")
+        lines.append(f"=== {name} ({elapsed:.1f}s) ===")
+        lines.append(table)
+        lines.append("")
+    if out is not None:
+        lines.append(f"[tables and CSVs archived under {out}]")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "fig3": (_fig3, "power-performance characterization curves + fit R²"),
+    "fig4": (_fig4, "budgeter comparison across shared budgets"),
+    "fig5": (_fig5, "misclassification cost (under/over × small/large)"),
+    "fig6": (_fig6, "BT+SP pair under a static 840 W budget"),
+    "fig7": (_fig7, "BT+BT pair, one misclassified as IS"),
+    "fig8": (_fig8, "SP+SP pair, one misclassified as EP"),
+    "fig9": (_fig9, "1-hour time-varying power target tracking"),
+    "fig10": (_fig10, "per-type slowdown under the 1-hour schedule"),
+    "fig11": (_fig11, "QoS degradation vs performance variation (tabsim)"),
+    "all": (None, "run every figure; --out archives tables and CSVs"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="anor",
+        description="Reproduce the figures of 'An End-to-End HPC Framework "
+        "for Dynamic Power Objectives' (SC-W 2023).",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+    exportable = {"fig4", "fig9", "fig11"}
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true", help="scaled-down run")
+        p.add_argument("--seed", type=int, default=0)
+        if name in exportable:
+            p.add_argument(
+                "--csv", default=None, help="also write the plotted series as CSV"
+            )
+        if name == "all":
+            p.add_argument(
+                "--out", default=None, help="directory to archive tables and CSVs"
+            )
+    args = parser.parse_args(argv)
+    start = time.time()
+    if args.experiment == "all":
+        table = _run_all(args.quick, args.seed, args.out)
+    elif args.experiment in exportable:
+        runner, _ = _COMMANDS[args.experiment]
+        table = runner(args.quick, args.seed, args.csv)
+    else:
+        runner, _ = _COMMANDS[args.experiment]
+        table = runner(args.quick, args.seed)
+    print(table)
+    print(f"\n[{args.experiment} completed in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""ANOR core: the two-tier control plane and its end-to-end wiring (§3–§4).
+
+* :mod:`repro.core.messages` — the control/status message vocabulary between
+  tiers.
+* :mod:`repro.core.transport` — latency-modelled message channels standing in
+  for the paper's TCP (cluster ↔ job endpoint) links.
+* :mod:`repro.core.targets` — time-varying cluster power-target sources (the
+  cluster manager "periodically reads cluster power targets from a file").
+* :mod:`repro.core.job_endpoint` — the per-job power-modeling process.
+* :mod:`repro.core.cluster_manager` — the head-node power manager.
+* :mod:`repro.core.framework` — wires an emulated cluster, a job schedule,
+  and both tiers into a runnable system (the Figs. 6–10 harness).
+"""
+
+from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
+from repro.core.transport import LatencyChannel, TcpLink
+from repro.core.targets import (
+    CarbonAwareTarget,
+    ConstantTarget,
+    PowerTargetSource,
+    RegulationTarget,
+    SteppedTarget,
+    TariffAwareTarget,
+    load_target_file,
+    save_target_file,
+)
+from repro.core.job_endpoint import JobTierEndpoint
+from repro.core.cluster_manager import ClusterPowerManager, JobRecord
+from repro.core.framework import AnorSystem, AnorConfig
+
+__all__ = [
+    "BudgetMessage",
+    "GoodbyeMessage",
+    "HelloMessage",
+    "StatusMessage",
+    "LatencyChannel",
+    "TcpLink",
+    "CarbonAwareTarget",
+    "ConstantTarget",
+    "PowerTargetSource",
+    "RegulationTarget",
+    "SteppedTarget",
+    "TariffAwareTarget",
+    "load_target_file",
+    "save_target_file",
+    "JobTierEndpoint",
+    "ClusterPowerManager",
+    "JobRecord",
+    "AnorSystem",
+    "AnorConfig",
+]

@@ -1,0 +1,239 @@
+"""The cluster-tier power manager (paper §4, §4.4).
+
+A single process on the head node: it reads the time-varying cluster power
+target, listens to each job's endpoint over its TCP link, chooses per-job
+power caps with a pluggable budgeter, and sends each job its new cap.  Job
+power-performance models come from three places, in priority order:
+
+1. the job tier's online fit, when feedback is enabled and a fit arrived
+   (this is what lets the "adjusted" policy of Fig. 10 recover from
+   misclassification);
+2. the precharacterized model of the job's classified type — possibly wrong,
+   when the classifier misclassifies, which is the experiment;
+3. a default-model policy for unknown types (§4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from typing import Callable
+
+from repro.budget.base import JobBudgetRequest, PowerBudgeter
+from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
+from repro.core.targets import PowerTargetSource
+from repro.core.transport import TcpLink
+from repro.modeling.classifier import JobClassifier
+from repro.modeling.quadratic import QuadraticPowerModel
+
+__all__ = ["JobRecord", "ClusterPowerManager"]
+
+
+@dataclass
+class JobRecord:
+    """Everything the cluster tier tracks about one connected job."""
+
+    job_id: str
+    claimed_type: str
+    nodes: int
+    link: TcpLink
+    believed_model: QuadraticPowerModel
+    believed_p_max: float
+    online_model: QuadraticPowerModel | None = None
+    online_r2: float | None = None
+    last_status: StatusMessage | None = None
+    caps_sent: int = 0
+
+    @property
+    def active_model(self) -> QuadraticPowerModel:
+        """Online fit when available, else the believed precharacterized model."""
+        return self.online_model if self.online_model is not None else self.believed_model
+
+
+@dataclass
+class TrackingSample:
+    """One power-tracking observation: what we wanted vs. what we measured."""
+
+    time: float
+    target: float
+    measured: float
+
+
+@dataclass
+class ClusterPowerManager:
+    """Head-node manager: budget computation and message plumbing.
+
+    Parameters
+    ----------
+    budgeter:
+        Power-cap allocation policy.
+    target_source:
+        Time-varying cluster power target (W).
+    classifier:
+        Supplies the believed model for each job's claimed type.
+    total_nodes:
+        Cluster size; used to estimate idle-node power draw.
+    idle_power_estimate:
+        Watts the manager assumes an idle node draws (facility knowledge).
+    meter:
+        Callable returning the current facility-measured cluster power; used
+        only for tracking-accuracy accounting, never for budgeting (the
+        budget is feed-forward from the target, as in AQA).
+    use_feedback:
+        Accept online models from job-tier status messages (the paper's
+        feedback-enabled configurations).
+    min_feedback_r2:
+        Reject online fits whose reported R² falls below this.  The default
+        is deliberately low: a genuinely flat power-performance curve has
+        low R² by construction (no signal to explain), yet sharing it is
+        exactly what recovers the over-estimation cases (Figs. 8, 10); the
+        job-tier endpoint already withholds degenerate fits.
+    """
+
+    budgeter: PowerBudgeter
+    target_source: PowerTargetSource
+    classifier: JobClassifier
+    total_nodes: int
+    idle_power_estimate: float = 60.0
+    meter: Callable[[], float] | None = None
+    use_feedback: bool = True
+    min_feedback_r2: float = 0.05
+    p_node_min: float = 140.0
+    p_node_max: float = 280.0
+    # Integral trim on the budget: the manager compares the facility meter
+    # against the target and slowly corrects systematic bias (jobs in
+    # low-power setup/teardown phases, caps the workload cannot fill, RAPL
+    # quantisation).  Gain 0 disables it (pure feed-forward, as in AQA).
+    correction_gain: float = 0.15
+    correction_limit_fraction: float = 0.25
+
+    jobs: dict[str, JobRecord] = field(default_factory=dict)
+    tracking: list[TrackingSample] = field(default_factory=list)
+    _links: list[TcpLink] = field(default_factory=list)
+    _correction: float = 0.0
+
+    # ------------------------------------------------------------- plumbing
+
+    def register_link(self, link: TcpLink) -> None:
+        """Accept a new job endpoint connection."""
+        self._links.append(link)
+
+    def _drain_messages(self, now: float) -> None:
+        for link in list(self._links):
+            for msg in link.recv_up(now):
+                if isinstance(msg, HelloMessage):
+                    self._on_hello(msg, link)
+                elif isinstance(msg, StatusMessage):
+                    self._on_status(msg)
+                elif isinstance(msg, GoodbyeMessage):
+                    self._on_goodbye(msg, link)
+
+    def _on_hello(self, msg: HelloMessage, link: TcpLink) -> None:
+        believed = self.classifier.model_for(msg.claimed_type, job_name=msg.job_id)
+        # The believed power ceiling is where the believed model flattens out;
+        # the platform cannot cap below p_node_min regardless.
+        self.jobs[msg.job_id] = JobRecord(
+            job_id=msg.job_id,
+            claimed_type=msg.claimed_type,
+            nodes=msg.nodes,
+            link=link,
+            believed_model=believed,
+            believed_p_max=min(believed.p_max, self.p_node_max),
+        )
+
+    def _on_status(self, msg: StatusMessage) -> None:
+        record = self.jobs.get(msg.job_id)
+        if record is None:
+            return  # status raced past the goodbye; ignore
+        record.last_status = msg
+        if self.use_feedback and msg.has_model:
+            if msg.model_r2 is None or msg.model_r2 >= self.min_feedback_r2:
+                record.online_model = QuadraticPowerModel(
+                    a=msg.model_a,
+                    b=msg.model_b,
+                    c=msg.model_c,
+                    p_min=self.p_node_min,
+                    p_max=record.believed_p_max,
+                )
+                record.online_r2 = msg.model_r2
+
+    def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink) -> None:
+        self.jobs.pop(msg.job_id, None)
+        if link in self._links:
+            self._links.remove(link)
+
+    # -------------------------------------------------------------- control
+
+    def step(self, now: float) -> dict[str, float]:
+        """One manager period: drain messages, budget, send caps.
+
+        Returns the per-job node caps chosen this round (empty when no jobs
+        are connected).
+        """
+        self._drain_messages(now)
+        target = self.target_source.target(now)
+        if self.meter is not None:
+            measured = float(self.meter())
+            self.tracking.append(
+                TrackingSample(time=now, target=target, measured=measured)
+            )
+            if self.correction_gain > 0:
+                limit = self.correction_limit_fraction * target
+                self._correction = float(
+                    np.clip(
+                        self._correction + self.correction_gain * (target - measured),
+                        -limit,
+                        limit,
+                    )
+                )
+        if not self.jobs:
+            return {}
+        busy_nodes = sum(r.nodes for r in self.jobs.values())
+        idle_nodes = max(0, self.total_nodes - busy_nodes)
+        available = max(
+            target - idle_nodes * self.idle_power_estimate + self._correction, 1.0
+        )
+        # Slack reallocation (§7.2): jobs whose measured power sits at idle
+        # level are in setup/teardown — their caps cannot raise their draw,
+        # so budget them at what they actually consume and hand the slack to
+        # jobs that can use it.
+        dormant: list[JobRecord] = []
+        active: list[JobRecord] = []
+        for record in sorted(self.jobs.values(), key=lambda r: r.job_id):
+            status = record.last_status
+            threshold = record.nodes * self.idle_power_estimate * 1.5
+            if status is None or status.measured_power < threshold:
+                dormant.append(record)
+            else:
+                active.append(record)
+        caps: dict[str, float] = {}
+        for record in dormant:
+            drawn = (
+                record.last_status.measured_power
+                if record.last_status is not None
+                else record.nodes * self.idle_power_estimate
+            )
+            available -= drawn
+            caps[record.job_id] = self.p_node_min
+        if active:
+            requests = [
+                JobBudgetRequest(
+                    job_id=r.job_id,
+                    nodes=r.nodes,
+                    model=r.active_model,
+                    p_min=self.p_node_min,
+                    p_max=r.believed_p_max,
+                )
+                for r in active
+            ]
+            allocation = self.budgeter.allocate(requests, max(available, 1.0))
+            caps.update(allocation.caps)
+        for record in self.jobs.values():
+            cap = caps[record.job_id]
+            record.link.send_down(
+                BudgetMessage(job_id=record.job_id, power_cap_node=cap, timestamp=now),
+                now,
+            )
+            record.caps_sent += 1
+        return caps

@@ -1,0 +1,370 @@
+"""End-to-end ANOR system: emulated cluster + both control tiers (Figs. 6–10).
+
+:class:`AnorSystem` assembles the pieces the paper deploys on its testbed:
+
+* an :class:`~repro.hwsim.cluster.EmulatedCluster` (the 16 nodes);
+* a FCFS job queue fed by a :class:`~repro.workloads.trace.Schedule` (the
+  cluster process "reads ... a job submission schedule from files", §4.1);
+* one :class:`~repro.core.job_endpoint.JobTierEndpoint` per running job,
+  connected to the head node over a latency-modelled TCP link;
+* a :class:`~repro.core.cluster_manager.ClusterPowerManager` running the
+  chosen budgeter against the chosen power-target source.
+
+Each simulated second: physics advances, agents run a control period,
+endpoints run a control period, and (at its own cadence) the cluster manager
+re-budgets — the same multi-rate asynchrony §7.2 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.budget.base import PowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.cluster_manager import ClusterPowerManager
+from repro.core.job_endpoint import JobTierEndpoint
+from repro.core.targets import ConstantTarget, PowerTargetSource
+from repro.core.transport import TcpLink
+from repro.geopm.report import ApplicationTotals, render_report
+from repro.geopm.tracer import JobTracer
+from repro.hwsim.cluster import EmulatedCluster
+from repro.modeling.classifier import JobClassifier
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.sched.base import PendingJob, RunningView, Scheduler
+from repro.sched.fcfs import FcfsScheduler
+from repro.util.rng import ensure_rng
+from repro.workloads.nas import NAS_TYPES, JobType, P_NODE_MAX, P_NODE_MIN
+from repro.workloads.trace import JobRequest, Schedule
+
+__all__ = ["AnorConfig", "AnorResult", "AnorSystem", "precharacterized_models"]
+
+
+def precharacterized_models(
+    job_types: dict[str, JobType] | None = None,
+) -> dict[str, QuadraticPowerModel]:
+    """Idealised precharacterization: each type's true quadratic curve.
+
+    Experiments that need *measured* characterization (with its fit error)
+    use :func:`repro.experiments.fig3.characterize_job_types` instead.
+    """
+    types = job_types if job_types is not None else NAS_TYPES
+    return {name: jt.truth for name, jt in types.items()}
+
+
+@dataclass
+class AnorConfig:
+    """Tunable knobs of an end-to-end run."""
+
+    num_nodes: int = 16
+    seed: int = 0
+    tick: float = 1.0
+    agent_period: float = 1.0
+    endpoint_period: float = 1.0
+    manager_period: float = 1.0
+    link_latency: float = 0.0
+    idle_power: float = 60.0
+    feedback_enabled: bool = True
+    retrain_threshold: int = 10
+    min_feedback_epochs: int = 10
+    perf_variation_std: float = 0.0
+    run_noise: bool = True
+    agent_fanout: int = 8
+    # §8 extension: job-tier phase-change (drift) detection — the online
+    # modeler discards its history when the job's power-performance profile
+    # shifts mid-run (see repro.workloads.phased).
+    detect_drift: bool = False
+    # When set, write GEOPM-style artifacts per job into this directory:
+    # a trace CSV (one row per agent control period) and an Application
+    # Totals report on completion (§5.4).
+    output_dir: str | None = None
+
+
+@dataclass
+class AnorResult:
+    """Outputs of one end-to-end run."""
+
+    completed: list[ApplicationTotals]
+    power_trace: np.ndarray  # columns: time, target, measured
+    unstarted_jobs: int
+    duration: float
+
+    def slowdowns_by_type(
+        self, reference: dict[str, float]
+    ) -> dict[str, list[float]]:
+        """Per-type fractional runtime slowdowns vs. ``reference`` seconds."""
+        out: dict[str, list[float]] = {}
+        for t in self.completed:
+            ref = reference.get(t.job_type)
+            if ref is None:
+                continue
+            out.setdefault(t.job_type, []).append(t.runtime / ref - 1.0)
+        return out
+
+    def qos_by_type(self, t_min: dict[str, float]) -> dict[str, list[float]]:
+        """Per-type QoS degradation Q = (T_sojourn − T_min)/T_min (§5.2)."""
+        out: dict[str, list[float]] = {}
+        for t in self.completed:
+            ref = t_min.get(t.job_type)
+            if ref is None:
+                continue
+            out.setdefault(t.job_type, []).append((t.sojourn - ref) / ref)
+        return out
+
+
+@dataclass
+class _QueuedJob:
+    request: JobRequest
+    job_type: JobType
+    claimed_type: str = ""  # what the submission metadata claims; "" = truthful
+
+
+class AnorSystem:
+    """A runnable two-tier ANOR deployment over the emulated cluster."""
+
+    def __init__(
+        self,
+        *,
+        budgeter: PowerBudgeter | None = None,
+        target_source: PowerTargetSource | None = None,
+        classifier: JobClassifier | None = None,
+        schedule: Schedule | None = None,
+        job_types: dict[str, JobType] | None = None,
+        config: AnorConfig | None = None,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        self.config = config or AnorConfig()
+        self.job_types = dict(job_types) if job_types is not None else dict(NAS_TYPES)
+        self.budgeter = budgeter or EvenSlowdownBudgeter()
+        self.target_source = target_source or ConstantTarget(
+            self.config.num_nodes * P_NODE_MAX
+        )
+        self.classifier = classifier or JobClassifier(
+            precharacterized_models(self.job_types)
+        )
+        self.schedule = schedule or Schedule()
+        self.scheduler = scheduler or FcfsScheduler()
+        self._rng = ensure_rng(self.config.seed)
+        self.cluster = EmulatedCluster(
+            self.config.num_nodes,
+            seed=self._rng,
+            idle_power=self.config.idle_power,
+            perf_variation_std=self.config.perf_variation_std,
+            agent_fanout=self.config.agent_fanout,
+            run_noise=self.config.run_noise,
+        )
+        self.manager = ClusterPowerManager(
+            budgeter=self.budgeter,
+            target_source=self.target_source,
+            classifier=self.classifier,
+            total_nodes=self.config.num_nodes,
+            idle_power_estimate=self.config.idle_power,
+            meter=lambda: self.cluster.measured_power,
+            use_feedback=self.config.feedback_enabled,
+            p_node_min=P_NODE_MIN,
+            p_node_max=P_NODE_MAX,
+        )
+        self.endpoints: dict[str, JobTierEndpoint] = {}
+        self._queue: list[_QueuedJob] = []
+        self._pending = sorted(
+            self.schedule.requests, key=lambda r: (r.submit_time, r.job_id)
+        )
+        self._submit_times: dict[str, float] = {}
+        self._trace: list[tuple[float, float, float]] = []
+        self._tracers: dict[str, JobTracer] = {}
+        if self.config.output_dir is not None:
+            Path(self.config.output_dir).mkdir(parents=True, exist_ok=True)
+        self._next_agent = 0.0
+        self._next_endpoint = 0.0
+        self._next_manager = 0.0
+
+    # ----------------------------------------------------------- job intake
+
+    def submit_now(
+        self,
+        job_id: str,
+        type_name: str,
+        *,
+        nodes: int | None = None,
+        claimed_type: str | None = None,
+    ) -> None:
+        """Submit a job immediately (used by the static-budget experiments).
+
+        ``claimed_type`` overrides what the submission metadata tells the
+        cluster tier the job is — the per-job misclassification of Figs. 7–8
+        ("bt.D.x=is.D.x").  The job still *executes* as ``type_name``.
+        """
+        jt = self.job_types[type_name]
+        if nodes is not None:
+            jt = jt.with_nodes(nodes)
+        req = JobRequest(
+            submit_time=self.cluster.clock.now,
+            job_id=job_id,
+            type_name=type_name,
+            nodes=jt.nodes,
+        )
+        self._queue.append(
+            _QueuedJob(request=req, job_type=jt, claimed_type=claimed_type or type_name)
+        )
+        self._submit_times[job_id] = self.cluster.clock.now
+
+    def _intake(self, now: float) -> None:
+        while self._pending and self._pending[0].submit_time <= now:
+            req = self._pending.pop(0)
+            jt = self.job_types[req.type_name].with_nodes(req.nodes)
+            self._queue.append(
+                _QueuedJob(request=req, job_type=jt, claimed_type=req.type_name)
+            )
+            self._submit_times[req.job_id] = req.submit_time
+
+    def _start_ready(self, now: float) -> None:
+        """Start queued jobs according to the configured scheduler."""
+        if not self._queue:
+            return
+        pending = [
+            PendingJob(
+                job_id=q.request.job_id,
+                nodes=q.job_type.nodes,
+                submit_time=self._submit_times[q.request.job_id],
+                # User-style time limit: the worst case (minimum cap).
+                est_runtime=q.job_type.total_time(q.job_type.p_min),
+            )
+            for q in self._queue
+        ]
+        running = [
+            RunningView(
+                job_id=j.job_id,
+                nodes=len(j.nodes),
+                est_end=j.start_time + j.job_type.total_time(j.job_type.p_min),
+            )
+            for j in self.cluster.running.values()
+        ]
+        chosen = self.scheduler.select(
+            pending, running, len(self.cluster.idle_nodes()), now
+        )
+        by_id = {q.request.job_id: q for q in self._queue}
+        for selection in chosen:
+            self._launch(by_id[selection.job_id])
+        started = {s.job_id for s in chosen}
+        self._queue = [q for q in self._queue if q.request.job_id not in started]
+
+    def _launch(self, head: _QueuedJob) -> None:
+        job = self.cluster.start_job(
+            head.request.job_id,
+            head.job_type,
+            submit_time=self._submit_times[head.request.job_id],
+        )
+        link = TcpLink(self.config.link_latency, seed=self._rng)
+        self.manager.register_link(link)
+        endpoint = JobTierEndpoint(
+            job_id=head.request.job_id,
+            claimed_type=head.claimed_type or head.job_type.name,
+            nodes=head.job_type.nodes,
+            geopm_endpoint=job.endpoint,
+            link=link,
+            p_min=P_NODE_MIN,
+            p_max=P_NODE_MAX,
+            default_model=QuadraticPowerModel.from_anchors(
+                1.0, 1.3, P_NODE_MIN, P_NODE_MAX
+            ),
+            feedback_enabled=self.config.feedback_enabled,
+            retrain_threshold=self.config.retrain_threshold,
+            min_feedback_epochs=self.config.min_feedback_epochs,
+            detect_drift=self.config.detect_drift,
+        )
+        self.endpoints[head.request.job_id] = endpoint
+        if self.config.output_dir is not None:
+            self._tracers[head.request.job_id] = JobTracer(
+                Path(self.config.output_dir) / f"{head.request.job_id}.trace.csv",
+                job_id=head.request.job_id,
+            )
+
+    # -------------------------------------------------------------- running
+
+    def step(self) -> None:
+        """Advance the whole system by one tick."""
+        cfg = self.config
+        clock = self.cluster.clock
+        clock.advance(cfg.tick)
+        now = clock.now
+        self._intake(now)
+        self._start_ready(now)
+        # Control-plane order within a tick: the manager budgets first, then
+        # endpoints translate budgets into GEOPM policies, then agents apply
+        # them — so a decision reaches the MSRs within one tick plus link
+        # latency, matching a real deployment where each hop is a few ms.
+        if now >= self._next_manager:
+            self.manager.step(now)
+            self._next_manager = now + cfg.manager_period - 1e-9
+        if now >= self._next_endpoint:
+            for endpoint in self.endpoints.values():
+                endpoint.step(now)
+            self._next_endpoint = now + cfg.endpoint_period - 1e-9
+        if now >= self._next_agent:
+            for job in self.cluster.running.values():
+                sample = job.agents.step(now)
+                tracer = self._tracers.get(job.job_id)
+                if tracer is not None:
+                    tracer.record(sample)
+            self._next_agent = now + cfg.agent_period - 1e-9
+        measured = self.cluster.advance(cfg.tick)
+        self._trace.append((now, self.target_source.target(now), measured))
+        # Completed jobs: close their endpoints so the manager forgets them.
+        done_ids = [jid for jid in self.endpoints if jid not in self.cluster.running]
+        for jid in done_ids:
+            self.endpoints[jid].close(now)
+            # Flush the goodbye promptly so budgets stop counting this job.
+            self.endpoints.pop(jid)
+            tracer = self._tracers.pop(jid, None)
+            if tracer is not None:
+                tracer.close()
+            if self.config.output_dir is not None:
+                totals = next(
+                    t for t in reversed(self.cluster.completed) if t.job_id == jid
+                )
+                report_path = Path(self.config.output_dir) / f"{jid}.report"
+                report_path.write_text(render_report(totals))
+
+    def run(
+        self,
+        duration: float | None = None,
+        *,
+        until_idle: bool = False,
+        max_time: float = 86_400.0,
+    ) -> AnorResult:
+        """Run for ``duration`` seconds, or until all submitted work drains.
+
+        ``until_idle`` keeps running (past ``duration``) until the queue and
+        the cluster are empty, bounded by ``max_time`` as a safety stop.
+        """
+        if duration is None and not until_idle:
+            raise ValueError("need a duration or until_idle=True")
+        start = self.cluster.clock.now
+        while True:
+            now = self.cluster.clock.now
+            elapsed = now - start
+            if duration is not None and elapsed >= duration:
+                if not until_idle:
+                    break
+                if not (self._pending or self._queue or self.cluster.running):
+                    break
+            if duration is None and not (
+                self._pending or self._queue or self.cluster.running
+            ):
+                break
+            if elapsed >= max_time:
+                break
+            self.step()
+        trace = (
+            np.asarray(self._trace)
+            if self._trace
+            else np.empty((0, 3))
+        )
+        return AnorResult(
+            completed=list(self.cluster.completed),
+            power_trace=trace,
+            unstarted_jobs=len(self._pending) + len(self._queue),
+            duration=self.cluster.clock.now - start,
+        )

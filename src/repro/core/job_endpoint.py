@@ -1,0 +1,205 @@
+"""The job-tier power-modeling process (paper §4.2, Fig. 2).
+
+One :class:`JobTierEndpoint` runs per job (on the job's first compute node in
+the paper).  It bridges three parties:
+
+* **down**: the GEOPM endpoint/agents, over "shared memory" (direct handles);
+* **up**: the cluster-tier manager, over a TCP link;
+* **inside**: an :class:`~repro.modeling.online.OnlineModeler` that converts
+  epoch feedback into quadratic model coefficients.
+
+Each control period it reads the latest agent sample, feeds the modeler,
+applies any budget messages from the cluster tier as GEOPM policies, and
+sends a status message upward — including model coefficients once a
+trustworthy fit exists, when feedback is enabled.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
+from repro.core.transport import TcpLink
+from repro.geopm.agent import AgentPolicy
+from repro.geopm.endpoint import Endpoint
+from repro.modeling.online import OnlineModeler
+from repro.modeling.quadratic import QuadraticPowerModel
+
+__all__ = ["JobTierEndpoint"]
+
+
+class JobTierEndpoint:
+    """Per-job bridge between the GEOPM endpoint and the cluster manager."""
+
+    def __init__(
+        self,
+        job_id: str,
+        claimed_type: str,
+        nodes: int,
+        geopm_endpoint: Endpoint,
+        link: TcpLink,
+        *,
+        p_min: float,
+        p_max: float,
+        default_model: QuadraticPowerModel,
+        feedback_enabled: bool = True,
+        retrain_threshold: int = 10,
+        min_feedback_epochs: int = 10,
+        initial_cap: float | None = None,
+        explore_amplitude: float = 0.06,
+        min_cap_coverage: float = 0.04,
+        explore_hold_steps: int = 12,
+        min_feedback_samples: int = 6,
+        detect_drift: bool = False,
+    ) -> None:
+        self.job_id = job_id
+        self.claimed_type = claimed_type
+        self.nodes = int(nodes)
+        self.geopm = geopm_endpoint
+        self.link = link
+        self.feedback_enabled = bool(feedback_enabled)
+        self.min_feedback_epochs = int(min_feedback_epochs)
+        self.modeler = OnlineModeler(
+            p_min,
+            p_max,
+            default_model,
+            retrain_threshold=retrain_threshold,
+            detect_drift=detect_drift,
+        )
+        self._hello_sent = False
+        self._goodbye_sent = False
+        self._pending_cap = initial_cap  # applied on the first step
+        self.current_cap = initial_cap if initial_cap is not None else p_max
+        self.statuses_sent = 0
+        self._p_min = float(p_min)
+        self._p_max = float(p_max)
+        # Excitation for online system identification: while the modeler has
+        # not yet observed meaningfully different caps, the endpoint dithers
+        # the applied cap ±explore_amplitude around the budget (zero mean, so
+        # the job's average power still honours the cluster tier's cap).
+        # The paper's runs get this excitation "for free" from time-varying
+        # budgets; static-budget scenarios (Figs. 6–8) need the dither to
+        # learn anything — see DESIGN.md.
+        self.explore_amplitude = float(explore_amplitude)
+        self.min_cap_coverage = float(min_cap_coverage)
+        self.explore_hold_steps = int(explore_hold_steps)
+        self.min_feedback_samples = int(min_feedback_samples)
+        self._explore_sign = 1.0
+        # Stagger dither phase across jobs so cluster-level excitation
+        # cancels instead of stacking into tracking error.  crc32, not
+        # hash(): Python salts string hashes per process, which would make
+        # seeded runs non-reproducible.
+        self._explore_step = zlib.crc32(job_id.encode()) % max(explore_hold_steps, 1)
+
+    # ---------------------------------------------------------------- control
+
+    def step(self, now: float) -> StatusMessage | None:
+        """One endpoint control period; returns the status sent (if any)."""
+        if not self._hello_sent:
+            self.link.send_up(
+                HelloMessage(
+                    job_id=self.job_id,
+                    claimed_type=self.claimed_type,
+                    nodes=self.nodes,
+                    timestamp=now,
+                ),
+                now,
+            )
+            self._hello_sent = True
+        # Process the latest agent sample FIRST: it was measured at or before
+        # ``now``, while any cap change below is stamped at ``now`` — feeding
+        # them to the modeler out of order would run its clock backwards
+        # (§7.2's timestamped-sample mapping).
+        status: StatusMessage | None = None
+        sample = self.geopm.read_sample()
+        if sample is not None:
+            # Feed the modeler with the cap the agents report *enforcing*,
+            # which may lag the requested cap by tree propagation.
+            self.modeler.observe(
+                sample.timestamp, sample.epoch_count, sample.applied_cap
+            )
+            status = StatusMessage(
+                job_id=self.job_id,
+                timestamp=sample.timestamp,
+                epoch_count=sample.epoch_count,
+                measured_power=sample.power,
+                applied_cap=sample.applied_cap,
+                **self._model_fields(),
+            )
+            self.link.send_up(status, now)
+            self.statuses_sent += 1
+
+        # Apply budget messages from the cluster tier (last one wins).
+        new_cap: float | None = self._pending_cap
+        self._pending_cap = None
+        for msg in self.link.recv_down(now):
+            if isinstance(msg, BudgetMessage):
+                new_cap = msg.power_cap_node
+        if new_cap is not None:
+            self.current_cap = float(new_cap)
+        applied_cap = self._cap_to_apply()
+        if new_cap is not None or applied_cap != self.current_cap:
+            self.geopm.write_policy(
+                AgentPolicy(power_cap_node=applied_cap, issued_at=now)
+            )
+            self.modeler.set_cap(now, applied_cap)
+        return status
+
+    def _cap_to_apply(self) -> float:
+        """The budgeted cap, dithered while still identifying the model.
+
+        The sign is held for ``explore_hold_steps`` control periods so that
+        several whole epochs elapse at each level — toggling faster than the
+        epoch period would average the excitation away inside the modeler.
+        Exploration stops once the modeler's fit is good enough to share
+        (and resumes if the fit degrades), bounding the dither's cost to
+        job performance and cluster power-tracking.
+        """
+        if (
+            not self.feedback_enabled
+            or self.explore_amplitude <= 0.0
+            or self._model_fields()
+        ):
+            return self.current_cap
+        self._explore_step += 1
+        if self._explore_step % self.explore_hold_steps == 0:
+            self._explore_sign = -self._explore_sign
+        dithered = self.current_cap * (1.0 + self._explore_sign * self.explore_amplitude)
+        return float(min(max(dithered, self._p_min), self._p_max))
+
+    def _model_fields(self) -> dict:
+        """Model coefficients for the status message, when shareable.
+
+        The gates below keep degenerate fits away from the budgeter: a
+        two-sample fit has R² = 1 by construction, and a flat fit from a
+        narrow cap window claims "insensitive" when it has really seen
+        nothing — acting on either starves the job and (because a starved
+        job's samples cluster at low caps) can lock the error in.
+        """
+        if (
+            not self.feedback_enabled
+            or not self.modeler.has_fit
+            or self.modeler.epochs_observed < self.min_feedback_epochs
+            or self.modeler.cap_coverage < self.min_cap_coverage
+            or len(self.modeler.history) < self.min_feedback_samples
+        ):
+            return {}
+        m = self.modeler.model
+        if not m.is_monotone_decreasing() or m.t_min <= 0:
+            # Non-physical fit; hold it back until it stabilises.
+            return {}
+        if m.sensitivity < 1.02 and self.modeler.cap_coverage < 0.3:
+            # "Flat" needs wide cap coverage to be believable.
+            return {}
+        return {
+            "model_a": m.a,
+            "model_b": m.b,
+            "model_c": m.c,
+            "model_r2": self.modeler.fit_r2,
+        }
+
+    def close(self, now: float) -> None:
+        """Send the goodbye when the job completes (idempotent)."""
+        if not self._goodbye_sent:
+            self.link.send_up(GoodbyeMessage(job_id=self.job_id, timestamp=now), now)
+            self._goodbye_sent = True

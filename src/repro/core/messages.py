@@ -1,0 +1,72 @@
+"""Message vocabulary between the cluster tier and job tier (paper Fig. 2).
+
+Downward (cluster → job): :class:`BudgetMessage` carrying the job's new
+per-node power cap.  Upward (job → cluster): :class:`HelloMessage` when a
+job's endpoint connects, :class:`StatusMessage` with timestamped power and
+performance data (and, when feedback is enabled, the job tier's fitted
+power-model coefficients), and :class:`GoodbyeMessage` on completion.
+
+Every message is timestamped at send time; §7.2 describes how timestamps are
+what lets tiers running control loops at different rates map samples to the
+caps that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HelloMessage", "StatusMessage", "BudgetMessage", "GoodbyeMessage"]
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """A job's endpoint announces itself to the cluster-tier manager."""
+
+    job_id: str
+    claimed_type: str  # what the submission metadata says the job is
+    nodes: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class StatusMessage:
+    """Periodic job-tier status: measured power, progress, optional model."""
+
+    job_id: str
+    timestamp: float
+    epoch_count: int
+    measured_power: float  # job CPU watts (all nodes)
+    applied_cap: float  # per-node cap the agents report enforcing
+    # Online model feedback (None until the job tier has a trustworthy fit,
+    # or always None when feedback is disabled).
+    model_a: float | None = None
+    model_b: float | None = None
+    model_c: float | None = None
+    model_r2: float | None = None
+
+    @property
+    def has_model(self) -> bool:
+        return self.model_a is not None
+
+
+@dataclass(frozen=True)
+class BudgetMessage:
+    """Cluster tier informs a job of its new per-node power cap."""
+
+    job_id: str
+    power_cap_node: float
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.power_cap_node <= 0:
+            raise ValueError(
+                f"{self.job_id}: power cap must be positive, got {self.power_cap_node}"
+            )
+
+
+@dataclass(frozen=True)
+class GoodbyeMessage:
+    """A job's endpoint disconnects after the job completes."""
+
+    job_id: str
+    timestamp: float

@@ -1,0 +1,108 @@
+"""Latency-modelled in-process message channels.
+
+The paper's tiers communicate over TCP between the head node and one
+compute-node process per job (§3).  :class:`LatencyChannel` is a one-way
+queue whose messages become visible ``latency`` seconds after sending;
+:class:`TcpLink` pairs two of them into a full-duplex connection.  Optional
+random message drop lets tests exercise the control plane's tolerance to
+lost updates (callers always resend current state rather than deltas, so a
+drop only delays convergence — a property the tests pin down).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["LatencyChannel", "TcpLink"]
+
+
+@dataclass
+class _InFlight:
+    deliver_at: float
+    seq: int
+    payload: Any
+
+
+class LatencyChannel:
+    """One-way FIFO with constant delivery latency and optional drops."""
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        *,
+        drop_probability: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be ≥ 0, got {latency}")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability}")
+        self.latency = float(latency)
+        self.drop_probability = float(drop_probability)
+        self._rng = ensure_rng(seed)
+        self._queue: Deque[_InFlight] = deque()
+        self._seq = 0
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    def send(self, payload: Any, now: float) -> bool:
+        """Enqueue a message at time ``now``; returns False if dropped."""
+        self.sent += 1
+        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return False
+        self._queue.append(_InFlight(now + self.latency, self._seq, payload))
+        self._seq += 1
+        return True
+
+    def receive(self, now: float) -> list[Any]:
+        """Pop every message whose delivery time has arrived, in send order."""
+        out: list[Any] = []
+        while self._queue and self._queue[0].deliver_at <= now:
+            out.append(self._queue.popleft().payload)
+        self.delivered += len(out)
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+
+class TcpLink:
+    """Full-duplex link: a downlink (cluster→job) and an uplink (job→cluster)."""
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        *,
+        drop_probability: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        self.down = LatencyChannel(
+            latency, drop_probability=drop_probability, seed=rng
+        )
+        self.up = LatencyChannel(
+            latency, drop_probability=drop_probability, seed=rng
+        )
+
+    # Cluster-side verbs.
+    def send_down(self, payload: Any, now: float) -> bool:
+        return self.down.send(payload, now)
+
+    def recv_up(self, now: float) -> list[Any]:
+        return self.up.receive(now)
+
+    # Job-side verbs.
+    def send_up(self, payload: Any, now: float) -> bool:
+        return self.up.send(payload, now)
+
+    def recv_down(self, now: float) -> list[Any]:
+        return self.down.receive(now)

@@ -1,0 +1,77 @@
+"""Fig. 4: budgeter comparison with one instance of every job type (§6.1.1).
+
+"Estimated job slowdown when 8 job types each execute one instance under a
+range of shared power budgets", comparing the even-slowdown (ideal) budgeter
+against even power caps.  Expected shape: even-power spreads slowdown widely
+(sensitive jobs suffer), even-slowdown equalises it until low-sensitivity
+jobs saturate at the 140 W platform floor and level off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.slowdown import JobScenario, sweep_budgets
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.workloads.nas import NAS_TYPES, JobType, P_NODE_MIN
+
+__all__ = ["Fig4Result", "run_fig4", "format_table"]
+
+
+@dataclass
+class Fig4Result:
+    budgets: np.ndarray
+    # policy name -> type name -> slowdown fractions per budget
+    slowdowns: dict[str, dict[str, np.ndarray]]
+
+    def max_slowdown(self, policy: str) -> np.ndarray:
+        """Worst-job slowdown per budget — the quantity even-slowdown improves."""
+        series = self.slowdowns[policy]
+        return np.max(np.stack(list(series.values())), axis=0)
+
+
+def _scenarios(job_types: dict[str, JobType]) -> list[JobScenario]:
+    return [
+        JobScenario.known(
+            job_id=name,
+            nodes=jt.nodes,
+            model=jt.truth,
+            p_min=P_NODE_MIN,
+            p_max=jt.p_demand,
+        )
+        for name, jt in sorted(job_types.items())
+    ]
+
+
+def run_fig4(
+    *,
+    n_budgets: int = 40,
+    job_types: dict[str, JobType] | None = None,
+) -> Fig4Result:
+    """Sweep shared budgets for one instance of each type (11 nodes total)."""
+    types = dict(job_types) if job_types is not None else dict(NAS_TYPES)
+    scenarios = _scenarios(types)
+    floor = sum(s.p_min * s.nodes for s in scenarios)
+    ceiling = sum(s.p_max * s.nodes for s in scenarios)
+    budgets = np.linspace(floor, ceiling, n_budgets)
+    slowdowns = {
+        "even-slowdown": sweep_budgets(scenarios, EvenSlowdownBudgeter(), budgets),
+        "even-power": sweep_budgets(scenarios, EvenPowerBudgeter(), budgets),
+    }
+    return Fig4Result(budgets=budgets, slowdowns=slowdowns)
+
+
+def format_table(result: Fig4Result, *, n_rows: int = 8) -> str:
+    """Worst-job slowdown per policy across the budget sweep."""
+    idx = np.linspace(0, result.budgets.size - 1, n_rows).astype(int)
+    lines = [f"{'budget (W)':>11} {'even-power max':>15} {'even-slowdown max':>18}"]
+    ep = result.max_slowdown("even-power")
+    es = result.max_slowdown("even-slowdown")
+    for i in idx:
+        lines.append(
+            f"{result.budgets[i]:>11.0f} {100 * ep[i]:>14.1f}% {100 * es[i]:>17.1f}%"
+        )
+    return "\n".join(lines)

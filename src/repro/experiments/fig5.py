@@ -1,0 +1,130 @@
+"""Fig. 5: cost of misclassifying an unknown job's power sensitivity (§6.1.2).
+
+A medium-sensitivity job (FT) runs alongside a low-sensitivity job (IS) and
+a high-sensitivity job (EP).  The budgeter does not know FT's curve and
+assumes it matches either the least-sensitive known type (IS —
+*underprediction*, left subplots) or the most sensitive (EP —
+*overprediction*, right subplots).  Upper subplots make the unknown job
+smaller than the known jobs (2 vs. 4 nodes); lower subplots make it larger
+(8 vs. 1).  Three budgeters per subplot: ideal (true models), even power
+caps (performance-agnostic), and the mischaracterized even-slowdown.
+
+Paper takeaways the series must show: underprediction slows the unknown job
+itself; overprediction slows the sensitive co-scheduled job; both effects
+amplify with the relative size of the misclassified job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.slowdown import JobScenario, sweep_budgets
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.workloads.nas import NAS_TYPES, P_NODE_MIN
+
+__all__ = ["Fig5Case", "Fig5Result", "run_fig5", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig5Case:
+    """One subplot: direction of misprediction × unknown-job size."""
+
+    direction: str  # "under" or "over"
+    size: str  # "small" or "large"
+
+    @property
+    def key(self) -> str:
+        return f"{self.direction}-{self.size}"
+
+
+CASES = (
+    Fig5Case("under", "small"),
+    Fig5Case("over", "small"),
+    Fig5Case("under", "large"),
+    Fig5Case("over", "large"),
+)
+
+
+@dataclass
+class Fig5Result:
+    budgets: dict[str, np.ndarray]  # case key -> budget grid
+    # case key -> budgeter name -> job id -> slowdowns
+    slowdowns: dict[str, dict[str, dict[str, np.ndarray]]]
+
+
+def _scenarios(case: Fig5Case) -> list[JobScenario]:
+    is_t, ft_t, ep_t = NAS_TYPES["is"], NAS_TYPES["ft"], NAS_TYPES["ep"]
+    if case.size == "small":
+        known_nodes, unknown_nodes = 4, 2
+    else:
+        known_nodes, unknown_nodes = 1, 8
+    believed_type = is_t if case.direction == "under" else ep_t
+    known = [
+        JobScenario.known("ep", known_nodes, ep_t.truth, P_NODE_MIN, ep_t.p_demand),
+        JobScenario.known("is", known_nodes, is_t.truth, P_NODE_MIN, is_t.p_demand),
+    ]
+    unknown = JobScenario(
+        job_id="ft(unknown)",
+        nodes=unknown_nodes,
+        true_model=ft_t.truth,
+        believed_model=believed_type.truth,
+        p_min=P_NODE_MIN,
+        # The budgeter also inherits the believed type's power ceiling: a
+        # misclassified job's power range is mispredicted too.
+        p_max=believed_type.p_demand,
+    )
+    return known + [unknown]
+
+
+def _ideal_scenarios(case: Fig5Case) -> list[JobScenario]:
+    """Same mix with the unknown job correctly characterized."""
+    out = []
+    for s in _scenarios(case):
+        if s.job_id.startswith("ft"):
+            ft_t = NAS_TYPES["ft"]
+            out.append(
+                JobScenario.known(s.job_id, s.nodes, ft_t.truth, P_NODE_MIN, ft_t.p_demand)
+            )
+        else:
+            out.append(s)
+    return out
+
+
+def run_fig5(*, n_budgets: int = 30) -> Fig5Result:
+    budgets_by_case: dict[str, np.ndarray] = {}
+    slowdowns: dict[str, dict[str, dict[str, np.ndarray]]] = {}
+    for case in CASES:
+        mis = _scenarios(case)
+        ideal = _ideal_scenarios(case)
+        floor = sum(s.p_min * s.nodes for s in ideal)
+        ceiling = sum(NAS_TYPES[s.job_id.split("(")[0]].p_demand * s.nodes for s in ideal)
+        budgets = np.linspace(floor, ceiling, n_budgets)
+        budgets_by_case[case.key] = budgets
+        slowdowns[case.key] = {
+            "ideal": sweep_budgets(ideal, EvenSlowdownBudgeter(), budgets),
+            "even-power": sweep_budgets(ideal, EvenPowerBudgeter(), budgets),
+            "mischaracterized": sweep_budgets(mis, EvenSlowdownBudgeter(), budgets),
+        }
+    return Fig5Result(budgets=budgets_by_case, slowdowns=slowdowns)
+
+
+def worst_excess_slowdown(result: Fig5Result, case_key: str, job_id: str) -> float:
+    """Maximum slowdown excess of the mischaracterized budgeter over ideal
+    for one job across the budget sweep — the headline cost of the error."""
+    mis = result.slowdowns[case_key]["mischaracterized"][job_id]
+    ideal = result.slowdowns[case_key]["ideal"][job_id]
+    return float(np.max(mis - ideal))
+
+
+def format_table(result: Fig5Result) -> str:
+    lines = [
+        f"{'case':<14}{'job':<14}{'max excess slowdown vs ideal':>30}",
+    ]
+    for case in CASES:
+        for job_id in ("ft(unknown)", "ep", "is"):
+            excess = worst_excess_slowdown(result, case.key, job_id)
+            lines.append(f"{case.key:<14}{job_id:<14}{100 * excess:>29.1f}%")
+    return "\n".join(lines)

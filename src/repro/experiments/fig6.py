@@ -1,0 +1,182 @@
+"""Figs. 6–8: co-scheduled pairs under a static shared budget (§6.2).
+
+Two jobs share 4 nodes under an 840 W budget — "mid-way between the maximum
+and minimum power caps supported by our test platform", i.e. 75 % of TDP.
+Six policies (Fig. 6; Figs. 7–8 use the relevant subset):
+
+* performance-agnostic (even power caps);
+* performance-aware (even slowdown, correct precharacterization);
+* under-estimate: the sensitive job claimed as a low-sensitivity type,
+  with and without online feedback;
+* over-estimate: the insensitive job claimed as a high-sensitivity type,
+  with and without online feedback.
+
+Slowdown is reported against each type's uncapped time to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.budget.base import PowerBudgeter
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
+from repro.core.targets import ConstantTarget
+from repro.modeling.classifier import JobClassifier
+from repro.util.stats import confidence_interval_95
+from repro.workloads.nas import NAS_TYPES
+
+__all__ = [
+    "PairSpec",
+    "PolicySpec",
+    "PairResult",
+    "run_pair_experiment",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """Two co-scheduled jobs: (true type, claimed type) each, 2 nodes apiece."""
+
+    job_a: tuple[str, str]
+    job_b: tuple[str, str]
+    nodes_each: int = 2
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One bar group of Figs. 6–8."""
+
+    label: str
+    budgeter: PowerBudgeter
+    pair: PairSpec
+    feedback: bool
+
+
+@dataclass
+class PairResult:
+    """Per-policy, per-job slowdown samples over the trials."""
+
+    budget: float
+    trials: int
+    # policy label -> job key -> slowdown samples
+    slowdowns: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, dict[str, tuple[float, float]]]:
+        """(mean, 95 % CI half-width) per policy per job."""
+        return {
+            label: {job: confidence_interval_95(vals) for job, vals in jobs.items()}
+            for label, jobs in self.slowdowns.items()
+        }
+
+
+def _job_key(true_type: str, claimed: str) -> str:
+    return true_type if true_type == claimed else f"{true_type}={claimed}"
+
+
+def run_pair_experiment(
+    policies: list[PolicySpec],
+    *,
+    budget: float = 840.0,
+    trials: int = 3,
+    seed: int = 0,
+    tick: float = 0.5,
+) -> PairResult:
+    """Execute each policy's pair ``trials`` times on the emulated cluster."""
+    result = PairResult(budget=budget, trials=trials)
+    models = precharacterized_models()
+    for policy in policies:
+        per_job: dict[str, list[float]] = {}
+        for trial in range(trials):
+            config = AnorConfig(
+                num_nodes=2 * policy.pair.nodes_each,
+                seed=seed * 1009 + trial,
+                tick=tick,
+                feedback_enabled=policy.feedback,
+            )
+            system = AnorSystem(
+                budgeter=policy.budgeter,
+                target_source=ConstantTarget(budget),
+                classifier=JobClassifier(models),
+                config=config,
+            )
+            for i, (true_type, claimed) in enumerate(
+                (policy.pair.job_a, policy.pair.job_b)
+            ):
+                system.submit_now(
+                    f"{true_type}-{i}",
+                    true_type,
+                    nodes=policy.pair.nodes_each,
+                    claimed_type=claimed,
+                )
+            run = system.run(until_idle=True, max_time=7200.0)
+            for totals in run.completed:
+                true_type = totals.job_type
+                idx = int(totals.job_id.split("-")[-1])
+                claimed = (policy.pair.job_a, policy.pair.job_b)[idx][1]
+                key = _job_key(true_type, claimed)
+                ref = NAS_TYPES[true_type].compute_time(NAS_TYPES[true_type].p_max)
+                per_job.setdefault(key, []).append(totals.runtime / ref - 1.0)
+        result.slowdowns[policy.label] = per_job
+    return result
+
+
+def _policies_fig6() -> list[PolicySpec]:
+    known = PairSpec(("bt", "bt"), ("sp", "sp"))
+    under_bt = PairSpec(("bt", "is"), ("sp", "sp"))
+    over_sp = PairSpec(("bt", "bt"), ("sp", "ep"))
+    return [
+        PolicySpec("Performance Agnostic", EvenPowerBudgeter(), known, False),
+        PolicySpec("Performance Aware", EvenSlowdownBudgeter(), known, False),
+        PolicySpec("Under-estimate bt", EvenSlowdownBudgeter(), under_bt, False),
+        PolicySpec("Under-estimate bt, with feedback", EvenSlowdownBudgeter(), under_bt, True),
+        PolicySpec("Over-estimate sp", EvenSlowdownBudgeter(), over_sp, False),
+        PolicySpec("Over-estimate sp, with feedback", EvenSlowdownBudgeter(), over_sp, True),
+    ]
+
+
+def run_fig6(*, trials: int = 3, seed: int = 0, tick: float = 0.5) -> PairResult:
+    """BT (high sensitivity) + SP (low sensitivity) under 840 W."""
+    return run_pair_experiment(_policies_fig6(), trials=trials, seed=seed, tick=tick)
+
+
+def run_fig7(*, trials: int = 3, seed: int = 1, tick: float = 0.5) -> PairResult:
+    """Two BT instances, one possibly claimed as IS (Fig. 7)."""
+    known = PairSpec(("bt", "bt"), ("bt", "bt"))
+    mis = PairSpec(("bt", "bt"), ("bt", "is"))
+    policies = [
+        PolicySpec("Performance Agnostic", EvenPowerBudgeter(), known, False),
+        PolicySpec("Performance Aware", EvenSlowdownBudgeter(), known, False),
+        PolicySpec("Under-estimate bt", EvenSlowdownBudgeter(), mis, False),
+        PolicySpec("Under-estimate bt, with feedback", EvenSlowdownBudgeter(), mis, True),
+    ]
+    return run_pair_experiment(policies, trials=trials, seed=seed, tick=tick)
+
+
+def run_fig8(*, trials: int = 6, seed: int = 2, tick: float = 0.5) -> PairResult:
+    """Two SP instances, one possibly claimed as EP (Fig. 8)."""
+    known = PairSpec(("sp", "sp"), ("sp", "sp"))
+    mis = PairSpec(("sp", "sp"), ("sp", "ep"))
+    policies = [
+        PolicySpec("Performance Agnostic", EvenPowerBudgeter(), known, False),
+        PolicySpec("Performance Aware", EvenSlowdownBudgeter(), known, False),
+        PolicySpec("Over-estimate sp", EvenSlowdownBudgeter(), mis, False),
+        PolicySpec("Over-estimate sp, with feedback", EvenSlowdownBudgeter(), mis, True),
+    ]
+    return run_pair_experiment(policies, trials=trials, seed=seed, tick=tick)
+
+
+def format_table(result: PairResult) -> str:
+    lines = [f"{'policy':<36}{'job':<12}{'slowdown':>10}{'±95%CI':>9}"]
+    for label, jobs in result.slowdowns.items():
+        for job, samples in sorted(jobs.items()):
+            mean, half = confidence_interval_95(samples)
+            lines.append(f"{label:<36}{job:<12}{100 * mean:>9.1f}%{100 * half:>8.1f}%")
+    return "\n".join(lines)

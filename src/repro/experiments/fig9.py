@@ -1,0 +1,132 @@
+"""Fig. 9: tracking a time-varying power target over a 1-hour schedule (§6.3).
+
+"The power target changes once every 4 seconds, staying within the range of
+2.3 kW to 4.5 kW ... Our power objective is not just to stay less than the
+power target, but to closely follow the power target."  The 16-node cluster
+spans exactly that band (16 × 140 W = 2.24 kW floor, 16 × 280 W = 4.48 kW
+ceiling); jobs arrive from 6 long-running types at 95 % node utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tracking import TrackingConstraint, tracking_error_series
+from repro.aqa.regulation import BoundedRandomWalkSignal
+from repro.budget.base import PowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorResult, AnorSystem, precharacterized_models
+from repro.core.targets import RegulationTarget
+from repro.modeling.classifier import JobClassifier, Misclassification
+from repro.workloads.generator import PoissonScheduleGenerator
+from repro.workloads.nas import NAS_TYPES, long_running_mix
+
+__all__ = ["Fig9Result", "run_fig9", "build_demand_response_system", "format_table"]
+
+#: Fig. 9's committed band: mean 3.4 kW, reserve 1.05 kW ⇒ 2.35–4.45 kW,
+#: inside the cluster's physical 2.24–4.48 kW range.
+DEFAULT_AVERAGE_POWER = 3400.0
+DEFAULT_RESERVE = 1050.0
+
+
+@dataclass
+class Fig9Result:
+    result: AnorResult
+    average_power: float
+    reserve: float
+    warmup: float
+
+    def errors(self) -> np.ndarray:
+        # Score energy-based power over the 4 s target period (§5.4).
+        return tracking_error_series(
+            self.result.power_trace, self.reserve, t_start=self.warmup,
+            smooth_samples=4,
+        )
+
+    def error_at_90th(self) -> float:
+        return float(np.percentile(self.errors(), 90))
+
+    def within_constraint(self, constraint: TrackingConstraint | None = None) -> bool:
+        return (constraint or TrackingConstraint()).satisfied(self.errors())
+
+
+def build_demand_response_system(
+    *,
+    duration: float,
+    budgeter: PowerBudgeter | None = None,
+    misclassify_bt_as_is: bool = False,
+    feedback: bool = True,
+    utilization: float = 0.95,
+    average_power: float = DEFAULT_AVERAGE_POWER,
+    reserve: float = DEFAULT_RESERVE,
+    num_nodes: int = 16,
+    seed: int = 0,
+    target_period: float = 4.0,
+) -> AnorSystem:
+    """Assemble the Figs. 9–10 system: 6 long job types, moving target."""
+    types = {jt.name: jt for jt in long_running_mix()}
+    generator = PoissonScheduleGenerator(
+        list(types.values()), utilization=utilization, total_nodes=num_nodes,
+        seed=seed * 7919 + 13,
+    )
+    schedule = generator.generate(duration)
+    signal = BoundedRandomWalkSignal(
+        duration * 2, step=target_period, seed=seed * 104729 + 7
+    )
+    target = RegulationTarget(
+        average_power, reserve, signal, update_period=target_period
+    )
+    models = precharacterized_models(NAS_TYPES)
+    mis = (
+        [Misclassification(true_type="bt", seen_as="is")]
+        if misclassify_bt_as_is
+        else []
+    )
+    classifier = JobClassifier(models, misclassifications=mis)
+    return AnorSystem(
+        budgeter=budgeter or EvenSlowdownBudgeter(),
+        target_source=target,
+        classifier=classifier,
+        schedule=schedule,
+        job_types=types,
+        config=AnorConfig(num_nodes=num_nodes, seed=seed, feedback_enabled=feedback),
+    )
+
+
+def run_fig9(
+    *,
+    duration: float = 3600.0,
+    seed: int = 0,
+    warmup: float = 300.0,
+    average_power: float = DEFAULT_AVERAGE_POWER,
+    reserve: float = DEFAULT_RESERVE,
+) -> Fig9Result:
+    """One hour of demand-response tracking with the characterized balancer."""
+    system = build_demand_response_system(
+        duration=duration,
+        average_power=average_power,
+        reserve=reserve,
+        seed=seed,
+    )
+    result = system.run(duration)
+    return Fig9Result(
+        result=result,
+        average_power=average_power,
+        reserve=reserve,
+        warmup=warmup,
+    )
+
+
+def format_table(fig9: Fig9Result) -> str:
+    errors = fig9.errors()
+    trace = fig9.result.power_trace
+    lines = [
+        f"mean target power : {trace[:, 1].mean():8.0f} W (committed {fig9.average_power:.0f} ± {fig9.reserve:.0f})",
+        f"mean measured     : {trace[:, 2].mean():8.0f} W",
+        f"tracking error 90th pct: {100 * fig9.error_at_90th():5.1f}%  (paper: ≤17% fully characterized)",
+        f"≤30% error fraction    : {100 * float(np.mean(errors <= 0.30)):5.1f}%  (constraint: ≥90%)",
+        f"jobs completed         : {len(fig9.result.completed)}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Facility-level power coordination across clusters (paper §8).
+
+The coordinator treats each member cluster exactly the way the cluster tier
+treats a job: a power range [p_min, p_max] plus a power-performance model.
+A cluster's aggregate model maps *facility-assigned cluster budgets* to an
+effective slowdown, built by probing the cluster's own budgeter across its
+feasible budget range (:func:`aggregate_cluster_model`).  The same budgeter
+policies then apply one tier up — with an even-slowdown facility split, a
+cluster full of power-sensitive work receives proportionally more of the
+shared feed than one running insensitive jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.budget.base import JobBudgetRequest, PowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.targets import PowerTargetSource
+from repro.modeling.quadratic import QuadraticPowerModel
+
+__all__ = [
+    "MutableTarget",
+    "ClusterMember",
+    "FacilityCoordinator",
+    "aggregate_cluster_model",
+]
+
+
+class MutableTarget(PowerTargetSource):
+    """A power-target source the facility tier can rewrite at runtime.
+
+    Handed to a member cluster's :class:`~repro.core.cluster_manager.
+    ClusterPowerManager` in place of a file-backed target: the facility
+    coordinator calls :meth:`set` whenever it re-splits the facility budget.
+    """
+
+    def __init__(self, initial: float) -> None:
+        if initial <= 0:
+            raise ValueError(f"target must be positive, got {initial}")
+        self._watts = float(initial)
+
+    def set(self, watts: float) -> None:
+        if watts <= 0:
+            raise ValueError(f"target must be positive, got {watts}")
+        self._watts = float(watts)
+
+    def target(self, now: float) -> float:
+        return self._watts
+
+
+def aggregate_cluster_model(
+    job_requests: Sequence[JobBudgetRequest],
+    *,
+    budgeter: PowerBudgeter | None = None,
+    samples: int = 24,
+) -> QuadraticPowerModel:
+    """Fit a single budget→slowdown model for a whole cluster.
+
+    Probes the cluster's budgeter across its feasible budget range and
+    records the *worst-job* predicted time factor at each budget (the
+    quantity an even-slowdown facility split equalises across clusters).
+    The result is expressed in the cluster tier's own currency — seconds per
+    "facility epoch" as a function of the cluster budget in watts — so the
+    facility can feed it straight into a :class:`JobBudgetRequest`.
+    """
+    if not job_requests:
+        raise ValueError("cluster has no jobs to aggregate")
+    if samples < 3:
+        raise ValueError(f"need ≥ 3 samples for a quadratic fit, got {samples}")
+    budgeter = budgeter or EvenSlowdownBudgeter()
+    floor = sum(j.p_min * j.nodes for j in job_requests)
+    ceiling = sum(j.p_max * j.nodes for j in job_requests)
+    budgets = np.linspace(floor, ceiling, samples)
+    worst = np.empty(samples)
+    for i, budget in enumerate(budgets):
+        allocation = budgeter.allocate(job_requests, float(budget))
+        worst[i] = max(
+            j.model.time_per_epoch(allocation.caps[j.job_id])
+            / j.model.time_per_epoch(j.p_max)
+            for j in job_requests
+        )
+    fit = QuadraticPowerModel.fit(budgets, worst, float(floor), float(ceiling))
+    return fit.model
+
+
+@dataclass
+class ClusterMember:
+    """One cluster as seen by the facility tier."""
+
+    name: str
+    target: MutableTarget
+    p_min: float  # lowest enforceable cluster power (all caps at floor + idle)
+    p_max: float  # cluster power at full caps
+    model: QuadraticPowerModel  # aggregate budget -> relative-time model
+    last_assigned: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.p_min < self.p_max:
+            raise ValueError(f"{self.name}: need 0 < p_min < p_max")
+
+    def to_request(self) -> JobBudgetRequest:
+        return JobBudgetRequest(
+            job_id=self.name,
+            nodes=1,  # budgets are already cluster-level watts
+            model=self.model,
+            p_min=self.p_min,
+            p_max=self.p_max,
+        )
+
+
+@dataclass
+class FacilityCoordinator:
+    """Splits the facility's power feed across member clusters.
+
+    ``facility_target`` maps time to the facility's total power budget
+    (e.g. a fixed transformer rating, or a facility-level demand-response
+    target).  Each :meth:`step` re-splits the budget and pushes each
+    member's share into its :class:`MutableTarget`.
+    """
+
+    facility_target: PowerTargetSource
+    budgeter: PowerBudgeter = field(default_factory=EvenSlowdownBudgeter)
+    members: dict[str, ClusterMember] = field(default_factory=dict)
+    history: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+
+    def add_member(self, member: ClusterMember) -> None:
+        if member.name in self.members:
+            raise ValueError(f"duplicate cluster name {member.name!r}")
+        self.members[member.name] = member
+
+    def update_member_model(self, name: str, model: QuadraticPowerModel,
+                            *, p_min: float | None = None,
+                            p_max: float | None = None) -> None:
+        """Refresh a member's aggregate model (its job mix changed)."""
+        member = self.members[name]
+        member.model = model
+        if p_min is not None:
+            member.p_min = p_min
+        if p_max is not None:
+            member.p_max = p_max
+
+    def step(self, now: float) -> dict[str, float]:
+        """One facility control period: split and push cluster budgets."""
+        if not self.members:
+            return {}
+        total = self.facility_target.target(now)
+        requests = [
+            m.to_request() for m in sorted(self.members.values(), key=lambda m: m.name)
+        ]
+        allocation = self.budgeter.allocate(requests, total)
+        for name, member in self.members.items():
+            share = allocation.caps[name]
+            member.target.set(share)
+            member.last_assigned = share
+        self.history.append((now, dict(allocation.caps)))
+        return dict(allocation.caps)
+
+    @property
+    def total_assigned(self) -> float:
+        return sum(m.last_assigned for m in self.members.values())

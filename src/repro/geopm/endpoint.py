@@ -1,0 +1,54 @@
+"""GEOPM endpoint interface: the root agent's mailbox (paper §3–§4).
+
+The endpoint is the software interface at the root of the agent hierarchy
+"that can be used to dynamically write new objectives and read summarized
+state updates from agents".  In the paper the job-tier power modeler talks to
+it over shared memory; here it is a pair of single-slot mailboxes with the
+same last-writer-wins semantics shared memory gives you.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with agent.py
+    from repro.geopm.agent import AgentPolicy, AgentSample
+
+__all__ = ["Endpoint"]
+
+
+class Endpoint:
+    """Single-slot policy/sample mailboxes between modeler and root agent."""
+
+    def __init__(self, job_id: str = "") -> None:
+        self.job_id = job_id
+        self._policy: "AgentPolicy | None" = None
+        self._sample: "AgentSample | None" = None
+        self.policies_written = 0
+        self.samples_published = 0
+
+    # --------------------------------------------------- modeler-facing side
+
+    def write_policy(self, policy: "AgentPolicy") -> None:
+        """Set a new objective; overwrites any not-yet-consumed policy."""
+        self._policy = policy
+        self.policies_written += 1
+
+    def read_sample(self) -> "AgentSample | None":
+        """Latest summarized agent state (None until the first publish)."""
+        return self._sample
+
+    # ----------------------------------------------------- agent-facing side
+
+    def take_policy(self) -> "AgentPolicy | None":
+        """Consume the pending policy, if any (root agent, once per period)."""
+        policy, self._policy = self._policy, None
+        return policy
+
+    def publish_sample(self, sample: "AgentSample") -> None:
+        self._sample = sample
+        self.samples_published += 1
+
+    @property
+    def has_pending_policy(self) -> bool:
+        return self._policy is not None

@@ -1,0 +1,63 @@
+"""GEOPM-style job reports ("Application Totals", paper §5.4).
+
+The paper's hardware experiments read job execution time from the
+Application Totals section of GEOPM reports generated for each job.  This
+module builds those totals from endpoint samples and renders them in a
+GEOPM-report-like YAML flavour so downstream tooling reads familiar keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ApplicationTotals", "render_report"]
+
+
+@dataclass(frozen=True)
+class ApplicationTotals:
+    """Whole-job aggregates, one per completed job."""
+
+    job_id: str
+    job_type: str
+    nodes: int
+    runtime: float  # seconds spent running the benchmark (compute phase)
+    sojourn: float  # submit -> completion (QoS numerator basis, §5.2)
+    energy: float  # CPU joules across all nodes
+    epoch_count: int
+    average_power: float  # CPU watts across all nodes while running
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0 or self.sojourn < 0:
+            raise ValueError("runtime and sojourn must be non-negative")
+        if self.sojourn + 1e-9 < self.runtime:
+            raise ValueError(
+                f"sojourn {self.sojourn} cannot be shorter than runtime {self.runtime}"
+            )
+
+    def slowdown_vs(self, t_uncapped: float) -> float:
+        """Fractional runtime slowdown vs. an uncapped reference time."""
+        if t_uncapped <= 0:
+            raise ValueError(f"t_uncapped must be positive, got {t_uncapped}")
+        return self.runtime / t_uncapped - 1.0
+
+    def qos_degradation(self, t_min: float) -> float:
+        """Q = (T_sojourn − T_min) / T_min (paper §5.2)."""
+        if t_min <= 0:
+            raise ValueError(f"t_min must be positive, got {t_min}")
+        return (self.sojourn - t_min) / t_min
+
+
+def render_report(totals: ApplicationTotals) -> str:
+    """Render one job's report in a GEOPM-like YAML layout."""
+    lines = [
+        f"Hosts: {totals.nodes}",
+        f"Profile: {totals.job_id}",
+        "Application Totals:",
+        f"    runtime (s): {totals.runtime:.6g}",
+        f"    sojourn (s): {totals.sojourn:.6g}",
+        f"    package-energy (J): {totals.energy:.6g}",
+        f"    power (W): {totals.average_power:.6g}",
+        f"    epoch-count: {totals.epoch_count}",
+        f"    job-type: {totals.job_type}",
+    ]
+    return "\n".join(lines) + "\n"

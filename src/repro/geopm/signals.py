@@ -1,0 +1,128 @@
+"""GEOPM-style signal/control name registry bound to emulated hardware.
+
+GEOPM exposes hardware telemetry as named *signals* and knobs as named
+*controls* (§4 of the paper names ``CPU_ENERGY`` and
+``CPU_POWER_LIMIT_CONTROL``, backed by the ``PKG_ENERGY_STATUS`` and
+``PKG_POWER_LIMIT`` MSRs).  :class:`PlatformIO` is the per-node access layer
+that agents use; it aggregates across the node's CPU packages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.geopm.msr import (
+    MSR_PKG_ENERGY_STATUS,
+    MsrBank,
+    energy_counter_delta,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geopm.profiler import EpochProfiler
+
+__all__ = ["SignalNames", "ControlNames", "PlatformIO"]
+
+
+class SignalNames:
+    """Signal identifiers mirroring the paper's GEOPM configuration (§5.4)."""
+
+    CPU_ENERGY = "CPU_ENERGY"
+    CPU_POWER = "CPU_POWER"
+    EPOCH_COUNT = "EPOCH_COUNT"
+    TIME = "TIME"
+
+
+class ControlNames:
+    """Control identifiers (§5.4)."""
+
+    CPU_POWER_LIMIT_CONTROL = "CPU_POWER_LIMIT_CONTROL"
+
+
+class PlatformIO:
+    """Per-node signal/control access over the node's MSR banks.
+
+    ``CPU_ENERGY`` sums package energy counters (handling 32-bit wraparound
+    per package), ``CPU_POWER_LIMIT_CONTROL`` splits a node-level cap evenly
+    across packages — matching how GEOPM's power governor treats
+    multi-package nodes.
+    """
+
+    def __init__(
+        self,
+        msr_banks: Sequence[MsrBank],
+        *,
+        clock_fn,
+        profiler: "EpochProfiler | None" = None,
+    ) -> None:
+        if not msr_banks:
+            raise ValueError("a node needs at least one CPU package")
+        self._banks = list(msr_banks)
+        self._clock_fn = clock_fn
+        self._profiler = profiler
+        self._last_energy_raw = [b.read(MSR_PKG_ENERGY_STATUS) for b in self._banks]
+        self._energy_joules = 0.0  # unwrapped, accumulated from deltas
+        self._last_power_read: tuple[float, float] | None = None  # (time, energy)
+        self._last_power_value = 0.0
+
+    # --------------------------------------------------------------- signals
+
+    def read_signal(self, name: str) -> float:
+        if name == SignalNames.TIME:
+            return float(self._clock_fn())
+        if name == SignalNames.CPU_ENERGY:
+            self._update_energy()
+            return self._energy_joules
+        if name == SignalNames.CPU_POWER:
+            return self._read_power()
+        if name == SignalNames.EPOCH_COUNT:
+            if self._profiler is None:
+                raise KeyError("no profiler attached; EPOCH_COUNT unavailable")
+            return float(self._profiler.epoch_count)
+        raise KeyError(f"unknown signal {name!r}")
+
+    def _update_energy(self) -> None:
+        for i, bank in enumerate(self._banks):
+            raw = bank.read(MSR_PKG_ENERGY_STATUS)
+            self._energy_joules += energy_counter_delta(self._last_energy_raw[i], raw)
+            self._last_energy_raw[i] = raw
+
+    def _read_power(self) -> float:
+        """Average node power since the previous CPU_POWER read."""
+        now = float(self._clock_fn())
+        self._update_energy()
+        energy = self._energy_joules
+        if self._last_power_read is None:
+            self._last_power_read = (now, energy)
+            return 0.0
+        t0, e0 = self._last_power_read
+        dt = now - t0
+        if dt <= 0:
+            return self._last_power_value
+        self._last_power_read = (now, energy)
+        self._last_power_value = (energy - e0) / dt
+        return self._last_power_value
+
+    # -------------------------------------------------------------- controls
+
+    def write_control(self, name: str, value: float) -> None:
+        if name == ControlNames.CPU_POWER_LIMIT_CONTROL:
+            per_package = value / len(self._banks)
+            for bank in self._banks:
+                bank.set_power_limit_watts(per_package)
+            return
+        raise KeyError(f"unknown control {name!r}")
+
+    def read_control(self, name: str) -> float:
+        if name == ControlNames.CPU_POWER_LIMIT_CONTROL:
+            return sum(b.power_limit_watts for b in self._banks)
+        raise KeyError(f"unknown control {name!r}")
+
+    @property
+    def num_packages(self) -> int:
+        return len(self._banks)
+
+    def attach_profiler(self, profiler: "EpochProfiler") -> None:
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None

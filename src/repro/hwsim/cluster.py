@@ -1,0 +1,166 @@
+"""The emulated cluster: node pool, job lifecycle, facility power metering.
+
+Mirrors the paper's testbed (§5.5): 16 dual-package nodes by default, RAPL
+cap range 140–280 W per node, so the whole cluster spans 2.24–4.48 kW — the
+band Fig. 9's demand-response targets move within.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geopm.report import ApplicationTotals
+from repro.hwsim.job import RunningJob
+from repro.hwsim.node import Node
+from repro.util.clock import SimClock
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.workloads.nas import JobType
+
+__all__ = ["EmulatedCluster"]
+
+
+class EmulatedCluster:
+    """A pool of emulated nodes plus the jobs running on them."""
+
+    def __init__(
+        self,
+        num_nodes: int = 16,
+        *,
+        clock: SimClock | None = None,
+        seed: int | np.random.Generator | None = None,
+        idle_power: float = 60.0,
+        perf_variation_std: float = 0.0,
+        agent_fanout: int = 8,
+        run_noise: bool = True,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"cluster needs ≥ 1 node, got {num_nodes}")
+        self.clock = clock if clock is not None else SimClock()
+        rng = ensure_rng(seed)
+        node_rngs = spawn_rng(rng, num_nodes)
+        self._job_rng = rng
+        self.agent_fanout = int(agent_fanout)
+        self.run_noise = bool(run_noise)
+        self.nodes = []
+        for i in range(num_nodes):
+            mult = 1.0
+            if perf_variation_std > 0:
+                # §6.4: per-node coefficients from N(1, σ), fixed per node
+                # for the whole simulation.  Floor keeps rates physical.
+                mult = max(0.05, 1.0 + float(node_rngs[i].normal(0.0, perf_variation_std)))
+            self.nodes.append(
+                Node(
+                    i,
+                    clock_fn=lambda: self.clock.now,
+                    idle_power=idle_power,
+                    perf_multiplier=mult,
+                )
+            )
+        self._node_rngs = node_rngs
+        self.running: dict[str, RunningJob] = {}
+        self.completed: list[ApplicationTotals] = []
+        self._power_history: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------ node pool
+
+    def idle_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.is_idle]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def min_cluster_power(self) -> float:
+        """Lowest enforceable CPU cap total across all nodes (W)."""
+        return sum(n.min_power_cap for n in self.nodes)
+
+    @property
+    def max_cluster_power(self) -> float:
+        return sum(n.max_power_cap for n in self.nodes)
+
+    # --------------------------------------------------------- job lifecycle
+
+    def start_job(
+        self,
+        job_id: str,
+        job_type: JobType,
+        *,
+        submit_time: float | None = None,
+        nodes: list[Node] | None = None,
+    ) -> RunningJob:
+        """Place a job on idle nodes (or explicit ``nodes``) and start it."""
+        if job_id in self.running:
+            raise ValueError(f"job id {job_id!r} already running")
+        if nodes is None:
+            pool = self.idle_nodes()
+            if len(pool) < job_type.nodes:
+                raise RuntimeError(
+                    f"not enough idle nodes for {job_id}: "
+                    f"need {job_type.nodes}, have {len(pool)}"
+                )
+            nodes = pool[: job_type.nodes]
+        busy = [n.node_id for n in nodes if not n.is_idle]
+        if busy:
+            raise RuntimeError(f"nodes already allocated: {busy}")
+        now = self.clock.now
+        job_rng = spawn_rng(self._job_rng, 1)[0]
+        job = RunningJob(
+            job_id,
+            job_type,
+            nodes,
+            submit_time=now if submit_time is None else submit_time,
+            start_time=now,
+            rng=job_rng,
+            agent_fanout=self.agent_fanout,
+            run_noise=self.run_noise,
+        )
+        for node in nodes:
+            node.job_id = job_id
+        self.running[job_id] = job
+        return job
+
+    def advance(self, dt: float) -> float:
+        """Advance physics by ``dt`` (clock already moved by the caller).
+
+        Jobs advance, idle nodes draw idle power, and completed jobs release
+        their nodes.  Returns the realised cluster CPU power for the tick.
+        """
+        now = self.clock.now
+        finished = []
+        for job in self.running.values():
+            job.advance(dt, now)
+            if job.is_done:
+                finished.append(job.job_id)
+        for node in self.idle_nodes():
+            node.consume_idle(dt, self._node_rngs[node.node_id])
+        for job_id in finished:
+            job = self.running.pop(job_id)
+            for node in job.nodes:
+                node.job_id = None
+                node.pio.detach_profiler()
+            self.completed.append(job.totals())
+        power = sum(n.last_power for n in self.nodes)
+        self._power_history.append((now, power))
+        return power
+
+    # ------------------------------------------------------------- metering
+
+    @property
+    def measured_power(self) -> float:
+        """Facility-metered cluster CPU power of the latest tick (W)."""
+        if not self._power_history:
+            return sum(n.last_power for n in self.nodes)
+        return self._power_history[-1][1]
+
+    def power_history(self) -> np.ndarray:
+        """(time, watts) samples for every tick so far, shape (n, 2)."""
+        if not self._power_history:
+            return np.empty((0, 2))
+        return np.asarray(self._power_history)
+
+    def totals_by_type(self) -> dict[str, list[ApplicationTotals]]:
+        by_type: dict[str, list[ApplicationTotals]] = {}
+        for totals in self.completed:
+            by_type.setdefault(totals.job_type, []).append(totals)
+        return by_type

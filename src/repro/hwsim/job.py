@@ -1,0 +1,178 @@
+"""A job instance executing on emulated nodes.
+
+The job advances through setup → compute → teardown phases (§7.2 documents
+why setup/teardown matters: short jobs hold nodes at low power for a large
+share of their batch-system residency).  During compute, each node's rank
+makes epoch progress at the ground-truth rate for the node's current power
+cap, scaled by the node's performance-variation multiplier and a run-level
+noise coefficient; the job-global epoch count advances when the slowest rank
+finishes an iteration (GEOPM's all-processes barrier semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.geopm.endpoint import Endpoint
+from repro.geopm.agent import JobAgentGroup
+from repro.geopm.profiler import EpochProfiler
+from repro.geopm.report import ApplicationTotals
+from repro.hwsim.node import Node
+from repro.workloads.nas import JobType
+
+__all__ = ["JobPhase", "RunningJob"]
+
+
+class JobPhase(enum.Enum):
+    SETUP = "setup"
+    COMPUTE = "compute"
+    TEARDOWN = "teardown"
+    DONE = "done"
+
+
+class RunningJob:
+    """One executing job: physics state plus its GEOPM plumbing."""
+
+    def __init__(
+        self,
+        job_id: str,
+        job_type: JobType,
+        nodes: list[Node],
+        *,
+        submit_time: float,
+        start_time: float,
+        rng: np.random.Generator,
+        agent_fanout: int = 8,
+        run_noise: bool = True,
+    ) -> None:
+        if not nodes:
+            raise ValueError(f"job {job_id}: needs at least one node")
+        self.job_id = job_id
+        self.job_type = job_type
+        self.nodes = nodes
+        self.submit_time = float(submit_time)
+        self.start_time = float(start_time)
+        self.rng = rng
+        self.phase = JobPhase.SETUP
+        self.phase_elapsed = 0.0
+        self.profiler = EpochProfiler(num_ranks=len(nodes))
+        self.endpoint = Endpoint(job_id=job_id)
+        self.agents = JobAgentGroup(
+            [n.pio for n in nodes], self.profiler, self.endpoint, fanout=agent_fanout
+        )
+        # Only the root node's PlatformIO can serve EPOCH_COUNT (§4.3: the
+        # root agent reports the job-global epoch count to the endpoint).
+        nodes[0].pio.attach_profiler(self.profiler)
+        # Run-level performance coefficient: one draw per execution, giving
+        # the run-to-run variance visible in Fig. 3's error bars.
+        self._run_multiplier = (
+            float(np.exp(rng.normal(0.0, job_type.noise))) if run_noise else 1.0
+        )
+        # Fractional epoch progress per rank (rank i ↔ node i).
+        self._rank_progress = np.zeros(len(nodes), dtype=float)
+        self._compute_started: float | None = None
+        self._compute_finished: float | None = None
+        self.end_time: float | None = None
+        self._energy_at_start = sum(n.total_energy for n in nodes)
+        self._compute_energy = 0.0
+        self._compute_seconds = 0.0
+
+    # ------------------------------------------------------------- physics
+
+    def advance(self, dt: float, now: float) -> None:
+        """Advance the job's physical state by ``dt`` seconds ending at ``now``."""
+        if self.phase is JobPhase.DONE:
+            for node in self.nodes:
+                node.consume_idle(dt, self.rng)
+            return
+        self.phase_elapsed += dt
+        if self.phase is JobPhase.SETUP:
+            for node in self.nodes:
+                node.consume_idle(dt, self.rng)
+            if self.phase_elapsed >= self.job_type.setup_time:
+                self.phase = JobPhase.COMPUTE
+                self.phase_elapsed = 0.0
+                self._compute_started = now
+            return
+        if self.phase is JobPhase.COMPUTE:
+            tick_power = 0.0
+            for i, node in enumerate(self.nodes):
+                cap = node.power_cap
+                frac = self._rank_progress[i] / self.job_type.epochs
+                # Phase-aware lookup: phase-less types ignore the progress
+                # fraction; PhasedJobType switches curves mid-run (§8).
+                tau = self.job_type.time_per_epoch_at(cap, frac)
+                # Per-tick jitter on the progress rate plus the run-level and
+                # node-variation multipliers.
+                jitter = float(np.exp(self.rng.normal(0.0, self.job_type.noise)))
+                rate = (
+                    node.perf_multiplier
+                    / (tau * self._run_multiplier * jitter)
+                )
+                self._rank_progress[i] += rate * dt
+                done_epochs = min(int(self._rank_progress[i]), self.job_type.epochs)
+                if done_epochs > self.profiler.rank_counts[i]:
+                    self.profiler.set_rank_progress(i, done_epochs, timestamp=now)
+                demand = min(
+                    max(cap, self.job_type.p_min),
+                    self.job_type.power_demand_at(frac),
+                )
+                if self.job_type.power_wave > 0.0:
+                    # Epoch-periodic draw signature (compute vs. exchange
+                    # phases inside each iteration) — what §8's automatic
+                    # epoch detection listens for.
+                    epoch_phase = self._rank_progress[i] % 1.0
+                    demand *= 1.0 + self.job_type.power_wave * np.sin(
+                        2.0 * np.pi * epoch_phase
+                    )
+                tick_power += node.consume(demand, dt, self.rng)
+            self._compute_energy += tick_power * dt
+            self._compute_seconds += dt
+            if self.profiler.epoch_count >= self.job_type.epochs:
+                self.phase = JobPhase.TEARDOWN
+                self.phase_elapsed = 0.0
+                self._compute_finished = now
+            return
+        if self.phase is JobPhase.TEARDOWN:
+            for node in self.nodes:
+                node.consume_idle(dt, self.rng)
+            if self.phase_elapsed >= self.job_type.teardown_time:
+                self.phase = JobPhase.DONE
+                self.end_time = now
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def is_done(self) -> bool:
+        return self.phase is JobPhase.DONE
+
+    @property
+    def progress(self) -> float:
+        """Job-global fraction of epochs completed, in [0, 1]."""
+        return self.profiler.epoch_count / self.job_type.epochs
+
+    @property
+    def compute_runtime(self) -> float | None:
+        """Seconds in the compute phase, once finished (GEOPM report basis)."""
+        if self._compute_started is None or self._compute_finished is None:
+            return None
+        return self._compute_finished - self._compute_started
+
+    def totals(self) -> ApplicationTotals:
+        """Application Totals for the completed job (paper §5.4)."""
+        if not self.is_done or self.end_time is None:
+            raise RuntimeError(f"job {self.job_id} has not completed")
+        runtime = self.compute_runtime or 0.0
+        avg_power = self._compute_energy / self._compute_seconds if self._compute_seconds else 0.0
+        return ApplicationTotals(
+            job_id=self.job_id,
+            job_type=self.job_type.name,
+            nodes=len(self.nodes),
+            runtime=runtime,
+            sojourn=self.end_time - self.submit_time,
+            energy=sum(n.total_energy for n in self.nodes) - self._energy_at_start,
+            epoch_count=self.profiler.epoch_count,
+            average_power=avg_power,
+        )

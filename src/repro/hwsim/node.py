@@ -1,0 +1,115 @@
+"""One emulated compute node: two CPU packages behind RAPL-style MSRs.
+
+A node exposes the same interface the paper's GEOPM agents consume — a
+:class:`~repro.geopm.signals.PlatformIO` over per-package MSR banks — and a
+physics side used only by the emulator: :meth:`consume` deposits energy for
+one tick given the node's power draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geopm.msr import MsrBank
+from repro.geopm.signals import PlatformIO
+
+__all__ = ["Node"]
+
+
+class Node:
+    """An emulated dual-package compute node.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier within the cluster.
+    packages:
+        CPU package count (the testbed has 2).
+    package_tdp / package_min_power:
+        RAPL actuation range per package in watts (140 / 70 on the testbed).
+    idle_power:
+        CPU watts drawn when no job computes on the node (also during job
+        setup/teardown — §7.2).
+    perf_multiplier:
+        Node-specific performance-variation coefficient: epoch progress rate
+        is multiplied by this (1.0 = nominal; §6.4 draws these from N(1, σ)).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        clock_fn,
+        packages: int = 2,
+        package_tdp: float = 140.0,
+        package_min_power: float = 70.0,
+        idle_power: float = 60.0,
+        perf_multiplier: float = 1.0,
+    ) -> None:
+        if packages < 1:
+            raise ValueError(f"node needs ≥ 1 package, got {packages}")
+        if perf_multiplier <= 0:
+            raise ValueError(f"perf_multiplier must be positive, got {perf_multiplier}")
+        self.node_id = int(node_id)
+        self.banks = [
+            MsrBank(tdp_watts=package_tdp, min_power_watts=package_min_power)
+            for _ in range(packages)
+        ]
+        self.pio = PlatformIO(self.banks, clock_fn=clock_fn)
+        self.idle_power = float(idle_power)
+        self.perf_multiplier = float(perf_multiplier)
+        self.job_id: str | None = None  # set by the cluster on allocation
+        self._last_power = self.idle_power
+
+    # ----------------------------------------------------------- cap queries
+
+    @property
+    def power_cap(self) -> float:
+        """Total node CPU cap currently programmed across packages (W)."""
+        return sum(b.power_limit_watts for b in self.banks)
+
+    @property
+    def max_power_cap(self) -> float:
+        return sum(b.tdp_watts for b in self.banks)
+
+    @property
+    def min_power_cap(self) -> float:
+        return sum(b.min_power_watts for b in self.banks)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.job_id is None
+
+    # -------------------------------------------------------------- physics
+
+    def consume(self, demand_watts: float, dt: float, rng: np.random.Generator) -> float:
+        """Draw power for ``dt`` seconds and deposit energy into the MSRs.
+
+        ``demand_watts`` is what the workload would draw unconstrained; RAPL
+        keeps the average at or below the programmed cap, so the realised
+        draw is ``min(cap, demand·(1+ε))`` with a small measurement/actuation
+        noise ε, floored at idle power.  Returns the realised node power.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        noisy_demand = demand_watts * (1.0 + rng.normal(0.0, 0.01))
+        power = min(self.power_cap, max(noisy_demand, self.idle_power))
+        per_package = power * dt / len(self.banks)
+        for bank in self.banks:
+            bank.accumulate_energy(per_package)
+        self._last_power = power
+        return power
+
+    def consume_idle(self, dt: float, rng: np.random.Generator) -> float:
+        """Idle-power tick (no job, or a job in setup/teardown)."""
+        return self.consume(self.idle_power, dt, rng)
+
+    @property
+    def last_power(self) -> float:
+        """Realised power of the most recent tick (facility metering view)."""
+        return self._last_power
+
+    @property
+    def total_energy(self) -> float:
+        """Unwrapped cumulative CPU energy (J), ground truth for tests."""
+        return sum(b.total_energy_joules for b in self.banks)

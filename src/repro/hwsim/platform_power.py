@@ -1,0 +1,99 @@
+"""Total-node power modeling beyond the CPU (paper §7.1).
+
+The paper limits control to CPU power but notes the same framework widens
+through modeling: "the cluster tier can apply a model of its total power
+demand as a function of the job tier's power and other state within the
+cluster".  :class:`NodePowerModel` is that model: it maps CPU power to
+whole-node wall power (baseboard/DRAM/NIC static draw plus cooling that
+rises superlinearly with heat), and inverts the map so a facility-level
+wall-power target can be translated into the CPU budget the budgeters
+actually control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.maths import bisect_scalar
+
+__all__ = ["NodePowerModel", "ClusterPowerModel"]
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Wall power of one node as a function of its CPU power.
+
+        P_wall = static + cpu + fan_coeff · (cpu / cpu_ref)² · cpu_ref
+
+    ``static`` covers baseboard, DRAM, NIC and disks; the quadratic term
+    models fans/VR losses growing with dissipated heat.  Defaults are
+    calibrated to a dual-socket 2U node: ~90 W static, ~8 % extra at TDP.
+    """
+
+    static: float = 90.0
+    fan_coeff: float = 0.08
+    cpu_ref: float = 280.0
+
+    def __post_init__(self) -> None:
+        if self.static < 0:
+            raise ValueError(f"static draw must be ≥ 0, got {self.static}")
+        if self.fan_coeff < 0:
+            raise ValueError(f"fan_coeff must be ≥ 0, got {self.fan_coeff}")
+        if self.cpu_ref <= 0:
+            raise ValueError(f"cpu_ref must be positive, got {self.cpu_ref}")
+
+    def wall_power(self, cpu_power: float | np.ndarray) -> float | np.ndarray:
+        """Whole-node watts for a given CPU draw."""
+        cpu = np.asarray(cpu_power, dtype=float)
+        if np.any(cpu < 0):
+            raise ValueError("CPU power cannot be negative")
+        wall = self.static + cpu + self.fan_coeff * (cpu / self.cpu_ref) * cpu
+        if np.isscalar(cpu_power):
+            return float(wall)
+        return wall
+
+    def cpu_power_for_wall(self, wall_target: float) -> float:
+        """CPU watts whose wall power equals ``wall_target`` (≥ static)."""
+        if wall_target < self.static:
+            raise ValueError(
+                f"wall target {wall_target} below static draw {self.static}"
+            )
+        # Monotone in cpu: bisection over a generous bracket.
+        hi = max(wall_target, self.cpu_ref * 2.0)
+        return bisect_scalar(
+            lambda cpu: float(self.wall_power(cpu)) - wall_target, 0.0, hi
+        )
+
+
+@dataclass(frozen=True)
+class ClusterPowerModel:
+    """Cluster-level wall↔CPU power conversion for the facility tier.
+
+    Treats nodes as homogeneous (the §5.5 testbed is); the facility meter
+    reads wall power, the budgeters spend CPU power, and this model converts
+    between the two at cluster scope.
+    """
+
+    node_model: NodePowerModel
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be ≥ 1, got {self.num_nodes}")
+
+    def wall_power(self, total_cpu_power: float) -> float:
+        """Cluster wall watts given total CPU watts (split evenly)."""
+        per_node = total_cpu_power / self.num_nodes
+        return self.num_nodes * float(self.node_model.wall_power(per_node))
+
+    def cpu_budget_for_wall(self, wall_target: float) -> float:
+        """Total CPU watts the budgeters may spend under a wall-power target."""
+        per_node_wall = wall_target / self.num_nodes
+        return self.num_nodes * self.node_model.cpu_power_for_wall(per_node_wall)
+
+    @property
+    def static_wall_power(self) -> float:
+        """Wall draw with every CPU at zero — the conversion's floor."""
+        return self.num_nodes * self.node_model.static

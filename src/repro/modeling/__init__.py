@@ -1,0 +1,33 @@
+"""Job power-performance modeling (the ANOR job tier's analytical core).
+
+The paper models each job's time-per-epoch as a quadratic in the applied CPU
+power cap, ``T = A·P² + B·P + C`` (§4.2), refit online whenever at least 10
+new epochs have been observed.  Jobs with no model yet use a *default model*
+chosen by policy (§6.1.2 evaluates the least- and most-sensitive choices).
+"""
+
+from repro.modeling.quadratic import FitResult, QuadraticPowerModel
+from repro.modeling.online import EpochHistory, EpochSample, OnlineModeler
+from repro.modeling.default_models import (
+    DefaultModelPolicy,
+    LeastSensitivePolicy,
+    MostSensitivePolicy,
+    NamedTypePolicy,
+    RandomKnownTypePolicy,
+)
+from repro.modeling.classifier import JobClassifier, Misclassification
+
+__all__ = [
+    "FitResult",
+    "QuadraticPowerModel",
+    "EpochHistory",
+    "EpochSample",
+    "OnlineModeler",
+    "DefaultModelPolicy",
+    "LeastSensitivePolicy",
+    "MostSensitivePolicy",
+    "NamedTypePolicy",
+    "RandomKnownTypePolicy",
+    "JobClassifier",
+    "Misclassification",
+]

@@ -1,0 +1,89 @@
+"""Job-type classification with controllable misclassification injection.
+
+The cluster tier looks up a job's precharacterized model by classifying the
+job into a known type (§4.4.2).  The paper's misclassification experiments
+(Figs. 5–8, 10) deliberately map one type onto another's model; this module
+provides that mapping as an explicit, auditable table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.modeling.default_models import DefaultModelPolicy
+from repro.modeling.quadratic import QuadraticPowerModel
+
+__all__ = ["Misclassification", "JobClassifier"]
+
+
+@dataclass(frozen=True)
+class Misclassification:
+    """Declares that jobs of ``true_type`` are classified as ``seen_as``."""
+
+    true_type: str
+    seen_as: str
+
+
+class JobClassifier:
+    """Maps a job's true type to the model the cluster tier will believe.
+
+    Parameters
+    ----------
+    known_models:
+        Precharacterized models by type name (the budgeter's catalog).
+    misclassifications:
+        Type-level substitutions to inject (e.g. BT seen as IS).
+    unknown_types:
+        Types the cluster has *no* model for; these fall back to
+        ``default_policy``.
+    default_policy:
+        Policy supplying a stand-in model for unknown types.
+    """
+
+    def __init__(
+        self,
+        known_models: Mapping[str, QuadraticPowerModel],
+        *,
+        misclassifications: list[Misclassification] | None = None,
+        unknown_types: set[str] | frozenset[str] | None = None,
+        default_policy: DefaultModelPolicy | None = None,
+    ) -> None:
+        self.known_models = dict(known_models)
+        self.misclassifications = {
+            m.true_type: m.seen_as for m in (misclassifications or [])
+        }
+        self.unknown_types = set(unknown_types or ())
+        self.default_policy = default_policy
+        for true_type, seen_as in self.misclassifications.items():
+            if seen_as not in self.known_models:
+                raise KeyError(
+                    f"misclassification target {seen_as!r} has no known model"
+                )
+        overlap = self.unknown_types & set(self.misclassifications)
+        if overlap:
+            raise ValueError(
+                f"types cannot be both unknown and misclassified: {sorted(overlap)}"
+            )
+
+    def classify(self, true_type: str) -> str:
+        """The type name the cluster tier believes this job to be."""
+        if true_type in self.misclassifications:
+            return self.misclassifications[true_type]
+        return true_type
+
+    def is_known(self, true_type: str) -> bool:
+        return (
+            true_type not in self.unknown_types
+            and self.classify(true_type) in self.known_models
+        )
+
+    def model_for(self, true_type: str, *, job_name: str = "") -> QuadraticPowerModel:
+        """The model the cluster tier will use for a job of ``true_type``."""
+        if self.is_known(true_type):
+            return self.known_models[self.classify(true_type)]
+        if self.default_policy is None:
+            raise KeyError(
+                f"job type {true_type!r} is unknown and no default policy is set"
+            )
+        return self.default_policy.model_for(self.known_models, job_name=job_name)

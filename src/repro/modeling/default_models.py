@@ -1,0 +1,110 @@
+"""Default-model policies for jobs whose type has not been characterized.
+
+§6.1.2 of the paper evaluates two extreme assumptions for unknown job types:
+treat them as the *least* power-sensitive known type (underprediction — the
+unknown job bears the slowdown) or as the *most* sensitive (overprediction —
+co-scheduled sensitive jobs bear it).  §4.4.2 additionally randomly samples
+properties from known types while training AQA queue weights.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "DefaultModelPolicy",
+    "LeastSensitivePolicy",
+    "MostSensitivePolicy",
+    "NamedTypePolicy",
+    "RandomKnownTypePolicy",
+]
+
+
+class DefaultModelPolicy(ABC):
+    """Chooses a stand-in power-performance model for an unknown job."""
+
+    @abstractmethod
+    def model_for(
+        self,
+        known_models: Mapping[str, QuadraticPowerModel],
+        *,
+        job_name: str = "",
+    ) -> QuadraticPowerModel:
+        """Return the default model given the catalog of known-type models."""
+
+    @staticmethod
+    def _require_known(known_models: Mapping[str, QuadraticPowerModel]) -> None:
+        if not known_models:
+            raise ValueError("no known job-type models to choose a default from")
+
+
+class LeastSensitivePolicy(DefaultModelPolicy):
+    """Assume the unknown job matches the least power-sensitive known type.
+
+    This *underpredicts* a medium-sensitivity job's sensitivity, so the
+    budgeter starves the unknown job under tight budgets (Fig. 5, left).
+    """
+
+    def model_for(self, known_models, *, job_name: str = "") -> QuadraticPowerModel:
+        self._require_known(known_models)
+        name = min(known_models, key=lambda k: known_models[k].sensitivity)
+        return known_models[name]
+
+
+class MostSensitivePolicy(DefaultModelPolicy):
+    """Assume the unknown job matches the most power-sensitive known type.
+
+    This *overpredicts* sensitivity, so the budgeter over-feeds the unknown
+    job and starves genuinely sensitive co-scheduled jobs (Fig. 5, right).
+    """
+
+    def model_for(self, known_models, *, job_name: str = "") -> QuadraticPowerModel:
+        self._require_known(known_models)
+        name = max(known_models, key=lambda k: known_models[k].sensitivity)
+        return known_models[name]
+
+
+class NamedTypePolicy(DefaultModelPolicy):
+    """Always use a specific known type's model (deliberate misclassification).
+
+    The hardware experiments misclassify BT as IS (Figs. 7, 10) and SP as EP
+    (Fig. 8); this policy expresses those scenarios directly.
+    """
+
+    def __init__(self, type_name: str) -> None:
+        self.type_name = type_name
+
+    def model_for(self, known_models, *, job_name: str = "") -> QuadraticPowerModel:
+        self._require_known(known_models)
+        try:
+            return known_models[self.type_name]
+        except KeyError:
+            raise KeyError(
+                f"default type {self.type_name!r} not in known models "
+                f"{sorted(known_models)}"
+            ) from None
+
+
+class RandomKnownTypePolicy(DefaultModelPolicy):
+    """Sample the default uniformly from known types (AQA training, §4.4.2).
+
+    Deterministic per job name for a fixed seed, so repeated queries for the
+    same job agree.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = 0) -> None:
+        self._rng = ensure_rng(seed)
+        self._assignments: dict[str, str] = {}
+
+    def model_for(self, known_models, *, job_name: str = "") -> QuadraticPowerModel:
+        self._require_known(known_models)
+        if job_name not in self._assignments:
+            names = sorted(known_models)
+            self._assignments[job_name] = names[int(self._rng.integers(len(names)))]
+        return known_models[self._assignments[job_name]]

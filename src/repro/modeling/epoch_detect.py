@@ -1,0 +1,138 @@
+"""Automatic epoch detection from periodic resource usage (paper §8).
+
+The paper's instrumentation requires a manual ``geopm_prof_epoch()`` call in
+each application's main loop; §8 suggests "automatic epoch detection (e.g.,
+by identifying periodic usage of system resources or software interfaces)"
+as future work.  :func:`detect_epoch_period` estimates the dominant period
+of a sampled signal (e.g. node power) via its autocorrelation, and
+:class:`AutoEpochCounter` turns a live sample stream into a synthetic epoch
+count a power modeler can consume when no instrumentation exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["detect_epoch_period", "AutoEpochCounter"]
+
+
+def detect_epoch_period(
+    signal: np.ndarray,
+    dt: float,
+    *,
+    min_period: float | None = None,
+    max_period: float | None = None,
+    min_strength: float = 0.2,
+) -> float | None:
+    """Estimate the dominant period of ``signal`` (seconds), or None.
+
+    Uses the first prominent peak of the unbiased autocorrelation after the
+    zero lag.  ``min_strength`` is the minimum normalised autocorrelation at
+    the peak for the detection to count — aperiodic signals return None
+    rather than a spurious period.
+    """
+    x = np.asarray(signal, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {x.shape}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if x.size < 9:
+        return None
+    # First-difference the signal: level shifts (job setup ending, cap
+    # changes) become single impulses instead of dominating the
+    # autocorrelation, while a period-P oscillation keeps its period.  The
+    # short moving average afterwards tames the high-frequency noise that
+    # differencing amplifies (spurious 2-sample "periods").
+    x = np.diff(x)
+    x = np.convolve(x, np.ones(3) / 3.0, mode="valid")
+    n = x.size
+    x = x - x.mean()
+    var = float(np.dot(x, x))
+    if var <= 0:
+        return None
+    # Full autocorrelation, normalised to r[0] == 1.
+    corr = np.correlate(x, x, mode="full")[n - 1 :] / var
+    lag_lo = max(1, int(round((min_period or 2 * dt) / dt)))
+    lag_hi = min(n - 2, int(round((max_period or (n * dt / 2)) / dt)))
+    if lag_hi <= lag_lo:
+        return None
+    # Take the FIRST prominent local maximum, not the global one: for a
+    # periodic signal the autocorrelation peaks at every multiple of the
+    # fundamental, and noise can push a harmonic above the fundamental.
+    for lag in range(lag_lo, lag_hi + 1):
+        if corr[lag] < min_strength:
+            continue
+        if corr[lag] >= corr[lag - 1] and corr[lag] >= corr[min(lag + 1, n - 1)]:
+            return lag * dt
+    return None
+
+
+class AutoEpochCounter:
+    """Streams resource samples into a synthetic epoch count.
+
+    Accumulates (time, value) samples; once at least ``min_cycles`` of a
+    detected period have been observed, the epoch count is elapsed time over
+    the period.  Re-estimates the period as more data arrives, so gradual
+    frequency changes are followed.
+    """
+
+    def __init__(
+        self,
+        dt: float,
+        *,
+        min_cycles: int = 4,
+        max_window: int = 512,
+        min_strength: float = 0.2,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if min_cycles < 2:
+            raise ValueError(f"min_cycles must be ≥ 2, got {min_cycles}")
+        self.dt = float(dt)
+        self.min_cycles = int(min_cycles)
+        self.max_window = int(max_window)
+        self.min_strength = float(min_strength)
+        self._samples: list[float] = []
+        self._elapsed = 0.0
+        self.period: float | None = None
+        # Stability lock: noise can produce one-off spurious detections, so
+        # a period only counts once the same estimate (±20 %) persists for
+        # several consecutive pushes.
+        self._pending_period: float | None = None
+        self._stable_pushes = 0
+        self._required_stable = 8
+
+    def push(self, value: float) -> int:
+        """Add one sample (dt seconds after the previous); returns the count."""
+        self._samples.append(float(value))
+        if len(self._samples) > self.max_window:
+            self._samples.pop(0)
+        self._elapsed += self.dt
+        period = detect_epoch_period(
+            np.asarray(self._samples), self.dt, min_strength=self.min_strength
+        )
+        if period is None:
+            self._pending_period = None
+            self._stable_pushes = 0
+        elif (
+            self._pending_period is not None
+            and abs(period - self._pending_period) <= 0.2 * self._pending_period
+        ):
+            self._stable_pushes += 1
+        else:
+            self._pending_period = period
+            self._stable_pushes = 1
+        if (
+            period is not None
+            and self._stable_pushes >= self._required_stable
+            and self._elapsed >= self.min_cycles * period
+        ):
+            self.period = period
+        return self.epoch_count
+
+    @property
+    def epoch_count(self) -> int:
+        """Synthetic cumulative epoch count (0 until a period is locked)."""
+        if self.period is None:
+            return 0
+        return int(self._elapsed / self.period)

@@ -1,0 +1,365 @@
+"""Online power modeler: learns T(P) from epoch feedback (paper §4.2).
+
+The modeler receives periodic status updates containing the job's cumulative
+epoch count, and tracks the average power cap applied since the previous
+epoch progress.  Each completed batch of epochs becomes one training sample
+(average cap, seconds per epoch).  The model is refit whenever at least
+``retrain_threshold`` (10 in the paper) new epochs have been recorded.  Jobs
+that report no epochs, or that have not yet accumulated enough, use a
+*default model* supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.modeling.quadratic import FitResult, QuadraticPowerModel
+
+__all__ = ["EpochSample", "EpochHistory", "OnlineModeler"]
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """One training sample: ``epochs`` epochs completed at ``p_cap`` average cap."""
+
+    p_cap: float
+    seconds_per_epoch: float
+    epochs: int
+    timestamp: float
+
+
+@dataclass
+class EpochHistory:
+    """Append-only record of epoch-timing samples with array export."""
+
+    samples: list[EpochSample] = field(default_factory=list)
+
+    def append(self, sample: EpochSample) -> None:
+        if sample.seconds_per_epoch <= 0:
+            raise ValueError(f"non-positive time per epoch: {sample.seconds_per_epoch}")
+        if sample.epochs < 1:
+            raise ValueError(f"sample must cover ≥ 1 epoch, got {sample.epochs}")
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_epochs(self) -> int:
+        return sum(s.epochs for s in self.samples)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(caps, times-per-epoch, weights) as parallel arrays."""
+        caps = np.array([s.p_cap for s in self.samples], dtype=float)
+        times = np.array([s.seconds_per_epoch for s in self.samples], dtype=float)
+        weights = np.array([s.epochs for s in self.samples], dtype=float)
+        return caps, times, weights
+
+
+class OnlineModeler:
+    """Builds and refreshes a job's quadratic power-performance model online.
+
+    Parameters
+    ----------
+    p_min, p_max:
+        Enforceable per-node cap range (W).
+    default_model:
+        Model used until a fit exists (§4.2: "jobs that report no epochs or
+        that have yet to build a model use a default model").
+    retrain_threshold:
+        Minimum count of *new* epochs before refitting (paper: 10).
+    min_fit_epochs:
+        Epochs required before the first fit replaces the default.
+    min_sample_epochs:
+        Epochs batched into one training sample.  Status updates arrive at
+        ~1 Hz while epochs take ~1–2 s, so a per-update sample would be
+        quantised to whole control periods; batching several epochs averages
+        the quantisation down (§7.2: "we initially needed to gather many
+        samples from the job runtime to consistently map power caps to job
+        performance metrics").
+    """
+
+    def __init__(
+        self,
+        p_min: float,
+        p_max: float,
+        default_model: QuadraticPowerModel,
+        *,
+        retrain_threshold: int = 10,
+        min_fit_epochs: int = 10,
+        min_sample_epochs: int = 6,
+        detect_drift: bool = False,
+        drift_window: int = 4,
+        drift_threshold: float = 0.10,
+    ) -> None:
+        if retrain_threshold < 1:
+            raise ValueError(f"retrain_threshold must be ≥ 1, got {retrain_threshold}")
+        if min_sample_epochs < 1:
+            raise ValueError(f"min_sample_epochs must be ≥ 1, got {min_sample_epochs}")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.default_model = default_model
+        self.retrain_threshold = int(retrain_threshold)
+        self.min_fit_epochs = int(min_fit_epochs)
+        self.min_sample_epochs = int(min_sample_epochs)
+        self.history = EpochHistory()
+        self._fit: FitResult | None = None
+        self._epochs_since_fit = 0
+        self._pending_epochs = 0
+        self._saw_first_epoch = False
+        # Phase-change (drift) detection, §8: when the last `drift_window`
+        # samples all miss the current fit by more than `drift_threshold`
+        # relative error with a consistent sign, the job has entered a new
+        # power-sensitivity phase — discard the stale history and relearn.
+        self.detect_drift = bool(detect_drift)
+        self.drift_window = int(drift_window)
+        self.drift_threshold = float(drift_threshold)
+        self.drift_resets = 0
+        self._recent_residuals: list[float] = []
+        self._live_residuals: list[float] = []
+        self._fit_cap_range: tuple[float, float] = (self.p_min, self.p_max)
+        # Drift is scored against a slowly-refreshed snapshot of the fit,
+        # not the live model: the regular refits (every ~10 epochs) absorb
+        # new-phase samples faster than a residual window can fill, which
+        # would mask exactly the shift we are trying to detect.
+        self._drift_model: QuadraticPowerModel | None = None
+        self._drift_model_age = 0
+        # Integration state for the cap applied between epoch updates.
+        self._last_time: float | None = None
+        self._last_epochs = 0
+        self._cap_time_integral = 0.0  # ∫ cap dt since last epoch progress
+        self._span_seconds = 0.0
+        self._current_cap: float | None = None
+
+    # -------------------------------------------------------------- feeding
+
+    def observe(self, timestamp: float, epoch_count: int, power_cap: float) -> bool:
+        """Record a status update from the agent.
+
+        ``epoch_count`` is cumulative; ``power_cap`` is the cap in force *now*
+        (assumed held since the previous observation — the paper timestamps
+        samples for exactly this asynchronous mapping, §7.2).  Returns True
+        when the observation triggered a model refit.
+        """
+        if epoch_count < self._last_epochs:
+            raise ValueError(
+                f"epoch count went backwards: {self._last_epochs} -> {epoch_count}"
+            )
+        if self._last_time is None:
+            # First observation: establishes the time origin only.
+            self._last_time = float(timestamp)
+            self._last_epochs = int(epoch_count)
+            self._current_cap = float(power_cap)
+            return False
+        if not self._saw_first_epoch:
+            # Time before the first epoch ever completes is job setup, not
+            # compute: folding it into a sample would attribute batch-system
+            # startup to whatever cap happened to be programmed (§7.2's
+            # setup/teardown confounder).  Re-anchor and start clean.
+            self._last_time = float(timestamp)
+            self._current_cap = float(power_cap)
+            self._cap_time_integral = 0.0
+            self._span_seconds = 0.0
+            if epoch_count > self._last_epochs:
+                self._last_epochs = int(epoch_count)
+                self._saw_first_epoch = True
+            return False
+        dt = float(timestamp) - self._last_time
+        if dt < 0:
+            raise ValueError(f"time went backwards: {self._last_time} -> {timestamp}")
+        held_cap = self._current_cap if self._current_cap is not None else float(power_cap)
+        self._cap_time_integral += held_cap * dt
+        self._span_seconds += dt
+        self._last_time = float(timestamp)
+        self._current_cap = float(power_cap)
+
+        new_epochs = int(epoch_count) - self._last_epochs
+        self._last_epochs = int(epoch_count)
+        self._pending_epochs += new_epochs
+        if new_epochs == 0 or self._pending_epochs < self.min_sample_epochs:
+            return False
+        if self._span_seconds <= 0:
+            # Epochs arrived with no elapsed time — drop the degenerate sample.
+            self._cap_time_integral = 0.0
+            self._pending_epochs = 0
+            return False
+        avg_cap = self._cap_time_integral / self._span_seconds
+        batched = self._pending_epochs
+        self._pending_epochs = 0
+        sample = EpochSample(
+            p_cap=avg_cap,
+            seconds_per_epoch=self._span_seconds / batched,
+            epochs=batched,
+            timestamp=float(timestamp),
+        )
+        if self._is_outlier(sample):
+            # A sample vastly slower than recent history is a measurement
+            # artifact (e.g. a long observation gap folded into one span),
+            # not a performance signal — drop it rather than poison the fit.
+            self._cap_time_integral = 0.0
+            self._span_seconds = 0.0
+            return False
+        if self.detect_drift and self._check_drift(sample):
+            return True
+        self.history.append(sample)
+        self._cap_time_integral = 0.0
+        self._span_seconds = 0.0
+        self._epochs_since_fit += batched
+        if (
+            self._epochs_since_fit >= self.retrain_threshold
+            and self.history.total_epochs >= self.min_fit_epochs
+        ):
+            self._refit()
+            return True
+        return False
+
+    def _is_outlier(self, sample: EpochSample, *, factor: float = 6.0) -> bool:
+        """True when the sample is impossibly slow vs. recent history."""
+        recent = self.history.samples[-10:]
+        if len(recent) < 3:
+            return False
+        med = float(np.median([s.seconds_per_epoch for s in recent]))
+        return sample.seconds_per_epoch > factor * med
+
+    def _check_drift(self, sample: EpochSample) -> bool:
+        """Detect a phase change; on drift, reset and start relearning."""
+        if self._fit is None:
+            return False
+        # Only score samples at caps the model was actually trained on:
+        # extrapolation error after a cap change is not a phase change.
+        lo, hi = self._fit_cap_range
+        margin = 0.05 * (self.p_max - self.p_min)
+        if not (lo - margin <= sample.p_cap <= hi + margin):
+            return False
+        if self._drift_model is None:
+            self._drift_model = self._fit.model
+            self._drift_model_age = 0
+        predicted = self._drift_model.time_at(sample.p_cap)
+        live_predicted = self._fit.model.time_at(sample.p_cap)
+        if predicted <= 0 or live_predicted <= 0:
+            return False
+        residual = (sample.seconds_per_epoch - predicted) / predicted
+        live_residual = (sample.seconds_per_epoch - live_predicted) / live_predicted
+        self._recent_residuals.append(residual)
+        self._live_residuals.append(live_residual)
+        self._drift_model_age += 1
+        if len(self._recent_residuals) > self.drift_window:
+            self._recent_residuals.pop(0)
+            self._live_residuals.pop(0)
+        # Trigger when the snapshot consistently misses (same sign, window
+        # mean beyond the threshold — averaging beats per-sample timing
+        # quantisation) AND the live fit is still off too (at half
+        # threshold): the live fit absorbing the new phase slowly must not
+        # mask the drift, but a live fit that has already converged means
+        # the snapshot is merely stale.
+        consistent = len(self._recent_residuals) >= self.drift_window and (
+            (
+                all(r > 0 for r in self._recent_residuals)
+                or all(r < 0 for r in self._recent_residuals)
+            )
+            and abs(float(np.mean(self._recent_residuals))) > self.drift_threshold
+            and abs(float(np.mean(self._live_residuals)))
+            > 0.5 * self.drift_threshold
+        )
+        if not consistent:
+            # Refresh the reference occasionally so slow, legitimate model
+            # evolution (better fits from more data) is not flagged later.
+            if (
+                self._drift_model_age >= 3 * self.drift_window
+                and abs(residual) <= self.drift_threshold
+            ):
+                self._drift_model = self._fit.model
+                self._drift_model_age = 0
+            return False
+        # New phase: throw away the stale model and its training data.
+        self.history = EpochHistory()
+        self._fit = None
+        self._epochs_since_fit = 0
+        self._recent_residuals.clear()
+        self._live_residuals.clear()
+        self._cap_time_integral = 0.0
+        self._span_seconds = 0.0
+        self._drift_model = None
+        self._drift_model_age = 0
+        self.drift_resets += 1
+        return True
+
+    def set_cap(self, timestamp: float, power_cap: float) -> None:
+        """Note a cap change between status updates (keeps the average honest)."""
+        if self._last_time is not None:
+            dt = float(timestamp) - self._last_time
+            if dt < 0:
+                raise ValueError(f"time went backwards: {self._last_time} -> {timestamp}")
+            held = self._current_cap if self._current_cap is not None else float(power_cap)
+            self._cap_time_integral += held * dt
+            self._span_seconds += dt
+            self._last_time = float(timestamp)
+        else:
+            self._last_time = float(timestamp)
+        self._current_cap = float(power_cap)
+
+    # -------------------------------------------------------------- fitting
+
+    def _refit(self) -> None:
+        caps, times, weights = self.history.arrays()
+        sqrt_w = np.sqrt(weights)
+        # Model order is limited by how much of the cap range the samples
+        # cover: a quadratic extrapolated from a narrow operating window is
+        # wild, so we only allow degree 2 with wide coverage, degree 1 with
+        # two meaningfully different caps (2 W buckets), else a constant.
+        distinct = np.unique(np.round(caps / 2.0)).size
+        span = self.p_max - self.p_min
+        coverage = (caps.max() - caps.min()) / span if span > 0 else 0.0
+        degree = min(2 if coverage >= 0.3 else 1, distinct - 1)
+        if degree > 0:
+            coeffs = np.polyfit(caps, times, deg=degree, w=sqrt_w)
+        else:
+            coeffs = np.array([float(np.average(times, weights=weights))])
+        padded = np.zeros(3)
+        padded[3 - coeffs.size:] = coeffs
+        model = QuadraticPowerModel(
+            a=float(padded[0]), b=float(padded[1]), c=float(padded[2]),
+            p_min=self.p_min, p_max=self.p_max,
+        )
+        pred = model.a * caps * caps + model.b * caps + model.c
+        ss_res = float(np.sum(weights * (times - pred) ** 2))
+        t_bar = float(np.average(times, weights=weights))
+        ss_tot = float(np.sum(weights * (times - t_bar) ** 2))
+        r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+        self._fit = FitResult(model=model, r2=r2, n_samples=len(self.history))
+        self._fit_cap_range = (float(caps.min()), float(caps.max()))
+        self._epochs_since_fit = 0
+
+    # ------------------------------------------------------------- querying
+
+    @property
+    def has_fit(self) -> bool:
+        return self._fit is not None
+
+    @property
+    def model(self) -> QuadraticPowerModel:
+        """The current best model: fitted if available, else the default."""
+        return self._fit.model if self._fit is not None else self.default_model
+
+    @property
+    def fit_r2(self) -> float | None:
+        return self._fit.r2 if self._fit is not None else None
+
+    @property
+    def epochs_observed(self) -> int:
+        return self.history.total_epochs
+
+    @property
+    def cap_coverage(self) -> float:
+        """Spread of observed caps as a fraction of the enforceable range.
+
+        Feedback consumers gate on this: a model trained at a single
+        operating point cannot say anything about power sensitivity.
+        """
+        if len(self.history) < 2:
+            return 0.0
+        caps, _, _ = self.history.arrays()
+        span = self.p_max - self.p_min
+        return float(caps.max() - caps.min()) / span if span > 0 else 0.0

@@ -1,0 +1,214 @@
+"""Quadratic power-performance model: ``T = A·P² + B·P + C`` (paper §4.2).
+
+``T`` is seconds per epoch and ``P`` is the per-node CPU power cap in watts.
+The model is valid on a cap interval [p_min, p_max]; evaluation clamps into
+that range, matching the platform's enforceable cap window (70 W per package
+floor, TDP ceiling — §6.1.1).
+
+The inverse map :meth:`QuadraticPowerModel.power_for_time` is what the
+performance-aware (even-slowdown) budgeter uses: given a target time per
+epoch it returns the smallest power cap achieving it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.maths import clamp
+
+__all__ = ["QuadraticPowerModel", "FitResult"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a least-squares fit: the model plus goodness-of-fit."""
+
+    model: "QuadraticPowerModel"
+    r2: float
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class QuadraticPowerModel:
+    """Seconds-per-epoch as a quadratic function of the power cap.
+
+    Attributes
+    ----------
+    a, b, c:
+        Quadratic coefficients of ``T(P) = a·P² + b·P + c``.
+    p_min, p_max:
+        Enforceable cap range in watts; evaluation clamps P into it.
+    """
+
+    a: float
+    b: float
+    c: float
+    p_min: float
+    p_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.p_min < self.p_max):
+            raise ValueError(f"need p_min < p_max, got [{self.p_min}, {self.p_max}]")
+
+    # ------------------------------------------------------------------ eval
+
+    def time_per_epoch(self, p_cap: float | np.ndarray) -> float | np.ndarray:
+        """Predicted seconds per epoch at cap ``p_cap`` (clamped into range)."""
+        p = np.clip(p_cap, self.p_min, self.p_max)
+        result = self.a * p * p + self.b * p + self.c
+        if np.isscalar(p_cap):
+            return float(result)
+        return result
+
+    def time_at(self, p_cap: float) -> float:
+        """Scalar alias of :meth:`time_per_epoch`."""
+        return float(self.time_per_epoch(float(p_cap)))
+
+    @property
+    def t_min(self) -> float:
+        """Fastest achievable time per epoch (at the maximum cap)."""
+        return self.time_at(self.p_max)
+
+    @property
+    def t_max(self) -> float:
+        """Slowest time per epoch within the cap range (at the minimum cap)."""
+        return self.time_at(self.p_min)
+
+    def slowdown_at(self, p_cap: float) -> float:
+        """Fractional slowdown vs. the uncapped (max-cap) time; ≥ 0."""
+        return self.time_at(p_cap) / self.t_min - 1.0
+
+    @property
+    def sensitivity(self) -> float:
+        """Relative time at the minimum cap, ``T(p_min)/T(p_max)`` (≥ 1)."""
+        return self.t_max / self.t_min
+
+    # --------------------------------------------------------------- inverse
+
+    def power_for_time(self, t_target: float) -> float:
+        """Smallest cap whose predicted time ≤ ``t_target`` (clamped to range).
+
+        This is the ``P_j(·)`` function of §4.4.3.  Targets faster than the
+        model's fastest time return ``p_max``; targets slower than its
+        slowest return ``p_min`` (the cap cannot slow the job further).
+        """
+        if t_target <= self.t_min:
+            return self.p_max
+        if t_target >= self.t_max:
+            return self.p_min
+        if abs(self.a) < 1e-18:
+            if abs(self.b) < 1e-18:
+                return self.p_max  # constant model: any cap achieves it
+            p = (t_target - self.c) / self.b
+            return clamp(p, self.p_min, self.p_max)
+        # Solve a·P² + b·P + (c − t) = 0; take the root inside the cap range.
+        disc = self.b * self.b - 4.0 * self.a * (self.c - t_target)
+        if disc < 0:
+            # Shouldn't happen for monotone models within [t_min, t_max];
+            # fall back to the vertex.
+            return clamp(-self.b / (2.0 * self.a), self.p_min, self.p_max)
+        sqrt_disc = math.sqrt(disc)
+        roots = ((-self.b - sqrt_disc) / (2.0 * self.a),
+                 (-self.b + sqrt_disc) / (2.0 * self.a))
+        in_range = [r for r in roots if self.p_min - 1e-9 <= r <= self.p_max + 1e-9]
+        if in_range:
+            return clamp(min(in_range, key=lambda r: abs(self.time_at(r) - t_target)),
+                         self.p_min, self.p_max)
+        # Both roots outside: choose the nearer bound.
+        return self.p_min if t_target > self.time_at(self.p_min) else self.p_max
+
+    def power_for_slowdown(self, s: float) -> float:
+        """Cap achieving slowdown factor ``s`` (s=1 → no slowdown)."""
+        if s < 1.0:
+            raise ValueError(f"slowdown factor must be ≥ 1, got {s}")
+        return self.power_for_time(s * self.t_min)
+
+    def is_monotone_decreasing(self, samples: int = 64) -> bool:
+        """Check T(P) decreases over the cap range (sanity for fitted models)."""
+        ps = np.linspace(self.p_min, self.p_max, samples)
+        ts = self.time_per_epoch(ps)
+        return bool(np.all(np.diff(ts) <= 1e-12))
+
+    # ------------------------------------------------------------ construct
+
+    @classmethod
+    def fit(
+        cls,
+        p_caps: np.ndarray,
+        times: np.ndarray,
+        p_min: float,
+        p_max: float,
+    ) -> FitResult:
+        """Least-squares fit of the quadratic to (cap, time/epoch) samples.
+
+        With fewer than 3 distinct cap values the quadratic is rank-deficient;
+        we degrade gracefully to a linear (2 caps) or constant (1 cap) model
+        by zeroing the missing coefficients.
+        """
+        p = np.asarray(p_caps, dtype=float)
+        t = np.asarray(times, dtype=float)
+        if p.shape != t.shape or p.ndim != 1:
+            raise ValueError(f"need matching 1-D arrays, got {p.shape} and {t.shape}")
+        if p.size == 0:
+            raise ValueError("cannot fit a model to zero samples")
+        distinct = np.unique(np.round(p, 6)).size
+        degree = min(2, distinct - 1)
+        coeffs = np.polyfit(p, t, deg=degree) if degree > 0 else np.array([t.mean()])
+        padded = np.zeros(3)
+        padded[3 - coeffs.size:] = coeffs
+        model = cls(a=float(padded[0]), b=float(padded[1]), c=float(padded[2]),
+                    p_min=p_min, p_max=p_max)
+        pred = model.a * p * p + model.b * p + model.c
+        ss_res = float(np.sum((t - pred) ** 2))
+        ss_tot = float(np.sum((t - t.mean()) ** 2))
+        r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+        return FitResult(model=model, r2=r2, n_samples=int(p.size))
+
+    @classmethod
+    def from_anchors(
+        cls,
+        t_at_max: float,
+        sensitivity: float,
+        p_min: float,
+        p_max: float,
+        *,
+        end_slope_fraction: float = 0.1,
+    ) -> "QuadraticPowerModel":
+        """Build a monotone quadratic from two anchor points.
+
+        Constraints: ``T(p_max) = t_at_max``, ``T(p_min) = sensitivity·t_at_max``,
+        and a small negative slope at ``p_max`` equal to ``end_slope_fraction``
+        of the mean slope — making the curve flatten near TDP, as measured
+        power-performance curves do (paper Fig. 3).
+        """
+        if t_at_max <= 0:
+            raise ValueError(f"t_at_max must be positive, got {t_at_max}")
+        if sensitivity < 1.0:
+            raise ValueError(f"sensitivity must be ≥ 1, got {sensitivity}")
+        if not 0.0 <= end_slope_fraction < 1.0:
+            raise ValueError(f"end_slope_fraction must be in [0, 1), got {end_slope_fraction}")
+        span = p_max - p_min
+        if span <= 0:
+            raise ValueError(f"need p_min < p_max, got [{p_min}, {p_max}]")
+        rise = (sensitivity - 1.0) * t_at_max
+        mean_slope = rise / span  # magnitude of the average downward slope
+        delta = end_slope_fraction * mean_slope  # |T'(p_max)|
+        # Solve the 3 linear constraints for a, b, c.
+        a = (rise - delta * span) / (span * span)
+        b = -delta - 2.0 * a * p_max
+        c = t_at_max - a * p_max * p_max - b * p_max
+        return cls(a=a, b=b, c=c, p_min=p_min, p_max=p_max)
+
+    def with_range(self, p_min: float, p_max: float) -> "QuadraticPowerModel":
+        """Same curve restricted/extended to a different cap range."""
+        return QuadraticPowerModel(self.a, self.b, self.c, p_min, p_max)
+
+    def scaled(self, factor: float) -> "QuadraticPowerModel":
+        """Model with all times multiplied by ``factor`` (same cap range)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return QuadraticPowerModel(self.a * factor, self.b * factor,
+                                   self.c * factor, self.p_min, self.p_max)

@@ -1,0 +1,62 @@
+"""Scheduler interface shared by the emulated-cluster policies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PendingJob", "RunningView", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """A queued job as the scheduler sees it."""
+
+    job_id: str
+    nodes: int
+    submit_time: float
+    est_runtime: float  # user-style estimate (e.g. the job's time limit)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"{self.job_id}: nodes must be ≥ 1")
+        if self.est_runtime <= 0:
+            raise ValueError(f"{self.job_id}: est_runtime must be positive")
+
+
+@dataclass(frozen=True)
+class RunningView:
+    """A running job as the scheduler sees it."""
+
+    job_id: str
+    nodes: int
+    est_end: float  # absolute estimated completion time
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"{self.job_id}: nodes must be ≥ 1")
+
+
+class Scheduler(ABC):
+    """Chooses which queued jobs start this round."""
+
+    @abstractmethod
+    def select(
+        self,
+        pending: Sequence[PendingJob],
+        running: Sequence[RunningView],
+        idle_nodes: int,
+        now: float,
+    ) -> list[PendingJob]:
+        """Jobs to start now, in start order.
+
+        Implementations must never start more nodes than ``idle_nodes`` and
+        must not reorder the identity of jobs they return (each returned job
+        appears exactly once and was in ``pending``).
+        """
+
+    @staticmethod
+    def _validate(idle_nodes: int) -> None:
+        if idle_nodes < 0:
+            raise ValueError(f"idle_nodes must be ≥ 0, got {idle_nodes}")

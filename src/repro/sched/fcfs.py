@@ -1,0 +1,34 @@
+"""Strict first-come-first-served scheduling."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sched.base import PendingJob, RunningView, Scheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(Scheduler):
+    """Start jobs in submission order; the head blocks everything behind it.
+
+    This is the baseline behaviour of the paper's replay harness: simple,
+    starvation-free, but it leaves nodes idle whenever the head job is wide.
+    """
+
+    def select(
+        self,
+        pending: Sequence[PendingJob],
+        running: Sequence[RunningView],
+        idle_nodes: int,
+        now: float,
+    ) -> list[PendingJob]:
+        self._validate(idle_nodes)
+        to_start: list[PendingJob] = []
+        free = idle_nodes
+        for job in pending:
+            if job.nodes > free:
+                break  # strict FCFS: nothing behind the head may pass it
+            to_start.append(job)
+            free -= job.nodes
+        return to_start

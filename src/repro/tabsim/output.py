@@ -1,0 +1,88 @@
+"""State logging for the tabular simulator (paper §5.6).
+
+"Lastly, before starting the next iteration, we append the current state of
+all tables to a file."  :class:`StateLogger` serialises periodic snapshots
+of the node and job tables as JSON lines; :func:`read_state_log` loads them
+back for post-hoc analysis, so long simulations can be inspected without
+holding every tick in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro.tabsim.tables import JobTable, NodeTable
+
+__all__ = ["StateLogger", "read_state_log"]
+
+
+class StateLogger:
+    """Appends periodic node/job-table snapshots to a JSONL file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        every: int = 60,
+        include_per_node: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be ≥ 1, got {every}")
+        self.path = Path(path)
+        self.every = int(every)
+        self.include_per_node = bool(include_per_node)
+        self._ticks = 0
+        self._fh: IO[str] | None = None
+        self.records_written = 0
+
+    def __enter__(self) -> "StateLogger":
+        self._fh = self.path.open("w")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def log(self, now: float, nodes: NodeTable, jobs: JobTable) -> bool:
+        """Record a snapshot if the cadence says so; returns True if written."""
+        self._ticks += 1
+        if self._ticks % self.every != 0:
+            return False
+        if self._fh is None:
+            self._fh = self.path.open("w")
+        busy = nodes.busy_mask
+        record: dict = {
+            "time": float(now),
+            "busy_nodes": int(busy.sum()),
+            "idle_nodes": int((~busy).sum()),
+            "total_power": float(nodes.power.sum()),
+            "mean_cap_busy": float(nodes.cap[busy].mean()) if busy.any() else None,
+            "jobs_queued": int(np.sum(jobs.state[: jobs.count] == 0)),
+            "jobs_running": int(np.sum(jobs.state[: jobs.count] == 1)),
+            "jobs_done": int(np.sum(jobs.state[: jobs.count] == 2)),
+        }
+        if self.include_per_node:
+            record["node_job"] = nodes.job_idx.tolist()
+            record["node_cap"] = np.round(nodes.cap, 2).tolist()
+            record["node_power"] = np.round(nodes.power, 2).tolist()
+        self._fh.write(json.dumps(record) + "\n")
+        self.records_written += 1
+        return True
+
+
+def read_state_log(path: str | Path) -> Iterator[dict]:
+    """Yield snapshot records from a :class:`StateLogger` file."""
+    path = Path(path)
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

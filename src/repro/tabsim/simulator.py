@@ -1,0 +1,369 @@
+"""The per-second tabular cluster simulation loop (paper §5.6).
+
+"Each simulated second, the simulator updates the state of the node table,
+then updates the view of the cluster seen by the job scheduler and power
+manager, then schedules jobs and caps power.  The policy updates inputs to
+the node table that will be processed in the node-update stage of the next
+time step."
+
+The power manager applies caps uniformly across active nodes (the AQA rule,
+§4.4.2), with an optional QoS-aware variant that exempts at-risk jobs from
+capping (§6.4 investigates this feedback path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.aqa.queues import QueuedJob, QueueSet, WorkQueue
+from repro.aqa.scheduler import WeightedScheduler
+from repro.tabsim.tables import JobState, JobTable, NodeTable, SimJobType
+from repro.tabsim.variation import draw_node_multipliers
+from repro.util.rng import ensure_rng
+from repro.workloads.trace import Schedule
+
+__all__ = ["SimConfig", "SimResult", "TabularClusterSimulator"]
+
+
+def _waterfill_cap(
+    available: float, demand_max: np.ndarray, p_min: float, p_max: float
+) -> float:
+    """The uniform cap c with Σ min(c, demand_max) = available, clamped.
+
+    Solved by sorting the demands once and scanning the breakpoints — the
+    classic waterfilling argument, O(n log n) per budgeting round.
+    """
+    n = demand_max.size
+    if n == 0:
+        return p_max
+    if available >= float(demand_max.sum()):
+        return p_max
+    if available <= n * p_min:
+        return p_min
+    order = np.sort(demand_max)
+    # Below breakpoint k (0-based), the first k nodes saturate at their
+    # demand and the rest sit at the cap: total(c) = prefix[k] + (n-k)·c.
+    prefix = np.concatenate([[0.0], np.cumsum(order)])
+    ks = np.arange(n)
+    cands = (available - prefix[:-1]) / (n - ks)
+    lower = np.concatenate([[0.0], order[:-1]])
+    valid = (cands >= lower - 1e-12) & (cands <= order + 1e-12)
+    hits = np.flatnonzero(valid)
+    c = cands[hits[0]] if hits.size else order[-1]
+    return float(np.clip(c, p_min, p_max))
+
+
+@dataclass
+class SimConfig:
+    """Cluster and demand-response inputs (paper §5.6).
+
+    "Input cluster properties include average idle power per node, total
+    node count, average node utilization, and demand response parameters"
+    (``average_power``, ``reserve``, and the regulation ``signal``).
+    """
+
+    num_nodes: int = 1000
+    idle_power: float = 60.0
+    p_node_min: float = 140.0
+    p_node_max: float = 280.0
+    average_power: float = 180_000.0
+    reserve: float = 25_000.0
+    dt: float = 1.0
+    variation_band: float = 0.0  # "99 % of performance within ±band"
+    qos_aware_capping: bool = False
+    qos_risk_fraction: float = 0.8  # exempt jobs projected beyond this × limit
+    work_conserving: bool = False
+    # Power-aware admission (§6.4: AQA "primarily reduc[es] power by
+    # refraining from scheduling jobs to idle nodes"): defer job starts that
+    # would push the cluster's *minimum* enforceable power past the target.
+    power_aware_admission: bool = False
+    seed: int = 0
+
+    def target(self, y: float) -> float:
+        return self.average_power + self.reserve * y
+
+
+@dataclass
+class SimResult:
+    """Time series and final job ledger of one simulation."""
+
+    power_trace: np.ndarray  # columns: time, target, measured
+    job_table: JobTable
+    job_types: list[SimJobType]
+    config: SimConfig
+
+    def qos_by_type(self, *, completed_only: bool = True) -> dict[str, np.ndarray]:
+        """QoS degradation samples per job type (paper §5.2)."""
+        jt = self.job_table
+        out: dict[str, np.ndarray] = {}
+        sojourn = jt.sojourn_times()
+        done = jt.completed_mask()
+        for idx, sim_type in enumerate(self.job_types):
+            mask = jt.type_idx[: jt.count] == idx
+            if completed_only:
+                mask = mask & done
+            q = sojourn[mask] / sim_type.t_at_p_max - 1.0
+            out[sim_type.name] = q
+        return out
+
+    def qos_percentile_by_type(self, q: float = 90.0) -> dict[str, float]:
+        return {
+            name: float(np.percentile(vals, q)) if vals.size else float("nan")
+            for name, vals in self.qos_by_type().items()
+        }
+
+    def tracking_errors(
+        self, *, t_start: float | None = None, t_end: float | None = None
+    ) -> np.ndarray:
+        """|measured − target| / reserve per sample (§4.4.2).
+
+        ``t_start``/``t_end`` restrict the evaluation to the committed
+        demand-response window — tracking is not scored while the cluster is
+        still filling up or draining outside its bid period.
+        """
+        if self.config.reserve <= 0:
+            raise ValueError("tracking error undefined with zero reserve")
+        tr = self.power_trace
+        mask = np.ones(tr.shape[0], dtype=bool)
+        if t_start is not None:
+            mask &= tr[:, 0] >= t_start
+        if t_end is not None:
+            mask &= tr[:, 0] <= t_end
+        return np.abs(tr[mask, 2] - tr[mask, 1]) / self.config.reserve
+
+    @property
+    def completed_jobs(self) -> int:
+        return int(self.job_table.completed_mask().sum())
+
+
+class TabularClusterSimulator:
+    """A 1000-node-scale cluster as vectorised state tables."""
+
+    def __init__(
+        self,
+        job_types: Sequence[SimJobType],
+        schedule: Schedule,
+        signal,
+        config: SimConfig | None = None,
+        *,
+        queue_weights: dict[str, float] | None = None,
+        state_logger=None,
+    ) -> None:
+        if not job_types:
+            raise ValueError("need at least one job type")
+        self.config = config or SimConfig()
+        cfg = self.config
+        self.job_types = list(job_types)
+        self.type_index = {t.name: i for i, t in enumerate(self.job_types)}
+        if len(self.type_index) != len(self.job_types):
+            raise ValueError("duplicate job type names")
+        self.signal = signal
+        self.schedule = schedule
+        self._pending = sorted(
+            schedule.requests, key=lambda r: (r.submit_time, r.job_id)
+        )
+        rng = ensure_rng(cfg.seed)
+        self.nodes = NodeTable(
+            cfg.num_nodes,
+            idle_power=cfg.idle_power,
+            p_min=cfg.p_node_min,
+            p_max=cfg.p_node_max,
+        )
+        self.nodes.perf_mult = draw_node_multipliers(
+            cfg.num_nodes, cfg.variation_band, seed=rng
+        )
+        self.jobs = JobTable(len(self.job_types))
+        queues = QueueSet(
+            WorkQueue(t.name, weight=(queue_weights or {}).get(t.name, 1.0))
+            for t in self.job_types
+        )
+        self.scheduler = WeightedScheduler(queues, work_conserving=cfg.work_conserving)
+        self._queued_index: dict[str, int] = {}  # job_id -> job table index
+        self.now = 0.0
+        self._trace: list[tuple[float, float, float]] = []
+        # Optional per-tick table dump (§5.6: "we append the current state
+        # of all tables to a file").
+        self.state_logger = state_logger
+        # Cached per-type arrays for the vectorised node update.
+        self._t_fast = np.array([t.t_at_p_max for t in self.job_types])
+        self._t_slow = np.array([t.t_at_p_min for t in self.job_types])
+        self._tp_min = np.array([t.p_min for t in self.job_types])
+        self._tp_max = np.array([t.p_max for t in self.job_types])
+
+    # --------------------------------------------------------- stage 1: nodes
+
+    def _update_nodes(self, dt: float) -> float:
+        """Advance busy-node progress and compute realised power; returns
+        the cluster's measured power for this tick."""
+        nodes = self.nodes
+        busy = nodes.busy_mask
+        power = np.full(nodes.num_nodes, nodes.idle_power)
+        if np.any(busy):
+            job_of = nodes.job_idx[busy]
+            type_of = self.jobs.type_idx[job_of]
+            p_lo, p_hi = self._tp_min[type_of], self._tp_max[type_of]
+            cap = np.clip(nodes.cap[busy], p_lo, p_hi)
+            frac = (cap - p_lo) / (p_hi - p_lo)
+            exec_time = self._t_slow[type_of] + frac * (
+                self._t_fast[type_of] - self._t_slow[type_of]
+            )
+            rate = nodes.perf_mult[busy] / exec_time
+            nodes.progress[busy] = nodes.progress[busy] + rate * dt
+            power[busy] = np.minimum(nodes.cap[busy], p_hi)
+        nodes.power = power
+        # Completion check: a multi-node job finishes when *all* of its nodes
+        # reach 100 % progress (§5.6).
+        if np.any(busy):
+            running = np.flatnonzero(self.jobs.state[: self.jobs.count] == JobState.RUNNING)
+            if running.size:
+                min_progress = np.full(self.jobs.count, np.inf)
+                np.minimum.at(min_progress, nodes.job_idx[busy], nodes.progress[busy])
+                for j in running[min_progress[running] >= 1.0]:
+                    self.jobs.mark_done(int(j), self.now)
+                    sim_type = self.job_types[int(self.jobs.type_idx[j])]
+                    self.scheduler.job_finished(sim_type.name, int(self.jobs.nodes[j]))
+                    self.nodes.release(int(j))
+        return float(power.sum())
+
+    # ----------------------------------------------------- stage 2: arrivals
+
+    def _intake(self) -> None:
+        while self._pending and self._pending[0].submit_time <= self.now:
+            req = self._pending.pop(0)
+            type_idx = self.type_index.get(req.type_name)
+            if type_idx is None:
+                raise KeyError(f"schedule references unknown type {req.type_name!r}")
+            job_index = self.jobs.add(type_idx, req.nodes, req.submit_time)
+            self._queued_index[req.job_id] = job_index
+            self.scheduler.queues.submit(
+                QueuedJob(
+                    job_id=req.job_id,
+                    type_name=req.type_name,
+                    nodes=req.nodes,
+                    submit_time=req.submit_time,
+                )
+            )
+
+    # ---------------------------------------------------- stage 3: schedule
+
+    def _schedule_jobs(self, target: float) -> None:
+        decision = self.scheduler.schedule(int(self.nodes.idle_mask.sum()))
+        deferred: list = []
+        for queued in decision.to_start:
+            if self.config.power_aware_admission and self._would_break_floor(
+                queued.nodes, target
+            ):
+                deferred.append(queued)
+                continue
+            job_index = self._queued_index.pop(queued.job_id)
+            idle = self.nodes.idle_indices()
+            chosen = idle[: queued.nodes]
+            if chosen.size < queued.nodes:
+                raise RuntimeError(
+                    f"scheduler started {queued.job_id} without enough idle nodes"
+                )
+            self.nodes.assign(chosen, job_index)
+            self.jobs.mark_started(job_index, self.now)
+        # Deferred jobs return to the head of their queues (their node-share
+        # accounting was already charged by the scheduler; refund it).
+        for queued in deferred:
+            queue = self.scheduler.queues[queued.type_name]
+            queue.pending.appendleft(queued)
+            self.scheduler.job_finished(queued.type_name, queued.nodes)
+
+    def _would_break_floor(self, new_nodes: int, target: float) -> bool:
+        """Would starting ``new_nodes`` more make even minimum caps exceed
+        the target?  If so, the cluster loses its downward flexibility —
+        AQA's scheduler holds the job back instead (§6.4)."""
+        busy_after = int(self.nodes.busy_mask.sum()) + new_nodes
+        idle_after = self.nodes.num_nodes - busy_after
+        floor_power = (
+            busy_after * self.nodes.p_min + idle_after * self.nodes.idle_power
+        )
+        return floor_power > target
+
+    # --------------------------------------------------------- stage 4: caps
+
+    def _cap_power(self, target: float) -> None:
+        nodes = self.nodes
+        busy_idx = np.flatnonzero(nodes.busy_mask)
+        if busy_idx.size == 0:
+            return
+        idle_count = nodes.num_nodes - busy_idx.size
+        available = target - idle_count * nodes.idle_power
+        exempt = np.zeros(busy_idx.size, dtype=bool)
+        if self.config.qos_aware_capping:
+            exempt = self._at_risk_mask(busy_idx)
+            # At-risk jobs run uncapped; their demand comes off the budget.
+            job_of = nodes.job_idx[busy_idx[exempt]]
+            type_of = self.jobs.type_idx[job_of]
+            available -= float(self._tp_max[type_of].sum())
+            nodes.cap[busy_idx[exempt]] = nodes.p_max
+        capped_idx = busy_idx[~exempt]
+        if capped_idx.size == 0:
+            return
+        # Uniform cap across active nodes (§4.4.2), waterfilled against each
+        # node's precharacterized maximum draw: nodes whose job cannot use
+        # the uniform cap release the excess to the others, so the realised
+        # power lands on the target whenever it is physically reachable.
+        job_of = nodes.job_idx[capped_idx]
+        type_of = self.jobs.type_idx[job_of]
+        demand_max = self._tp_max[type_of]
+        per_node = _waterfill_cap(available, demand_max, nodes.p_min, nodes.p_max)
+        nodes.cap[capped_idx] = np.minimum(per_node, nodes.p_max)
+
+    def _at_risk_mask(self, busy_idx: np.ndarray) -> np.ndarray:
+        """Nodes whose job's projected QoS is near its limit (§6.4 feedback)."""
+        job_of = self.nodes.job_idx[busy_idx]
+        type_of = self.jobs.type_idx[job_of]
+        # Optimistic remaining time: finish the remaining fraction uncapped.
+        min_progress = np.full(self.jobs.count, np.inf)
+        busy_all = self.nodes.busy_mask
+        np.minimum.at(
+            min_progress, self.nodes.job_idx[busy_all], self.nodes.progress[busy_all]
+        )
+        remaining = (1.0 - np.minimum(min_progress[job_of], 1.0)) * self._t_fast[type_of]
+        projected_sojourn = (self.now - self.jobs.submit_time[job_of]) + remaining
+        projected_q = projected_sojourn / self._t_fast[type_of] - 1.0
+        limits = np.array([t.qos_limit for t in self.job_types])[type_of]
+        return projected_q >= self.config.qos_risk_fraction * limits
+
+    # ---------------------------------------------------------------- loop
+
+    def step(self) -> None:
+        """One simulated second, in the paper's stage order."""
+        dt = self.config.dt
+        self.now += dt
+        measured = self._update_nodes(dt)
+        self._intake()
+        target = self.config.target(float(self.signal(self.now)))
+        self._schedule_jobs(target)
+        self._cap_power(target)
+        self._trace.append((self.now, target, measured))
+        if self.state_logger is not None:
+            self.state_logger.log(self.now, self.nodes, self.jobs)
+
+    def run(self, duration: float, *, drain: bool = False, max_time: float | None = None) -> SimResult:
+        """Simulate ``duration`` seconds; optionally keep going until all
+        submitted jobs finish (bounded by ``max_time``)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        limit = max_time if max_time is not None else duration * 4
+        while self.now < duration:
+            self.step()
+        if drain:
+            while (
+                self._pending
+                or self.scheduler.queues.total_pending
+                or np.any(self.nodes.busy_mask)
+            ) and self.now < limit:
+                self.step()
+        return SimResult(
+            power_trace=np.asarray(self._trace),
+            job_table=self.jobs,
+            job_types=self.job_types,
+            config=self.config,
+        )

@@ -1,0 +1,51 @@
+"""Per-node performance-variation coefficients (paper §6.4).
+
+"We generate performance coefficients from a normal distribution with a mean
+of 1, and adjust the standard deviation to change the level of performance
+variation.  The performance coefficients are randomly generated for each of
+1000 compute nodes at the start of each of 10 simulations per variation
+level."
+
+Fig. 11's x-axis labels variation levels as "99 % of Performance Within
+±X %"; :func:`variation_sigma_for_band` converts that band half-width into
+the normal σ (99 % two-sided ⇒ 2.576 σ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["variation_sigma_for_band", "draw_node_multipliers"]
+
+#: Two-sided 99 % normal quantile.
+_Z99 = 2.5758293035489004
+
+
+def variation_sigma_for_band(band_fraction: float) -> float:
+    """σ such that 99 % of N(1, σ) lies within 1 ± band_fraction."""
+    if band_fraction < 0:
+        raise ValueError(f"band must be ≥ 0, got {band_fraction}")
+    return band_fraction / _Z99
+
+
+def draw_node_multipliers(
+    num_nodes: int,
+    band_fraction: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    floor: float = 0.05,
+) -> np.ndarray:
+    """Per-node performance multipliers ~ N(1, σ(band)), floored at ``floor``.
+
+    The floor keeps pathological draws physical (a node cannot run backwards)
+    without meaningfully distorting the distribution at the paper's levels
+    (≤ ±30 % ⇒ σ ≤ 0.117).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be ≥ 1, got {num_nodes}")
+    rng = ensure_rng(seed)
+    sigma = variation_sigma_for_band(band_fraction)
+    mult = rng.normal(1.0, sigma, size=num_nodes) if sigma > 0 else np.ones(num_nodes)
+    return np.maximum(mult, floor)

@@ -1,0 +1,109 @@
+"""Streaming statistics and interval estimates used by experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class RunningStats:
+    """Welford-style streaming mean/variance accumulator.
+
+    Used for per-job-type slowdown summaries and power-sample statistics
+    without retaining full sample arrays in the long simulations.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, x: float) -> None:
+        x = float(x)
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Sequence[float]) -> None:
+        for x in xs:
+            self.push(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (requires at least two samples)."""
+        if self._n < 2:
+            raise ValueError("variance needs at least 2 samples")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = RunningStats()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * (other._n / n)
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+
+def confidence_interval_95(samples: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95 % CI half-widths around the sample mean.
+
+    Returns (mean, half_width).  With fewer than two samples the half-width
+    is 0 — the experiment harnesses plot the point estimate alone.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, 1.96 * sem
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Plain linear-interpolation percentile, q in [0, 100]."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    return float(np.percentile(arr, q))

@@ -1,0 +1,123 @@
+"""Poisson job-schedule generation targeting a node utilization (paper §5.3).
+
+Job submissions per type are independent Poisson processes.  Arrival rates
+are chosen so the expected node-seconds demanded per second equals the target
+utilization ``η`` of the ``N``-node cluster:
+
+    Σ_j λ_j · n_j · T_j = η · N,
+
+where ``n_j`` is the type's node count and ``T_j`` its non-power-capped time
+to completion.  By default every type receives an equal share of the demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.workloads.nas import JobType
+from repro.workloads.trace import JobRequest, Schedule
+
+__all__ = ["arrival_rates_for_utilization", "PoissonScheduleGenerator"]
+
+
+def arrival_rates_for_utilization(
+    job_types: Sequence[JobType],
+    utilization: float,
+    total_nodes: int,
+    *,
+    shares: Sequence[float] | None = None,
+) -> dict[str, float]:
+    """Per-type Poisson arrival rates (jobs/s) achieving ``utilization``.
+
+    ``shares`` optionally weights how the total node-seconds demand is split
+    across types (normalized internally); default is an equal split.
+    """
+    if not job_types:
+        raise ValueError("need at least one job type")
+    if not 0.0 < utilization:
+        raise ValueError(f"utilization must be positive, got {utilization}")
+    if total_nodes < 1:
+        raise ValueError(f"total_nodes must be ≥ 1, got {total_nodes}")
+    if shares is None:
+        shares_arr = np.ones(len(job_types))
+    else:
+        shares_arr = np.asarray(shares, dtype=float)
+        if shares_arr.shape != (len(job_types),):
+            raise ValueError(
+                f"shares must match job_types: {shares_arr.shape} vs {len(job_types)}"
+            )
+        if np.any(shares_arr < 0) or shares_arr.sum() == 0:
+            raise ValueError("shares must be non-negative and not all zero")
+    shares_arr = shares_arr / shares_arr.sum()
+    demand = utilization * total_nodes  # node-seconds per second to fill
+    rates: dict[str, float] = {}
+    for jt, share in zip(job_types, shares_arr):
+        node_seconds = jt.nodes * jt.t_min
+        rates[jt.name] = demand * float(share) / node_seconds
+    return rates
+
+
+class PoissonScheduleGenerator:
+    """Draws reproducible job schedules from per-type Poisson processes."""
+
+    def __init__(
+        self,
+        job_types: Sequence[JobType],
+        utilization: float,
+        total_nodes: int,
+        *,
+        shares: Sequence[float] | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.job_types = list(job_types)
+        self.total_nodes = int(total_nodes)
+        self.utilization = float(utilization)
+        self.rates = arrival_rates_for_utilization(
+            self.job_types, utilization, total_nodes, shares=shares
+        )
+        self._rng = ensure_rng(seed)
+        oversized = [jt.name for jt in self.job_types if jt.nodes > total_nodes]
+        if oversized:
+            raise ValueError(
+                f"job types larger than the cluster ({total_nodes} nodes): {oversized}"
+            )
+
+    def generate(self, duration: float, *, start_time: float = 0.0) -> Schedule:
+        """Generate all submissions in [start_time, start_time + duration)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        requests: list[JobRequest] = []
+        for jt in self.job_types:
+            rate = self.rates[jt.name]
+            t = start_time
+            while True:
+                # Exponential inter-arrival times ⇒ Poisson process.
+                t += float(self._rng.exponential(1.0 / rate))
+                if t >= start_time + duration:
+                    break
+                requests.append(
+                    JobRequest(
+                        submit_time=t,
+                        job_id="",  # assigned after global ordering below
+                        type_name=jt.name,
+                        nodes=jt.nodes,
+                    )
+                )
+        requests.sort(key=lambda r: (r.submit_time, r.type_name))
+        numbered = [
+            JobRequest(
+                submit_time=r.submit_time,
+                job_id=f"job-{i:05d}.{r.type_name}",
+                type_name=r.type_name,
+                nodes=r.nodes,
+            )
+            for i, r in enumerate(requests)
+        ]
+        return Schedule(requests=numbered, duration=duration, start_time=start_time)
+
+    def expected_jobs(self, duration: float) -> float:
+        """Expected number of submissions over ``duration`` seconds."""
+        return sum(self.rates.values()) * duration

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.workloads.nas import NAS_TYPES
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bt_model() -> QuadraticPowerModel:
+    """A realistic high-sensitivity model (BT's ground truth)."""
+    return NAS_TYPES["bt"].truth
+
+
+@pytest.fixture
+def sp_model() -> QuadraticPowerModel:
+    """A realistic low-sensitivity model (SP's ground truth)."""
+    return NAS_TYPES["sp"].truth
+
+
+@pytest.fixture
+def simple_model() -> QuadraticPowerModel:
+    """A clean synthetic model: 2 s/epoch at 280 W, 1.5× slower at 140 W."""
+    return QuadraticPowerModel.from_anchors(
+        t_at_max=2.0, sensitivity=1.5, p_min=140.0, p_max=280.0
+    )

@@ -1,0 +1,87 @@
+"""Tests for CSV exporters of experiment results."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_fig4,
+    export_fig5,
+    export_fig11,
+    export_power_trace,
+    export_series_by_key,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestPowerTrace:
+    def test_writes_header_and_rows(self, tmp_path):
+        trace = np.array([[0.0, 100.0, 95.0], [1.0, 100.0, 102.0]])
+        path = tmp_path / "trace.csv"
+        export_power_trace(trace, path)
+        rows = read_csv(path)
+        assert rows[0] == ["time_s", "target_w", "measured_w"]
+        assert float(rows[1][2]) == 95.0
+        assert len(rows) == 3
+
+    def test_validates_shape(self, tmp_path):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            export_power_trace(np.zeros((3, 2)), tmp_path / "x.csv")
+
+
+class TestSeriesByKey:
+    def test_columns_sorted_by_key(self, tmp_path):
+        path = tmp_path / "s.csv"
+        export_series_by_key(
+            np.array([1.0, 2.0]),
+            {"b": np.array([10.0, 20.0]), "a": np.array([1.0, 2.0])},
+            path,
+        )
+        rows = read_csv(path)
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["1", "1", "10"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="points"):
+            export_series_by_key(
+                np.array([1.0]), {"a": np.array([1.0, 2.0])}, tmp_path / "x.csv"
+            )
+
+
+class TestFigureExports:
+    def test_fig4_export(self, tmp_path):
+        result = run_fig4(n_budgets=6)
+        path = tmp_path / "fig4.csv"
+        export_fig4(result, path)
+        rows = read_csv(path)
+        assert rows[0][0] == "budget_w"
+        assert any("even-slowdown/bt" == c for c in rows[0])
+        assert len(rows) == 7
+
+    def test_fig5_export(self, tmp_path):
+        result = run_fig5(n_budgets=5)
+        written = export_fig5(result, tmp_path / "fig5")
+        assert len(written) == 4
+        rows = read_csv(written[0])
+        assert rows[0][0] == "budget_w"
+        assert any("ft(unknown)" in c for c in rows[0])
+
+    def test_fig11_export(self, tmp_path):
+        class FakeFig11:
+            bands = (0.0, 0.15)
+            qos90 = {"bt": np.array([[1.0, 2.0], [3.0, 4.0]])}
+            tracking90 = np.array([[0.1, 0.2], [0.15, 0.25]])
+
+        path = tmp_path / "fig11.csv"
+        export_fig11(FakeFig11(), path)
+        rows = read_csv(path)
+        assert rows[0] == ["variation_band", "bt", "tracking_err90"]
+        assert float(rows[1][1]) == pytest.approx(1.5)  # mean over trials
+        assert float(rows[2][2]) == pytest.approx(0.2)

@@ -1,0 +1,138 @@
+"""Tests for the demand-response bidder and AQA training utilities."""
+
+import pytest
+
+from repro.aqa.bidder import Bid, BidEvaluation, DemandResponseBidder
+from repro.aqa.training import sample_unknown_type, train_queue_weights
+
+
+class TestBid:
+    def test_floor_ceiling(self):
+        bid = Bid(average_power=1000.0, reserve=200.0)
+        assert bid.floor == 800.0
+        assert bid.ceiling == 1200.0
+
+    def test_reserve_below_average(self):
+        with pytest.raises(ValueError, match="below average"):
+            Bid(average_power=100.0, reserve=100.0)
+
+    def test_non_positive_average(self):
+        with pytest.raises(ValueError, match="positive"):
+            Bid(average_power=0.0, reserve=0.0)
+
+
+class TestBidder:
+    def test_candidates_within_physical_band(self):
+        bidder = DemandResponseBidder(1000.0, 2000.0)
+        for bid in bidder.candidates():
+            assert bid.floor >= 1000.0 - 1e-9
+            assert bid.ceiling <= 2000.0 + 1e-9
+
+    def test_cost_rewards_reserve(self):
+        bidder = DemandResponseBidder(
+            1000.0, 2000.0, energy_price=1.0, reserve_credit=1.6
+        )
+        cheap = Bid(1500.0, 400.0)
+        pricey = Bid(1500.0, 0.0)
+        assert bidder.cost_rate(cheap) < bidder.cost_rate(pricey)
+
+    def test_select_picks_cheapest_feasible(self):
+        bidder = DemandResponseBidder(1000.0, 2000.0)
+
+        def evaluate(bid):
+            # Feasible only when the reserve is modest.
+            ok = bid.reserve <= 100.0
+            return BidEvaluation(
+                bid=bid, qos_ok=ok, tracking_ok=True,
+                qos_90th=1.0, tracking_error_90th=0.1,
+            )
+
+        best, evaluations = bidder.select(evaluate)
+        assert best.reserve <= 100.0
+        feasible = [e for e in evaluations if e.feasible]
+        assert bidder.cost_rate(best) == min(bidder.cost_rate(e.bid) for e in feasible)
+
+    def test_select_raises_when_nothing_feasible(self):
+        bidder = DemandResponseBidder(1000.0, 2000.0)
+
+        def evaluate(bid):
+            return BidEvaluation(
+                bid=bid, qos_ok=False, tracking_ok=False,
+                qos_90th=99.0, tracking_error_90th=9.0,
+            )
+
+        with pytest.raises(RuntimeError, match="no feasible"):
+            bidder.select(evaluate)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError, match="floor < ceiling"):
+            DemandResponseBidder(2000.0, 1000.0)
+
+
+class TestTrainQueueWeights:
+    def test_improves_simple_objective(self):
+        # Objective: queue "a" should have twice queue "b"'s weight.
+        def evaluate(weights):
+            ratio = weights["a"] / weights["b"]
+            return abs(ratio - 2.0)
+
+        result = train_queue_weights(
+            evaluate, ["a", "b"], iterations=200, seed=0
+        )
+        assert result.score < evaluate({"a": 1.0, "b": 1.0})
+        assert result.weights["a"] / result.weights["b"] == pytest.approx(2.0, rel=0.3)
+
+    def test_history_monotone_non_increasing(self):
+        result = train_queue_weights(
+            lambda w: sum(w.values()), ["a", "b", "c"], iterations=50, seed=1
+        )
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_deterministic(self):
+        f = lambda w: abs(w["a"] - 3.0)
+        r1 = train_queue_weights(f, ["a"], iterations=30, seed=5)
+        r2 = train_queue_weights(f, ["a"], iterations=30, seed=5)
+        assert r1.weights == r2.weights
+
+    def test_init_weights(self):
+        f = lambda w: abs(w["a"] - 3.0)
+        result = train_queue_weights(
+            f, ["a"], iterations=1, seed=0, init={"a": 3.0}
+        )
+        assert result.score == pytest.approx(0.0)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            train_queue_weights(lambda w: 0.0, [], iterations=1)
+        with pytest.raises(ValueError, match="≥ 1"):
+            train_queue_weights(lambda w: 0.0, ["a"], iterations=0)
+        with pytest.raises(KeyError):
+            train_queue_weights(lambda w: 0.0, ["a"], init={"zz": 1.0})
+
+
+class TestSampleUnknownType:
+    def test_samples_from_known_properties(self):
+        """§4.4.2: unknown types get power range and slowdown from known ones."""
+        ranges = [(140.0, 240.0), (140.0, 272.0)]
+        slowdowns = [0.12, 0.65]
+        props = sample_unknown_type(120.0, ranges, slowdowns, seed=0)
+        assert (props.p_min, props.p_max) in ranges
+        assert props.max_slowdown in slowdowns
+        assert props.t_min == 120.0
+
+    def test_deterministic_with_seed(self):
+        ranges = [(140.0, 240.0), (140.0, 272.0)]
+        a = sample_unknown_type(60.0, ranges, [0.1, 0.2], seed=4)
+        b = sample_unknown_type(60.0, ranges, [0.1, 0.2], seed=4)
+        assert a == b
+
+    def test_requires_known_types(self):
+        with pytest.raises(ValueError, match="at least one known"):
+            sample_unknown_type(60.0, [], [])
+
+    def test_requires_positive_t_min(self):
+        with pytest.raises(ValueError, match="positive"):
+            sample_unknown_type(0.0, [(1.0, 2.0)], [0.1])

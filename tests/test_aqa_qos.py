@@ -1,0 +1,94 @@
+"""Tests for QoS metrics, constraints, and the queue-trace justification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aqa.qos import (
+    QoSConstraint,
+    generate_queue_trace,
+    qos_degradation,
+)
+from repro.aqa.qos import wait_exec_ratio_percentile
+
+
+class TestQosDegradation:
+    def test_no_wait_no_cap(self):
+        assert qos_degradation(100.0, 100.0) == 0.0
+
+    def test_doubled_sojourn(self):
+        assert qos_degradation(200.0, 100.0) == 1.0
+
+    def test_paper_formula(self):
+        # Q = (T_so - T_min) / T_min
+        assert qos_degradation(600.0, 100.0) == 5.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            qos_degradation(10.0, 0.0)
+        with pytest.raises(ValueError, match="≥ 0"):
+            qos_degradation(-1.0, 10.0)
+
+    @given(st.floats(0.1, 1e5), st.floats(0.1, 1e5))
+    def test_property_sign(self, sojourn, t_min):
+        q = qos_degradation(sojourn, t_min)
+        assert (q >= 0) == (sojourn >= t_min)
+
+
+class TestQoSConstraint:
+    def test_paper_default(self):
+        c = QoSConstraint()
+        assert c.limit == 5.0
+        assert c.probability == 0.9
+
+    def test_satisfied_exactly_at_probability(self):
+        c = QoSConstraint(limit=5.0, probability=0.9)
+        samples = [1.0] * 9 + [10.0]  # 90 % within limit
+        assert c.satisfied(samples)
+
+    def test_violated(self):
+        c = QoSConstraint(limit=5.0, probability=0.9)
+        samples = [1.0] * 8 + [10.0, 10.0]  # only 80 %
+        assert not c.satisfied(samples)
+
+    def test_empty_vacuously_satisfied(self):
+        assert QoSConstraint().satisfied([])
+
+    def test_percentile_value(self):
+        c = QoSConstraint(limit=5.0, probability=0.5)
+        assert c.percentile_value([1.0, 2.0, 3.0]) == 2.0
+
+    def test_margin_positive_when_ok(self):
+        c = QoSConstraint(limit=5.0, probability=0.5)
+        assert c.margin([1.0, 2.0, 3.0]) == 3.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            QoSConstraint(limit=-1.0)
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            QoSConstraint(probability=0.0)
+
+
+class TestQueueTrace:
+    def test_shape(self):
+        trace = generate_queue_trace(100, seed=0)
+        assert trace.shape == (100, 2)
+        assert (trace > 0).all()
+
+    def test_reproducible(self):
+        a = generate_queue_trace(50, seed=1)
+        b = generate_queue_trace(50, seed=1)
+        assert (a == b).all()
+
+    def test_90th_ratio_exceeds_22(self):
+        """§5.2: the real trace's 90th-pct wait/exec ratio is > 22, making
+        the Q=5 constraint aggressive by comparison."""
+        trace = generate_queue_trace(5000, seed=0)
+        assert wait_exec_ratio_percentile(trace, 90.0) > 22.0
+
+    def test_ratio_percentile_validates_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            wait_exec_ratio_percentile(generate_queue_trace(10)[:, 0])
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            generate_queue_trace(0)

@@ -1,0 +1,100 @@
+"""Tests for regulation-signal generators (paper §5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.aqa.regulation import (
+    BoundedRandomWalkSignal,
+    SinusoidSignal,
+    TabulatedSignal,
+)
+
+
+class TestSinusoid:
+    def test_bounds(self):
+        sig = SinusoidSignal(period=60.0)
+        values = sig.series(np.linspace(0, 600, 500))
+        assert values.min() >= -1.0
+        assert values.max() <= 1.0
+
+    def test_period(self):
+        sig = SinusoidSignal(period=60.0)
+        assert sig.value(0.0) == pytest.approx(sig.value(60.0), abs=1e-9)
+
+    def test_amplitude(self):
+        sig = SinusoidSignal(period=4.0, amplitude=0.5)
+        assert sig.value(1.0) == pytest.approx(0.5)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            SinusoidSignal(amplitude=1.5)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="positive"):
+            SinusoidSignal(period=0.0)
+
+
+class TestBoundedRandomWalk:
+    def test_bounds_always(self):
+        sig = BoundedRandomWalkSignal(3600.0, sigma=0.5, seed=0)
+        values = sig.series(np.arange(0, 3600, 4.0))
+        assert values.min() >= -1.0
+        assert values.max() <= 1.0
+
+    def test_deterministic_function_of_time(self):
+        """Reading out of order must not change values (precomputed walk)."""
+        sig = BoundedRandomWalkSignal(600.0, seed=3)
+        late = sig.value(500.0)
+        early = sig.value(10.0)
+        assert sig.value(500.0) == late
+        assert sig.value(10.0) == early
+
+    def test_reproducible_across_instances(self):
+        a = BoundedRandomWalkSignal(600.0, seed=7)
+        b = BoundedRandomWalkSignal(600.0, seed=7)
+        ts = np.arange(0, 600, 4.0)
+        assert (a.series(ts) == b.series(ts)).all()
+
+    def test_starts_at_zero(self):
+        assert BoundedRandomWalkSignal(100.0, seed=0).value(0.0) == 0.0
+
+    def test_steps_hold_within_interval(self):
+        sig = BoundedRandomWalkSignal(100.0, step=4.0, seed=0)
+        assert sig.value(4.0) == sig.value(7.9)
+
+    def test_mean_reversion_keeps_mean_small(self):
+        sig = BoundedRandomWalkSignal(36000.0, rho=0.9, sigma=0.2, seed=1)
+        values = sig.series(np.arange(0, 36000, 4.0))
+        assert abs(values.mean()) < 0.2
+
+    def test_beyond_duration_holds_last(self):
+        sig = BoundedRandomWalkSignal(100.0, seed=0)
+        assert sig.value(1e6) == sig.value(100.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            BoundedRandomWalkSignal(100.0, seed=0).value(-1.0)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            BoundedRandomWalkSignal(100.0, rho=1.5)
+
+
+class TestTabulated:
+    def test_zero_order_hold(self):
+        sig = TabulatedSignal([0.0, 10.0], [0.2, -0.4])
+        assert sig.value(5.0) == 0.2
+        assert sig.value(10.0) == -0.4
+        assert sig.value(99.0) == -0.4
+
+    def test_before_first_breakpoint(self):
+        sig = TabulatedSignal([10.0], [0.3])
+        assert sig.value(0.0) == 0.3
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            TabulatedSignal([0.0], [1.5])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            TabulatedSignal([0.0, 0.0], [0.1, 0.2])

@@ -1,0 +1,128 @@
+"""Tests for the hourly demand-response session (paper §4.4.1)."""
+
+import pytest
+
+from repro.aqa.bidder import Bid, BidEvaluation, DemandResponseBidder
+from repro.aqa.session import DemandResponseSession, HourMetrics
+
+
+def make_bidder(**kwargs):
+    defaults = dict(n_power_steps=3, n_reserve_steps=3)
+    defaults.update(kwargs)
+    return DemandResponseBidder(1000.0, 2000.0, **defaults)
+
+
+def ok_evaluate(bid: Bid, hour: int) -> BidEvaluation:
+    return BidEvaluation(
+        bid=bid, qos_ok=True, tracking_ok=True,
+        qos_90th=1.0, tracking_error_90th=0.1,
+    )
+
+
+def plain_hour(bid: Bid, hour: int) -> HourMetrics:
+    return HourMetrics(
+        qos_90th=1.0, tracking_error_90th=0.12,
+        mean_power=bid.average_power, jobs_completed=10,
+    )
+
+
+class TestSession:
+    def test_runs_requested_hours(self):
+        session = DemandResponseSession(make_bidder(), ok_evaluate, plain_hour)
+        records = session.run(5)
+        assert [r.hour for r in records] == [0, 1, 2, 3, 4]
+        assert session.total_jobs == 50
+
+    def test_picks_cheapest_feasible_each_hour(self):
+        bidder = make_bidder()
+        session = DemandResponseSession(bidder, ok_evaluate, plain_hour)
+        session.run(1)
+        best = session.records[0].bid
+        feasible_costs = [bidder.cost_rate(b) for b in bidder.candidates()]
+        assert bidder.cost_rate(best) == pytest.approx(min(feasible_costs))
+
+    def test_bid_adapts_to_changing_conditions(self):
+        """Hour 1 suddenly cannot support big reserves; the bid shrinks."""
+
+        def evaluate(bid: Bid, hour: int) -> BidEvaluation:
+            ok = True if hour == 0 else bid.reserve <= 100.0
+            return BidEvaluation(
+                bid=bid, qos_ok=ok, tracking_ok=True,
+                qos_90th=1.0, tracking_error_90th=0.1,
+            )
+
+        session = DemandResponseSession(make_bidder(), evaluate, plain_hour)
+        session.run(2)
+        assert session.records[0].bid.reserve > session.records[1].bid.reserve
+
+    def test_infeasible_hour_carries_previous_bid(self):
+        def evaluate(bid: Bid, hour: int) -> BidEvaluation:
+            ok = hour == 0  # hour 1: nothing feasible
+            return BidEvaluation(
+                bid=bid, qos_ok=ok, tracking_ok=ok,
+                qos_90th=9.0, tracking_error_90th=0.9,
+            )
+
+        session = DemandResponseSession(make_bidder(), evaluate, plain_hour)
+        records = session.run(2)
+        assert records[1].bid == records[0].bid
+
+    def test_infeasible_first_hour_raises(self):
+        def evaluate(bid: Bid, hour: int) -> BidEvaluation:
+            return BidEvaluation(
+                bid=bid, qos_ok=False, tracking_ok=False,
+                qos_90th=9.0, tracking_error_90th=0.9,
+            )
+
+        session = DemandResponseSession(make_bidder(), evaluate, plain_hour)
+        with pytest.raises(RuntimeError, match="no feasible"):
+            session.run(1)
+
+    def test_carry_disabled_raises_mid_session(self):
+        def evaluate(bid: Bid, hour: int) -> BidEvaluation:
+            ok = hour == 0
+            return BidEvaluation(
+                bid=bid, qos_ok=ok, tracking_ok=ok,
+                qos_90th=9.0, tracking_error_90th=0.9,
+            )
+
+        session = DemandResponseSession(
+            make_bidder(), evaluate, plain_hour, carry_bid_on_failure=False
+        )
+        with pytest.raises(RuntimeError):
+            session.run(2)
+
+    def test_summaries(self):
+        session = DemandResponseSession(make_bidder(), ok_evaluate, plain_hour)
+        session.run(3)
+        assert session.worst_qos() == 1.0
+        assert session.worst_tracking() == 0.12
+        assert session.total_cost == pytest.approx(
+            3 * session.records[0].cost
+        )
+        assert session.bids_over_time().shape == (3, 2)
+
+    def test_ledger_renders(self):
+        session = DemandResponseSession(make_bidder(), ok_evaluate, plain_hour)
+        session.run(2)
+        ledger = session.format_ledger()
+        assert "QoS90" in ledger
+        assert ledger.count("\n") == 2  # header + 2 hours
+
+    def test_zero_hours_rejected(self):
+        session = DemandResponseSession(make_bidder(), ok_evaluate, plain_hour)
+        with pytest.raises(ValueError, match="≥ 1"):
+            session.run(0)
+
+    def test_empty_summaries_raise(self):
+        session = DemandResponseSession(make_bidder(), ok_evaluate, plain_hour)
+        with pytest.raises(ValueError, match="no hours"):
+            session.worst_qos()
+
+
+class TestHourMetrics:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            HourMetrics(1.0, 0.1, -5.0, 0)
+        with pytest.raises(ValueError, match="≥ 0"):
+            HourMetrics(1.0, 0.1, 5.0, -1)

@@ -1,0 +1,97 @@
+"""Integration: the hourly bidding session driving the tabular simulator."""
+
+import numpy as np
+import pytest
+
+from repro.aqa.bidder import Bid, BidEvaluation, DemandResponseBidder
+from repro.aqa.qos import QoSConstraint
+from repro.aqa.regulation import BoundedRandomWalkSignal
+from repro.aqa.session import DemandResponseSession, HourMetrics
+from repro.analysis.tracking import TrackingConstraint
+from repro.tabsim.simulator import SimConfig, TabularClusterSimulator
+from repro.tabsim.tables import SimJobType
+from repro.workloads.generator import PoissonScheduleGenerator
+from repro.workloads.nas import long_running_mix
+
+NUM_NODES = 120
+DURATION = 500.0
+
+
+def simulate(bid: Bid, seed: int):
+    base = long_running_mix()
+    sim_types = [SimJobType.from_job_type(t) for t in base]
+    generator = PoissonScheduleGenerator(
+        base, utilization=0.7, total_nodes=NUM_NODES, seed=seed
+    )
+    schedule = generator.generate(DURATION)
+    sim = TabularClusterSimulator(
+        sim_types,
+        schedule,
+        BoundedRandomWalkSignal(DURATION * 4, seed=seed + 1),
+        SimConfig(
+            num_nodes=NUM_NODES,
+            average_power=bid.average_power,
+            reserve=max(bid.reserve, 1.0),
+            power_aware_admission=True,
+            seed=seed + 2,
+        ),
+    )
+    result = sim.run(DURATION, drain=True)
+    q = np.concatenate(
+        [v for v in result.qos_by_type().values() if v.size] or [np.zeros(1)]
+    )
+    errors = result.tracking_errors(t_start=DURATION / 2, t_end=DURATION)
+    return result, q, errors
+
+
+class TestSessionOverTabsim:
+    @pytest.fixture(scope="class")
+    def session(self):
+        qos = QoSConstraint()
+        tracking = TrackingConstraint()
+
+        def evaluate(bid: Bid, hour: int) -> BidEvaluation:
+            _, q, errors = simulate(bid, seed=10 + hour)
+            return BidEvaluation(
+                bid=bid,
+                qos_ok=qos.satisfied(q),
+                tracking_ok=tracking.satisfied(errors),
+                qos_90th=float(np.percentile(q, 90)),
+                tracking_error_90th=float(np.percentile(errors, 90)),
+            )
+
+        def run_hour(bid: Bid, hour: int) -> HourMetrics:
+            result, q, errors = simulate(bid, seed=50 + hour)
+            return HourMetrics(
+                qos_90th=float(np.percentile(q, 90)),
+                tracking_error_90th=float(np.percentile(errors, 90)),
+                mean_power=float(result.power_trace[:, 2].mean()),
+                jobs_completed=result.completed_jobs,
+            )
+
+        floor = NUM_NODES * (0.7 * 140.0 + 0.3 * 60.0)
+        ceiling = NUM_NODES * (0.7 * 240.0 + 0.3 * 60.0)
+        bidder = DemandResponseBidder(
+            floor, ceiling, n_power_steps=2, n_reserve_steps=2
+        )
+        session = DemandResponseSession(bidder, evaluate, run_hour)
+        session.run(2)
+        return session
+
+    def test_two_hours_recorded(self, session):
+        assert len(session.records) == 2
+
+    def test_bids_are_physical(self, session):
+        for record in session.records:
+            assert record.bid.floor > 0
+            assert record.bid.ceiling <= NUM_NODES * 240.0 + NUM_NODES * 60.0
+
+    def test_hours_completed_jobs(self, session):
+        assert session.total_jobs > 0
+
+    def test_committed_hours_respect_qos(self, session):
+        assert session.worst_qos() < 5.0
+
+    def test_ledger_renders(self, session):
+        text = session.format_ledger()
+        assert text.count("\n") == 2

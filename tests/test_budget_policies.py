@@ -1,0 +1,195 @@
+"""Tests for the three power budgeters (paper §4.4.3), incl. invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budget.base import BudgetAllocation, JobBudgetRequest
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.budget.uniform import UniformCapBudgeter
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.workloads.nas import NAS_TYPES
+
+
+def request(job_id, nodes, sensitivity, *, p_max=280.0):
+    model = QuadraticPowerModel.from_anchors(2.0, sensitivity, 140.0, p_max)
+    return JobBudgetRequest(
+        job_id=job_id, nodes=nodes, model=model, p_min=140.0, p_max=p_max
+    )
+
+
+JOBS = [request("low", 2, 1.1), request("mid", 1, 1.4), request("high", 2, 1.9)]
+TOTAL_MAX = sum(j.p_max * j.nodes for j in JOBS)
+TOTAL_MIN = sum(j.p_min * j.nodes for j in JOBS)
+
+
+class TestRequestValidation:
+    def test_nodes_positive(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            request("x", 0, 1.5)
+
+    def test_power_range_ordered(self):
+        model = QuadraticPowerModel.from_anchors(2.0, 1.5, 140.0, 280.0)
+        with pytest.raises(ValueError, match="p_min < p_max"):
+            JobBudgetRequest("x", 1, model, p_min=280.0, p_max=140.0)
+
+    def test_duplicate_ids_rejected(self):
+        dup = [request("a", 1, 1.2), request("a", 1, 1.4)]
+        with pytest.raises(ValueError, match="duplicate"):
+            EvenPowerBudgeter().allocate(dup, 500.0)
+
+    def test_budget_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            EvenPowerBudgeter().allocate(JOBS, 0.0)
+
+
+class TestEvenPower:
+    def test_full_budget_gives_max_caps(self):
+        alloc = EvenPowerBudgeter().allocate(JOBS, TOTAL_MAX)
+        for j in JOBS:
+            assert alloc.caps[j.job_id] == pytest.approx(j.p_max)
+
+    def test_starved_budget_gives_min_caps(self):
+        alloc = EvenPowerBudgeter().allocate(JOBS, TOTAL_MIN * 0.5)
+        for j in JOBS:
+            assert alloc.caps[j.job_id] == pytest.approx(j.p_min)
+
+    def test_gamma_uniform_across_jobs(self):
+        budget = 0.5 * (TOTAL_MIN + TOTAL_MAX)
+        alloc = EvenPowerBudgeter().allocate(JOBS, budget)
+        gammas = [
+            (alloc.caps[j.job_id] - j.p_min) / (j.p_max - j.p_min) for j in JOBS
+        ]
+        assert max(gammas) == pytest.approx(min(gammas))
+
+    def test_budget_exactly_consumed_midrange(self):
+        budget = 0.6 * TOTAL_MIN + 0.4 * TOTAL_MAX
+        alloc = EvenPowerBudgeter().allocate(JOBS, budget)
+        assert alloc.total_power(JOBS) == pytest.approx(budget)
+
+    def test_empty_jobs(self):
+        alloc = EvenPowerBudgeter().allocate([], 100.0)
+        assert alloc.caps == {}
+
+    @given(st.floats(100.0, 3000.0))
+    @settings(max_examples=50)
+    def test_property_caps_within_ranges(self, budget):
+        alloc = EvenPowerBudgeter().allocate(JOBS, budget)
+        for j in JOBS:
+            assert j.p_min - 1e-9 <= alloc.caps[j.job_id] <= j.p_max + 1e-9
+
+
+class TestEvenSlowdown:
+    def test_equal_predicted_slowdown_midrange(self):
+        budget = 0.5 * (TOTAL_MIN + TOTAL_MAX)
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        slowdowns = [
+            j.model.slowdown_at(alloc.caps[j.job_id])
+            for j in JOBS
+            if j.p_min < alloc.caps[j.job_id] < j.p_max  # not saturated
+        ]
+        assert len(slowdowns) >= 2
+        assert max(slowdowns) - min(slowdowns) < 1e-3
+
+    def test_low_sensitivity_saturates_first(self):
+        """§6.1.1: low-sensitivity jobs level off at the minimum cap."""
+        budget = TOTAL_MIN * 1.15
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        assert alloc.caps["low"] == pytest.approx(140.0, abs=1.0)
+        assert alloc.caps["high"] > 150.0
+
+    def test_sensitive_job_gets_more_power(self):
+        budget = 0.5 * (TOTAL_MIN + TOTAL_MAX)
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        assert alloc.caps["high"] > alloc.caps["low"]
+
+    def test_full_budget_gives_max_caps(self):
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, TOTAL_MAX * 1.1)
+        for j in JOBS:
+            assert alloc.caps[j.job_id] == pytest.approx(j.p_max)
+        assert alloc.meta["slowdown"] == 1.0
+
+    def test_budget_consumed_midrange(self):
+        budget = 0.5 * (TOTAL_MIN + TOTAL_MAX)
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        assert alloc.total_power(JOBS) == pytest.approx(budget, rel=1e-3)
+
+    def test_bt_sp_matches_paper_scenario(self):
+        """840 W across BT+SP (2 nodes each) — the Fig. 6 working point."""
+        bt, sp = NAS_TYPES["bt"], NAS_TYPES["sp"]
+        jobs = [
+            JobBudgetRequest("bt", 2, bt.truth, 140.0, bt.p_demand),
+            JobBudgetRequest("sp", 2, sp.truth, 140.0, sp.p_demand),
+        ]
+        alloc = EvenSlowdownBudgeter().allocate(jobs, 840.0)
+        assert bt.truth.slowdown_at(alloc.caps["bt"]) == pytest.approx(
+            sp.truth.slowdown_at(alloc.caps["sp"]), abs=1e-3
+        )
+        assert alloc.caps["bt"] > alloc.caps["sp"]
+
+    def test_empty_jobs(self):
+        alloc = EvenSlowdownBudgeter().allocate([], 100.0)
+        assert alloc.caps == {}
+
+    @given(st.floats(100.0, 3000.0))
+    @settings(max_examples=50)
+    def test_property_caps_within_ranges(self, budget):
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        for j in JOBS:
+            assert j.p_min - 1e-9 <= alloc.caps[j.job_id] <= j.p_max + 1e-9
+
+    @given(st.floats(TOTAL_MIN * 1.02, TOTAL_MAX * 0.98))
+    @settings(max_examples=50)
+    def test_property_budget_met_when_feasible(self, budget):
+        alloc = EvenSlowdownBudgeter().allocate(JOBS, budget)
+        assert alloc.total_power(JOBS) == pytest.approx(budget, rel=5e-3)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 8), st.floats(1.0, 2.5)),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=40)
+    def test_property_monotone_in_budget(self, specs, frac):
+        jobs = [
+            request(f"j{i}", nodes, sens) for i, (nodes, sens) in enumerate(specs)
+        ]
+        lo = sum(j.p_min * j.nodes for j in jobs)
+        hi = sum(j.p_max * j.nodes for j in jobs)
+        b1 = lo + frac * (hi - lo)
+        b2 = min(hi, b1 * 1.1)
+        a1 = EvenSlowdownBudgeter().allocate(jobs, b1)
+        a2 = EvenSlowdownBudgeter().allocate(jobs, b2)
+        for j in jobs:
+            assert a2.caps[j.job_id] >= a1.caps[j.job_id] - 1e-6
+
+
+class TestUniform:
+    def test_same_cap_everywhere(self):
+        alloc = UniformCapBudgeter().allocate(JOBS, 1000.0)
+        caps = set(round(c, 6) for c in alloc.caps.values())
+        assert len(caps) == 1
+
+    def test_cap_is_budget_over_nodes(self):
+        total_nodes = sum(j.nodes for j in JOBS)
+        alloc = UniformCapBudgeter().allocate(JOBS, 200.0 * total_nodes)
+        assert alloc.meta["node_cap"] == pytest.approx(200.0)
+
+    def test_clamped_to_job_range(self):
+        jobs = [request("a", 1, 1.5, p_max=240.0)]
+        alloc = UniformCapBudgeter().allocate(jobs, 1000.0)
+        assert alloc.caps["a"] == 240.0
+
+    def test_empty_jobs(self):
+        assert UniformCapBudgeter().allocate([], 100.0).caps == {}
+
+
+class TestBudgetAllocation:
+    def test_total_power(self):
+        alloc = BudgetAllocation(caps={"a": 100.0}, budget=300.0)
+        jobs = [request("a", 3, 1.5)]
+        assert alloc.total_power(jobs) == 300.0

@@ -1,0 +1,38 @@
+"""Tests for the ``anor`` command-line interface."""
+
+import pytest
+
+from repro.cli import _COMMANDS, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_all_figures_registered(self):
+        expected = {f"fig{i}" for i in (3, 4, 5, 6, 7, 8, 9, 10, 11)} | {"all"}
+        assert set(_COMMANDS) == expected
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "fig4" in out
+
+
+class TestExecution:
+    def test_fig4_quick_runs(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "even-power" in out
+        assert "completed in" in out
+
+    def test_fig5_quick_runs(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ft(unknown)" in out

@@ -1,0 +1,64 @@
+"""Tests for carbon- and tariff-aware power targets (paper §3 scenarios)."""
+
+import pytest
+
+from repro.core.targets import CarbonAwareTarget, TariffAwareTarget
+
+
+class TestCarbonAware:
+    def make(self, intensity):
+        return CarbonAwareTarget(
+            1000.0, 2000.0, intensity,
+            clean_intensity=100.0, dirty_intensity=500.0, update_period=300.0,
+        )
+
+    def test_clean_grid_full_power(self):
+        assert self.make(lambda t: 100.0).target(0.0) == 2000.0
+
+    def test_dirty_grid_min_power(self):
+        assert self.make(lambda t: 500.0).target(0.0) == 1000.0
+
+    def test_linear_in_between(self):
+        assert self.make(lambda t: 300.0).target(0.0) == pytest.approx(1500.0)
+
+    def test_clamped_outside_band(self):
+        assert self.make(lambda t: 10.0).target(0.0) == 2000.0
+        assert self.make(lambda t: 900.0).target(0.0) == 1000.0
+
+    def test_holds_within_update_period(self):
+        target = self.make(lambda t: 100.0 + t)  # intensity rises over time
+        assert target.target(0.0) == target.target(299.0)
+        assert target.target(300.0) != target.target(299.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p_min < p_max"):
+            CarbonAwareTarget(2000.0, 1000.0, lambda t: 100.0)
+        with pytest.raises(ValueError, match="clean_intensity"):
+            CarbonAwareTarget(1.0, 2.0, lambda t: 0.0,
+                              clean_intensity=500.0, dirty_intensity=100.0)
+
+
+class TestTariffAware:
+    def make(self):
+        prices = [0.10] * 24
+        for h in (17, 18, 19, 20):  # evening peak
+            prices[h] = 0.40
+        return TariffAwareTarget(
+            1000.0, 2000.0, prices, expensive_threshold=0.25
+        )
+
+    def test_cheap_hours_full_power(self):
+        assert self.make().target(3 * 3600.0) == 2000.0
+
+    def test_peak_hours_throttle(self):
+        assert self.make().target(18 * 3600.0) == 1000.0
+
+    def test_wraps_daily(self):
+        target = self.make()
+        assert target.target(18 * 3600.0) == target.target((24 + 18) * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="24 hourly"):
+            TariffAwareTarget(1.0, 2.0, [0.1] * 23, expensive_threshold=0.2)
+        with pytest.raises(ValueError, match="non-negative"):
+            TariffAwareTarget(1.0, 2.0, [-0.1] + [0.1] * 23, expensive_threshold=0.2)

@@ -1,0 +1,152 @@
+"""Tests for the job-tier endpoint (modeler process, paper §4.2/Fig. 2)."""
+
+import pytest
+
+from repro.core.job_endpoint import JobTierEndpoint
+from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
+from repro.core.transport import TcpLink
+from repro.geopm.agent import AgentSample
+from repro.geopm.endpoint import Endpoint
+from repro.modeling.quadratic import QuadraticPowerModel
+
+
+def make_endpoint(**kwargs) -> tuple[JobTierEndpoint, Endpoint, TcpLink]:
+    geopm = Endpoint(job_id="j")
+    link = TcpLink(latency=0.0)
+    defaults = dict(
+        p_min=140.0,
+        p_max=280.0,
+        default_model=QuadraticPowerModel.from_anchors(2.0, 1.3, 140.0, 280.0),
+    )
+    defaults.update(kwargs)
+    endpoint = JobTierEndpoint("j", "bt", 2, geopm, link, **defaults)
+    return endpoint, geopm, link
+
+
+def publish(geopm, *, t, epochs, power=400.0, cap=280.0):
+    geopm.publish_sample(
+        AgentSample(
+            timestamp=t, power=power, energy=0.0, epoch_count=epochs,
+            nodes=2, applied_cap=cap,
+        )
+    )
+
+
+class TestHandshake:
+    def test_hello_sent_on_first_step(self):
+        endpoint, _, link = make_endpoint()
+        endpoint.step(0.0)
+        msgs = link.recv_up(0.0)
+        assert isinstance(msgs[0], HelloMessage)
+        assert msgs[0].claimed_type == "bt"
+        assert msgs[0].nodes == 2
+
+    def test_hello_sent_once(self):
+        endpoint, geopm, link = make_endpoint()
+        endpoint.step(0.0)
+        link.recv_up(0.0)
+        endpoint.step(1.0)
+        assert not any(
+            isinstance(m, HelloMessage) for m in link.recv_up(1.0)
+        )
+
+    def test_goodbye_idempotent(self):
+        endpoint, _, link = make_endpoint()
+        endpoint.close(5.0)
+        endpoint.close(6.0)
+        msgs = [m for m in link.recv_up(10.0) if isinstance(m, GoodbyeMessage)]
+        assert len(msgs) == 1
+
+
+class TestBudgetApplication:
+    def test_budget_forwarded_as_geopm_policy(self):
+        endpoint, geopm, link = make_endpoint(feedback_enabled=False)
+        link.send_down(BudgetMessage("j", 200.0, 0.0), 0.0)
+        endpoint.step(0.0)
+        policy = geopm.take_policy()
+        assert policy is not None
+        assert policy.power_cap_node == 200.0
+
+    def test_last_budget_wins(self):
+        endpoint, geopm, link = make_endpoint(feedback_enabled=False)
+        link.send_down(BudgetMessage("j", 200.0, 0.0), 0.0)
+        link.send_down(BudgetMessage("j", 250.0, 0.0), 0.0)
+        endpoint.step(0.0)
+        assert geopm.take_policy().power_cap_node == 250.0
+
+    def test_dither_active_while_identifying(self):
+        endpoint, geopm, link = make_endpoint(feedback_enabled=True)
+        link.send_down(BudgetMessage("j", 200.0, 0.0), 0.0)
+        caps = set()
+        for i in range(40):
+            endpoint.step(float(i))
+            policy = geopm.take_policy()
+            if policy is not None:
+                caps.add(round(policy.power_cap_node, 1))
+        assert len(caps) >= 2  # exploring both sides of the budget
+        for cap in caps:
+            assert abs(cap - 200.0) <= 200.0 * endpoint.explore_amplitude + 0.1
+
+    def test_no_dither_when_feedback_disabled(self):
+        endpoint, geopm, link = make_endpoint(feedback_enabled=False)
+        link.send_down(BudgetMessage("j", 200.0, 0.0), 0.0)
+        caps = set()
+        for i in range(20):
+            endpoint.step(float(i))
+            policy = geopm.take_policy()
+            if policy is not None:
+                caps.add(policy.power_cap_node)
+        assert caps == {200.0}
+
+
+class TestStatusReporting:
+    def test_status_carries_sample_fields(self):
+        endpoint, geopm, link = make_endpoint()
+        publish(geopm, t=1.0, epochs=3, power=420.0, cap=260.0)
+        endpoint.step(1.0)
+        statuses = [m for m in link.recv_up(1.0) if isinstance(m, StatusMessage)]
+        assert statuses[0].epoch_count == 3
+        assert statuses[0].measured_power == 420.0
+        assert statuses[0].applied_cap == 260.0
+
+    def test_no_status_before_first_sample(self):
+        endpoint, _, link = make_endpoint()
+        assert endpoint.step(0.0) is None
+
+    def test_no_model_until_enough_samples(self):
+        endpoint, geopm, link = make_endpoint()
+        publish(geopm, t=1.0, epochs=2)
+        endpoint.step(1.0)
+        status = [m for m in link.recv_up(1.0) if isinstance(m, StatusMessage)][0]
+        assert not status.has_model
+
+    def test_model_shared_after_identification(self):
+        endpoint, geopm, link = make_endpoint(
+            min_feedback_epochs=6, min_feedback_samples=2
+        )
+        endpoint.modeler.min_sample_epochs = 2
+        # Feed epochs at two clearly different caps with consistent timing.
+        epochs = 0
+        t = 0.0
+        last_status = None
+        for phase, cap in ((1, 160.0), (2, 260.0), (3, 160.0), (4, 260.0)):
+            for _ in range(8):
+                t += 2.0
+                epochs += 1
+                tau = 3.0 if cap < 200.0 else 2.0
+                publish(geopm, t=t, epochs=epochs, cap=cap)
+                last_status = endpoint.step(t) or last_status
+        assert last_status is not None and last_status.has_model
+        assert last_status.model_a is not None
+
+    def test_feedback_disabled_never_shares(self):
+        endpoint, geopm, link = make_endpoint(feedback_enabled=False)
+        epochs = 0
+        t = 0.0
+        for cap in (160.0, 260.0) * 10:
+            for _ in range(4):
+                t += 2.0
+                epochs += 1
+                publish(geopm, t=t, epochs=epochs, cap=cap)
+                status = endpoint.step(t)
+        assert status is not None and not status.has_model

@@ -1,0 +1,56 @@
+"""Tests for the tier-to-tier message vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
+
+
+class TestBudgetMessage:
+    def test_valid(self):
+        msg = BudgetMessage("j", 200.0, 1.0)
+        assert msg.power_cap_node == 200.0
+
+    def test_non_positive_cap_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            BudgetMessage("j", 0.0, 1.0)
+
+    def test_frozen(self):
+        msg = BudgetMessage("j", 200.0, 1.0)
+        with pytest.raises(AttributeError):
+            msg.power_cap_node = 100.0
+
+
+class TestStatusMessage:
+    def test_has_model_false_by_default(self):
+        msg = StatusMessage("j", 1.0, 5, 400.0, 200.0)
+        assert not msg.has_model
+        assert msg.model_b is None
+
+    def test_has_model_with_coefficients(self):
+        msg = StatusMessage(
+            "j", 1.0, 5, 400.0, 200.0,
+            model_a=0.0, model_b=-0.01, model_c=5.0, model_r2=0.9,
+        )
+        assert msg.has_model
+
+    @given(
+        st.floats(0, 1e6), st.integers(0, 10**6), st.floats(0, 1e5), st.floats(1, 400)
+    )
+    def test_property_roundtrip_fields(self, t, epochs, power, cap):
+        msg = StatusMessage("j", t, epochs, power, cap)
+        assert msg.timestamp == t
+        assert msg.epoch_count == epochs
+        assert msg.measured_power == power
+        assert msg.applied_cap == cap
+
+
+class TestHelloGoodbye:
+    def test_hello_fields(self):
+        msg = HelloMessage("j", "bt", 4, 0.0)
+        assert msg.claimed_type == "bt"
+        assert msg.nodes == 4
+
+    def test_goodbye_fields(self):
+        msg = GoodbyeMessage("j", 9.0)
+        assert msg.timestamp == 9.0

@@ -1,0 +1,75 @@
+"""Tests for power-target sources (paper §4.4.1)."""
+
+import pytest
+
+from repro.aqa.regulation import SinusoidSignal, TabulatedSignal
+from repro.core.targets import ConstantTarget, RegulationTarget, SteppedTarget
+
+
+class TestConstant:
+    def test_constant(self):
+        t = ConstantTarget(840.0)
+        assert t.target(0.0) == 840.0
+        assert t(1e6) == 840.0
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            ConstantTarget(0.0)
+
+
+class TestStepped:
+    def test_holds_between_breakpoints(self):
+        t = SteppedTarget([0.0, 10.0, 20.0], [100.0, 200.0, 300.0])
+        assert t.target(5.0) == 100.0
+        assert t.target(10.0) == 200.0
+        assert t.target(15.0) == 200.0
+
+    def test_before_first_and_after_last(self):
+        t = SteppedTarget([10.0, 20.0], [100.0, 200.0])
+        assert t.target(0.0) == 100.0
+        assert t.target(99.0) == 200.0
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            SteppedTarget([0.0, 0.0], [1.0, 2.0])
+
+    def test_positive_targets_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            SteppedTarget([0.0], [0.0])
+
+    def test_shapes_must_match(self):
+        with pytest.raises(ValueError, match="matching"):
+            SteppedTarget([0.0, 1.0], [1.0])
+
+
+class TestRegulation:
+    def test_target_formula(self):
+        signal = TabulatedSignal([0.0], [0.5])
+        t = RegulationTarget(1000.0, 200.0, signal, update_period=4.0)
+        assert t.target(0.0) == pytest.approx(1100.0)  # P̄ + R·y
+
+    def test_holds_within_update_period(self):
+        signal = SinusoidSignal(period=100.0)
+        t = RegulationTarget(1000.0, 200.0, signal, update_period=4.0)
+        assert t.target(4.0) == t.target(7.9)
+        assert t.target(8.0) != t.target(7.9)
+
+    def test_range_bounded_by_reserve(self):
+        signal = SinusoidSignal(period=40.0)
+        t = RegulationTarget(1000.0, 200.0, signal, update_period=4.0)
+        values = [t.target(float(s)) for s in range(0, 200)]
+        assert min(values) >= 800.0 - 1e-9
+        assert max(values) <= 1200.0 + 1e-9
+
+    def test_out_of_range_signal_rejected(self):
+        t = RegulationTarget(1000.0, 200.0, lambda now: 1.5, update_period=4.0)
+        with pytest.raises(ValueError, match="out of range"):
+            t.target(0.0)
+
+    def test_reserve_below_average_required(self):
+        with pytest.raises(ValueError, match="reach zero"):
+            RegulationTarget(100.0, 100.0, lambda now: 0.0)
+
+    def test_negative_reserve_rejected(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            RegulationTarget(100.0, -1.0, lambda now: 0.0)

@@ -1,0 +1,83 @@
+"""Tests for latency-modelled message channels."""
+
+import pytest
+
+from repro.core.transport import LatencyChannel, TcpLink
+
+
+class TestLatencyChannel:
+    def test_delivery_after_latency(self):
+        ch = LatencyChannel(latency=0.5)
+        ch.send("msg", now=1.0)
+        assert ch.receive(1.2) == []
+        assert ch.receive(1.5) == ["msg"]
+
+    def test_fifo_order_preserved(self):
+        ch = LatencyChannel(latency=0.1)
+        for i in range(5):
+            ch.send(i, now=float(i))
+        assert ch.receive(10.0) == [0, 1, 2, 3, 4]
+
+    def test_zero_latency_same_instant(self):
+        ch = LatencyChannel(latency=0.0)
+        ch.send("x", now=2.0)
+        assert ch.receive(2.0) == ["x"]
+
+    def test_messages_not_redelivered(self):
+        ch = LatencyChannel(latency=0.0)
+        ch.send("x", now=0.0)
+        assert ch.receive(0.0) == ["x"]
+        assert ch.receive(1.0) == []
+
+    def test_in_flight_count(self):
+        ch = LatencyChannel(latency=1.0)
+        ch.send("a", now=0.0)
+        ch.send("b", now=0.0)
+        assert ch.in_flight == 2
+        ch.receive(1.0)
+        assert ch.in_flight == 0
+
+    def test_counters(self):
+        ch = LatencyChannel(latency=0.0)
+        ch.send("a", now=0.0)
+        ch.receive(0.0)
+        assert ch.sent == 1
+        assert ch.delivered == 1
+        assert ch.dropped == 0
+
+    def test_drops_with_probability_one_ish(self):
+        ch = LatencyChannel(latency=0.0, drop_probability=0.999, seed=0)
+        results = [ch.send("x", now=0.0) for _ in range(200)]
+        assert sum(results) < 10  # nearly everything dropped
+        assert ch.dropped > 180
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            LatencyChannel(latency=-1.0)
+
+    def test_bad_drop_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            LatencyChannel(drop_probability=1.0)
+
+
+class TestTcpLink:
+    def test_duplex_independence(self):
+        link = TcpLink(latency=0.0)
+        link.send_down("cap", now=0.0)
+        link.send_up("status", now=0.0)
+        assert link.recv_down(0.0) == ["cap"]
+        assert link.recv_up(0.0) == ["status"]
+
+    def test_down_not_visible_on_up(self):
+        link = TcpLink(latency=0.0)
+        link.send_down("cap", now=0.0)
+        assert link.recv_up(0.0) == []
+
+    def test_latency_applies_both_ways(self):
+        link = TcpLink(latency=0.2)
+        link.send_down("a", now=0.0)
+        link.send_up("b", now=0.0)
+        assert link.recv_down(0.1) == []
+        assert link.recv_up(0.1) == []
+        assert link.recv_down(0.2) == ["a"]
+        assert link.recv_up(0.2) == ["b"]

@@ -1,0 +1,96 @@
+"""Tests for the offline figure harnesses (Figs. 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import format_table as fig4_table, run_fig4
+from repro.experiments.fig5 import (
+    CASES,
+    format_table as fig5_table,
+    run_fig5,
+    worst_excess_slowdown,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(n_budgets=12)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(n_budgets=10)
+
+
+class TestFig4:
+    def test_both_policies_present(self, fig4):
+        assert set(fig4.slowdowns) == {"even-slowdown", "even-power"}
+
+    def test_eight_types_per_policy(self, fig4):
+        assert len(fig4.slowdowns["even-power"]) == 8
+
+    def test_even_slowdown_never_worse_on_worst_job(self, fig4):
+        """The paper's headline: even-slowdown reduces worst-job slowdown."""
+        ep = fig4.max_slowdown("even-power")
+        es = fig4.max_slowdown("even-slowdown")
+        assert np.all(es <= ep + 1e-9)
+
+    def test_no_opportunity_at_extremes(self, fig4):
+        """§6.1.1: no flexibility at min/max budgets."""
+        ep = fig4.max_slowdown("even-power")
+        es = fig4.max_slowdown("even-slowdown")
+        assert es[0] == pytest.approx(ep[0], abs=1e-6)
+        assert es[-1] == pytest.approx(ep[-1], abs=1e-6)
+
+    def test_strict_improvement_midrange(self, fig4):
+        ep = fig4.max_slowdown("even-power")
+        es = fig4.max_slowdown("even-slowdown")
+        mid = len(ep) // 2
+        assert es[mid] < ep[mid] - 0.01
+
+    def test_slowdowns_decrease_with_budget(self, fig4):
+        for series in fig4.slowdowns["even-power"].values():
+            assert np.all(np.diff(series) <= 1e-9)
+
+    def test_table_renders(self, fig4):
+        table = fig4_table(fig4)
+        assert "even-power" in table
+        assert "%" in table
+
+
+class TestFig5:
+    def test_all_cases_present(self, fig5):
+        assert set(fig5.slowdowns) == {c.key for c in CASES}
+
+    def test_underprediction_slows_unknown_job(self, fig5):
+        """First takeaway (§6.1.2): underprediction hurts the unknown job."""
+        assert worst_excess_slowdown(fig5, "under-small", "ft(unknown)") > 0.05
+        assert worst_excess_slowdown(fig5, "under-small", "ep") < 0.02
+
+    def test_overprediction_slows_sensitive_cojob(self, fig5):
+        """Second half: overprediction hurts the sensitive co-scheduled job."""
+        assert worst_excess_slowdown(fig5, "over-small", "ep") > 0.02
+        assert worst_excess_slowdown(fig5, "over-small", "ft(unknown)") <= 0.01
+
+    def test_size_amplifies_overprediction_damage(self, fig5):
+        """§6.1.2: large unknown jobs hurt others more when overpredicted."""
+        small = worst_excess_slowdown(fig5, "over-small", "ep")
+        large = worst_excess_slowdown(fig5, "over-large", "ep")
+        assert large > small
+
+    def test_small_unknown_suffers_more_when_underpredicted(self, fig5):
+        small = worst_excess_slowdown(fig5, "under-small", "ft(unknown)")
+        large = worst_excess_slowdown(fig5, "under-large", "ft(unknown)")
+        assert small > large
+
+    def test_ideal_never_above_mischaracterized_for_victims(self, fig5):
+        case = fig5.slowdowns["under-small"]
+        assert np.all(
+            case["mischaracterized"]["ft(unknown)"]
+            >= case["ideal"]["ft(unknown)"] - 1e-9
+        )
+
+    def test_table_renders(self, fig5):
+        table = fig5_table(fig5)
+        assert "under-small" in table
+        assert "ft(unknown)" in table

@@ -1,0 +1,158 @@
+"""Tests for the facility tier (multi-cluster coordination, paper §8)."""
+
+import pytest
+
+from repro.budget.base import JobBudgetRequest
+from repro.budget.even_power import EvenPowerBudgeter
+from repro.core.targets import ConstantTarget
+from repro.facility.coordinator import (
+    ClusterMember,
+    FacilityCoordinator,
+    MutableTarget,
+    aggregate_cluster_model,
+)
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.workloads.nas import NAS_TYPES
+
+
+def requests_for(*type_names):
+    return [
+        JobBudgetRequest(
+            job_id=f"{name}-{i}",
+            nodes=NAS_TYPES[name].nodes,
+            model=NAS_TYPES[name].truth,
+            p_min=140.0,
+            p_max=NAS_TYPES[name].p_demand,
+        )
+        for i, name in enumerate(type_names)
+    ]
+
+
+class TestMutableTarget:
+    def test_set_and_read(self):
+        t = MutableTarget(1000.0)
+        assert t.target(0.0) == 1000.0
+        t.set(1500.0)
+        assert t.target(99.0) == 1500.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            MutableTarget(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            MutableTarget(1.0).set(-5.0)
+
+
+class TestAggregateModel:
+    def test_monotone_in_budget(self):
+        model = aggregate_cluster_model(requests_for("bt", "sp"))
+        assert model.time_at(model.p_min) > model.time_at(model.p_max)
+
+    def test_sensitive_cluster_has_higher_sensitivity(self):
+        sensitive = aggregate_cluster_model(requests_for("ep", "bt"))
+        flat = aggregate_cluster_model(requests_for("is", "sp"))
+        assert sensitive.sensitivity > flat.sensitivity
+
+    def test_range_covers_cluster_band(self):
+        reqs = requests_for("bt", "sp")
+        model = aggregate_cluster_model(reqs)
+        assert model.p_min == pytest.approx(sum(r.p_min * r.nodes for r in reqs))
+        assert model.p_max == pytest.approx(sum(r.p_max * r.nodes for r in reqs))
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ValueError, match="no jobs"):
+            aggregate_cluster_model([])
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError, match="≥ 3"):
+            aggregate_cluster_model(requests_for("bt"), samples=2)
+
+
+def make_member(name, *type_names, initial=1000.0):
+    reqs = requests_for(*type_names)
+    model = aggregate_cluster_model(reqs)
+    return ClusterMember(
+        name=name,
+        target=MutableTarget(initial),
+        p_min=model.p_min,
+        p_max=model.p_max,
+        model=model,
+    )
+
+
+class TestCoordinator:
+    def test_budget_split_respects_total(self):
+        old = make_member("old", "bt", "sp")
+        new = make_member("new", "ep", "lu")
+        # A constrained feed: 80 % of what both clusters could draw at once.
+        total = 0.8 * (old.p_max + new.p_max)
+        fac = FacilityCoordinator(facility_target=ConstantTarget(total))
+        fac.add_member(old)
+        fac.add_member(new)
+        shares = fac.step(0.0)
+        assert sum(shares.values()) == pytest.approx(total, rel=0.02)
+
+    def test_shares_pushed_into_member_targets(self):
+        fac = FacilityCoordinator(facility_target=ConstantTarget(2500.0))
+        a = make_member("a", "bt", "sp")
+        b = make_member("b", "ep", "lu")
+        fac.add_member(a)
+        fac.add_member(b)
+        shares = fac.step(0.0)
+        assert a.target.target(0.0) == pytest.approx(shares["a"])
+        assert b.target.target(0.0) == pytest.approx(shares["b"])
+
+    def test_sensitive_cluster_favoured_under_even_slowdown(self):
+        """§8's motivating case: the cluster whose workload loses more
+        performance per watt removed should get more of the shared feed."""
+        flat = make_member("flat", "is", "sp")
+        hot = make_member("hot", "ep", "bt")
+        total = 0.65 * (flat.p_max + hot.p_max)
+        fac = FacilityCoordinator(facility_target=ConstantTarget(total))
+        fac.add_member(flat)
+        fac.add_member(hot)
+        shares = fac.step(0.0)
+        flat_frac = (shares["flat"] - flat.p_min) / (flat.p_max - flat.p_min)
+        hot_frac = (shares["hot"] - hot.p_min) / (hot.p_max - hot.p_min)
+        assert hot_frac > flat_frac
+
+    def test_even_power_facility_split(self):
+        a = make_member("a", "is", "sp")
+        b = make_member("b", "ep", "bt")
+        total = 0.65 * (a.p_max + b.p_max)
+        fac = FacilityCoordinator(
+            facility_target=ConstantTarget(total), budgeter=EvenPowerBudgeter()
+        )
+        fac.add_member(a)
+        fac.add_member(b)
+        shares = fac.step(0.0)
+        frac_a = (shares["a"] - a.p_min) / (a.p_max - a.p_min)
+        frac_b = (shares["b"] - b.p_min) / (b.p_max - b.p_min)
+        assert frac_a == pytest.approx(frac_b, abs=1e-6)
+
+    def test_update_member_model(self):
+        fac = FacilityCoordinator(facility_target=ConstantTarget(2000.0))
+        member = make_member("a", "bt", "sp")
+        fac.add_member(member)
+        flat = QuadraticPowerModel.from_anchors(
+            1.0, 1.01, member.p_min, member.p_max
+        )
+        fac.update_member_model("a", flat)
+        assert fac.members["a"].model is flat
+
+    def test_duplicate_member_rejected(self):
+        fac = FacilityCoordinator(facility_target=ConstantTarget(2000.0))
+        fac.add_member(make_member("a", "bt"))
+        with pytest.raises(ValueError, match="duplicate"):
+            fac.add_member(make_member("a", "sp"))
+
+    def test_no_members_noop(self):
+        fac = FacilityCoordinator(facility_target=ConstantTarget(2000.0))
+        assert fac.step(0.0) == {}
+
+    def test_history_recorded(self):
+        fac = FacilityCoordinator(facility_target=ConstantTarget(2000.0))
+        fac.add_member(make_member("a", "bt", "sp"))
+        fac.step(0.0)
+        fac.step(10.0)
+        assert len(fac.history) == 2
+        assert fac.total_assigned > 0

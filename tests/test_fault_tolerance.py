@@ -1,0 +1,127 @@
+"""Failure injection: the control plane under lossy tier-to-tier links.
+
+The ANOR tiers always resend *current state* (latest cap, latest status)
+rather than deltas, so a dropped message should only delay convergence, not
+corrupt it.  These tests inject heavy message loss into the TCP links and
+check the system still completes jobs, enforces budgets, and recovers
+feedback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.cluster_manager import ClusterPowerManager
+from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
+from repro.core.job_endpoint import JobTierEndpoint
+from repro.core.messages import HelloMessage
+from repro.core.targets import ConstantTarget
+from repro.core.transport import TcpLink
+from repro.geopm.endpoint import Endpoint
+from repro.modeling.classifier import JobClassifier
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.workloads.nas import NAS_TYPES
+
+
+class LossySystem(AnorSystem):
+    """AnorSystem whose job links drop a fraction of messages."""
+
+    def __init__(self, *args, drop_probability: float = 0.0, **kwargs):
+        self._drop_probability = drop_probability
+        super().__init__(*args, **kwargs)
+
+    def _launch(self, head):  # inject drops into every new link
+        super()._launch(head)
+        endpoint = self.endpoints[head.request.job_id]
+        endpoint.link.down.drop_probability = self._drop_probability
+        endpoint.link.up.drop_probability = self._drop_probability
+
+
+def run_lossy(drop: float, *, seed: int = 0):
+    system = LossySystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(840.0),
+        classifier=JobClassifier(precharacterized_models()),
+        config=AnorConfig(num_nodes=4, seed=seed, feedback_enabled=True),
+        drop_probability=drop,
+    )
+    system.submit_now("bt-0", "bt")
+    system.submit_now("sp-1", "sp")
+    return system.run(until_idle=True, max_time=7200.0)
+
+
+class TestLossyLinks:
+    def test_jobs_complete_under_30pct_loss(self):
+        result = run_lossy(0.30)
+        assert len(result.completed) == 2
+        assert all(t.epoch_count > 0 for t in result.completed)
+
+    def test_budget_still_respected_under_loss(self):
+        """Dropped caps delay convergence but the budget holds on average."""
+        result = run_lossy(0.30)
+        trace = result.power_trace
+        steady = trace[(trace[:, 0] > 60) & (trace[:, 2] > 500)]
+        assert steady[:, 2].mean() <= 840.0 * 1.10
+
+    def test_performance_similar_to_lossless(self):
+        lossless = run_lossy(0.0, seed=3)
+        lossy = run_lossy(0.30, seed=3)
+        for job_type in ("bt", "sp"):
+            t0 = [t for t in lossless.completed if t.job_type == job_type][0]
+            t1 = [t for t in lossy.completed if t.job_type == job_type][0]
+            # Resent-state protocol: loss costs at most a few control periods.
+            assert t1.runtime <= t0.runtime * 1.15 + 10.0
+
+    def test_hello_eventually_arrives(self):
+        """Even the handshake survives: the endpoint resends nothing, but
+        the cluster manager only needs ONE hello to get through — with 30 %
+        loss over repeated statuses the job is registered within seconds."""
+        result = run_lossy(0.30, seed=9)
+        assert len(result.completed) == 2
+
+
+class TestManagerRobustness:
+    def test_duplicate_hello_is_idempotent(self):
+        manager = ClusterPowerManager(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(840.0),
+            classifier=JobClassifier(precharacterized_models()),
+            total_nodes=4,
+        )
+        link = TcpLink(latency=0.0)
+        manager.register_link(link)
+        link.send_up(HelloMessage("j", "bt", 2, 0.0), 0.0)
+        link.send_up(HelloMessage("j", "bt", 2, 0.1), 0.1)
+        manager.step(0.2)
+        assert len(manager.jobs) == 1
+
+    def test_endpoint_survives_missing_budget(self):
+        """No budget ever arrives: the endpoint keeps running uncapped."""
+        geopm = Endpoint(job_id="j")
+        link = TcpLink(latency=0.0)
+        endpoint = JobTierEndpoint(
+            "j", "bt", 2, geopm, link,
+            p_min=140.0, p_max=280.0,
+            default_model=QuadraticPowerModel.from_anchors(2.0, 1.3, 140.0, 280.0),
+        )
+        for i in range(10):
+            endpoint.step(float(i))
+        assert endpoint.current_cap == 280.0
+
+
+class TestHelloLossEdge:
+    def test_hello_dropped_forever_means_no_budget_but_no_crash(self):
+        """Pathological: the one-and-only hello is lost.  The manager never
+        budgets the job (it runs uncapped at TDP) but nothing breaks."""
+        system = LossySystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(560.0),
+            config=AnorConfig(num_nodes=2, seed=0, feedback_enabled=False),
+            drop_probability=0.999999,  # effectively everything drops
+        )
+        system.submit_now("mg-0", "mg", nodes=1)
+        result = system.run(until_idle=True, max_time=600.0)
+        assert len(result.completed) == 1
+        ref = NAS_TYPES["mg"].compute_time(280.0)
+        # Ran at TDP the whole time: no slowdown beyond noise.
+        assert result.completed[0].runtime == pytest.approx(ref, rel=0.1)

@@ -1,0 +1,157 @@
+"""Tests for power-governor agents and the multi-node agent group."""
+
+import pytest
+
+from repro.geopm.agent import AgentPolicy, AgentSample, JobAgentGroup, PowerGovernorAgent
+from repro.geopm.endpoint import Endpoint
+from repro.geopm.msr import MsrBank
+from repro.geopm.profiler import EpochProfiler
+from repro.geopm.signals import ControlNames, PlatformIO
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_pio(clock):
+    return PlatformIO([MsrBank(), MsrBank()], clock_fn=clock)
+
+
+def make_group(num_nodes, *, fanout=8):
+    clock = FakeClock()
+    pios = [make_pio(clock) for _ in range(num_nodes)]
+    profiler = EpochProfiler(num_ranks=num_nodes)
+    endpoint = Endpoint(job_id="test")
+    group = JobAgentGroup(pios, profiler, endpoint, fanout=fanout)
+    return clock, pios, profiler, endpoint, group
+
+
+class TestAgentPolicy:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError, match="positive"):
+            AgentPolicy(power_cap_node=0.0)
+
+
+class TestSingleAgent:
+    def test_applies_delivered_policy(self):
+        clock = FakeClock()
+        pio = make_pio(clock)
+        agent = PowerGovernorAgent(pio, tree_index=0)
+        agent.deliver_policy(AgentPolicy(power_cap_node=200.0))
+        sample = agent.step(0.0)
+        assert pio.read_control(ControlNames.CPU_POWER_LIMIT_CONTROL) == 200.0
+        assert sample.applied_cap == 200.0
+
+    def test_no_policy_keeps_defaults(self):
+        clock = FakeClock()
+        pio = make_pio(clock)
+        agent = PowerGovernorAgent(pio, tree_index=0)
+        agent.step(0.0)
+        assert pio.read_control(ControlNames.CPU_POWER_LIMIT_CONTROL) == 280.0
+
+    def test_root_reports_epochs(self):
+        clock = FakeClock()
+        profiler = EpochProfiler(num_ranks=1)
+        profiler.prof_epoch(0)
+        agent = PowerGovernorAgent(make_pio(clock), tree_index=0, profiler=profiler)
+        assert agent.step(0.0).epoch_count == 1
+
+    def test_non_root_reports_zero_epochs(self):
+        clock = FakeClock()
+        agent = PowerGovernorAgent(make_pio(clock), tree_index=1)
+        assert agent.step(0.0).epoch_count == 0
+
+
+class TestGroupPolicyPropagation:
+    def test_policy_reaches_all_nodes_within_height_steps(self):
+        clock, pios, _, endpoint, group = make_group(16, fanout=8)
+        endpoint.write_policy(AgentPolicy(power_cap_node=180.0))
+        # Height-2 tree: root applies at step 1, leaves by step 3.
+        for step in range(1 + group.tree.height):
+            clock.now += 1.0
+            group.step(clock.now)
+        assert all(cap == pytest.approx(180.0, abs=0.5) for cap in group.applied_caps())
+
+    def test_staleness_one_hop_per_level(self):
+        clock, pios, _, endpoint, group = make_group(3, fanout=2)
+        endpoint.write_policy(AgentPolicy(power_cap_node=150.0))
+        clock.now = 1.0
+        group.step(clock.now)
+        # Root applied it; children receive it for the next step.
+        caps = group.applied_caps()
+        assert caps[0] == pytest.approx(150.0, abs=0.5)
+        assert caps[1] == 280.0
+        clock.now = 2.0
+        group.step(clock.now)
+        assert group.applied_caps()[1] == pytest.approx(150.0, abs=0.5)
+
+    def test_last_policy_wins(self):
+        clock, _, _, endpoint, group = make_group(1)
+        endpoint.write_policy(AgentPolicy(power_cap_node=150.0))
+        endpoint.write_policy(AgentPolicy(power_cap_node=260.0))
+        clock.now = 1.0
+        group.step(clock.now)
+        assert group.applied_caps()[0] == pytest.approx(260.0, abs=0.5)
+
+
+class TestGroupSampling:
+    def test_root_sample_published_to_endpoint(self):
+        clock, _, _, endpoint, group = make_group(2, fanout=2)
+        clock.now = 1.0
+        sample = group.step(clock.now)
+        assert endpoint.read_sample() is sample
+
+    def test_aggregated_nodes_count_converges(self):
+        clock, _, _, endpoint, group = make_group(4, fanout=2)
+        for i in range(4):  # allow child samples to propagate up
+            clock.now += 1.0
+            group.step(clock.now)
+        assert endpoint.read_sample().nodes == 4
+
+    def test_power_aggregates_subtree(self):
+        clock, pios, _, endpoint, group = make_group(2, fanout=2)
+        # Deposit energy on both nodes, then step twice so the child's
+        # sample reaches the root aggregate.
+        for step in range(3):
+            for pio in pios:
+                for bank in pio._banks:
+                    bank.accumulate_energy(50.0)
+            clock.now += 1.0
+            group.step(clock.now)
+        sample = endpoint.read_sample()
+        # Each node dissipates 100 J/s => two nodes ≈ 200 W (child lags 1 step).
+        assert sample.power == pytest.approx(200.0, rel=0.2)
+
+    def test_epoch_count_comes_from_root_profiler(self):
+        clock, _, profiler, endpoint, group = make_group(2, fanout=2)
+        profiler.set_rank_progress(0, 3)
+        profiler.set_rank_progress(1, 2)
+        clock.now = 1.0
+        sample = group.step(clock.now)
+        assert sample.epoch_count == 2
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            JobAgentGroup([], EpochProfiler(1), Endpoint())
+
+
+class TestEndpoint:
+    def test_take_policy_consumes(self):
+        ep = Endpoint()
+        ep.write_policy(AgentPolicy(power_cap_node=100.0))
+        assert ep.has_pending_policy
+        assert ep.take_policy().power_cap_node == 100.0
+        assert ep.take_policy() is None
+
+    def test_sample_overwrites(self):
+        ep = Endpoint()
+        s1 = AgentSample(1.0, 10.0, 5.0, 1, 1, 280.0)
+        s2 = AgentSample(2.0, 20.0, 15.0, 2, 1, 280.0)
+        ep.publish_sample(s1)
+        ep.publish_sample(s2)
+        assert ep.read_sample() is s2
+        assert ep.samples_published == 2

@@ -1,0 +1,81 @@
+"""Tests for the balanced agent communication tree (paper §4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geopm.comm_tree import AgentTree
+
+
+class TestStructure:
+    def test_root_has_no_parent(self):
+        assert AgentTree(5).parent(0) is None
+
+    def test_children_of_root_fanout2(self):
+        tree = AgentTree(5, fanout=2)
+        assert tree.children(0) == [1, 2]
+        assert tree.children(1) == [3, 4]
+        assert tree.children(2) == []
+
+    def test_parent_child_consistency(self):
+        tree = AgentTree(20, fanout=3)
+        for i in range(1, 20):
+            assert i in tree.children(tree.parent(i))
+
+    def test_single_agent(self):
+        tree = AgentTree(1)
+        assert tree.height == 0
+        assert tree.is_leaf(0)
+
+    def test_fanout_one_is_a_chain(self):
+        tree = AgentTree(4, fanout=1)
+        assert tree.children(0) == [1]
+        assert tree.height == 3
+
+    def test_depth(self):
+        tree = AgentTree(10, fanout=2)
+        assert tree.depth(0) == 0
+        assert tree.depth(1) == 1
+        assert tree.depth(3) == 2
+
+    def test_height_16_nodes_fanout8(self):
+        """A 16-node job with GEOPM's default fanout is a 2-level tree."""
+        assert AgentTree(16, fanout=8).height == 2
+
+    def test_breadth_first_order(self):
+        assert AgentTree(4).breadth_first() == [0, 1, 2, 3]
+
+    def test_invalid_index(self):
+        tree = AgentTree(3)
+        with pytest.raises(IndexError):
+            tree.parent(3)
+        with pytest.raises(IndexError):
+            tree.children(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AgentTree(0)
+        with pytest.raises(ValueError, match="fanout"):
+            AgentTree(3, fanout=0)
+
+
+class TestProperties:
+    @given(st.integers(1, 200), st.integers(1, 9))
+    def test_every_non_root_has_exactly_one_parent(self, size, fanout):
+        tree = AgentTree(size, fanout=fanout)
+        seen = set()
+        for i in range(size):
+            for child in tree.children(i):
+                assert child not in seen
+                seen.add(child)
+        assert seen == set(range(1, size))
+
+    @given(st.integers(2, 200), st.integers(2, 9))
+    def test_depth_increases_by_one_from_parent(self, size, fanout):
+        tree = AgentTree(size, fanout=fanout)
+        for i in range(1, size):
+            assert tree.depth(i) == tree.depth(tree.parent(i)) + 1
+
+    @given(st.integers(1, 200), st.integers(1, 9))
+    def test_height_is_max_depth(self, size, fanout):
+        tree = AgentTree(size, fanout=fanout)
+        assert tree.height == max(tree.depth(i) for i in range(size))

@@ -1,0 +1,60 @@
+"""Tests for Application Totals reports (paper §5.4)."""
+
+import pytest
+
+from repro.geopm.report import ApplicationTotals, render_report
+
+
+def make_totals(**overrides):
+    defaults = dict(
+        job_id="bt-0",
+        job_type="bt",
+        nodes=2,
+        runtime=300.0,
+        sojourn=320.0,
+        energy=120_000.0,
+        epoch_count=200,
+        average_power=400.0,
+    )
+    defaults.update(overrides)
+    return ApplicationTotals(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert make_totals().runtime == 300.0
+
+    def test_sojourn_cannot_undercut_runtime(self):
+        with pytest.raises(ValueError, match="sojourn"):
+            make_totals(sojourn=100.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_totals(runtime=-1.0, sojourn=10.0)
+
+
+class TestMetrics:
+    def test_slowdown(self):
+        assert make_totals().slowdown_vs(300.0) == pytest.approx(0.0)
+        assert make_totals(runtime=330.0, sojourn=340.0).slowdown_vs(300.0) == pytest.approx(0.1)
+
+    def test_slowdown_requires_positive_reference(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_totals().slowdown_vs(0.0)
+
+    def test_qos_degradation(self):
+        totals = make_totals(sojourn=640.0)
+        assert totals.qos_degradation(320.0) == pytest.approx(1.0)
+
+    def test_qos_requires_positive_t_min(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_totals().qos_degradation(0.0)
+
+
+class TestRender:
+    def test_contains_application_totals_section(self):
+        text = render_report(make_totals())
+        assert "Application Totals:" in text
+        assert "runtime (s): 300" in text
+        assert "epoch-count: 200" in text
+        assert "Profile: bt-0" in text

@@ -1,0 +1,118 @@
+"""Tests for the PlatformIO signal/control layer."""
+
+import pytest
+
+from repro.geopm.msr import MsrBank
+from repro.geopm.profiler import EpochProfiler
+from repro.geopm.signals import ControlNames, PlatformIO, SignalNames
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def node():
+    clock = FakeClock()
+    banks = [MsrBank(), MsrBank()]
+    pio = PlatformIO(banks, clock_fn=clock)
+    return clock, banks, pio
+
+
+class TestSignals:
+    def test_time_signal(self, node):
+        clock, _, pio = node
+        clock.now = 42.0
+        assert pio.read_signal(SignalNames.TIME) == 42.0
+
+    def test_energy_sums_packages(self, node):
+        _, banks, pio = node
+        banks[0].accumulate_energy(10.0)
+        banks[1].accumulate_energy(5.0)
+        assert pio.read_signal(SignalNames.CPU_ENERGY) == pytest.approx(15.0, rel=1e-4)
+
+    def test_energy_survives_counter_wrap(self, node):
+        _, banks, pio = node
+        pio.read_signal(SignalNames.CPU_ENERGY)  # baseline
+        wrap = (1 << 32) / (1 << 16)  # joules per wraparound
+        banks[0].accumulate_energy(wrap / 2)
+        pio.read_signal(SignalNames.CPU_ENERGY)  # intermediate read
+        banks[0].accumulate_energy(wrap / 2 + 7.0)
+        assert pio.read_signal(SignalNames.CPU_ENERGY) == pytest.approx(
+            wrap + 7.0, rel=1e-3
+        )
+
+    def test_power_is_energy_over_time(self, node):
+        clock, banks, pio = node
+        pio.read_signal(SignalNames.CPU_POWER)  # establish baseline at t=0
+        banks[0].accumulate_energy(100.0)
+        banks[1].accumulate_energy(100.0)
+        clock.now = 2.0
+        assert pio.read_signal(SignalNames.CPU_POWER) == pytest.approx(100.0, rel=1e-3)
+
+    def test_power_first_read_is_zero(self, node):
+        _, _, pio = node
+        assert pio.read_signal(SignalNames.CPU_POWER) == 0.0
+
+    def test_power_same_instant_returns_last(self, node):
+        clock, banks, pio = node
+        pio.read_signal(SignalNames.CPU_POWER)
+        banks[0].accumulate_energy(50.0)
+        clock.now = 1.0
+        first = pio.read_signal(SignalNames.CPU_POWER)
+        again = pio.read_signal(SignalNames.CPU_POWER)  # dt == 0
+        assert again == first
+
+    def test_epoch_count_requires_profiler(self, node):
+        _, _, pio = node
+        with pytest.raises(KeyError, match="no profiler"):
+            pio.read_signal(SignalNames.EPOCH_COUNT)
+
+    def test_epoch_count_with_profiler(self, node):
+        _, _, pio = node
+        profiler = EpochProfiler(num_ranks=1)
+        profiler.prof_epoch(0)
+        pio.attach_profiler(profiler)
+        assert pio.read_signal(SignalNames.EPOCH_COUNT) == 1.0
+        pio.detach_profiler()
+        with pytest.raises(KeyError):
+            pio.read_signal(SignalNames.EPOCH_COUNT)
+
+    def test_unknown_signal(self, node):
+        _, _, pio = node
+        with pytest.raises(KeyError, match="unknown signal"):
+            pio.read_signal("BOGUS")
+
+
+class TestControls:
+    def test_power_limit_split_across_packages(self, node):
+        _, banks, pio = node
+        pio.write_control(ControlNames.CPU_POWER_LIMIT_CONTROL, 200.0)
+        assert banks[0].power_limit_watts == 100.0
+        assert banks[1].power_limit_watts == 100.0
+
+    def test_read_control_sums_packages(self, node):
+        _, _, pio = node
+        pio.write_control(ControlNames.CPU_POWER_LIMIT_CONTROL, 220.0)
+        assert pio.read_control(ControlNames.CPU_POWER_LIMIT_CONTROL) == pytest.approx(
+            220.0, abs=0.25
+        )
+
+    def test_unknown_control(self, node):
+        _, _, pio = node
+        with pytest.raises(KeyError, match="unknown control"):
+            pio.write_control("BOGUS", 1.0)
+        with pytest.raises(KeyError, match="unknown control"):
+            pio.read_control("BOGUS")
+
+    def test_needs_at_least_one_package(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PlatformIO([], clock_fn=lambda: 0.0)
+
+    def test_num_packages(self, node):
+        _, _, pio = node
+        assert pio.num_packages == 2

@@ -1,0 +1,82 @@
+"""Tests for GEOPM-style trace files and their framework integration."""
+
+import numpy as np
+import pytest
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem
+from repro.core.targets import ConstantTarget
+from repro.geopm.agent import AgentSample
+from repro.geopm.tracer import TRACE_FIELDS, JobTracer, read_trace
+from repro.workloads.nas import NAS_TYPES
+
+
+def sample(t, power=400.0, epochs=3, cap=200.0):
+    return AgentSample(
+        timestamp=t, power=power, energy=power * t, epoch_count=epochs,
+        nodes=2, applied_cap=cap,
+    )
+
+
+class TestJobTracer:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "job.trace.csv"
+        with JobTracer(path, job_id="j1") as tracer:
+            tracer.record(sample(1.0))
+            tracer.record(sample(2.0, power=410.0, epochs=4))
+        data = read_trace(path)
+        assert data.shape == (2, len(TRACE_FIELDS))
+        assert data[0, 0] == 1.0
+        assert data[1, 1] == 410.0
+        assert data[1, 3] == 4.0
+
+    def test_rows_written_counter(self, tmp_path):
+        tracer = JobTracer(tmp_path / "t.csv")
+        tracer.record(sample(1.0))
+        tracer.close()
+        assert tracer.rows_written == 1
+
+    def test_empty_trace_reads_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        with JobTracer(path, job_id="x"):
+            pass
+        assert read_trace(path).shape == (0, len(TRACE_FIELDS))
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError, match="not a trace file"):
+            read_trace(path)
+
+
+class TestFrameworkArtifacts:
+    def test_trace_and_report_written(self, tmp_path):
+        system = AnorSystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(280.0),
+            config=AnorConfig(
+                num_nodes=1, seed=0, output_dir=str(tmp_path / "out")
+            ),
+        )
+        system.submit_now("is-0", "is")
+        system.run(until_idle=True, max_time=600.0)
+        trace_path = tmp_path / "out" / "is-0.trace.csv"
+        report_path = tmp_path / "out" / "is-0.report"
+        assert trace_path.exists()
+        assert report_path.exists()
+        data = read_trace(trace_path)
+        assert data.shape[0] > 5  # one row per agent control period
+        assert np.all(np.diff(data[:, 0]) > 0)  # time strictly increases
+        report = report_path.read_text()
+        assert "Application Totals:" in report
+        assert f"epoch-count: {NAS_TYPES['is'].epochs}" in report
+
+    def test_no_artifacts_without_output_dir(self, tmp_path):
+        system = AnorSystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(280.0),
+            config=AnorConfig(num_nodes=1, seed=0),
+        )
+        system.submit_now("is-0", "is")
+        system.run(until_idle=True, max_time=600.0)
+        assert system._tracers == {}

@@ -1,0 +1,116 @@
+"""Tests for the emulated cluster: allocation, metering, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.cluster import EmulatedCluster
+from repro.workloads.nas import NAS_TYPES
+
+
+class TestAllocation:
+    def test_allocates_requested_nodes(self):
+        cluster = EmulatedCluster(4, seed=0)
+        job = cluster.start_job("j", NAS_TYPES["ft"])  # 2 nodes
+        assert len(job.nodes) == 2
+        assert len(cluster.idle_nodes()) == 2
+
+    def test_duplicate_job_id_rejected(self):
+        cluster = EmulatedCluster(4, seed=0)
+        cluster.start_job("j", NAS_TYPES["is"])
+        with pytest.raises(ValueError, match="already running"):
+            cluster.start_job("j", NAS_TYPES["is"])
+
+    def test_insufficient_nodes_rejected(self):
+        cluster = EmulatedCluster(1, seed=0)
+        with pytest.raises(RuntimeError, match="not enough idle"):
+            cluster.start_job("j", NAS_TYPES["ft"])  # needs 2
+
+    def test_explicit_nodes(self):
+        cluster = EmulatedCluster(4, seed=0)
+        chosen = [cluster.nodes[3]]
+        job = cluster.start_job("j", NAS_TYPES["is"], nodes=chosen)
+        assert job.nodes == chosen
+        assert cluster.nodes[3].job_id == "j"
+
+    def test_busy_node_cannot_be_reallocated(self):
+        cluster = EmulatedCluster(2, seed=0)
+        cluster.start_job("a", NAS_TYPES["is"], nodes=[cluster.nodes[0]])
+        with pytest.raises(RuntimeError, match="already allocated"):
+            cluster.start_job("b", NAS_TYPES["is"], nodes=[cluster.nodes[0]])
+
+    def test_nodes_released_after_completion(self):
+        cluster = EmulatedCluster(1, seed=0)
+        cluster.start_job("j", NAS_TYPES["is"])
+        while cluster.running:
+            cluster.clock.advance(1.0)
+            cluster.advance(1.0)
+        assert len(cluster.idle_nodes()) == 1
+        assert cluster.completed[0].job_id == "j"
+
+
+class TestPowerRange:
+    def test_cluster_band_matches_paper(self):
+        """16 nodes span 2.24–4.48 kW — Fig. 9's target band."""
+        cluster = EmulatedCluster(16, seed=0)
+        assert cluster.min_cluster_power == pytest.approx(2240.0)
+        assert cluster.max_cluster_power == pytest.approx(4480.0)
+
+    def test_idle_cluster_power(self):
+        cluster = EmulatedCluster(4, seed=0)
+        cluster.clock.advance(1.0)
+        power = cluster.advance(1.0)
+        assert power == pytest.approx(4 * 60.0, rel=0.1)
+
+    def test_power_history_accumulates(self):
+        cluster = EmulatedCluster(2, seed=0)
+        for _ in range(5):
+            cluster.clock.advance(1.0)
+            cluster.advance(1.0)
+        hist = cluster.power_history()
+        assert hist.shape == (5, 2)
+        assert np.all(np.diff(hist[:, 0]) > 0)
+
+    def test_measured_power_latest_tick(self):
+        cluster = EmulatedCluster(2, seed=0)
+        cluster.clock.advance(1.0)
+        power = cluster.advance(1.0)
+        assert cluster.measured_power == power
+
+
+class TestVariation:
+    def test_no_variation_by_default(self):
+        cluster = EmulatedCluster(8, seed=0)
+        assert all(n.perf_multiplier == 1.0 for n in cluster.nodes)
+
+    def test_variation_draws_differ(self):
+        cluster = EmulatedCluster(32, seed=0, perf_variation_std=0.1)
+        mults = [n.perf_multiplier for n in cluster.nodes]
+        assert np.std(mults) > 0.0
+        assert np.mean(mults) == pytest.approx(1.0, abs=0.1)
+
+    def test_variation_reproducible(self):
+        a = EmulatedCluster(8, seed=9, perf_variation_std=0.2)
+        b = EmulatedCluster(8, seed=9, perf_variation_std=0.2)
+        assert [n.perf_multiplier for n in a.nodes] == [
+            n.perf_multiplier for n in b.nodes
+        ]
+
+    def test_multiplier_floor(self):
+        cluster = EmulatedCluster(200, seed=0, perf_variation_std=1.0)
+        assert all(n.perf_multiplier >= 0.05 for n in cluster.nodes)
+
+
+class TestAggregation:
+    def test_totals_by_type(self):
+        cluster = EmulatedCluster(2, seed=0)
+        cluster.start_job("a", NAS_TYPES["is"])
+        cluster.start_job("b", NAS_TYPES["is"])
+        while cluster.running:
+            cluster.clock.advance(1.0)
+            cluster.advance(1.0)
+        by_type = cluster.totals_by_type()
+        assert len(by_type["is"]) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            EmulatedCluster(0)

@@ -1,0 +1,111 @@
+"""Tests for the emulated running job (phases, progress, totals)."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.cluster import EmulatedCluster
+from repro.hwsim.job import JobPhase
+from repro.workloads.nas import NAS_TYPES
+
+
+def run_to_completion(cluster, cap=None, max_time=7200.0):
+    job = list(cluster.running.values())[0]
+    if cap is not None:
+        for node in job.nodes:
+            node.pio.write_control("CPU_POWER_LIMIT_CONTROL", cap)
+    while cluster.running and cluster.clock.now < max_time:
+        cluster.clock.advance(1.0)
+        cluster.advance(1.0)
+    assert not cluster.running, "job did not finish"
+    return cluster.completed[-1]
+
+
+class TestPhases:
+    def test_starts_in_setup(self):
+        cluster = EmulatedCluster(1, seed=0)
+        job = cluster.start_job("j", NAS_TYPES["is"])
+        assert job.phase is JobPhase.SETUP
+
+    def test_setup_draws_idle_power(self):
+        cluster = EmulatedCluster(1, seed=0)
+        cluster.start_job("j", NAS_TYPES["is"])
+        cluster.clock.advance(1.0)
+        power = cluster.advance(1.0)
+        assert power < 100.0  # idle-ish, far below any cap
+
+    def test_progress_zero_through_setup(self):
+        cluster = EmulatedCluster(1, seed=0)
+        job = cluster.start_job("j", NAS_TYPES["bt"].with_nodes(1))
+        for _ in range(int(job.job_type.setup_time) - 1):
+            cluster.clock.advance(1.0)
+            cluster.advance(1.0)
+        assert job.progress == 0.0
+
+    def test_full_lifecycle(self):
+        cluster = EmulatedCluster(1, seed=1)
+        cluster.start_job("j", NAS_TYPES["is"])
+        totals = run_to_completion(cluster)
+        assert totals.epoch_count == NAS_TYPES["is"].epochs
+        assert totals.runtime > 0
+        assert totals.sojourn >= totals.runtime
+
+
+class TestTiming:
+    def test_uncapped_runtime_close_to_truth(self):
+        cluster = EmulatedCluster(1, seed=2, run_noise=False)
+        cluster.start_job("j", NAS_TYPES["mg"])
+        totals = run_to_completion(cluster)
+        expected = NAS_TYPES["mg"].compute_time(280.0)
+        assert totals.runtime == pytest.approx(expected, rel=0.05)
+
+    def test_capped_runtime_slower(self):
+        results = {}
+        for cap in (140.0, 280.0):
+            cluster = EmulatedCluster(1, seed=3, run_noise=False)
+            cluster.start_job("j", NAS_TYPES["mg"])
+            results[cap] = run_to_completion(cluster, cap=cap).runtime
+        ratio = results[140.0] / results[280.0]
+        assert ratio == pytest.approx(NAS_TYPES["mg"].sensitivity, rel=0.08)
+
+    def test_run_noise_produces_variance(self):
+        runtimes = []
+        for seed in range(8):
+            cluster = EmulatedCluster(1, seed=seed, run_noise=True)
+            cluster.start_job("j", NAS_TYPES["mg"])
+            runtimes.append(run_to_completion(cluster).runtime)
+        assert np.std(runtimes) > 0.0
+
+    def test_slow_node_gates_multi_node_job(self):
+        """The job-global epoch count waits for the slowest node (§5.6)."""
+        fast = EmulatedCluster(2, seed=4, run_noise=False)
+        fast.start_job("j", NAS_TYPES["ft"])
+        t_fast = run_to_completion(fast).runtime
+
+        slow = EmulatedCluster(2, seed=4, run_noise=False)
+        slow.nodes[1].perf_multiplier = 0.5  # one straggler node
+        slow.start_job("j", NAS_TYPES["ft"])
+        t_slow = run_to_completion(slow).runtime
+        assert t_slow == pytest.approx(2.0 * t_fast, rel=0.1)
+
+
+class TestTotals:
+    def test_totals_before_done_rejected(self):
+        cluster = EmulatedCluster(1, seed=0)
+        job = cluster.start_job("j", NAS_TYPES["is"])
+        with pytest.raises(RuntimeError, match="not completed"):
+            job.totals()
+
+    def test_average_power_respects_cap(self):
+        cluster = EmulatedCluster(1, seed=5, run_noise=False)
+        cluster.start_job("j", NAS_TYPES["lu"])
+        totals = run_to_completion(cluster, cap=180.0)
+        assert totals.average_power == pytest.approx(180.0, rel=0.05)
+
+    def test_energy_accounted(self):
+        cluster = EmulatedCluster(1, seed=6)
+        cluster.start_job("j", NAS_TYPES["is"])
+        totals = run_to_completion(cluster)
+        # Energy over the job's residency must at least cover idle draw and
+        # at most full cap draw.
+        assert totals.energy > 0.5 * totals.sojourn * 60.0
+        assert totals.energy < totals.sojourn * 300.0

@@ -1,0 +1,78 @@
+"""Tests for total-node power modeling (paper §7.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hwsim.platform_power import ClusterPowerModel, NodePowerModel
+
+
+class TestNodePowerModel:
+    def test_static_floor(self):
+        model = NodePowerModel(static=90.0)
+        assert model.wall_power(0.0) == 90.0
+
+    def test_wall_exceeds_cpu_plus_static(self):
+        model = NodePowerModel(static=90.0, fan_coeff=0.08)
+        assert model.wall_power(280.0) > 90.0 + 280.0
+
+    def test_fan_term_at_reference(self):
+        model = NodePowerModel(static=0.0, fan_coeff=0.08, cpu_ref=280.0)
+        assert model.wall_power(280.0) == pytest.approx(280.0 * 1.08)
+
+    def test_vectorized(self):
+        model = NodePowerModel()
+        wall = model.wall_power(np.array([0.0, 140.0, 280.0]))
+        assert wall.shape == (3,)
+        assert np.all(np.diff(wall) > 0)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            NodePowerModel().wall_power(-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            NodePowerModel(static=-1.0)
+        with pytest.raises(ValueError, match="positive"):
+            NodePowerModel(cpu_ref=0.0)
+
+    @given(st.floats(0.0, 500.0))
+    @settings(max_examples=60)
+    def test_property_inverse_roundtrip(self, cpu):
+        model = NodePowerModel()
+        wall = float(model.wall_power(cpu))
+        assert model.cpu_power_for_wall(wall) == pytest.approx(cpu, abs=1e-3)
+
+    def test_wall_below_static_rejected(self):
+        model = NodePowerModel(static=90.0)
+        with pytest.raises(ValueError, match="below static"):
+            model.cpu_power_for_wall(50.0)
+
+
+class TestClusterPowerModel:
+    def test_wall_scales_with_nodes(self):
+        cluster = ClusterPowerModel(NodePowerModel(), num_nodes=16)
+        one = ClusterPowerModel(NodePowerModel(), num_nodes=1)
+        assert cluster.wall_power(16 * 200.0) == pytest.approx(
+            16 * one.wall_power(200.0)
+        )
+
+    def test_cpu_budget_roundtrip(self):
+        cluster = ClusterPowerModel(NodePowerModel(), num_nodes=16)
+        cpu_total = 16 * 210.0
+        wall = cluster.wall_power(cpu_total)
+        assert cluster.cpu_budget_for_wall(wall) == pytest.approx(cpu_total, rel=1e-4)
+
+    def test_static_wall_power(self):
+        cluster = ClusterPowerModel(NodePowerModel(static=90.0), num_nodes=10)
+        assert cluster.static_wall_power == 900.0
+
+    def test_paper_scale_sanity(self):
+        """16 nodes at full CPU: wall ≈ 4.48 kW CPU + 1.44 kW static + fans."""
+        cluster = ClusterPowerModel(NodePowerModel(), num_nodes=16)
+        wall = cluster.wall_power(16 * 280.0)
+        assert 5800.0 < wall < 6400.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            ClusterPowerModel(NodePowerModel(), num_nodes=0)

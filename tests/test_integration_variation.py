@@ -1,0 +1,87 @@
+"""End-to-end performance variation on the emulated cluster (§6.4 at 16-node
+scale): the control plane must keep working when nodes are heterogeneous."""
+
+import numpy as np
+import pytest
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem
+from repro.core.targets import ConstantTarget
+from repro.workloads.nas import NAS_TYPES
+
+
+def run_pair(perf_std: float, *, seed: int = 5):
+    system = AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(840.0),
+        config=AnorConfig(
+            num_nodes=4, seed=seed, feedback_enabled=True,
+            perf_variation_std=perf_std, run_noise=False,
+        ),
+    )
+    system.submit_now("bt-0", "bt")
+    system.submit_now("sp-1", "sp")
+    return system, system.run(until_idle=True, max_time=7200.0)
+
+
+class TestVariationEndToEnd:
+    def test_all_jobs_complete_with_variation(self):
+        _, result = run_pair(0.10)
+        assert len(result.completed) == 2
+        for totals in result.completed:
+            assert totals.epoch_count == NAS_TYPES[totals.job_type].epochs
+
+    def test_slow_nodes_stretch_runtimes(self):
+        """A uniformly slow node pool must show up in job runtimes."""
+        _, base = run_pair(0.0)
+        slow_system = AnorSystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(840.0),
+            config=AnorConfig(num_nodes=4, seed=5, feedback_enabled=True,
+                              run_noise=False),
+        )
+        for node in slow_system.cluster.nodes:
+            node.perf_multiplier = 0.8
+        slow_system.submit_now("bt-0", "bt")
+        slow_system.submit_now("sp-1", "sp")
+        slow = slow_system.run(until_idle=True, max_time=7200.0)
+        base_bt = [t for t in base.completed if t.job_type == "bt"][0]
+        slow_bt = [t for t in slow.completed if t.job_type == "bt"][0]
+        assert slow_bt.runtime > base_bt.runtime * 1.1
+
+    def test_feedback_learns_the_slow_pool(self):
+        """On uniformly slow nodes the online model's absolute times shift,
+        but its *sensitivity* stays near the true curve's — the feedback
+        channel normalises out node speed (§6.4's premise)."""
+        system = AnorSystem(
+            budgeter=EvenSlowdownBudgeter(),
+            target_source=ConstantTarget(840.0),
+            config=AnorConfig(num_nodes=4, seed=11, feedback_enabled=True,
+                              run_noise=False),
+        )
+        for node in system.cluster.nodes:
+            node.perf_multiplier = 0.75
+        system.submit_now("bt-0", "bt")
+        system.submit_now("sp-1", "sp")
+        sens = None
+        while system.cluster.running or system._queue:
+            system.step()
+            record = system.manager.jobs.get("bt-0")
+            if record is not None and record.online_model is not None:
+                sens = record.online_model.sensitivity
+            if system.cluster.clock.now > 7200.0:
+                break
+        assert sens is not None
+        assert sens == pytest.approx(NAS_TYPES["bt"].truth.sensitivity, rel=0.4)
+
+    def test_variation_increases_runtime_spread(self):
+        """Across seeds, heterogeneous pools spread runtimes more."""
+        def spread(perf_std):
+            runtimes = []
+            for seed in range(4):
+                _, result = run_pair(perf_std, seed=seed)
+                bt = [t for t in result.completed if t.job_type == "bt"][0]
+                runtimes.append(bt.runtime)
+            return float(np.std(runtimes))
+
+        assert spread(0.12) > spread(0.0)

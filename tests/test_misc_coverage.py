@@ -1,0 +1,113 @@
+"""Cross-cutting coverage: public behaviours not pinned elsewhere."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.framework import AnorResult
+from repro.experiments.fig9 import build_demand_response_system
+from repro.facility.coordinator import ClusterMember, FacilityCoordinator, MutableTarget
+from repro.geopm.agent import AgentPolicy
+from repro.geopm.endpoint import Endpoint
+from repro.geopm.report import ApplicationTotals
+from repro.modeling.quadratic import QuadraticPowerModel
+from repro.core.targets import SteppedTarget
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_symbols_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet_runs(self):
+        system = repro.AnorSystem(
+            budgeter=repro.EvenSlowdownBudgeter(),
+            target_source=repro.ConstantTarget(280.0),
+            config=repro.AnorConfig(num_nodes=1, seed=0),
+        )
+        system.submit_now("is-0", "is")
+        result = system.run(until_idle=True, max_time=600.0)
+        assert len(result.completed) == 1
+
+
+class TestFig9Builder:
+    def test_misclassification_option_rewires_classifier(self):
+        system = build_demand_response_system(
+            duration=60.0, misclassify_bt_as_is=True
+        )
+        believed = system.classifier.model_for("bt")
+        is_truth = repro.NAS_TYPES["is"].truth
+        assert believed.sensitivity == pytest.approx(is_truth.sensitivity)
+
+    def test_default_is_truthful(self):
+        system = build_demand_response_system(duration=60.0)
+        believed = system.classifier.model_for("bt")
+        assert believed.sensitivity == pytest.approx(
+            repro.NAS_TYPES["bt"].truth.sensitivity
+        )
+
+    def test_schedule_excludes_short_types(self):
+        system = build_demand_response_system(duration=600.0)
+        types = {r.type_name for r in system.schedule}
+        assert "is" not in types and "ep" not in types
+
+
+class TestAnorResultHelpers:
+    def make_result(self):
+        totals = ApplicationTotals(
+            job_id="x-0", job_type="x", nodes=1, runtime=110.0,
+            sojourn=150.0, energy=1e4, epoch_count=10, average_power=200.0,
+        )
+        return AnorResult(
+            completed=[totals], power_trace=np.zeros((0, 3)),
+            unstarted_jobs=0, duration=150.0,
+        )
+
+    def test_unknown_reference_types_skipped(self):
+        result = self.make_result()
+        assert result.slowdowns_by_type({"other": 100.0}) == {}
+        assert result.qos_by_type({"other": 100.0}) == {}
+
+    def test_slowdown_computation(self):
+        result = self.make_result()
+        slow = result.slowdowns_by_type({"x": 100.0})
+        assert slow["x"][0] == pytest.approx(0.10)
+        qos = result.qos_by_type({"x": 100.0})
+        assert qos["x"][0] == pytest.approx(0.50)
+
+
+class TestFacilityWithMovingFeed:
+    def test_shares_follow_facility_target(self):
+        model = QuadraticPowerModel.from_anchors(1.0, 1.5, 500.0, 1000.0)
+        members = [
+            ClusterMember(
+                name=f"c{i}",
+                target=MutableTarget(1000.0),
+                p_min=500.0,
+                p_max=1000.0,
+                model=model,
+            )
+            for i in range(2)
+        ]
+        feed = SteppedTarget([0.0, 100.0], [1400.0, 1900.0])
+        fac = FacilityCoordinator(facility_target=feed)
+        for m in members:
+            fac.add_member(m)
+        early = fac.step(0.0)
+        late = fac.step(150.0)
+        assert sum(late.values()) > sum(early.values())
+        for m in members:
+            assert m.target.target(0.0) == pytest.approx(late[m.name])
+
+
+class TestEndpointCounters:
+    def test_counts_policies_and_samples(self):
+        ep = Endpoint("j")
+        ep.write_policy(AgentPolicy(power_cap_node=200.0))
+        ep.write_policy(AgentPolicy(power_cap_node=210.0))
+        assert ep.policies_written == 2
+        ep.take_policy()
+        assert not ep.has_pending_policy

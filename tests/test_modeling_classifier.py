@@ -1,0 +1,76 @@
+"""Tests for job-type classification and misclassification injection."""
+
+import pytest
+
+from repro.modeling.classifier import JobClassifier, Misclassification
+from repro.modeling.default_models import LeastSensitivePolicy
+from repro.modeling.quadratic import QuadraticPowerModel
+
+
+@pytest.fixture
+def models():
+    mk = lambda s: QuadraticPowerModel.from_anchors(2.0, s, 140.0, 280.0)
+    return {"is": mk(1.08), "ft": mk(1.45), "ep": mk(1.8)}
+
+
+class TestClassification:
+    def test_known_type_maps_to_itself(self, models):
+        clf = JobClassifier(models)
+        assert clf.classify("ft") == "ft"
+        assert clf.model_for("ft") is models["ft"]
+
+    def test_misclassification_redirects(self, models):
+        clf = JobClassifier(
+            models, misclassifications=[Misclassification("ft", "is")]
+        )
+        assert clf.classify("ft") == "is"
+        assert clf.model_for("ft") is models["is"]
+
+    def test_other_types_unaffected(self, models):
+        clf = JobClassifier(
+            models, misclassifications=[Misclassification("ft", "is")]
+        )
+        assert clf.model_for("ep") is models["ep"]
+
+    def test_misclassification_target_must_be_known(self, models):
+        with pytest.raises(KeyError, match="no known model"):
+            JobClassifier(
+                models, misclassifications=[Misclassification("ft", "zz")]
+            )
+
+    def test_is_known(self, models):
+        clf = JobClassifier(models, unknown_types={"mystery"})
+        assert clf.is_known("ft")
+        assert not clf.is_known("mystery")
+
+
+class TestUnknownTypes:
+    def test_unknown_uses_default_policy(self, models):
+        clf = JobClassifier(
+            models,
+            unknown_types={"mystery"},
+            default_policy=LeastSensitivePolicy(),
+        )
+        assert clf.model_for("mystery") is models["is"]
+
+    def test_unknown_without_policy_raises(self, models):
+        clf = JobClassifier(models, unknown_types={"mystery"})
+        with pytest.raises(KeyError, match="no default policy"):
+            clf.model_for("mystery")
+
+    def test_never_seen_type_without_policy_raises(self, models):
+        clf = JobClassifier(models)
+        with pytest.raises(KeyError):
+            clf.model_for("never-seen")
+
+    def test_never_seen_type_with_policy_falls_back(self, models):
+        clf = JobClassifier(models, default_policy=LeastSensitivePolicy())
+        assert clf.model_for("never-seen") is models["is"]
+
+    def test_unknown_and_misclassified_conflict(self, models):
+        with pytest.raises(ValueError, match="both unknown and misclassified"):
+            JobClassifier(
+                models,
+                misclassifications=[Misclassification("ft", "is")],
+                unknown_types={"ft"},
+            )

@@ -1,0 +1,74 @@
+"""Tests for default-model policies for unknown job types (paper §6.1.2)."""
+
+import pytest
+
+from repro.modeling.default_models import (
+    LeastSensitivePolicy,
+    MostSensitivePolicy,
+    NamedTypePolicy,
+    RandomKnownTypePolicy,
+)
+from repro.modeling.quadratic import QuadraticPowerModel
+
+
+@pytest.fixture
+def known_models():
+    mk = lambda s: QuadraticPowerModel.from_anchors(2.0, s, 140.0, 280.0)
+    return {"low": mk(1.1), "mid": mk(1.4), "high": mk(1.8)}
+
+
+class TestLeastSensitive:
+    def test_picks_lowest(self, known_models):
+        model = LeastSensitivePolicy().model_for(known_models)
+        assert model is known_models["low"]
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError, match="no known"):
+            LeastSensitivePolicy().model_for({})
+
+
+class TestMostSensitive:
+    def test_picks_highest(self, known_models):
+        model = MostSensitivePolicy().model_for(known_models)
+        assert model is known_models["high"]
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError, match="no known"):
+            MostSensitivePolicy().model_for({})
+
+
+class TestNamedType:
+    def test_picks_named(self, known_models):
+        model = NamedTypePolicy("mid").model_for(known_models)
+        assert model is known_models["mid"]
+
+    def test_unknown_name_rejected(self, known_models):
+        with pytest.raises(KeyError, match="not in known models"):
+            NamedTypePolicy("nope").model_for(known_models)
+
+
+class TestRandomKnownType:
+    def test_deterministic_per_job(self, known_models):
+        policy = RandomKnownTypePolicy(seed=3)
+        first = policy.model_for(known_models, job_name="job-a")
+        again = policy.model_for(known_models, job_name="job-a")
+        assert first is again
+
+    def test_same_seed_same_assignment(self, known_models):
+        a = RandomKnownTypePolicy(seed=3).model_for(known_models, job_name="x")
+        b = RandomKnownTypePolicy(seed=3).model_for(known_models, job_name="x")
+        assert a is b
+
+    def test_assignments_vary_across_jobs(self, known_models):
+        policy = RandomKnownTypePolicy(seed=0)
+        picks = {
+            id(policy.model_for(known_models, job_name=f"job-{i}"))
+            for i in range(50)
+        }
+        assert len(picks) > 1  # not everything maps to one type
+
+    def test_picks_come_from_catalog(self, known_models):
+        policy = RandomKnownTypePolicy(seed=1)
+        for i in range(10):
+            model = policy.model_for(known_models, job_name=f"j{i}")
+            assert model in known_models.values()

@@ -1,0 +1,89 @@
+"""Tests for automatic epoch detection (paper §8)."""
+
+import numpy as np
+import pytest
+
+from repro.modeling.epoch_detect import AutoEpochCounter, detect_epoch_period
+
+
+def periodic(period, n, *, dt=1.0, noise=0.0, seed=0):
+    t = np.arange(n) * dt
+    sig = np.sin(2 * np.pi * t / period)
+    if noise:
+        sig = sig + np.random.default_rng(seed).normal(0, noise, n)
+    return sig
+
+
+class TestDetectPeriod:
+    def test_clean_sinusoid(self):
+        assert detect_epoch_period(periodic(8.0, 200), 1.0) == pytest.approx(8.0, abs=1.0)
+
+    def test_noisy_sinusoid(self):
+        sig = periodic(12.0, 400, noise=0.3)
+        assert detect_epoch_period(sig, 1.0) == pytest.approx(12.0, abs=1.5)
+
+    def test_square_wave(self):
+        t = np.arange(300)
+        sig = (t % 10 < 5).astype(float)  # period 10
+        assert detect_epoch_period(sig, 1.0) == pytest.approx(10.0, abs=1.0)
+
+    def test_dt_scales_period(self):
+        sig = periodic(8.0, 200)
+        assert detect_epoch_period(sig, 0.5) == pytest.approx(4.0, abs=0.5)
+
+    def test_white_noise_returns_none(self):
+        sig = np.random.default_rng(0).normal(size=300)
+        assert detect_epoch_period(sig, 1.0, min_strength=0.3) is None
+
+    def test_constant_signal_returns_none(self):
+        assert detect_epoch_period(np.ones(100), 1.0) is None
+
+    def test_too_short_returns_none(self):
+        assert detect_epoch_period(np.ones(4), 1.0) is None
+
+    def test_period_bounds_respected(self):
+        sig = periodic(8.0, 200)
+        # Force the search window past the true period.
+        result = detect_epoch_period(sig, 1.0, min_period=20.0, max_period=40.0)
+        assert result is None or result >= 20.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="1-D"):
+            detect_epoch_period(np.ones((3, 3)), 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            detect_epoch_period(np.ones(50), 0.0)
+
+
+class TestAutoEpochCounter:
+    def test_counts_epochs_from_power_signature(self):
+        counter = AutoEpochCounter(dt=1.0)
+        sig = periodic(7.0, 210, noise=0.1)
+        count = 0
+        for v in sig:
+            count = counter.push(v)
+        assert count == pytest.approx(210 / 7.0, abs=4)
+
+    def test_zero_before_lock(self):
+        counter = AutoEpochCounter(dt=1.0, min_cycles=4)
+        sig = periodic(10.0, 15)
+        for v in sig:
+            counter.push(v)
+        assert counter.epoch_count == 0  # fewer than 4 cycles seen
+
+    def test_aperiodic_never_counts(self):
+        counter = AutoEpochCounter(dt=1.0, min_strength=0.35)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            counter.push(float(rng.normal()))
+        assert counter.epoch_count == 0
+
+    def test_count_monotone(self):
+        counter = AutoEpochCounter(dt=1.0)
+        counts = [counter.push(v) for v in periodic(6.0, 180)]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            AutoEpochCounter(dt=0.0)
+        with pytest.raises(ValueError, match="≥ 2"):
+            AutoEpochCounter(dt=1.0, min_cycles=1)

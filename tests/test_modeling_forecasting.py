@@ -1,0 +1,112 @@
+"""Tests for job-type forecasting from submission metadata (paper §2)."""
+
+import pytest
+
+from repro.modeling.forecasting import (
+    NaiveBayesTypeForecaster,
+    SubmissionMetadata,
+    synthesize_submissions,
+)
+
+
+def meta(user="u", account="a", executable="bt.x", nodes=2, walltime=600.0):
+    return SubmissionMetadata(
+        user=user, account=account, executable=executable,
+        nodes=nodes, walltime_request=walltime,
+    )
+
+
+class TestFeatures:
+    def test_bucketing(self):
+        f = meta(nodes=1, walltime=30.0).features()
+        assert f["nodes_bucket"] == "1"
+        assert f["walltime_bucket"] == "<1m"
+        f = meta(nodes=6, walltime=7200.0).features()
+        assert f["nodes_bucket"] == "3-8"
+        assert f["walltime_bucket"] == ">1h"
+
+
+class TestForecaster:
+    def test_learns_clear_association(self):
+        forecaster = NaiveBayesTypeForecaster()
+        for i in range(20):
+            forecaster.observe(meta(user=f"alice{i % 2}", executable="bt.x"), "bt")
+            forecaster.observe(meta(user=f"bob{i % 2}", executable="sp.x"), "sp")
+        assert forecaster.predict(meta(user="alice0", executable="bt.x")) == "bt"
+        assert forecaster.predict(meta(user="bob1", executable="sp.x")) == "sp"
+
+    def test_probabilities_normalised(self):
+        forecaster = NaiveBayesTypeForecaster()
+        forecaster.observe(meta(executable="bt.x"), "bt")
+        forecaster.observe(meta(executable="sp.x"), "sp")
+        proba = forecaster.predict_proba(meta(executable="bt.x"))
+        assert sum(proba.values()) == pytest.approx(1.0)
+        assert proba["bt"] > proba["sp"]
+
+    def test_confidence_low_on_ambiguous_input(self):
+        forecaster = NaiveBayesTypeForecaster()
+        for _ in range(10):
+            forecaster.observe(meta(user="x", executable="shared.sh"), "bt")
+            forecaster.observe(meta(user="x", executable="shared.sh"), "sp")
+        assert forecaster.confidence(meta(user="x", executable="shared.sh")) < 0.6
+
+    def test_unseen_values_survive_smoothing(self):
+        forecaster = NaiveBayesTypeForecaster()
+        forecaster.observe(meta(executable="bt.x"), "bt")
+        # Entirely novel metadata must not crash or produce NaNs.
+        prediction = forecaster.predict(meta(user="stranger", executable="new.x"))
+        assert prediction == "bt"
+
+    def test_untrained_rejects(self):
+        with pytest.raises(ValueError, match="no training data"):
+            NaiveBayesTypeForecaster().predict(meta())
+
+    def test_accuracy_requires_data(self):
+        forecaster = NaiveBayesTypeForecaster()
+        forecaster.observe(meta(), "bt")
+        with pytest.raises(ValueError, match="no submissions"):
+            forecaster.accuracy([])
+
+
+class TestSyntheticStream:
+    def test_high_accuracy_at_low_crossover(self):
+        data = synthesize_submissions(
+            ["bt", "sp", "ft"], 600, seed=0, crossover=0.05
+        )
+        train, test = data[:400], data[400:]
+        forecaster = NaiveBayesTypeForecaster().fit(train)
+        assert forecaster.accuracy(test) > 0.9
+
+    def test_accuracy_degrades_with_crossover(self):
+        accuracies = {}
+        for crossover in (0.05, 0.5):
+            data = synthesize_submissions(
+                ["bt", "sp", "ft"], 600, seed=1, crossover=crossover
+            )
+            forecaster = NaiveBayesTypeForecaster().fit(data[:400])
+            accuracies[crossover] = forecaster.accuracy(data[400:])
+        assert accuracies[0.5] < accuracies[0.05]
+
+    def test_reproducible(self):
+        a = synthesize_submissions(["bt", "sp"], 50, seed=3)
+        b = synthesize_submissions(["bt", "sp"], 50, seed=3)
+        assert a == b
+
+    def test_walltime_and_nodes_hints_help(self):
+        """Distinct walltime/node signatures are usable features even when
+        users fully overlap."""
+        data = synthesize_submissions(
+            ["is", "lu"], 600, seed=2, crossover=1.0,  # user/account useless
+            walltime_by_type={"is": 30.0, "lu": 3000.0},
+            nodes_by_type={"is": 1, "lu": 8},
+        )
+        forecaster = NaiveBayesTypeForecaster().fit(data[:400])
+        assert forecaster.accuracy(data[400:]) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            synthesize_submissions([], 10)
+        with pytest.raises(ValueError, match="≥ 1"):
+            synthesize_submissions(["bt"], 0)
+        with pytest.raises(ValueError, match="crossover"):
+            synthesize_submissions(["bt"], 10, crossover=2.0)

@@ -1,0 +1,172 @@
+"""Tests for the quadratic power-performance model (paper §4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modeling.quadratic import QuadraticPowerModel
+
+
+class TestFromAnchors:
+    def test_anchors_hit(self, simple_model):
+        assert simple_model.time_at(280.0) == pytest.approx(2.0)
+        assert simple_model.time_at(140.0) == pytest.approx(3.0)
+
+    def test_monotone_decreasing(self, simple_model):
+        assert simple_model.is_monotone_decreasing()
+
+    def test_sensitivity(self, simple_model):
+        assert simple_model.sensitivity == pytest.approx(1.5)
+
+    def test_flat_curve_when_sensitivity_one(self):
+        m = QuadraticPowerModel.from_anchors(2.0, 1.0, 140.0, 280.0)
+        assert m.time_at(140.0) == pytest.approx(m.time_at(280.0))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            QuadraticPowerModel.from_anchors(-1.0, 1.5, 140.0, 280.0)
+
+    def test_sub_unity_sensitivity_rejected(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            QuadraticPowerModel.from_anchors(2.0, 0.9, 140.0, 280.0)
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticPowerModel.from_anchors(2.0, 1.5, 280.0, 140.0)
+
+    @given(
+        t=st.floats(0.01, 100.0),
+        s=st.floats(1.0, 3.0),
+        frac=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=60)
+    def test_property_monotone_and_anchored(self, t, s, frac):
+        m = QuadraticPowerModel.from_anchors(
+            t, s, 140.0, 280.0, end_slope_fraction=frac
+        )
+        assert m.is_monotone_decreasing()
+        assert m.time_at(280.0) == pytest.approx(t, rel=1e-9)
+        assert m.time_at(140.0) == pytest.approx(s * t, rel=1e-9)
+
+
+class TestEvaluation:
+    def test_clamps_below_range(self, simple_model):
+        assert simple_model.time_at(100.0) == simple_model.time_at(140.0)
+
+    def test_clamps_above_range(self, simple_model):
+        assert simple_model.time_at(400.0) == simple_model.time_at(280.0)
+
+    def test_vectorized(self, simple_model):
+        ps = np.array([140.0, 210.0, 280.0])
+        ts = simple_model.time_per_epoch(ps)
+        assert ts.shape == (3,)
+        assert ts[0] > ts[1] > ts[2]
+
+    def test_slowdown_at_max_is_zero(self, simple_model):
+        assert simple_model.slowdown_at(280.0) == pytest.approx(0.0)
+
+    def test_slowdown_at_min(self, simple_model):
+        assert simple_model.slowdown_at(140.0) == pytest.approx(0.5)
+
+    def test_t_min_t_max(self, simple_model):
+        assert simple_model.t_min == pytest.approx(2.0)
+        assert simple_model.t_max == pytest.approx(3.0)
+
+
+class TestInverse:
+    @given(st.floats(140.0, 280.0))
+    @settings(max_examples=60)
+    def test_roundtrip(self, p):
+        m = QuadraticPowerModel.from_anchors(2.0, 1.5, 140.0, 280.0)
+        t = m.time_at(p)
+        p_back = m.power_for_time(t)
+        assert m.time_at(p_back) == pytest.approx(t, rel=1e-6)
+
+    def test_too_fast_target_gives_max_power(self, simple_model):
+        assert simple_model.power_for_time(0.1) == 280.0
+
+    def test_too_slow_target_gives_min_power(self, simple_model):
+        assert simple_model.power_for_time(100.0) == 140.0
+
+    def test_power_for_slowdown_one_is_max(self, simple_model):
+        assert simple_model.power_for_slowdown(1.0) == 280.0
+
+    def test_power_for_slowdown_rejects_below_one(self, simple_model):
+        with pytest.raises(ValueError, match="≥ 1"):
+            simple_model.power_for_slowdown(0.5)
+
+    def test_linear_model_inverse(self):
+        m = QuadraticPowerModel(a=0.0, b=-0.01, c=5.0, p_min=140.0, p_max=280.0)
+        t = m.time_at(200.0)
+        assert m.power_for_time(t) == pytest.approx(200.0)
+
+    def test_constant_model_inverse(self):
+        m = QuadraticPowerModel(a=0.0, b=0.0, c=2.0, p_min=140.0, p_max=280.0)
+        # Any cap achieves the constant time; inverse reports max power.
+        assert m.power_for_time(2.0) == 280.0
+
+    @given(st.floats(1.0, 2.0))
+    @settings(max_examples=40)
+    def test_slowdown_roundtrip(self, s):
+        m = QuadraticPowerModel.from_anchors(2.0, 2.0, 140.0, 280.0)
+        p = m.power_for_slowdown(s)
+        if 140.0 < p < 280.0:
+            assert m.time_at(p) / m.t_min == pytest.approx(s, rel=1e-6)
+
+
+class TestFit:
+    def test_exact_quadratic_recovered(self):
+        truth = QuadraticPowerModel.from_anchors(2.0, 1.6, 140.0, 280.0)
+        ps = np.linspace(140.0, 280.0, 20)
+        ts = truth.time_per_epoch(ps)
+        fit = QuadraticPowerModel.fit(ps, ts, 140.0, 280.0)
+        assert fit.r2 == pytest.approx(1.0, abs=1e-12)
+        assert fit.model.a == pytest.approx(truth.a, rel=1e-6)
+        assert fit.model.b == pytest.approx(truth.b, rel=1e-6)
+        assert fit.model.c == pytest.approx(truth.c, rel=1e-6)
+
+    def test_noisy_fit_r2_below_one(self, rng):
+        truth = QuadraticPowerModel.from_anchors(2.0, 1.6, 140.0, 280.0)
+        ps = np.repeat(np.linspace(140.0, 280.0, 8), 5)
+        ts = truth.time_per_epoch(ps) * (1.0 + rng.normal(0, 0.05, ps.size))
+        fit = QuadraticPowerModel.fit(ps, ts, 140.0, 280.0)
+        assert 0.5 < fit.r2 < 1.0
+
+    def test_two_distinct_caps_degrade_to_linear(self):
+        ps = np.array([140.0, 140.0, 280.0, 280.0])
+        ts = np.array([3.0, 3.0, 2.0, 2.0])
+        fit = QuadraticPowerModel.fit(ps, ts, 140.0, 280.0)
+        assert fit.model.a == 0.0
+        assert fit.model.time_at(140.0) == pytest.approx(3.0)
+
+    def test_single_cap_degrades_to_constant(self):
+        ps = np.array([200.0, 200.0])
+        ts = np.array([2.0, 2.2])
+        fit = QuadraticPowerModel.fit(ps, ts, 140.0, 280.0)
+        assert fit.model.a == 0.0
+        assert fit.model.b == 0.0
+        assert fit.model.c == pytest.approx(2.1)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            QuadraticPowerModel.fit(np.array([]), np.array([]), 140.0, 280.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            QuadraticPowerModel.fit(np.array([1.0]), np.array([1.0, 2.0]), 140.0, 280.0)
+
+
+class TestTransforms:
+    def test_scaled(self, simple_model):
+        doubled = simple_model.scaled(2.0)
+        assert doubled.time_at(200.0) == pytest.approx(2.0 * simple_model.time_at(200.0))
+        assert doubled.sensitivity == pytest.approx(simple_model.sensitivity)
+
+    def test_scaled_rejects_non_positive(self, simple_model):
+        with pytest.raises(ValueError, match="positive"):
+            simple_model.scaled(0.0)
+
+    def test_with_range(self, simple_model):
+        narrowed = simple_model.with_range(160.0, 240.0)
+        assert narrowed.p_min == 160.0
+        assert narrowed.time_at(200.0) == simple_model.time_at(200.0)

@@ -1,0 +1,78 @@
+"""Tests for the reproduction scorecard (claims over quick experiment runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5
+from repro.experiments.scorecard import (
+    Claim,
+    Scorecard,
+    score_fig4,
+    score_fig5,
+)
+
+
+class TestClaimMachinery:
+    def test_passing_claim(self):
+        claim = Claim("figX", "two is two", lambda r: r == 2)
+        outcome = claim.evaluate(2)
+        assert outcome.passed
+        assert outcome.error is None
+
+    def test_failing_claim(self):
+        claim = Claim("figX", "two is three", lambda r: r == 3)
+        assert not claim.evaluate(2).passed
+
+    def test_crashing_check_is_a_failure(self):
+        claim = Claim("figX", "boom", lambda r: r.no_such_attr)
+        outcome = claim.evaluate(object())
+        assert not outcome.passed
+        assert "AttributeError" in outcome.error
+
+    def test_scorecard_summary(self):
+        claims = [
+            Claim("f", "yes", lambda r: True),
+            Claim("f", "no", lambda r: False),
+        ]
+        card = Scorecard([c.evaluate(None) for c in claims])
+        assert card.passed == 1
+        assert card.total == 2
+        assert not card.all_passed
+        text = card.render()
+        assert "[PASS] f: yes" in text
+        assert "[FAIL] f: no" in text
+        assert "1/2" in text
+
+
+class TestFigureScorecards:
+    """The offline figures are cheap enough to score directly in tests."""
+
+    def test_fig4_claims_hold(self):
+        result = fig4.run_fig4(n_budgets=15)
+        card = score_fig4(result)
+        assert card.all_passed, card.render()
+
+    def test_fig5_claims_hold(self):
+        result = fig5.run_fig5(n_budgets=12)
+        card = score_fig5(result)
+        assert card.all_passed, card.render()
+
+    def test_fig4_scorecard_detects_breakage(self):
+        """Corrupting the result must flip claims to FAIL, not pass silently."""
+        result = fig4.run_fig4(n_budgets=10)
+        # Swap the two policies' series: even-power now looks 'better'.
+        result.slowdowns["even-power"], result.slowdowns["even-slowdown"] = (
+            result.slowdowns["even-slowdown"],
+            result.slowdowns["even-power"],
+        )
+        card = score_fig4(result)
+        assert not card.all_passed
+
+    def test_fig5_scorecard_detects_breakage(self):
+        result = fig5.run_fig5(n_budgets=10)
+        for case in result.slowdowns.values():
+            case["mischaracterized"] = {
+                k: np.zeros_like(v) for k, v in case["mischaracterized"].items()
+            }
+        card = score_fig5(result)
+        assert not card.all_passed

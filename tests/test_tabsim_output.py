@@ -1,0 +1,64 @@
+"""Tests for the tabular simulator's state logging (paper §5.6)."""
+
+import pytest
+
+from repro.aqa.regulation import TabulatedSignal
+from repro.tabsim.output import StateLogger, read_state_log
+from repro.tabsim.simulator import SimConfig, TabularClusterSimulator
+from repro.tabsim.tables import SimJobType
+from repro.workloads.trace import JobRequest, Schedule
+
+
+def make_sim(logger):
+    types = [SimJobType("x", 2, 140.0, 260.0, t_at_p_max=40.0, t_at_p_min=80.0)]
+    schedule = Schedule(requests=[JobRequest(0.0, "j0", "x", 2)], duration=10.0)
+    return TabularClusterSimulator(
+        types,
+        schedule,
+        TabulatedSignal([0.0], [0.0]),
+        SimConfig(num_nodes=6, average_power=1500.0, reserve=100.0, seed=0),
+        state_logger=logger,
+    )
+
+
+class TestStateLogger:
+    def test_cadence(self, tmp_path):
+        path = tmp_path / "state.jsonl"
+        with StateLogger(path, every=10) as logger:
+            sim = make_sim(logger)
+            sim.run(50.0, drain=True, max_time=200.0)
+        records = list(read_state_log(path))
+        assert logger.records_written == len(records)
+        assert len(records) >= 4
+
+    def test_record_contents(self, tmp_path):
+        path = tmp_path / "state.jsonl"
+        with StateLogger(path, every=5) as logger:
+            sim = make_sim(logger)
+            sim.run(20.0)
+        first = next(read_state_log(path))
+        assert first["busy_nodes"] + first["idle_nodes"] == 6
+        assert first["total_power"] > 0
+        assert first["jobs_running"] + first["jobs_done"] + first["jobs_queued"] == 1
+
+    def test_per_node_detail(self, tmp_path):
+        path = tmp_path / "detail.jsonl"
+        with StateLogger(path, every=5, include_per_node=True) as logger:
+            sim = make_sim(logger)
+            sim.run(10.0)
+        first = next(read_state_log(path))
+        assert len(first["node_cap"]) == 6
+        assert len(first["node_job"]) == 6
+
+    def test_times_increase(self, tmp_path):
+        path = tmp_path / "state.jsonl"
+        with StateLogger(path, every=7) as logger:
+            sim = make_sim(logger)
+            sim.run(60.0, drain=True, max_time=200.0)
+        times = [r["time"] for r in read_state_log(path)]
+        assert times == sorted(times)
+        assert all(t2 - t1 == 7.0 for t1, t2 in zip(times, times[1:]))
+
+    def test_invalid_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="≥ 1"):
+            StateLogger(tmp_path / "x.jsonl", every=0)

@@ -1,0 +1,279 @@
+"""Tests for the per-second tabular simulation loop (paper §5.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aqa.regulation import TabulatedSignal
+from repro.tabsim.simulator import SimConfig, TabularClusterSimulator, _waterfill_cap
+from repro.tabsim.tables import SimJobType
+from repro.tabsim.variation import draw_node_multipliers, variation_sigma_for_band
+from repro.workloads.trace import JobRequest, Schedule
+
+FLAT = TabulatedSignal([0.0], [0.0])
+
+
+def sim_type(name="x", nodes=2, t_fast=50.0, t_slow=100.0, p_max=260.0):
+    return SimJobType(
+        name, nodes, 140.0, p_max, t_at_p_max=t_fast, t_at_p_min=t_slow
+    )
+
+
+def one_job_schedule(type_name="x", nodes=2, submit=0.0):
+    return Schedule(
+        requests=[JobRequest(submit, "j0", type_name, nodes)], duration=10.0
+    )
+
+
+def make_sim(types=None, schedule=None, *, signal=FLAT, **cfg_kwargs):
+    types = types or [sim_type()]
+    # An empty Schedule is falsy, so test for None explicitly.
+    schedule = schedule if schedule is not None else one_job_schedule()
+    defaults = dict(num_nodes=10, average_power=2500.0, reserve=100.0, seed=0)
+    defaults.update(cfg_kwargs)
+    return TabularClusterSimulator(types, schedule, signal, SimConfig(**defaults))
+
+
+class TestWaterfill:
+    def test_plenty_gives_max(self):
+        demand = np.array([200.0, 250.0])
+        assert _waterfill_cap(1000.0, demand, 140.0, 280.0) == 280.0
+
+    def test_starved_gives_min(self):
+        demand = np.array([200.0, 250.0])
+        assert _waterfill_cap(100.0, demand, 140.0, 280.0) == 140.0
+
+    def test_exact_fill(self):
+        demand = np.array([200.0, 260.0, 260.0])
+        available = 650.0
+        cap = _waterfill_cap(available, demand, 140.0, 280.0)
+        realised = np.minimum(cap, demand).sum()
+        assert realised == pytest.approx(available, rel=1e-9)
+
+    def test_saturated_low_demand_released(self):
+        demand = np.array([150.0, 280.0])
+        cap = _waterfill_cap(380.0, demand, 140.0, 280.0)
+        # 150 saturates; remaining 230 goes to the other node.
+        assert cap == pytest.approx(230.0)
+
+    def test_empty(self):
+        assert _waterfill_cap(100.0, np.array([]), 140.0, 280.0) == 280.0
+
+    @given(
+        st.lists(st.floats(150.0, 280.0), min_size=1, max_size=40),
+        st.floats(0.05, 1.2),
+    )
+    @settings(max_examples=60)
+    def test_property_realised_power_matches(self, demands, frac):
+        """Realised power equals min(available, Σdemand) whenever the cap
+        floor does not force over-consumption."""
+        demand = np.asarray(demands)
+        available = frac * float(demand.sum())
+        cap = _waterfill_cap(available, demand, 140.0, 280.0)
+        realised = float(np.minimum(cap, demand).sum())
+        floor_power = float(np.minimum(140.0, demand).sum())
+        expected = min(available, float(demand.sum()))
+        assert realised >= floor_power - 1e-6
+        if available >= floor_power:
+            assert realised == pytest.approx(max(expected, floor_power), rel=1e-6)
+
+
+class TestExecutionTiming:
+    def test_uncapped_job_finishes_on_schedule(self):
+        sim = make_sim()
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        end = result.job_table.end_time[0]
+        # t_fast=50 s; one extra tick of discretization allowed.
+        assert end == pytest.approx(50.0, abs=2.0)
+
+    def test_capped_job_slower(self):
+        # Budget forces per-node caps to the floor: 2 busy × 140 + 8 idle × 60.
+        sim = make_sim(average_power=2.0 * 140.0 + 8 * 60.0, reserve=10.0)
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        end = result.job_table.end_time[0]
+        assert end == pytest.approx(100.0, abs=3.0)
+
+    def test_multi_node_job_waits_for_slowest_node(self):
+        sim = make_sim()
+        sim.nodes.perf_mult[:] = 1.0
+        sim.nodes.perf_mult[0] = 0.5  # straggler host
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        assert result.job_table.end_time[0] == pytest.approx(100.0, abs=3.0)
+
+    def test_variation_multiplier_speeds_up(self):
+        sim = make_sim()
+        sim.nodes.perf_mult[:] = 2.0
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        assert result.job_table.end_time[0] == pytest.approx(25.0, abs=2.0)
+
+
+class TestSchedulingFlow:
+    def test_jobs_queue_when_full(self):
+        schedule = Schedule(
+            requests=[
+                JobRequest(0.0, "a", "x", 6),
+                JobRequest(0.0, "b", "x", 6),
+            ],
+            duration=10.0,
+        )
+        sim = make_sim(types=[sim_type(nodes=6)], schedule=schedule,
+                       num_nodes=10, work_conserving=True)
+        result = sim.run(10.0, drain=True, max_time=1000.0)
+        starts = result.job_table.start_time[:2]
+        assert abs(starts[1] - starts[0]) >= 40.0  # second waited for first
+
+    def test_unknown_type_in_schedule_rejected(self):
+        schedule = one_job_schedule(type_name="zz")
+        sim = make_sim(schedule=schedule)
+        with pytest.raises(KeyError, match="unknown type"):
+            sim.run(5.0)
+
+    def test_all_jobs_complete_after_drain(self):
+        reqs = [JobRequest(float(i), f"j{i}", "x", 2) for i in range(5)]
+        sim = make_sim(schedule=Schedule(requests=reqs, duration=10.0),
+                       work_conserving=True)
+        result = sim.run(10.0, drain=True, max_time=2000.0)
+        assert result.completed_jobs == 5
+
+
+class TestPowerTracking:
+    def test_power_trace_columns(self):
+        sim = make_sim()
+        result = sim.run(10.0)
+        assert result.power_trace.shape == (10, 3)
+
+    def test_idle_cluster_draws_idle_power(self):
+        sim = make_sim(schedule=Schedule(duration=5.0))
+        result = sim.run(5.0)
+        assert result.power_trace[-1, 2] == pytest.approx(10 * 60.0)
+
+    def test_target_follows_signal(self):
+        signal = TabulatedSignal([0.0, 5.0], [0.0, 1.0])
+        sim = make_sim(signal=signal, average_power=2000.0, reserve=500.0)
+        result = sim.run(10.0)
+        assert result.power_trace[0, 1] == pytest.approx(2000.0)
+        assert result.power_trace[-1, 1] == pytest.approx(2500.0)
+
+    def test_tracking_errors_window(self):
+        sim = make_sim()
+        result = sim.run(10.0)
+        all_errors = result.tracking_errors()
+        late = result.tracking_errors(t_start=5.0)
+        assert late.size < all_errors.size
+
+    def test_reachable_target_tracked_closely(self):
+        # 3 jobs of 2 nodes; target mid-band.
+        reqs = [JobRequest(0.0, f"j{i}", "x", 2) for i in range(3)]
+        target = 6 * 200.0 + 4 * 60.0
+        sim = make_sim(schedule=Schedule(requests=reqs, duration=30.0),
+                       average_power=target, reserve=100.0,
+                       work_conserving=True)
+        result = sim.run(30.0)
+        # After the first scheduling tick, measured ≈ target.
+        errors = result.tracking_errors(t_start=3.0)
+        assert np.median(errors) < 0.2
+
+
+class TestQoSExtraction:
+    def test_qos_by_type(self):
+        sim = make_sim()
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        qos = result.qos_by_type()
+        assert "x" in qos
+        # Sojourn ≈ 50 s, t_min = 50 s -> Q ≈ 0.
+        assert qos["x"][0] == pytest.approx(0.0, abs=0.1)
+
+    def test_qos_percentile(self):
+        sim = make_sim()
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        q90 = result.qos_percentile_by_type(90.0)
+        assert q90["x"] == pytest.approx(0.0, abs=0.1)
+
+    def test_zero_reserve_rejected_in_errors(self):
+        sim = make_sim(reserve=0.0)
+        result = sim.run(5.0)
+        with pytest.raises(ValueError, match="undefined"):
+            result.tracking_errors()
+
+
+class TestQosAwareCapping:
+    def test_at_risk_jobs_exempted(self):
+        # One long-queued job that is already deep into QoS trouble.
+        schedule = Schedule(
+            requests=[JobRequest(0.0, "a", "x", 2)], duration=400.0
+        )
+        types = [sim_type(t_fast=50.0, t_slow=100.0)]
+        sim = make_sim(
+            types=types, schedule=schedule,
+            average_power=2 * 140.0 + 8 * 60.0,  # would force floor caps
+            reserve=10.0, qos_aware_capping=True, qos_risk_fraction=0.0,
+        )
+        result = sim.run(10.0, drain=True, max_time=500.0)
+        # Exempted from capping ⇒ finishes at (nearly) full speed.
+        assert result.job_table.end_time[0] == pytest.approx(50.0, abs=4.0)
+
+
+class TestPowerAwareAdmission:
+    def _tight_sim(self, *, admission: bool):
+        # Target below the floor power of running both jobs: 4 busy × 140
+        # + 6 idle × 60 = 920 < both-floor 8×140 + 2×60 = 1240.
+        reqs = [
+            JobRequest(0.0, "a", "x", 4),
+            JobRequest(0.0, "b", "x", 4),
+        ]
+        return make_sim(
+            types=[sim_type(nodes=4)],
+            schedule=Schedule(requests=reqs, duration=10.0),
+            average_power=4 * 140.0 + 6 * 60.0 + 50.0,
+            reserve=50.0,
+            work_conserving=True,
+            power_aware_admission=admission,
+        )
+
+    def test_deferral_under_tight_target(self):
+        sim = self._tight_sim(admission=True)
+        result = sim.run(30.0)
+        # Only one job may run: starting the second would push even the
+        # minimum enforceable power past the target.
+        running = (result.job_table.state[:2] == 1).sum()
+        assert running == 1
+
+    def test_no_deferral_without_admission_control(self):
+        sim = self._tight_sim(admission=False)
+        result = sim.run(30.0)
+        running = (result.job_table.state[:2] == 1).sum()
+        assert running == 2
+
+    def test_deferred_job_eventually_runs(self):
+        sim = self._tight_sim(admission=True)
+        result = sim.run(10.0, drain=True, max_time=2000.0)
+        assert result.completed_jobs == 2
+
+    def test_admission_respects_queue_accounting(self):
+        sim = self._tight_sim(admission=True)
+        sim.run(10.0, drain=True, max_time=2000.0)
+        # All node shares must be released by the end.
+        assert all(q.running_nodes == 0 for q in sim.scheduler.queues)
+
+
+class TestVariationHelpers:
+    def test_sigma_for_band(self):
+        assert variation_sigma_for_band(0.0) == 0.0
+        assert variation_sigma_for_band(0.30) == pytest.approx(0.30 / 2.5758, rel=1e-3)
+
+    def test_sigma_negative_band_rejected(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            variation_sigma_for_band(-0.1)
+
+    def test_draw_multipliers_stats(self):
+        mult = draw_node_multipliers(5000, 0.15, seed=0)
+        assert mult.mean() == pytest.approx(1.0, abs=0.01)
+        inside = np.mean(np.abs(mult - 1.0) <= 0.15)
+        assert inside == pytest.approx(0.99, abs=0.01)
+
+    def test_zero_band_all_ones(self):
+        assert (draw_node_multipliers(10, 0.0, seed=0) == 1.0).all()
+
+    def test_floor_applied(self):
+        mult = draw_node_multipliers(10000, 3.0, seed=0, floor=0.05)
+        assert mult.min() >= 0.05

@@ -1,0 +1,112 @@
+"""Tests for numeric helpers, including property-based bisection checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.maths import bisect_scalar, clamp, monotone_decreasing, weighted_percentile
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            clamp(0.0, 2.0, 1.0)
+
+    @given(st.floats(-1e9, 1e9), st.floats(-1e6, 0.0), st.floats(0.0, 1e6))
+    def test_result_always_inside(self, x, lo, hi):
+        assert lo <= clamp(x, lo, hi) <= hi
+
+
+class TestBisectScalar:
+    def test_finds_root_of_linear(self):
+        root = bisect_scalar(lambda x: x - 3.0, 0.0, 10.0)
+        assert abs(root - 3.0) < 1e-6
+
+    def test_decreasing_function(self):
+        root = bisect_scalar(lambda x: 5.0 - x, 0.0, 10.0)
+        assert abs(root - 5.0) < 1e-6
+
+    def test_no_sign_change_returns_best_endpoint(self):
+        # Both positive; lo is closer to zero.
+        assert bisect_scalar(lambda x: x + 1.0, 0.0, 10.0) == 0.0
+        # Both negative; hi is closer to zero.
+        assert bisect_scalar(lambda x: x - 100.0, 0.0, 10.0) == 10.0
+
+    def test_root_at_endpoint(self):
+        assert bisect_scalar(lambda x: x, 0.0, 10.0) == 0.0
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError, match="empty bracket"):
+            bisect_scalar(lambda x: x, 5.0, 1.0)
+
+    @given(st.floats(-100.0, 100.0))
+    def test_property_root_recovered(self, r):
+        root = bisect_scalar(lambda x: x - r, -200.0, 200.0, tol=1e-9)
+        assert abs(root - r) < 1e-6
+
+
+class TestMonotoneDecreasing:
+    def test_decreasing(self):
+        assert monotone_decreasing([3.0, 2.0, 1.0])
+
+    def test_flat_allowed_when_not_strict(self):
+        assert monotone_decreasing([2.0, 2.0, 1.0])
+
+    def test_flat_rejected_when_strict(self):
+        assert not monotone_decreasing([2.0, 2.0, 1.0], strict=True)
+
+    def test_increasing_rejected(self):
+        assert not monotone_decreasing([1.0, 2.0])
+
+    def test_short_sequences_trivially_monotone(self):
+        assert monotone_decreasing([])
+        assert monotone_decreasing([1.0])
+
+
+class TestWeightedPercentile:
+    def test_equal_weights_median(self):
+        v = [1.0, 2.0, 3.0, 4.0, 5.0]
+        w = [1.0] * 5
+        assert weighted_percentile(v, w, 50.0) == 3.0
+
+    def test_heavy_weight_dominates(self):
+        assert weighted_percentile([1.0, 100.0], [99.0, 1.0], 50.0) == 1.0
+
+    def test_bounds(self):
+        v, w = [1.0, 2.0, 3.0], [1.0, 1.0, 1.0]
+        assert weighted_percentile(v, w, 0.0) == 1.0
+        assert weighted_percentile(v, w, 100.0) == 3.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            weighted_percentile([1.0], [1.0, 2.0], 50.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_percentile([], [], 50.0)
+
+    def test_zero_weights(self):
+        with pytest.raises(ValueError, match="zero"):
+            weighted_percentile([1.0], [0.0], 50.0)
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            weighted_percentile([1.0], [1.0], 101.0)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.floats(0.0, 100.0),
+    )
+    def test_result_is_one_of_the_values(self, values, q):
+        w = np.ones(len(values))
+        result = weighted_percentile(values, w, q)
+        assert result in values

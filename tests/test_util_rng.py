@@ -1,0 +1,71 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=10)
+        b = ensure_rng(7).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnRng:
+    def test_children_are_independent(self):
+        parent = ensure_rng(0)
+        kids = spawn_rng(parent, 3)
+        draws = [k.integers(0, 2**31, size=100) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_reproducible_from_same_parent_seed(self):
+        a = spawn_rng(ensure_rng(5), 2)
+        b = spawn_rng(ensure_rng(5), 2)
+        assert a[0].integers(0, 2**31) == b[0].integers(0, 2**31)
+        assert a[1].integers(0, 2**31) == b[1].integers(0, 2**31)
+
+    def test_zero_children(self):
+        assert spawn_rng(ensure_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rng(ensure_rng(0), -1)
+
+    def test_parent_usable_after_spawn(self):
+        parent = ensure_rng(0)
+        spawn_rng(parent, 4)
+        assert 0 <= parent.random() < 1
+
+
+class TestDeriveRng:
+    def test_same_tags_same_stream(self):
+        a = derive_rng(ensure_rng(3), "node", 7)
+        b = derive_rng(ensure_rng(3), "node", 7)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+
+    def test_different_tags_differ(self):
+        a = derive_rng(ensure_rng(3), "node", 7)
+        b = derive_rng(ensure_rng(3), "node", 8)
+        assert not np.array_equal(
+            a.integers(0, 2**31, size=50), b.integers(0, 2**31, size=50)
+        )
+
+    def test_derivation_does_not_consume_parent(self):
+        p1, p2 = ensure_rng(9), ensure_rng(9)
+        derive_rng(p1, "x")
+        assert p1.random() == p2.random()

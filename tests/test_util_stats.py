@@ -1,0 +1,96 @@
+"""Tests for streaming statistics and interval estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, confidence_interval_95, percentile
+
+
+class TestRunningStats:
+    def test_mean_matches_numpy(self, rng):
+        xs = rng.normal(5.0, 2.0, size=100)
+        stats = RunningStats()
+        stats.extend(xs)
+        assert stats.mean == pytest.approx(float(np.mean(xs)))
+
+    def test_variance_matches_numpy(self, rng):
+        xs = rng.normal(0.0, 3.0, size=50)
+        stats = RunningStats()
+        stats.extend(xs)
+        assert stats.variance == pytest.approx(float(np.var(xs, ddof=1)))
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 7.0])
+        assert stats.min == -1.0
+        assert stats.max == 7.0
+
+    def test_count(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        assert stats.count == 2
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            RunningStats().mean
+
+    def test_variance_needs_two(self):
+        stats = RunningStats()
+        stats.push(1.0)
+        with pytest.raises(ValueError, match="at least 2"):
+            stats.variance
+
+    def test_merge_equals_combined(self, rng):
+        xs, ys = rng.normal(size=30), rng.normal(size=70)
+        a, b = RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        merged = a.merge(b)
+        combined = np.concatenate([xs, ys])
+        assert merged.count == 100
+        assert merged.mean == pytest.approx(float(np.mean(combined)))
+        assert merged.variance == pytest.approx(float(np.var(combined, ddof=1)))
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == 1.5
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_property_matches_numpy(self, xs):
+        stats = RunningStats()
+        stats.extend(xs)
+        assert stats.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half = confidence_interval_95([4.2])
+        assert mean == 4.2
+        assert half == 0.0
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = confidence_interval_95(rng.normal(size=10))[1]
+        large = confidence_interval_95(rng.normal(size=1000))[1]
+        assert large < small
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            confidence_interval_95([])
+
+    def test_constant_samples_zero_width(self):
+        mean, half = confidence_interval_95([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert half == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            percentile([], 50.0)

@@ -1,0 +1,99 @@
+"""Tests for Poisson schedule generation (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    PoissonScheduleGenerator,
+    arrival_rates_for_utilization,
+)
+from repro.workloads.nas import NAS_TYPES, long_running_mix
+
+
+class TestArrivalRates:
+    def test_utilization_identity(self):
+        """Σ λ_j · n_j · T_j must equal η · N (the paper's §5.3 relation)."""
+        types = long_running_mix()
+        rates = arrival_rates_for_utilization(types, 0.75, 100)
+        total = sum(rates[jt.name] * jt.nodes * jt.t_min for jt in types)
+        assert total == pytest.approx(0.75 * 100)
+
+    def test_equal_shares_by_default(self):
+        types = long_running_mix()
+        rates = arrival_rates_for_utilization(types, 0.6, 50)
+        node_seconds = {
+            jt.name: rates[jt.name] * jt.nodes * jt.t_min for jt in types
+        }
+        values = list(node_seconds.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_custom_shares(self):
+        types = [NAS_TYPES["bt"], NAS_TYPES["sp"]]
+        rates = arrival_rates_for_utilization(types, 0.5, 10, shares=[3.0, 1.0])
+        bt_demand = rates["bt"] * types[0].nodes * types[0].t_min
+        sp_demand = rates["sp"] * types[1].nodes * types[1].t_min
+        assert bt_demand == pytest.approx(3.0 * sp_demand)
+
+    def test_rejects_bad_inputs(self):
+        types = [NAS_TYPES["bt"]]
+        with pytest.raises(ValueError, match="at least one"):
+            arrival_rates_for_utilization([], 0.5, 10)
+        with pytest.raises(ValueError, match="positive"):
+            arrival_rates_for_utilization(types, 0.0, 10)
+        with pytest.raises(ValueError, match="≥ 1"):
+            arrival_rates_for_utilization(types, 0.5, 0)
+        with pytest.raises(ValueError, match="shares"):
+            arrival_rates_for_utilization(types, 0.5, 10, shares=[1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            arrival_rates_for_utilization(types, 0.5, 10, shares=[-1.0])
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        types = long_running_mix()
+        a = PoissonScheduleGenerator(types, 0.75, 100, seed=3).generate(600.0)
+        b = PoissonScheduleGenerator(types, 0.75, 100, seed=3).generate(600.0)
+        assert [r.job_id for r in a] == [r.job_id for r in b]
+        assert [r.submit_time for r in a] == [r.submit_time for r in b]
+
+    def test_different_seeds_differ(self):
+        types = long_running_mix()
+        a = PoissonScheduleGenerator(types, 0.75, 100, seed=1).generate(600.0)
+        b = PoissonScheduleGenerator(types, 0.75, 100, seed=2).generate(600.0)
+        assert [r.submit_time for r in a] != [r.submit_time for r in b]
+
+    def test_submissions_sorted_and_within_window(self):
+        gen = PoissonScheduleGenerator(long_running_mix(), 0.9, 64, seed=0)
+        sched = gen.generate(1000.0, start_time=50.0)
+        times = [r.submit_time for r in sched]
+        assert times == sorted(times)
+        assert all(50.0 <= t < 1050.0 for t in times)
+
+    def test_expected_count_close_to_realised(self):
+        gen = PoissonScheduleGenerator(long_running_mix(), 0.8, 1000, seed=5)
+        duration = 3600.0
+        sched = gen.generate(duration)
+        expected = gen.expected_jobs(duration)
+        # Poisson: realised within ~5 sigma of expectation.
+        assert abs(len(sched) - expected) < 5.0 * np.sqrt(expected)
+
+    def test_all_types_appear_in_long_schedule(self):
+        gen = PoissonScheduleGenerator(long_running_mix(), 0.9, 500, seed=0)
+        counts = gen.generate(3600.0).type_counts()
+        assert set(counts) == {jt.name for jt in long_running_mix()}
+
+    def test_oversized_job_rejected(self):
+        big = NAS_TYPES["bt"].with_nodes(100)
+        with pytest.raises(ValueError, match="larger than the cluster"):
+            PoissonScheduleGenerator([big], 0.5, 10, seed=0)
+
+    def test_non_positive_duration_rejected(self):
+        gen = PoissonScheduleGenerator(long_running_mix(), 0.5, 100, seed=0)
+        with pytest.raises(ValueError, match="positive"):
+            gen.generate(0.0)
+
+    def test_job_ids_unique(self):
+        gen = PoissonScheduleGenerator(long_running_mix(), 0.9, 200, seed=0)
+        sched = gen.generate(1800.0)
+        ids = [r.job_id for r in sched]
+        assert len(ids) == len(set(ids))
