@@ -91,6 +91,19 @@ def _fig11(quick: bool, seed: int, csv_path: str | None = None) -> str:
     return fig11.format_table(result)
 
 
+def _resilience(quick: bool, seed: int) -> str:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_resilience(
+        duration=600.0 if quick else 3600.0,
+        warmup=120.0 if quick else 300.0,
+        seed=seed,
+    )
+    table = resilience.format_table(result)
+    card = scorecard.score_resilience(result)
+    return f"{table}\n\n{card.render()}"
+
+
 def _run_all(quick: bool, seed: int, out_dir: str | None) -> str:
     """Run every figure, optionally archiving tables + CSVs to a directory."""
     from pathlib import Path
@@ -130,6 +143,7 @@ _COMMANDS = {
     "fig9": (_fig9, "1-hour time-varying power target tracking"),
     "fig10": (_fig10, "per-type slowdown under the 1-hour schedule"),
     "fig11": (_fig11, "QoS degradation vs performance variation (tabsim)"),
+    "resilience": (_resilience, "fig9 workload under the standard fault load"),
     "all": (None, "run every figure; --out archives tables and CSVs"),
 }
 

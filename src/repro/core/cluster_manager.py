@@ -11,10 +11,20 @@ power-performance models come from three places, in priority order:
 2. the precharacterized model of the job's classified type — possibly wrong,
    when the classifier misclassifies, which is the experiment;
 3. a default-model policy for unknown types (§4.4.2).
+
+The manager is also the component that must survive a faulty cluster: every
+inbound message refreshes a per-job heartbeat, a job whose messages go stale
+is budgeted conservatively from its believed model, a job silent past the
+dead-job timeout is evicted and its link garbage-collected (so a dropped
+goodbye cannot leak a ghost :class:`JobRecord`), inbound model coefficients
+are strictly validated (one NaN must not poison the budgeter's bisection),
+and meter/target faults degrade gracefully (skip the sample / hold the last
+good target with bounded decay).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,12 +32,12 @@ from typing import Callable
 
 from repro.budget.base import JobBudgetRequest, PowerBudgeter
 from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
-from repro.core.targets import PowerTargetSource
+from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.core.transport import TcpLink
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 
-__all__ = ["JobRecord", "ClusterPowerManager"]
+__all__ = ["JobRecord", "BudgetRound", "ClusterPowerManager"]
 
 
 @dataclass
@@ -44,6 +54,12 @@ class JobRecord:
     online_r2: float | None = None
     last_status: StatusMessage | None = None
     caps_sent: int = 0
+    # Heartbeat state: wall-clock (manager-side) time any message last arrived
+    # over this job's link, and the last cap the manager sent it.  A silent
+    # job's believed draw is bounded by ``last_cap`` — the manager cannot
+    # assume anything lower until it hears from the job again.
+    last_heard: float = 0.0
+    last_cap: float | None = None
 
     @property
     def active_model(self) -> QuadraticPowerModel:
@@ -60,6 +76,27 @@ class TrackingSample:
     measured: float
 
 
+@dataclass(frozen=True)
+class BudgetRound:
+    """Accounting for one budgeting round (observability + invariant tests).
+
+    ``idle_power + reserved + allocated`` is the manager's planned cluster
+    draw; it never exceeds ``max(target + correction, floor)`` where
+    ``floor`` is the platform's enforceable minimum for the same occupancy.
+    """
+
+    time: float
+    target: float
+    correction: float
+    idle_power: float  # watts reserved for idle nodes
+    reserved: float  # watts reserved for dormant/stale jobs
+    allocated: float  # watts the budgeter allocated to active jobs
+    floor: float  # idle_power + reserved + active p_min floor
+    stale_jobs: int
+    dormant_jobs: int
+    active_jobs: int
+
+
 @dataclass
 class ClusterPowerManager:
     """Head-node manager: budget computation and message plumbing.
@@ -69,7 +106,10 @@ class ClusterPowerManager:
     budgeter:
         Power-cap allocation policy.
     target_source:
-        Time-varying cluster power target (W).
+        Time-varying cluster power target (W).  Wrapped in a
+        :class:`~repro.core.targets.HoldLastGoodTarget` on construction so a
+        raising or NaN-emitting source degrades to hold-last-with-decay
+        instead of crashing the control loop.
     classifier:
         Supplies the believed model for each job's claimed type.
     total_nodes:
@@ -89,6 +129,14 @@ class ClusterPowerManager:
         low R² by construction (no signal to explain), yet sharing it is
         exactly what recovers the over-estimation cases (Figs. 8, 10); the
         job-tier endpoint already withholds degenerate fits.
+    stale_status_timeout:
+        Seconds of silence after which a job's online model is distrusted and
+        the job is budgeted conservatively (floor cap sent, its last cap's
+        worth of power reserved — a silent job may still be drawing it).
+    dead_job_timeout:
+        Seconds of silence after which the job is presumed gone: its record
+        is evicted and its link unregistered.  This is what closes the
+        dropped-goodbye leak — a ghost record cannot outlive the timeout.
     """
 
     budgeter: PowerBudgeter
@@ -107,11 +155,35 @@ class ClusterPowerManager:
     # quantisation).  Gain 0 disables it (pure feed-forward, as in AQA).
     correction_gain: float = 0.15
     correction_limit_fraction: float = 0.25
+    stale_status_timeout: float = 15.0
+    dead_job_timeout: float = 60.0
 
     jobs: dict[str, JobRecord] = field(default_factory=dict)
     tracking: list[TrackingSample] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+    last_round: BudgetRound | None = field(default=None)
+    evictions: int = 0
+    rejected_statuses: int = 0
+    rejected_models: int = 0
+    meter_faults: int = 0
     _links: list[TcpLink] = field(default_factory=list)
     _correction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stale_status_timeout <= 0:
+            raise ValueError(
+                f"stale_status_timeout must be positive, got {self.stale_status_timeout}"
+            )
+        if self.dead_job_timeout < self.stale_status_timeout:
+            raise ValueError(
+                "dead_job_timeout must be ≥ stale_status_timeout, got "
+                f"{self.dead_job_timeout} < {self.stale_status_timeout}"
+            )
+        if not isinstance(self.target_source, HoldLastGoodTarget):
+            self.target_source = HoldLastGoodTarget(
+                self.target_source,
+                floor=self.total_nodes * self.p_node_min,
+            )
 
     # ------------------------------------------------------------- plumbing
 
@@ -123,14 +195,24 @@ class ClusterPowerManager:
         for link in list(self._links):
             for msg in link.recv_up(now):
                 if isinstance(msg, HelloMessage):
-                    self._on_hello(msg, link)
+                    self._on_hello(msg, link, now)
                 elif isinstance(msg, StatusMessage):
-                    self._on_status(msg)
+                    self._on_status(msg, now)
                 elif isinstance(msg, GoodbyeMessage):
                     self._on_goodbye(msg, link)
 
-    def _on_hello(self, msg: HelloMessage, link: TcpLink) -> None:
+    def _on_hello(self, msg: HelloMessage, link: TcpLink, now: float) -> None:
         believed = self.classifier.model_for(msg.claimed_type, job_name=msg.job_id)
+        stale = self.jobs.get(msg.job_id)
+        if stale is not None and stale.link is not link:
+            # The job reconnected over a fresh link (endpoint restart or
+            # requeue after a node crash); drop the dead one immediately
+            # rather than waiting for the dead-job timeout.
+            if stale.link in self._links:
+                self._links.remove(stale.link)
+            self.events.append(
+                f"t={now:.1f} {msg.job_id}: reconnected, replaced stale link"
+            )
         # The believed power ceiling is where the believed model flattens out;
         # the platform cannot cap below p_node_min regardless.
         self.jobs[msg.job_id] = JobRecord(
@@ -140,28 +222,95 @@ class ClusterPowerManager:
             link=link,
             believed_model=believed,
             believed_p_max=min(believed.p_max, self.p_node_max),
+            last_heard=now,
         )
 
-    def _on_status(self, msg: StatusMessage) -> None:
+    def _on_status(self, msg: StatusMessage, now: float) -> None:
         record = self.jobs.get(msg.job_id)
         if record is None:
             return  # status raced past the goodbye; ignore
+        # Any arrival proves the endpoint process is alive, even if the
+        # payload is garbage — heartbeat first, validation second.
+        record.last_heard = now
+        if not (
+            math.isfinite(msg.measured_power)
+            and msg.measured_power >= 0.0
+            and math.isfinite(msg.applied_cap)
+            and msg.applied_cap > 0.0
+        ):
+            self.rejected_statuses += 1
+            self.events.append(
+                f"t={now:.1f} {msg.job_id}: rejected corrupt status "
+                f"(power={msg.measured_power}, cap={msg.applied_cap})"
+            )
+            return
         record.last_status = msg
         if self.use_feedback and msg.has_model:
-            if msg.model_r2 is None or msg.model_r2 >= self.min_feedback_r2:
-                record.online_model = QuadraticPowerModel(
-                    a=msg.model_a,
-                    b=msg.model_b,
-                    c=msg.model_c,
-                    p_min=self.p_node_min,
-                    p_max=record.believed_p_max,
-                )
-                record.online_r2 = msg.model_r2
+            # NaN r2 must NOT satisfy the quality gate by comparing False —
+            # let it through to validation, which rejects non-finite r2.
+            if msg.model_r2 is None or not (msg.model_r2 < self.min_feedback_r2):
+                model = self._validated_model(msg, record)
+                if model is None:
+                    self.rejected_models += 1
+                    self.events.append(
+                        f"t={now:.1f} {msg.job_id}: rejected model coefficients "
+                        f"(a={msg.model_a}, b={msg.model_b}, c={msg.model_c})"
+                    )
+                else:
+                    record.online_model = model
+                    record.online_r2 = msg.model_r2
+
+    def _validated_model(
+        self, msg: StatusMessage, record: JobRecord
+    ) -> QuadraticPowerModel | None:
+        """Build the job's online model iff the coefficients are physical.
+
+        One corrupt message (NaN/inf coefficients, or a curve that claims
+        *more* power makes the job slower) would otherwise flow straight
+        into the budgeter's bisection and poison every job's cap.
+        """
+        coeffs = (msg.model_a, msg.model_b, msg.model_c)
+        if not all(c is not None and math.isfinite(c) for c in coeffs):
+            return None
+        if msg.model_r2 is not None and not math.isfinite(msg.model_r2):
+            return None
+        model = QuadraticPowerModel(
+            a=float(msg.model_a),
+            b=float(msg.model_b),
+            c=float(msg.model_c),
+            p_min=self.p_node_min,
+            p_max=record.believed_p_max,
+        )
+        if not model.is_monotone_decreasing() or model.t_min <= 0:
+            return None
+        return model
 
     def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink) -> None:
         self.jobs.pop(msg.job_id, None)
         if link in self._links:
             self._links.remove(link)
+
+    def _evict_dead(self, now: float) -> None:
+        """Garbage-collect jobs silent past the dead-job timeout.
+
+        Covers every way a job can vanish without a goodbye reaching us: the
+        goodbye dropped on a lossy link, the endpoint process crashed, or
+        the node crashed and took the whole job with it.
+        """
+        dead = [
+            job_id
+            for job_id, record in self.jobs.items()
+            if now - record.last_heard > self.dead_job_timeout
+        ]
+        for job_id in dead:
+            record = self.jobs.pop(job_id)
+            if record.link in self._links:
+                self._links.remove(record.link)
+            self.evictions += 1
+            self.events.append(
+                f"t={now:.1f} {job_id}: evicted after "
+                f"{now - record.last_heard:.1f}s of silence"
+            )
 
     # -------------------------------------------------------------- control
 
@@ -172,50 +321,73 @@ class ClusterPowerManager:
         are connected).
         """
         self._drain_messages(now)
+        self._evict_dead(now)
         target = self.target_source.target(now)
         if self.meter is not None:
-            measured = float(self.meter())
-            self.tracking.append(
-                TrackingSample(time=now, target=target, measured=measured)
-            )
-            if self.correction_gain > 0:
-                limit = self.correction_limit_fraction * target
-                self._correction = float(
-                    np.clip(
-                        self._correction + self.correction_gain * (target - measured),
-                        -limit,
-                        limit,
-                    )
+            try:
+                measured = float(self.meter())
+            except Exception:
+                measured = math.nan
+            if math.isfinite(measured):
+                self.tracking.append(
+                    TrackingSample(time=now, target=target, measured=measured)
                 )
+                if self.correction_gain > 0:
+                    limit = self.correction_limit_fraction * target
+                    self._correction = float(
+                        np.clip(
+                            self._correction + self.correction_gain * (target - measured),
+                            -limit,
+                            limit,
+                        )
+                    )
+            else:
+                # Meter outage: no sample, and the integral term holds its
+                # last value rather than winding up against garbage.
+                self.meter_faults += 1
         if not self.jobs:
+            self.last_round = None
             return {}
         busy_nodes = sum(r.nodes for r in self.jobs.values())
         idle_nodes = max(0, self.total_nodes - busy_nodes)
-        available = max(
-            target - idle_nodes * self.idle_power_estimate + self._correction, 1.0
-        )
-        # Slack reallocation (§7.2): jobs whose measured power sits at idle
-        # level are in setup/teardown — their caps cannot raise their draw,
-        # so budget them at what they actually consume and hand the slack to
-        # jobs that can use it.
+        idle_power = idle_nodes * self.idle_power_estimate
+        available = max(target - idle_power + self._correction, 1.0)
+        # Triage (§7.2 plus fault hardening):
+        # * stale — silent beyond the staleness timeout: its online fit and
+        #   last status can no longer be trusted, so reserve what it may
+        #   still be drawing (its last cap) and send the floor cap;
+        # * dormant — heard recently but drawing idle-level power
+        #   (setup/teardown): budget it at what it actually consumes;
+        # * active — budget normally.
+        stale: list[JobRecord] = []
         dormant: list[JobRecord] = []
         active: list[JobRecord] = []
         for record in sorted(self.jobs.values(), key=lambda r: r.job_id):
             status = record.last_status
             threshold = record.nodes * self.idle_power_estimate * 1.5
-            if status is None or status.measured_power < threshold:
+            if now - record.last_heard > self.stale_status_timeout:
+                stale.append(record)
+            elif status is None or status.measured_power < threshold:
                 dormant.append(record)
             else:
                 active.append(record)
         caps: dict[str, float] = {}
+        reserved = 0.0
+        for record in stale:
+            assumed_cap = (
+                record.last_cap if record.last_cap is not None else record.believed_p_max
+            )
+            reserved += record.nodes * assumed_cap
+            caps[record.job_id] = self.p_node_min
         for record in dormant:
             drawn = (
                 record.last_status.measured_power
                 if record.last_status is not None
                 else record.nodes * self.idle_power_estimate
             )
-            available -= drawn
+            reserved += drawn
             caps[record.job_id] = self.p_node_min
+        allocated = 0.0
         if active:
             requests = [
                 JobBudgetRequest(
@@ -227,8 +399,27 @@ class ClusterPowerManager:
                 )
                 for r in active
             ]
-            allocation = self.budgeter.allocate(requests, max(available, 1.0))
+            allocation = self.budgeter.allocate(
+                requests, max(available - reserved, 1.0)
+            )
             caps.update(allocation.caps)
+            allocated = sum(
+                allocation.caps[r.job_id] * r.nodes for r in active
+            )
+        self.last_round = BudgetRound(
+            time=now,
+            target=target,
+            correction=self._correction,
+            idle_power=idle_power,
+            reserved=reserved,
+            allocated=allocated,
+            floor=idle_power
+            + reserved
+            + sum(r.nodes for r in active) * self.p_node_min,
+            stale_jobs=len(stale),
+            dormant_jobs=len(dormant),
+            active_jobs=len(active),
+        )
         for record in self.jobs.values():
             cap = caps[record.job_id]
             record.link.send_down(
@@ -236,4 +427,5 @@ class ClusterPowerManager:
                 now,
             )
             record.caps_sent += 1
+            record.last_cap = cap
         return caps

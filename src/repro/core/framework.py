@@ -17,7 +17,7 @@ re-budgets — the same multi-rate asynchrony §7.2 discusses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -28,9 +28,12 @@ from repro.core.cluster_manager import ClusterPowerManager
 from repro.core.job_endpoint import JobTierEndpoint
 from repro.core.targets import ConstantTarget, PowerTargetSource
 from repro.core.transport import TcpLink
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.geopm.report import ApplicationTotals, render_report
 from repro.geopm.tracer import JobTracer
 from repro.hwsim.cluster import EmulatedCluster
+from repro.hwsim.job import RunningJob
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 from repro.sched.base import PendingJob, RunningView, Scheduler
@@ -65,6 +68,12 @@ class AnorConfig:
     endpoint_period: float = 1.0
     manager_period: float = 1.0
     link_latency: float = 0.0
+    # Link fault knobs: message-drop probability and optional per-direction
+    # latency overrides, applied to every job link at construction (no more
+    # mutating channels after the fact to make a link lossy).
+    link_drop_probability: float = 0.0
+    link_latency_up: float | None = None
+    link_latency_down: float | None = None
     idle_power: float = 60.0
     feedback_enabled: bool = True
     retrain_threshold: int = 10
@@ -80,6 +89,14 @@ class AnorConfig:
     # a trace CSV (one row per agent control period) and an Application
     # Totals report on completion (§5.4).
     output_dir: str | None = None
+    # Fault tolerance: manager-side heartbeat timeouts, job requeue after a
+    # node crash, and automatic endpoint restart (the watchdog that brings a
+    # crashed job-tier process back; None disables it).
+    stale_status_timeout: float = 15.0
+    dead_job_timeout: float = 60.0
+    requeue_on_node_failure: bool = True
+    max_requeues: int = 3
+    endpoint_restart_delay: float | None = 30.0
 
 
 @dataclass
@@ -90,6 +107,10 @@ class AnorResult:
     power_trace: np.ndarray  # columns: time, target, measured
     unstarted_jobs: int
     duration: float
+    requeued: list[str] = field(default_factory=list)  # jobs requeued by crashes
+    warnings: list[str] = field(default_factory=list)
+    fault_log: list[str] = field(default_factory=list)
+    ghost_jobs: int = 0  # manager records still alive when the run ended
 
     def slowdowns_by_type(
         self, reference: dict[str, float]
@@ -134,6 +155,7 @@ class AnorSystem:
         job_types: dict[str, JobType] | None = None,
         config: AnorConfig | None = None,
         scheduler: Scheduler | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ) -> None:
         self.config = config or AnorConfig()
         self.job_types = dict(job_types) if job_types is not None else dict(NAS_TYPES)
@@ -165,6 +187,8 @@ class AnorSystem:
             use_feedback=self.config.feedback_enabled,
             p_node_min=P_NODE_MIN,
             p_node_max=P_NODE_MAX,
+            stale_status_timeout=self.config.stale_status_timeout,
+            dead_job_timeout=self.config.dead_job_timeout,
         )
         self.endpoints: dict[str, JobTierEndpoint] = {}
         self._queue: list[_QueuedJob] = []
@@ -179,6 +203,17 @@ class AnorSystem:
         self._next_agent = 0.0
         self._next_endpoint = 0.0
         self._next_manager = 0.0
+        # Fault-tolerance state: what each launched job looked like (for
+        # requeue after a node crash), per-job attempt counts, endpoint
+        # restarts pending, and run-level incident records.
+        self._job_specs: dict[str, _QueuedJob] = {}
+        self._attempts: dict[str, int] = {}
+        self._endpoint_restarts: list[tuple[float, str]] = []
+        self.requeued: list[str] = []
+        self.warnings: list[str] = []
+        self.faults = (
+            FaultInjector(self, fault_schedule) if fault_schedule is not None else None
+        )
 
     # ----------------------------------------------------------- job intake
 
@@ -230,9 +265,13 @@ class AnorSystem:
                 submit_time=self._submit_times[q.request.job_id],
                 # User-style time limit: the worst case (minimum cap).
                 est_runtime=q.job_type.total_time(q.job_type.p_min),
+                attempt=self._attempts.get(q.request.job_id, 1),
             )
             for q in self._queue
         ]
+        # Requeued jobs keep their original submit time, so a stable sort
+        # puts them back at the head of the line (they already waited once).
+        pending.sort(key=lambda p: p.submit_time)
         running = [
             RunningView(
                 job_id=j.job_id,
@@ -256,12 +295,30 @@ class AnorSystem:
             head.job_type,
             submit_time=self._submit_times[head.request.job_id],
         )
-        link = TcpLink(self.config.link_latency, seed=self._rng)
+        self._job_specs[head.request.job_id] = head
+        self._attempts.setdefault(head.request.job_id, 1)
+        self._attach_endpoint(job, head.claimed_type or head.job_type.name)
+        if self.config.output_dir is not None:
+            self._tracers[head.request.job_id] = JobTracer(
+                Path(self.config.output_dir) / f"{head.request.job_id}.trace.csv",
+                job_id=head.request.job_id,
+            )
+
+    def _attach_endpoint(self, job: RunningJob, claimed_type: str) -> None:
+        """Connect a (possibly fresh) job-tier endpoint for a running job."""
+        cfg = self.config
+        link = TcpLink(
+            cfg.link_latency,
+            drop_probability=cfg.link_drop_probability,
+            latency_up=cfg.link_latency_up,
+            latency_down=cfg.link_latency_down,
+            seed=self._rng,
+        )
         self.manager.register_link(link)
-        endpoint = JobTierEndpoint(
-            job_id=head.request.job_id,
-            claimed_type=head.claimed_type or head.job_type.name,
-            nodes=head.job_type.nodes,
+        self.endpoints[job.job_id] = JobTierEndpoint(
+            job_id=job.job_id,
+            claimed_type=claimed_type,
+            nodes=job.job_type.nodes,
             geopm_endpoint=job.endpoint,
             link=link,
             p_min=P_NODE_MIN,
@@ -269,17 +326,89 @@ class AnorSystem:
             default_model=QuadraticPowerModel.from_anchors(
                 1.0, 1.3, P_NODE_MIN, P_NODE_MAX
             ),
-            feedback_enabled=self.config.feedback_enabled,
-            retrain_threshold=self.config.retrain_threshold,
-            min_feedback_epochs=self.config.min_feedback_epochs,
-            detect_drift=self.config.detect_drift,
+            feedback_enabled=cfg.feedback_enabled,
+            retrain_threshold=cfg.retrain_threshold,
+            min_feedback_epochs=cfg.min_feedback_epochs,
+            detect_drift=cfg.detect_drift,
         )
-        self.endpoints[head.request.job_id] = endpoint
-        if self.config.output_dir is not None:
-            self._tracers[head.request.job_id] = JobTracer(
-                Path(self.config.output_dir) / f"{head.request.job_id}.trace.csv",
-                job_id=head.request.job_id,
+
+    # ------------------------------------------------------------- failures
+
+    def crash_node(self, node_id: int, now: float | None = None) -> str | None:
+        """Crash one emulated node; kill, and maybe requeue, its job.
+
+        The job's endpoint dies with it — silently, no goodbye — so the
+        cluster manager only learns of the death through its heartbeat
+        timeouts.  Returns the killed job id, if any.
+        """
+        if now is None:
+            now = self.cluster.clock.now
+        killed = self.cluster.fail_node(node_id)
+        if killed is None:
+            return None
+        self.endpoints.pop(killed, None)
+        self._endpoint_restarts = [
+            r for r in self._endpoint_restarts if r[1] != killed
+        ]
+        tracer = self._tracers.pop(killed, None)
+        if tracer is not None:
+            tracer.close()
+        spec = self._job_specs.get(killed)
+        attempts = self._attempts.get(killed, 1)
+        if (
+            self.config.requeue_on_node_failure
+            and spec is not None
+            and attempts <= self.config.max_requeues
+        ):
+            self._attempts[killed] = attempts + 1
+            self._queue.append(spec)
+            self.requeued.append(killed)
+            self.warnings.append(
+                f"t={now:.1f}: node {node_id} crashed, job {killed} killed and requeued"
             )
+        else:
+            self.warnings.append(
+                f"t={now:.1f}: node {node_id} crashed, job {killed} killed "
+                f"(not requeued)"
+            )
+        return killed
+
+    def crash_endpoint(self, job_id: str, now: float | None = None) -> bool:
+        """Kill a job's endpoint process; the job itself keeps running.
+
+        No goodbye is sent — the manager sees the job go silent, budgets it
+        conservatively, and eventually evicts it.  When
+        ``endpoint_restart_delay`` is set, a watchdog restart re-attaches a
+        fresh endpoint (new link, new hello) after the delay.
+        """
+        if now is None:
+            now = self.cluster.clock.now
+        if self.endpoints.pop(job_id, None) is None:
+            return False
+        self.warnings.append(f"t={now:.1f}: endpoint for job {job_id} crashed")
+        if self.config.endpoint_restart_delay is not None:
+            self._endpoint_restarts.append(
+                (now + self.config.endpoint_restart_delay, job_id)
+            )
+        return True
+
+    def _restart_endpoints(self, now: float) -> None:
+        due = [r for r in self._endpoint_restarts if r[0] <= now]
+        if not due:
+            return
+        self._endpoint_restarts = [r for r in self._endpoint_restarts if r[0] > now]
+        for _, job_id in due:
+            job = self.cluster.running.get(job_id)
+            if job is None or job_id in self.endpoints:
+                continue  # job finished or was requeued meanwhile
+            spec = self._job_specs.get(job_id)
+            claimed = (
+                spec.claimed_type or spec.job_type.name
+                if spec is not None
+                else job.job_type.name
+            )
+            self._attach_endpoint(job, claimed)
+            self.warnings.append(f"t={now:.1f}: endpoint for job {job_id} restarted")
 
     # -------------------------------------------------------------- running
 
@@ -290,6 +419,9 @@ class AnorSystem:
         clock.advance(cfg.tick)
         now = clock.now
         self._intake(now)
+        if self.faults is not None:
+            self.faults.tick(now)
+        self._restart_endpoints(now)
         self._start_ready(now)
         # Control-plane order within a tick: the manager budgets first, then
         # endpoints translate budgets into GEOPM policies, then agents apply
@@ -322,8 +454,17 @@ class AnorSystem:
                 tracer.close()
             if self.config.output_dir is not None:
                 totals = next(
-                    t for t in reversed(self.cluster.completed) if t.job_id == jid
+                    (t for t in reversed(self.cluster.completed) if t.job_id == jid),
+                    None,
                 )
+                if totals is None:
+                    # Job left the cluster without completing (e.g. killed by
+                    # a fault) — there is nothing to report on.
+                    self.warnings.append(
+                        f"t={now:.1f}: no completion totals for job {jid}; "
+                        f"report skipped"
+                    )
+                    continue
                 report_path = Path(self.config.output_dir) / f"{jid}.report"
                 report_path.write_text(render_report(totals))
 
@@ -367,4 +508,8 @@ class AnorSystem:
             power_trace=trace,
             unstarted_jobs=len(self._pending) + len(self._queue),
             duration=self.cluster.clock.now - start,
+            requeued=list(self.requeued),
+            warnings=list(self.warnings),
+            fault_log=self.faults.log_lines() if self.faults is not None else [],
+            ghost_jobs=len(self.manager.jobs),
         )

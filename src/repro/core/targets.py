@@ -25,6 +25,7 @@ __all__ = [
     "RegulationTarget",
     "CarbonAwareTarget",
     "TariffAwareTarget",
+    "HoldLastGoodTarget",
     "load_target_file",
     "save_target_file",
 ]
@@ -154,6 +155,68 @@ class TariffAwareTarget(PowerTargetSource):
         if self.prices[hour] > self.expensive_threshold:
             return self.p_min
         return self.p_max
+
+
+class HoldLastGoodTarget(PowerTargetSource):
+    """Fault-tolerant wrapper: hold the last good target with bounded decay.
+
+    The facility's target feed is an external dependency — a regulation
+    signal file, a carbon-intensity API — and it can stall, raise, or emit
+    NaN/inf rows.  The cluster manager must keep budgeting regardless, so
+    this wrapper:
+
+    * passes finite positive values straight through (recording them);
+    * on a bad read (non-finite, non-positive, or a raised exception), holds
+      the last good value for ``grace`` seconds;
+    * past the grace window, decays the held value exponentially toward
+      ``floor`` (the lowest enforceable cluster power) — a conservative
+      ramp-down, since a long-silent feed may mean the facility wants load
+      shed and the safe direction is downward;
+    * before any good read has arrived, serves ``floor``.
+
+    ``degraded_reads`` counts how many reads were served from the fallback
+    path, for observability.
+    """
+
+    def __init__(
+        self,
+        inner: PowerTargetSource,
+        *,
+        floor: float,
+        grace: float = 30.0,
+        decay_rate: float = 0.005,
+    ) -> None:
+        if floor <= 0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        if grace < 0:
+            raise ValueError(f"grace must be ≥ 0, got {grace}")
+        if decay_rate < 0:
+            raise ValueError(f"decay_rate must be ≥ 0, got {decay_rate}")
+        self.inner = inner
+        self.floor = float(floor)
+        self.grace = float(grace)
+        self.decay_rate = float(decay_rate)
+        self.degraded_reads = 0
+        self._last_good: float | None = None
+        self._last_good_time = 0.0
+
+    def target(self, now: float) -> float:
+        try:
+            value = float(self.inner.target(now))
+        except Exception:
+            value = math.nan
+        if math.isfinite(value) and value > 0:
+            self._last_good = value
+            self._last_good_time = now
+            return value
+        self.degraded_reads += 1
+        if self._last_good is None:
+            return self.floor
+        held = max(0.0, now - self._last_good_time)
+        if held <= self.grace:
+            return self._last_good
+        decayed = self._last_good * math.exp(-self.decay_rate * (held - self.grace))
+        return max(decayed, self.floor)
 
 
 def save_target_file(target: PowerTargetSource, path, *,

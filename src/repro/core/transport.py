@@ -76,21 +76,33 @@ class LatencyChannel:
 
 
 class TcpLink:
-    """Full-duplex link: a downlink (cluster→job) and an uplink (job→cluster)."""
+    """Full-duplex link: a downlink (cluster→job) and an uplink (job→cluster).
+
+    ``latency_down``/``latency_up`` override the shared ``latency`` for one
+    direction — head-node egress and compute-node egress cross different
+    switches in a real deployment, and fault injection uses the asymmetry to
+    model congested uplinks.
+    """
 
     def __init__(
         self,
         latency: float = 0.05,
         *,
         drop_probability: float = 0.0,
+        latency_down: float | None = None,
+        latency_up: float | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         rng = ensure_rng(seed)
         self.down = LatencyChannel(
-            latency, drop_probability=drop_probability, seed=rng
+            latency if latency_down is None else latency_down,
+            drop_probability=drop_probability,
+            seed=rng,
         )
         self.up = LatencyChannel(
-            latency, drop_probability=drop_probability, seed=rng
+            latency if latency_up is None else latency_up,
+            drop_probability=drop_probability,
+            seed=rng,
         )
 
     # Cluster-side verbs.

@@ -7,4 +7,4 @@ match the paper's parameters; benchmarks pass scaled-down knobs (fewer
 trials, shorter schedules) to keep runtimes reasonable.
 """
 
-__all__ = ["fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11"]
+__all__ = ["fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "resilience"]

@@ -19,6 +19,7 @@ from repro.budget.base import PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.framework import AnorConfig, AnorResult, AnorSystem, precharacterized_models
 from repro.core.targets import RegulationTarget
+from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier, Misclassification
 from repro.workloads.generator import PoissonScheduleGenerator
 from repro.workloads.nas import NAS_TYPES, long_running_mix
@@ -64,8 +65,15 @@ def build_demand_response_system(
     num_nodes: int = 16,
     seed: int = 0,
     target_period: float = 4.0,
+    fault_schedule: FaultSchedule | None = None,
+    config: AnorConfig | None = None,
 ) -> AnorSystem:
-    """Assemble the Figs. 9–10 system: 6 long job types, moving target."""
+    """Assemble the Figs. 9–10 system: 6 long job types, moving target.
+
+    ``fault_schedule`` attaches a :class:`~repro.faults.FaultInjector` so the
+    resilience experiments can run the *same* workload, seed, and target
+    signal with and without faults.
+    """
     types = {jt.name: jt for jt in long_running_mix()}
     generator = PoissonScheduleGenerator(
         list(types.values()), utilization=utilization, total_nodes=num_nodes,
@@ -91,7 +99,9 @@ def build_demand_response_system(
         classifier=classifier,
         schedule=schedule,
         job_types=types,
-        config=AnorConfig(num_nodes=num_nodes, seed=seed, feedback_enabled=feedback),
+        config=config
+        or AnorConfig(num_nodes=num_nodes, seed=seed, feedback_enabled=feedback),
+        fault_schedule=fault_schedule,
     )
 
 

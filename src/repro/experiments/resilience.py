@@ -1,0 +1,162 @@
+"""Resilience scorecard: the Fig. 9 workload under the standard fault load.
+
+The paper evaluates demand-response tracking on a healthy cluster; a
+deployable framework must keep tracking through the faults real clusters
+throw at it.  This experiment runs the *same* Fig. 9 workload (same seed,
+same arrival schedule, same target signal) twice — once healthy, once under
+:meth:`~repro.faults.FaultSchedule.standard_load` (one node crash, one
+endpoint crash, 5 % link loss across the run, one corrupt status, one 60 s
+meter outage) — and compares:
+
+* tracking error (90th percentile, post-warmup) — faults must cost at most
+  a bounded factor, not blow up control;
+* completion — every submitted job drains, including the crash-requeued one;
+* hygiene — zero ghost ``JobRecord`` entries once the cluster drains, and
+  the fault event log is fully accounted for (every window closed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.fig9 import (
+    DEFAULT_AVERAGE_POWER,
+    DEFAULT_RESERVE,
+    Fig9Result,
+    build_demand_response_system,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["ResilienceResult", "run_resilience", "format_table"]
+
+
+@dataclass
+class ResilienceResult:
+    """Healthy-vs-faulted comparison of one demand-response run."""
+
+    healthy: Fig9Result
+    faulted: Fig9Result
+    schedule: FaultSchedule
+    ghost_jobs: int  # manager JobRecords alive after the settle window
+    injector_quiescent: bool  # every event fired, every fault window closed
+
+    @property
+    def healthy_error90(self) -> float:
+        return self.healthy.error_at_90th()
+
+    @property
+    def faulted_error90(self) -> float:
+        return self.faulted.error_at_90th()
+
+    @property
+    def degradation_ratio(self) -> float:
+        """Faulted / healthy 90th-percentile tracking error."""
+        base = self.healthy_error90
+        return self.faulted_error90 / base if base > 0 else float("inf")
+
+    @property
+    def requeued(self) -> list[str]:
+        return self.faulted.result.requeued
+
+    @property
+    def requeued_completed(self) -> bool:
+        """Every job requeued by a crash eventually produced totals."""
+        done = {t.job_id for t in self.faulted.result.completed}
+        return all(job_id in done for job_id in self.requeued)
+
+    @property
+    def fault_log(self) -> list[str]:
+        return self.faulted.result.fault_log
+
+
+def _run_one(
+    *,
+    duration: float,
+    seed: int,
+    warmup: float,
+    average_power: float,
+    reserve: float,
+    fault_schedule: FaultSchedule | None,
+) -> tuple[Fig9Result, int, bool]:
+    system = build_demand_response_system(
+        duration=duration,
+        average_power=average_power,
+        reserve=reserve,
+        seed=seed,
+        fault_schedule=fault_schedule,
+    )
+    result = system.run(duration, until_idle=True, max_time=duration + 3600.0)
+    # Settle: after the last job drains, goodbyes are still in flight and any
+    # silently-dead record needs dead_job_timeout to pass before eviction.
+    settle = int(system.config.dead_job_timeout + 10)
+    for _ in range(settle):
+        system.step()
+    # Score tracking only over the scheduled window: past `duration` the
+    # cluster is draining toward empty while the target stays committed, so
+    # the tail would swamp the healthy-vs-faulted comparison for both runs.
+    trace = result.power_trace
+    if len(trace):
+        result = replace(result, power_trace=trace[trace[:, 0] <= duration])
+    fig9 = Fig9Result(
+        result=result,
+        average_power=average_power,
+        reserve=reserve,
+        warmup=warmup,
+    )
+    quiescent = system.faults.quiescent if system.faults is not None else True
+    return fig9, len(system.manager.jobs), quiescent
+
+
+def run_resilience(
+    *,
+    duration: float = 3600.0,
+    seed: int = 0,
+    warmup: float = 300.0,
+    average_power: float = DEFAULT_AVERAGE_POWER,
+    reserve: float = DEFAULT_RESERVE,
+    schedule: FaultSchedule | None = None,
+) -> ResilienceResult:
+    """Run the Fig. 9 workload healthy and under a fault load, and compare."""
+    if schedule is None:
+        schedule = FaultSchedule.standard_load(duration)
+    healthy, _, _ = _run_one(
+        duration=duration,
+        seed=seed,
+        warmup=warmup,
+        average_power=average_power,
+        reserve=reserve,
+        fault_schedule=None,
+    )
+    faulted, ghosts, quiescent = _run_one(
+        duration=duration,
+        seed=seed,
+        warmup=warmup,
+        average_power=average_power,
+        reserve=reserve,
+        fault_schedule=schedule,
+    )
+    return ResilienceResult(
+        healthy=healthy,
+        faulted=faulted,
+        schedule=schedule,
+        ghost_jobs=ghosts,
+        injector_quiescent=quiescent,
+    )
+
+
+def format_table(res: ResilienceResult) -> str:
+    lines = [
+        f"healthy tracking error 90th pct: {100 * res.healthy_error90:5.1f}%",
+        f"faulted tracking error 90th pct: {100 * res.faulted_error90:5.1f}%"
+        f"  ({res.degradation_ratio:.2f}x healthy, bound 1.50x)",
+        f"jobs completed healthy/faulted : "
+        f"{len(res.healthy.result.completed)}/{len(res.faulted.result.completed)}",
+        f"jobs requeued by crashes       : {len(res.requeued)}"
+        f"  (all finished: {'yes' if res.requeued_completed else 'NO'})",
+        f"ghost job records at drain     : {res.ghost_jobs}",
+        f"fault windows all closed       : "
+        f"{'yes' if res.injector_quiescent else 'NO'}",
+        "fault event log:",
+    ]
+    lines.extend(f"  {line}" for line in res.fault_log)
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ __all__ = [
     "score_fig6",
     "score_fig10",
     "score_fig11",
+    "score_resilience",
 ]
 
 
@@ -220,3 +221,24 @@ FIG11_CLAIMS = (
 
 def score_fig11(result) -> Scorecard:
     return _evaluate(FIG11_CLAIMS, result)
+
+
+# --------------------------------------------------------------- resilience
+
+RESILIENCE_CLAIMS = (
+    Claim("resilience", "faulted run drains every submitted job",
+          lambda r: r.faulted.result.unstarted_jobs == 0),
+    Claim("resilience", "jobs requeued by the node crash all finish",
+          lambda r: r.requeued_completed),
+    Claim("resilience", "no ghost job records survive the drain",
+          lambda r: r.ghost_jobs == 0),
+    Claim("resilience", "every fault fired and every fault window closed",
+          lambda r: r.injector_quiescent),
+    Claim("resilience", "tracking error stays within 1.5x of healthy "
+          "(90th pct)",
+          lambda r: r.degradation_ratio <= 1.5),
+)
+
+
+def score_resilience(result) -> Scorecard:
+    return _evaluate(RESILIENCE_CLAIMS, result)

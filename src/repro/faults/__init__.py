@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the ANOR control plane.
+
+The paper evaluates on a healthy 16-node cluster; this package supplies the
+faults a production deployment must survive — node crashes, silent endpoint
+processes, lossy/slow links, facility-meter outages, target-feed outages,
+and corrupt status messages — as a scripted, seeded, perfectly replayable
+event stream.
+
+* :mod:`repro.faults.events` — the fault-event vocabulary (pure data).
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`: an ordered event
+  list, built by hand, from the standard acceptance load, or drawn from a
+  seeded stochastic process (Poisson arrivals per fault class).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: drives a schedule
+  against a running :class:`~repro.core.framework.AnorSystem`, keeping a
+  bit-identical event log for a given (seed, schedule) pair.
+"""
+
+from repro.faults.events import (
+    CorruptStatus,
+    EndpointCrash,
+    FaultEvent,
+    LinkDegradation,
+    MeterOutage,
+    NodeCrash,
+    TargetOutage,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "EndpointCrash",
+    "LinkDegradation",
+    "MeterOutage",
+    "TargetOutage",
+    "CorruptStatus",
+    "FaultSchedule",
+    "FaultInjector",
+]

@@ -1,0 +1,136 @@
+"""Fault-event vocabulary: immutable records of what breaks, and when.
+
+Events are pure data — the :class:`~repro.faults.injector.FaultInjector`
+interprets them against a running system.  Every event carries its fire
+``time`` in simulated seconds; events with a ``duration`` are resolved
+(link restored, meter back online, node rejoins) by the injector at
+``time + duration``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "EndpointCrash",
+    "LinkDegradation",
+    "MeterOutage",
+    "TargetOutage",
+    "CorruptStatus",
+]
+
+#: Corruption modes a :class:`CorruptStatus` event can inject.
+CORRUPTION_KINDS = ("nan", "inf", "nonphysical", "nan-power")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something goes wrong at simulated time ``time``."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ValueError(f"event time must be finite and ≥ 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """A compute node dies; any job running on it is killed mid-run.
+
+    The node rejoins the pool ``down_for`` seconds later (``inf`` = never).
+    """
+
+    node_id: int = 0
+    down_for: float = 300.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be ≥ 0, got {self.node_id}")
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for}")
+
+
+@dataclass(frozen=True)
+class EndpointCrash(FaultEvent):
+    """A job's endpoint process dies; the job keeps running but goes silent.
+
+    ``job_id`` of ``None`` targets the lexicographically-first job with a
+    live endpoint at fire time (deterministic without naming jobs upfront).
+    """
+
+    job_id: str | None = None
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultEvent):
+    """A window of lossy and/or slow tier-to-tier links.
+
+    ``job_id`` of ``None`` degrades every link — including links created
+    while the window is open (a partition hits new connections too).
+    """
+
+    duration: float = 60.0
+    drop_probability: float = 0.0
+    extra_latency: float = 0.0
+    job_id: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability}"
+            )
+        if self.extra_latency < 0:
+            raise ValueError(f"extra_latency must be ≥ 0, got {self.extra_latency}")
+
+
+@dataclass(frozen=True)
+class MeterOutage(FaultEvent):
+    """The facility power meter returns NaN for ``duration`` seconds."""
+
+    duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class TargetOutage(FaultEvent):
+    """The cluster power-target feed returns NaN for ``duration`` seconds."""
+
+    duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class CorruptStatus(FaultEvent):
+    """One poisoned StatusMessage is injected up a job's link.
+
+    Kinds: ``nan``/``inf`` — non-finite model coefficients; ``nonphysical``
+    — a curve claiming more power makes the job slower; ``nan-power`` — a
+    non-finite measured power.  ``job_id`` of ``None`` targets the
+    lexicographically-first job with a live endpoint.
+    """
+
+    job_id: str | None = None
+    kind: str = "nan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"kind must be one of {CORRUPTION_KINDS}, got {self.kind!r}"
+            )

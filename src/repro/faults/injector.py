@@ -1,0 +1,289 @@
+"""The fault injector: drives a :class:`FaultSchedule` against a system.
+
+The injector is installed by :class:`~repro.core.framework.AnorSystem` when
+it is built with a ``fault_schedule``; the system calls :meth:`tick` once
+per simulated second, before the control plane runs, so a fault landing at
+tick *t* shapes the very next budgeting round — the same ordering a real
+crash has relative to the manager's periodic loop.
+
+Everything is deterministic: events fire in schedule order, targets chosen
+at fire time (``job_id=None`` events) are resolved by sorted job id, and
+window resolutions (link restored, node rejoins, meter back) run in
+(time, insertion) order.  The resulting :attr:`log` is bit-identical for a
+given (seed, schedule) pair — the property the resilience benchmark pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.messages import StatusMessage
+from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
+from repro.faults.events import (
+    CorruptStatus,
+    EndpointCrash,
+    FaultEvent,
+    LinkDegradation,
+    MeterOutage,
+    NodeCrash,
+    TargetOutage,
+)
+from repro.faults.schedule import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.framework import AnorSystem
+
+__all__ = ["FaultInjector"]
+
+
+class _SwitchableTarget(PowerTargetSource):
+    """Passes through to ``inner`` unless switched into outage (NaN)."""
+
+    def __init__(self, inner: PowerTargetSource) -> None:
+        self.inner = inner
+        self.down = False
+
+    def target(self, now: float) -> float:
+        if self.down:
+            return math.nan
+        return self.inner.target(now)
+
+
+class FaultInjector:
+    """Applies scheduled faults to a running :class:`AnorSystem`."""
+
+    def __init__(self, system: "AnorSystem", schedule: FaultSchedule) -> None:
+        self.system = system
+        self.schedule = schedule
+        self.log: list[str] = []
+        self._pending: list[FaultEvent] = list(schedule.events)
+        # (resolve_time, seq, log_line, action) — seq keeps resolution order
+        # deterministic when two windows close on the same tick.
+        self._resolutions: list[tuple[float, int, str, Callable[[], None]]] = []
+        self._seq = 0
+        self._meter_down = False
+        self._install_meter_hook()
+        self._target_switch = self._install_target_hook()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _install_meter_hook(self) -> None:
+        inner = self.system.manager.meter
+        if inner is None:
+            return
+
+        def metered() -> float:
+            return math.nan if self._meter_down else float(inner())
+
+        self.system.manager.meter = metered
+
+    def _install_target_hook(self) -> _SwitchableTarget:
+        hold = self.system.manager.target_source
+        if not isinstance(hold, HoldLastGoodTarget):  # pragma: no cover - guard
+            raise TypeError("manager target source must be a HoldLastGoodTarget")
+        switch = _SwitchableTarget(hold.inner)
+        hold.inner = switch
+        return switch
+
+    def _record(self, now: float, line: str) -> None:
+        self.log.append(f"t={now:10.1f} {line}")
+
+    def _defer(self, at: float, line: str, action: Callable[[], None]) -> None:
+        self._resolutions.append((at, self._seq, line, action))
+        self._seq += 1
+
+    # ------------------------------------------------------------- driving
+
+    def tick(self, now: float) -> None:
+        """Fire every event and resolution due at or before ``now``."""
+        due_res = sorted(
+            (r for r in self._resolutions if r[0] <= now), key=lambda r: (r[0], r[1])
+        )
+        if due_res:
+            self._resolutions = [r for r in self._resolutions if r[0] > now]
+            for _, _, line, action in due_res:
+                action()
+                self._record(now, line)
+        while self._pending and self._pending[0].time <= now:
+            event = self._pending.pop(0)
+            self._fire(event, now)
+
+    @property
+    def quiescent(self) -> bool:
+        """True once every event has fired and every window has closed."""
+        return not self._pending and not self._resolutions
+
+    def log_lines(self) -> list[str]:
+        return list(self.log)
+
+    def render(self) -> str:
+        return "\n".join(self.log)
+
+    # -------------------------------------------------------------- events
+
+    def _fire(self, event: FaultEvent, now: float) -> None:
+        if isinstance(event, NodeCrash):
+            self._fire_node_crash(event, now)
+        elif isinstance(event, EndpointCrash):
+            self._fire_endpoint_crash(event, now)
+        elif isinstance(event, LinkDegradation):
+            self._fire_link_degradation(event, now)
+        elif isinstance(event, MeterOutage):
+            self._meter_down = True
+            self._record(now, f"meter-outage start duration={event.duration:.1f}")
+            self._defer(now + event.duration, "meter-outage end", self._meter_up)
+        elif isinstance(event, TargetOutage):
+            self._target_switch.down = True
+            self._record(now, f"target-outage start duration={event.duration:.1f}")
+            self._defer(now + event.duration, "target-outage end", self._target_up)
+        elif isinstance(event, CorruptStatus):
+            self._fire_corrupt_status(event, now)
+        else:  # pragma: no cover - exhaustive over the vocabulary
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def _meter_up(self) -> None:
+        self._meter_down = False
+
+    def _target_up(self) -> None:
+        self._target_switch.down = False
+
+    def _fire_node_crash(self, event: NodeCrash, now: float) -> None:
+        cluster = self.system.cluster
+        if event.node_id >= cluster.num_nodes:
+            self._record(now, f"node-crash node={event.node_id} skipped (no such node)")
+            return
+        if cluster.nodes[event.node_id].failed:
+            self._record(now, f"node-crash node={event.node_id} skipped (already down)")
+            return
+        killed = self.system.crash_node(event.node_id, now)
+        self._record(
+            now,
+            f"node-crash node={event.node_id} killed={killed or '-'} "
+            f"down_for={event.down_for:.1f}",
+        )
+        if math.isfinite(event.down_for):
+            node_id = event.node_id
+            self._defer(
+                now + event.down_for,
+                f"node-restore node={node_id}",
+                lambda: cluster.restore_node(node_id),
+            )
+
+    def _pick_job(self, job_id: str | None, now: float) -> str | None:
+        if job_id is not None:
+            return job_id
+        live = sorted(self.system.endpoints)
+        return live[0] if live else None
+
+    def _fire_endpoint_crash(self, event: EndpointCrash, now: float) -> None:
+        job_id = self._pick_job(event.job_id, now)
+        if job_id is None or job_id not in self.system.endpoints:
+            self._record(now, "endpoint-crash skipped (no live endpoint)")
+            return
+        self.system.crash_endpoint(job_id, now)
+        self._record(now, f"endpoint-crash job={job_id}")
+
+    def _fire_link_degradation(self, event: LinkDegradation, now: float) -> None:
+        system = self.system
+        if event.job_id is None:
+            cfg = system.config
+            saved = (
+                cfg.link_drop_probability,
+                cfg.link_latency_up,
+                cfg.link_latency_down,
+            )
+            cfg.link_drop_probability = event.drop_probability
+            if event.extra_latency > 0:
+                base = cfg.link_latency
+                cfg.link_latency_up = (
+                    saved[1] if saved[1] is not None else base
+                ) + event.extra_latency
+                cfg.link_latency_down = (
+                    saved[2] if saved[2] is not None else base
+                ) + event.extra_latency
+            for endpoint in system.endpoints.values():
+                self._degrade_link(endpoint.link, event)
+            self._record(
+                now,
+                f"link-degrade start scope=all drop={event.drop_probability:.3f} "
+                f"extra_latency={event.extra_latency:.3f} duration={event.duration:.1f}",
+            )
+
+            def restore() -> None:
+                (
+                    cfg.link_drop_probability,
+                    cfg.link_latency_up,
+                    cfg.link_latency_down,
+                ) = saved
+                for endpoint in system.endpoints.values():
+                    self._restore_link(endpoint.link, saved)
+
+            self._defer(now + event.duration, "link-degrade end scope=all", restore)
+            return
+        endpoint = system.endpoints.get(event.job_id)
+        if endpoint is None:
+            self._record(
+                now, f"link-degrade job={event.job_id} skipped (no live endpoint)"
+            )
+            return
+        cfg = system.config
+        saved = (cfg.link_drop_probability, cfg.link_latency_up, cfg.link_latency_down)
+        link = endpoint.link
+        self._degrade_link(link, event)
+        self._record(
+            now,
+            f"link-degrade start job={event.job_id} "
+            f"drop={event.drop_probability:.3f} "
+            f"extra_latency={event.extra_latency:.3f} duration={event.duration:.1f}",
+        )
+        self._defer(
+            now + event.duration,
+            f"link-degrade end job={event.job_id}",
+            lambda: self._restore_link(link, saved),
+        )
+
+    def _degrade_link(self, link, event: LinkDegradation) -> None:
+        link.up.drop_probability = event.drop_probability
+        link.down.drop_probability = event.drop_probability
+        if event.extra_latency > 0:
+            link.up.latency += event.extra_latency
+            link.down.latency += event.extra_latency
+
+    def _restore_link(self, link, saved: tuple) -> None:
+        drop, lat_up, lat_down = saved
+        base = self.system.config.link_latency
+        link.up.drop_probability = drop
+        link.down.drop_probability = drop
+        link.up.latency = base if lat_up is None else lat_up
+        link.down.latency = base if lat_down is None else lat_down
+
+    def _fire_corrupt_status(self, event: CorruptStatus, now: float) -> None:
+        job_id = self._pick_job(event.job_id, now)
+        endpoint = self.system.endpoints.get(job_id) if job_id is not None else None
+        if endpoint is None:
+            self._record(now, "corrupt-status skipped (no live endpoint)")
+            return
+        bad = {"model_r2": 0.99}
+        power = float(endpoint.nodes * 200.0)
+        if event.kind == "nan":
+            bad.update(model_a=math.nan, model_b=math.nan, model_c=math.nan)
+        elif event.kind == "inf":
+            bad.update(model_a=math.inf, model_b=-math.inf, model_c=math.inf)
+        elif event.kind == "nonphysical":
+            # T rising with P: budgeting on this would starve the job hardest
+            # exactly when power is plentiful.
+            bad.update(model_a=0.0, model_b=0.05, model_c=0.1)
+        elif event.kind == "nan-power":
+            bad = {}
+            power = math.nan
+        msg = StatusMessage(
+            job_id=job_id,
+            timestamp=now,
+            epoch_count=0,
+            measured_power=power,
+            applied_cap=200.0,
+            **bad,
+        )
+        endpoint.link.send_up(msg, now)
+        self._record(now, f"corrupt-status job={job_id} kind={event.kind}")

@@ -1,0 +1,180 @@
+"""Fault schedules: ordered, replayable event lists.
+
+A :class:`FaultSchedule` is immutable once built; the same schedule driven
+against the same seeded system produces a bit-identical fault log.  Three
+ways to build one:
+
+* hand-script events (tests pin exact scenarios);
+* :meth:`FaultSchedule.standard_load` — the acceptance load (1 node crash,
+  1 endpoint crash, 5 % link drop, one 60 s meter outage, one corrupt
+  status) scaled to a run's duration;
+* :meth:`FaultSchedule.random` — Poisson arrivals per fault class from a
+  seed, so robustness properties can be swept over many fault mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Iterable, Iterator
+
+from repro.faults.events import (
+    CORRUPTION_KINDS,
+    CorruptStatus,
+    EndpointCrash,
+    FaultEvent,
+    LinkDegradation,
+    MeterOutage,
+    NodeCrash,
+    TargetOutage,
+)
+from repro.util.rng import Seedlike, ensure_rng
+
+__all__ = ["FaultSchedule"]
+
+
+def _sort_key(event: FaultEvent) -> tuple:
+    """Total order: fire time, then class name, then field values."""
+    values = tuple(repr(getattr(event, f.name)) for f in fields(event))
+    return (event.time, type(event).__name__, values)
+
+
+class FaultSchedule:
+    """An immutable, time-ordered sequence of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        collected = list(events)
+        for event in collected:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {event!r}")
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(collected, key=_sort_key))
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+    def extended(self, extra: Iterable[FaultEvent]) -> "FaultSchedule":
+        """A new schedule with ``extra`` events merged in."""
+        return FaultSchedule((*self.events, *extra))
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def standard_load(
+        cls,
+        duration: float,
+        *,
+        num_nodes: int = 16,
+        drop_probability: float = 0.05,
+        meter_outage: float = 60.0,
+        node_down_fraction: float = 0.25,
+    ) -> "FaultSchedule":
+        """The acceptance-criteria fault load for a run of ``duration`` s.
+
+        One node crash at 25 % of the run (down for ``node_down_fraction``
+        of the run), one endpoint crash at 40 %, ``drop_probability`` link
+        loss across the whole run, one corrupt status at 50 %, and one
+        ``meter_outage``-second meter outage at 60 %.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be ≥ 1, got {num_nodes}")
+        return cls(
+            [
+                LinkDegradation(
+                    time=0.0, duration=duration, drop_probability=drop_probability
+                ),
+                NodeCrash(
+                    time=0.25 * duration,
+                    node_id=num_nodes // 2,
+                    down_for=max(node_down_fraction * duration, 1.0),
+                ),
+                EndpointCrash(time=0.40 * duration),
+                CorruptStatus(time=0.50 * duration, kind="nan"),
+                MeterOutage(time=0.60 * duration, duration=meter_outage),
+            ]
+        )
+
+    @classmethod
+    def random(
+        cls,
+        duration: float,
+        *,
+        seed: Seedlike,
+        num_nodes: int = 16,
+        node_crash_rate: float = 0.0,
+        endpoint_crash_rate: float = 0.0,
+        link_burst_rate: float = 0.0,
+        meter_outage_rate: float = 0.0,
+        target_outage_rate: float = 0.0,
+        corrupt_status_rate: float = 0.0,
+        node_down_time: float = 300.0,
+        burst_duration: float = 60.0,
+        burst_drop: float = 0.2,
+        outage_duration: float = 60.0,
+    ) -> "FaultSchedule":
+        """Draw a schedule from Poisson arrivals per fault class.
+
+        Rates are events per second of simulated time (e.g. ``1/600`` is one
+        expected event per ten minutes).  The draw happens here, once — the
+        resulting schedule is fully scripted, so replaying it is exact.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        rng = ensure_rng(seed)
+        events: list[FaultEvent] = []
+
+        def arrivals(rate: float) -> list[float]:
+            times = []
+            if rate <= 0:
+                return times
+            t = float(rng.exponential(1.0 / rate))
+            while t < duration:
+                times.append(t)
+                t += float(rng.exponential(1.0 / rate))
+            return times
+
+        for t in arrivals(node_crash_rate):
+            events.append(
+                NodeCrash(
+                    time=t,
+                    node_id=int(rng.integers(0, num_nodes)),
+                    down_for=node_down_time,
+                )
+            )
+        for t in arrivals(endpoint_crash_rate):
+            events.append(EndpointCrash(time=t))
+        for t in arrivals(link_burst_rate):
+            events.append(
+                LinkDegradation(
+                    time=t, duration=burst_duration, drop_probability=burst_drop
+                )
+            )
+        for t in arrivals(meter_outage_rate):
+            events.append(MeterOutage(time=t, duration=outage_duration))
+        for t in arrivals(target_outage_rate):
+            events.append(TargetOutage(time=t, duration=outage_duration))
+        for t in arrivals(corrupt_status_rate):
+            kind = CORRUPTION_KINDS[int(rng.integers(0, len(CORRUPTION_KINDS)))]
+            events.append(CorruptStatus(time=t, kind=kind))
+        return cls(events)
+
+    # -------------------------------------------------------------- queries
+
+    def events_of(self, *types: type) -> list[FaultEvent]:
+        """Events matching any of the given classes, in schedule order."""
+        return [e for e in self.events if isinstance(e, types)]
+
+    def describe(self) -> str:
+        """One line per event — the scripted half of the injector's log."""
+        return "\n".join(
+            f"t={e.time:10.1f} scheduled {type(e).__name__}" for e in self.events
+        )

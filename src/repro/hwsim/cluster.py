@@ -59,12 +59,16 @@ class EmulatedCluster:
         self._node_rngs = node_rngs
         self.running: dict[str, RunningJob] = {}
         self.completed: list[ApplicationTotals] = []
+        self.killed: list[tuple[float, str]] = []  # (time, job_id) of kills
         self._power_history: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------ node pool
 
     def idle_nodes(self) -> list[Node]:
         return [n for n in self.nodes if n.is_idle]
+
+    def failed_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.failed]
 
     @property
     def num_nodes(self) -> int:
@@ -119,6 +123,43 @@ class EmulatedCluster:
             node.job_id = job_id
         self.running[job_id] = job
         return job
+
+    def kill_job(self, job_id: str) -> RunningJob:
+        """Terminate a running job mid-flight, releasing its nodes.
+
+        Unlike normal completion the job produces no Application Totals —
+        its partial progress is lost and the caller decides whether to
+        requeue it.
+        """
+        if job_id not in self.running:
+            raise KeyError(f"job {job_id!r} is not running")
+        job = self.running.pop(job_id)
+        for node in job.nodes:
+            node.job_id = None
+            node.pio.detach_profiler()
+        job.kill(self.clock.now)
+        self.killed.append((self.clock.now, job_id))
+        return job
+
+    def fail_node(self, node_id: int) -> str | None:
+        """Crash one node; returns the job id it killed, if any.
+
+        The victim job (if the node was allocated) is killed on every node
+        it occupied — an MPI job does not survive losing a rank.  The node
+        stays out of the pool until :meth:`restore_node`.
+        """
+        node = self.nodes[node_id]
+        if node.failed:
+            return None
+        victim = node.job_id
+        if victim is not None:
+            self.kill_job(victim)
+        node.fail()
+        return victim
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a crashed node back into the schedulable pool."""
+        self.nodes[node_id].restore()
 
     def advance(self, dt: float) -> float:
         """Advance physics by ``dt`` (clock already moved by the caller).

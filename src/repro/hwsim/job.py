@@ -30,6 +30,7 @@ class JobPhase(enum.Enum):
     COMPUTE = "compute"
     TEARDOWN = "teardown"
     DONE = "done"
+    KILLED = "killed"  # terminated by a node failure; produces no totals
 
 
 class RunningJob:
@@ -142,11 +143,25 @@ class RunningJob:
                 self.phase = JobPhase.DONE
                 self.end_time = now
 
+    def kill(self, now: float) -> None:
+        """Terminate the job mid-run (node crash took a rank with it).
+
+        A killed job never reaches :meth:`totals` — its partial epoch
+        progress is lost, exactly as when a real MPI rank dies and the whole
+        job aborts.  The cluster releases the surviving nodes.
+        """
+        self.phase = JobPhase.KILLED
+        self.end_time = now
+
     # ------------------------------------------------------------- queries
 
     @property
     def is_done(self) -> bool:
         return self.phase is JobPhase.DONE
+
+    @property
+    def was_killed(self) -> bool:
+        return self.phase is JobPhase.KILLED
 
     @property
     def progress(self) -> float:

@@ -59,6 +59,7 @@ class Node:
         self.idle_power = float(idle_power)
         self.perf_multiplier = float(perf_multiplier)
         self.job_id: str | None = None  # set by the cluster on allocation
+        self.failed = False  # crashed: draws nothing, unschedulable
         self._last_power = self.idle_power
 
     # ----------------------------------------------------------- cap queries
@@ -78,7 +79,23 @@ class Node:
 
     @property
     def is_idle(self) -> bool:
-        return self.job_id is None
+        return self.job_id is None and not self.failed
+
+    # ------------------------------------------------------------- failures
+
+    def fail(self) -> None:
+        """Crash the node: it stops drawing power and leaves the idle pool.
+
+        The cluster is responsible for killing whatever job was running here
+        first; a failed node keeps its MSR state (energy counters survive a
+        reboot on real hardware) but reports zero draw until restored.
+        """
+        self.failed = True
+        self._last_power = 0.0
+
+    def restore(self) -> None:
+        """Bring a failed node back into the idle pool."""
+        self.failed = False
 
     # -------------------------------------------------------------- physics
 
@@ -92,6 +109,9 @@ class Node:
         """
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
+        if self.failed:
+            self._last_power = 0.0
+            return 0.0
         noisy_demand = demand_watts * (1.0 + rng.normal(0.0, 0.01))
         power = min(self.power_cap, max(noisy_demand, self.idle_power))
         per_package = power * dt / len(self.banks)

@@ -17,12 +17,15 @@ class PendingJob:
     nodes: int
     submit_time: float
     est_runtime: float  # user-style estimate (e.g. the job's time limit)
+    attempt: int = 1  # >1 when requeued after a node failure
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ValueError(f"{self.job_id}: nodes must be ≥ 1")
         if self.est_runtime <= 0:
             raise ValueError(f"{self.job_id}: est_runtime must be positive")
+        if self.attempt < 1:
+            raise ValueError(f"{self.job_id}: attempt must be ≥ 1")
 
 
 @dataclass(frozen=True)

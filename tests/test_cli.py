@@ -15,7 +15,10 @@ class TestParser:
             main(["fig99"])
 
     def test_all_figures_registered(self):
-        expected = {f"fig{i}" for i in (3, 4, 5, 6, 7, 8, 9, 10, 11)} | {"all"}
+        expected = {f"fig{i}" for i in (3, 4, 5, 6, 7, 8, 9, 10, 11)} | {
+            "resilience",
+            "all",
+        }
         assert set(_COMMANDS) == expected
 
     def test_help_lists_commands(self, capsys):

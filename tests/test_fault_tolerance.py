@@ -1,11 +1,15 @@
-"""Failure injection: the control plane under lossy tier-to-tier links.
+"""Failure injection: the control plane under lossy links and silent peers.
 
 The ANOR tiers always resend *current state* (latest cap, latest status)
 rather than deltas, so a dropped message should only delay convergence, not
-corrupt it.  These tests inject heavy message loss into the TCP links and
-check the system still completes jobs, enforces budgets, and recovers
-feedback.
+corrupt it.  These tests run the system over links built lossy from
+:class:`AnorConfig` (no subclass surgery on channels), and pin the manager's
+hardening behaviors: heartbeat staleness fallback, dead-job eviction closing
+the dropped-goodbye leak, strict model validation, and the budget-sum
+invariant across seeds.
 """
+
+import math
 
 import numpy as np
 import pytest
@@ -14,8 +18,8 @@ from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.cluster_manager import ClusterPowerManager
 from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
 from repro.core.job_endpoint import JobTierEndpoint
-from repro.core.messages import HelloMessage
-from repro.core.targets import ConstantTarget
+from repro.core.messages import GoodbyeMessage, HelloMessage, StatusMessage
+from repro.core.targets import ConstantTarget, HoldLastGoodTarget
 from repro.core.transport import TcpLink
 from repro.geopm.endpoint import Endpoint
 from repro.modeling.classifier import JobClassifier
@@ -23,27 +27,15 @@ from repro.modeling.quadratic import QuadraticPowerModel
 from repro.workloads.nas import NAS_TYPES
 
 
-class LossySystem(AnorSystem):
-    """AnorSystem whose job links drop a fraction of messages."""
-
-    def __init__(self, *args, drop_probability: float = 0.0, **kwargs):
-        self._drop_probability = drop_probability
-        super().__init__(*args, **kwargs)
-
-    def _launch(self, head):  # inject drops into every new link
-        super()._launch(head)
-        endpoint = self.endpoints[head.request.job_id]
-        endpoint.link.down.drop_probability = self._drop_probability
-        endpoint.link.up.drop_probability = self._drop_probability
-
-
 def run_lossy(drop: float, *, seed: int = 0):
-    system = LossySystem(
+    system = AnorSystem(
         budgeter=EvenSlowdownBudgeter(),
         target_source=ConstantTarget(840.0),
         classifier=JobClassifier(precharacterized_models()),
-        config=AnorConfig(num_nodes=4, seed=seed, feedback_enabled=True),
-        drop_probability=drop,
+        config=AnorConfig(
+            num_nodes=4, seed=seed, feedback_enabled=True,
+            link_drop_probability=drop,
+        ),
     )
     system.submit_now("bt-0", "bt")
     system.submit_now("sp-1", "sp")
@@ -79,15 +71,42 @@ class TestLossyLinks:
         result = run_lossy(0.30, seed=9)
         assert len(result.completed) == 2
 
+    def test_per_direction_latency_override(self):
+        link = TcpLink(0.1, latency_up=2.0, latency_down=0.5)
+        assert link.up.latency == pytest.approx(2.0)
+        assert link.down.latency == pytest.approx(0.5)
+
+
+def make_manager(*, target=840.0, total_nodes=4, **kwargs):
+    return ClusterPowerManager(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(target),
+        classifier=JobClassifier(precharacterized_models()),
+        total_nodes=total_nodes,
+        **kwargs,
+    )
+
+
+def connect_job(manager, job_id, claimed, nodes, *, now=0.0):
+    link = TcpLink(latency=0.0)
+    manager.register_link(link)
+    link.send_up(HelloMessage(job_id, claimed, nodes, now), now)
+    return link
+
+
+def send_status(link, job_id, *, t, epochs=5, power=400.0, cap=200.0, **model):
+    link.send_up(
+        StatusMessage(
+            job_id=job_id, timestamp=t, epoch_count=epochs,
+            measured_power=power, applied_cap=cap, **model,
+        ),
+        t,
+    )
+
 
 class TestManagerRobustness:
     def test_duplicate_hello_is_idempotent(self):
-        manager = ClusterPowerManager(
-            budgeter=EvenSlowdownBudgeter(),
-            target_source=ConstantTarget(840.0),
-            classifier=JobClassifier(precharacterized_models()),
-            total_nodes=4,
-        )
+        manager = make_manager()
         link = TcpLink(latency=0.0)
         manager.register_link(link)
         link.send_up(HelloMessage("j", "bt", 2, 0.0), 0.0)
@@ -109,15 +128,192 @@ class TestManagerRobustness:
         assert endpoint.current_cap == 280.0
 
 
+class TestHeartbeatStaleness:
+    def test_stale_job_budgeted_conservatively(self):
+        """A silent job gets the floor cap and its last cap stays reserved."""
+        manager = make_manager(stale_status_timeout=15.0, dead_job_timeout=60.0)
+        talker = connect_job(manager, "a", "bt", 2)
+        quiet = connect_job(manager, "b", "bt", 2)  # speaks once, then silence
+        send_status(talker, "a", t=0.0, power=400.0)
+        send_status(quiet, "b", t=0.0, power=400.0)
+        caps0 = manager.step(0.0)
+        assert caps0["b"] > manager.p_node_min  # budgeted normally at first
+        send_status(talker, "a", t=20.0, power=400.0)
+        caps = manager.step(20.0)
+        assert caps["b"] == manager.p_node_min
+        rnd = manager.last_round
+        assert rnd.stale_jobs == 1
+        # Reserved = the stale job's last sent cap x nodes: it may still be
+        # drawing that much, so it cannot be handed to anyone else.
+        assert rnd.reserved == pytest.approx(2 * caps0["b"])
+
+    def test_recovery_from_staleness(self):
+        manager = make_manager()
+        talker = connect_job(manager, "a", "bt", 2)
+        silent = connect_job(manager, "b", "bt", 2)
+        send_status(talker, "a", t=0.0, power=400.0)
+        manager.step(0.0)
+        send_status(talker, "a", t=20.0, power=400.0)
+        caps = manager.step(20.0)
+        assert caps["b"] == manager.p_node_min
+        # The job speaks again: budgeted normally on the very next round.
+        send_status(talker, "a", t=21.0, power=400.0)
+        send_status(silent, "b", t=21.0, power=400.0)
+        caps = manager.step(21.0)
+        assert caps["b"] > manager.p_node_min
+        assert manager.last_round.stale_jobs == 0
+
+    def test_dropped_goodbye_evicts_after_timeout(self):
+        """The ghost-record leak: a goodbye that never arrives used to leave
+        a JobRecord (and its link) behind forever.  The dead-job timeout
+        closes it."""
+        manager = make_manager(stale_status_timeout=5.0, dead_job_timeout=20.0)
+        link = connect_job(manager, "a", "bt", 2)
+        send_status(link, "a", t=0.0, power=400.0)
+        manager.step(0.0)
+        assert "a" in manager.jobs
+        # The endpoint sends its goodbye... onto a link that eats it.
+        link.up.drop_probability = 0.999999999
+        link.send_up(GoodbyeMessage("a", 1.0), 1.0)
+        manager.step(10.0)
+        assert "a" in manager.jobs  # silent but not yet presumed dead
+        manager.step(25.0)
+        assert manager.jobs == {}
+        assert manager.evictions == 1
+        assert link not in manager._links  # link garbage-collected too
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            make_manager(stale_status_timeout=0.0)
+        with pytest.raises(ValueError):
+            make_manager(stale_status_timeout=30.0, dead_job_timeout=10.0)
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize(
+        "coeffs",
+        [
+            dict(model_a=math.nan, model_b=-0.01, model_c=5.0, model_r2=0.9),
+            dict(model_a=0.0, model_b=math.inf, model_c=5.0, model_r2=0.9),
+            dict(model_a=0.0, model_b=-0.01, model_c=math.nan, model_r2=0.9),
+            dict(model_a=0.0, model_b=-0.01, model_c=5.0, model_r2=math.nan),
+            # Non-physical: time *rising* with power.
+            dict(model_a=0.0, model_b=0.05, model_c=0.1, model_r2=0.9),
+        ],
+    )
+    def test_bad_model_rejected(self, coeffs):
+        manager = make_manager(use_feedback=True)
+        link = connect_job(manager, "a", "is", 2)
+        send_status(link, "a", t=0.0, power=400.0, **coeffs)
+        manager.step(0.0)
+        assert manager.jobs["a"].online_model is None
+        assert manager.rejected_models == 1
+
+    def test_nonfinite_power_rejected_without_eviction(self):
+        manager = make_manager()
+        link = connect_job(manager, "a", "bt", 2)
+        send_status(link, "a", t=0.0, power=math.nan)
+        manager.step(0.0)
+        assert manager.rejected_statuses == 1
+        assert manager.jobs["a"].last_status is None
+        # The arrival still counted as a heartbeat.
+        assert manager.jobs["a"].last_heard == 0.0
+        caps = manager.step(1.0)
+        assert caps["a"] > 0
+
+
+class TestMeterFaults:
+    def test_nan_meter_skips_sample_and_holds_correction(self):
+        readings = iter([800.0, math.nan, math.nan, 800.0])
+        manager = make_manager(meter=lambda: next(readings), correction_gain=0.5)
+        for t in range(4):
+            manager.step(float(t))
+        assert manager.meter_faults == 2
+        assert len(manager.tracking) == 2
+
+    def test_raising_meter_is_a_fault_not_a_crash(self):
+        def broken():
+            raise OSError("ipmi timeout")
+
+        manager = make_manager(meter=broken)
+        manager.step(0.0)  # must not raise
+        assert manager.meter_faults == 1
+
+
+class TestHoldLastGoodTarget:
+    def test_manager_wraps_target_source(self):
+        manager = make_manager()
+        assert isinstance(manager.target_source, HoldLastGoodTarget)
+
+    def test_holds_then_decays_to_floor(self):
+        class Dying:
+            def target(self, now):
+                return 1000.0 if now < 10.0 else math.nan
+
+        hold = HoldLastGoodTarget(Dying(), floor=300.0, grace=30.0, decay_rate=0.01)
+        assert hold.target(5.0) == 1000.0
+        assert hold.target(20.0) == 1000.0  # within grace: hold flat
+        decayed = hold.target(100.0)
+        assert 300.0 < decayed < 1000.0  # past grace: decaying
+        assert hold.target(10_000.0) == 300.0  # eventually the floor
+        assert hold.degraded_reads == 3
+
+    def test_serves_floor_before_first_good_read(self):
+        class NeverUp:
+            def target(self, now):
+                raise ConnectionError("facility feed down")
+
+        hold = HoldLastGoodTarget(NeverUp(), floor=250.0)
+        assert hold.target(0.0) == 250.0
+
+
+class TestBudgetSumProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_planned_draw_never_exceeds_target_or_floor(self, seed):
+        """Property: over random job mixes, silences, and dormancy, the
+        manager's planned draw (idle + reserved + allocated) stays within
+        max(target + correction, enforceable floor)."""
+        rng = np.random.default_rng(seed)
+        target = float(rng.uniform(900.0, 2500.0))
+        manager = make_manager(target=target, total_nodes=16)
+        links = {}
+        types = list(NAS_TYPES)
+        for i in range(int(rng.integers(2, 6))):
+            job_id = f"j{i}"
+            nodes = int(rng.integers(1, 5))
+            claimed = types[int(rng.integers(0, len(types)))]
+            links[job_id] = (connect_job(manager, job_id, claimed, nodes), nodes)
+        silent = {j for j in links if rng.random() < 0.3}
+        for t in range(0, 40, 2):
+            for job_id, (link, nodes) in links.items():
+                if job_id in silent and t > 4:
+                    continue
+                power = float(rng.uniform(80.0, 280.0)) * nodes
+                send_status(link, job_id, t=float(t), power=power)
+            manager.step(float(t))
+            rnd = manager.last_round
+            assert rnd is not None
+            planned = rnd.idle_power + rnd.reserved + rnd.allocated
+            # 0.5 W of slack: the budgeter's bisection converges to a
+            # tolerance, not to machine epsilon.
+            bound = max(rnd.target + rnd.correction, rnd.floor) + 0.5
+            assert planned <= bound, (
+                f"t={t}: planned {planned:.1f} exceeds bound {bound:.1f} "
+                f"({rnd})"
+            )
+
+
 class TestHelloLossEdge:
     def test_hello_dropped_forever_means_no_budget_but_no_crash(self):
         """Pathological: the one-and-only hello is lost.  The manager never
         budgets the job (it runs uncapped at TDP) but nothing breaks."""
-        system = LossySystem(
+        system = AnorSystem(
             budgeter=EvenSlowdownBudgeter(),
             target_source=ConstantTarget(560.0),
-            config=AnorConfig(num_nodes=2, seed=0, feedback_enabled=False),
-            drop_probability=0.999999,  # effectively everything drops
+            config=AnorConfig(
+                num_nodes=2, seed=0, feedback_enabled=False,
+                link_drop_probability=0.999999,  # effectively everything drops
+            ),
         )
         system.submit_now("mg-0", "mg", nodes=1)
         result = system.run(until_idle=True, max_time=600.0)

@@ -1,0 +1,261 @@
+"""Tests for the fault-injection subsystem (events, schedules, injector)."""
+
+import math
+
+import pytest
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
+from repro.core.targets import ConstantTarget
+from repro.faults import (
+    CorruptStatus,
+    EndpointCrash,
+    FaultSchedule,
+    LinkDegradation,
+    MeterOutage,
+    NodeCrash,
+    TargetOutage,
+)
+from repro.modeling.classifier import JobClassifier
+
+
+def make_system(schedule=None, *, num_nodes=4, seed=0, target=840.0, **cfg):
+    return AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(target),
+        classifier=JobClassifier(precharacterized_models()),
+        config=AnorConfig(num_nodes=num_nodes, seed=seed, **cfg),
+        fault_schedule=schedule,
+    )
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(time=-1.0)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            MeterOutage(time=math.nan)
+
+    def test_bad_drop_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(time=0.0, drop_probability=1.0)
+
+    def test_bad_corruption_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CorruptStatus(time=0.0, kind="gamma-ray")
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            MeterOutage(time=0.0, duration=0.0)
+
+    def test_events_are_frozen(self):
+        event = NodeCrash(time=5.0, node_id=1)
+        with pytest.raises(AttributeError):
+            event.time = 9.0
+
+
+class TestSchedule:
+    def test_events_sorted_by_time(self):
+        sched = FaultSchedule(
+            [MeterOutage(time=50.0), NodeCrash(time=10.0), EndpointCrash(time=30.0)]
+        )
+        assert [e.time for e in sched] == [10.0, 30.0, 50.0]
+
+    def test_equality_and_extended(self):
+        a = FaultSchedule([NodeCrash(time=1.0)])
+        b = FaultSchedule([NodeCrash(time=1.0)])
+        assert a == b
+        c = a.extended([MeterOutage(time=2.0)])
+        assert len(c) == 2 and len(a) == 1
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(["node crash at noon"])
+
+    def test_standard_load_contents(self):
+        sched = FaultSchedule.standard_load(3600.0)
+        assert len(sched.events_of(NodeCrash)) == 1
+        assert len(sched.events_of(EndpointCrash)) == 1
+        assert len(sched.events_of(LinkDegradation)) == 1
+        assert len(sched.events_of(MeterOutage)) == 1
+        assert len(sched.events_of(CorruptStatus)) == 1
+        link = sched.events_of(LinkDegradation)[0]
+        assert link.drop_probability == pytest.approx(0.05)
+        assert link.duration == pytest.approx(3600.0)
+
+    def test_random_is_deterministic_per_seed(self):
+        kwargs = dict(
+            num_nodes=8,
+            node_crash_rate=1 / 300.0,
+            endpoint_crash_rate=1 / 300.0,
+            link_burst_rate=1 / 200.0,
+            meter_outage_rate=1 / 500.0,
+            corrupt_status_rate=1 / 250.0,
+        )
+        a = FaultSchedule.random(3600.0, seed=7, **kwargs)
+        b = FaultSchedule.random(3600.0, seed=7, **kwargs)
+        c = FaultSchedule.random(3600.0, seed=8, **kwargs)
+        assert a == b
+        assert a != c
+
+    def test_describe_one_line_per_event(self):
+        sched = FaultSchedule.standard_load(600.0)
+        assert len(sched.describe().splitlines()) == len(sched)
+
+
+class TestInjectorMeterAndTarget:
+    def test_meter_outage_recorded_and_recovers(self):
+        sched = FaultSchedule([MeterOutage(time=10.0, duration=20.0)])
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(60):
+            system.step()
+        assert system.manager.meter_faults > 0
+        # Samples resume after the outage window closes.
+        assert any(s.time > 35.0 for s in system.manager.tracking)
+        log = system.faults.render()
+        assert "meter-outage start" in log and "meter-outage end" in log
+
+    def test_target_outage_served_by_hold_last_good(self):
+        sched = FaultSchedule([TargetOutage(time=10.0, duration=20.0)])
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(60):
+            system.step()
+        hold = system.manager.target_source
+        assert hold.degraded_reads > 0
+        # Caps kept flowing throughout: the held target budgets normally.
+        assert system.endpoints["bt-0"].current_cap > 0
+
+
+class TestInjectorCorruptStatus:
+    @pytest.mark.parametrize("kind", ["nan", "inf", "nonphysical"])
+    def test_poisoned_model_never_reaches_budgeter(self, kind):
+        sched = FaultSchedule([CorruptStatus(time=5.0, job_id="bt-0", kind=kind)])
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(10):
+            system.step()
+        manager = system.manager
+        assert manager.rejected_models >= 1
+        record = manager.jobs["bt-0"]
+        model = record.active_model
+        assert model.is_monotone_decreasing()
+        assert math.isfinite(model.t_min)
+
+    def test_nan_power_status_rejected_but_counts_as_heartbeat(self):
+        sched = FaultSchedule([CorruptStatus(time=5.0, job_id="bt-0", kind="nan-power")])
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(10):
+            system.step()
+        assert system.manager.rejected_statuses >= 1
+        assert "bt-0" in system.manager.jobs  # not evicted: arrival = alive
+
+
+class TestInjectorLink:
+    def test_scoped_degradation_applies_and_restores(self):
+        sched = FaultSchedule(
+            [
+                LinkDegradation(
+                    time=5.0,
+                    duration=10.0,
+                    drop_probability=0.4,
+                    extra_latency=0.5,
+                    job_id="bt-0",
+                )
+            ]
+        )
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(8):
+            system.step()
+        link = system.endpoints["bt-0"].link
+        assert link.up.drop_probability == pytest.approx(0.4)
+        assert link.up.latency == pytest.approx(0.5)
+        for _ in range(12):
+            system.step()
+        assert link.up.drop_probability == pytest.approx(0.0)
+        assert link.up.latency == pytest.approx(0.0)
+
+    def test_global_degradation_covers_links_created_mid_window(self):
+        sched = FaultSchedule(
+            [LinkDegradation(time=1.0, duration=50.0, drop_probability=0.3)]
+        )
+        system = make_system(sched)
+        system.submit_now("bt-0", "bt")
+        for _ in range(5):
+            system.step()
+        # A job launched inside the window inherits the degraded config.
+        system.submit_now("sp-1", "sp")
+        for _ in range(5):
+            system.step()
+        assert system.endpoints["sp-1"].link.up.drop_probability == pytest.approx(0.3)
+        for _ in range(55):
+            system.step()
+        # Window closed: config restored for any future link.
+        assert system.config.link_drop_probability == pytest.approx(0.0)
+
+
+class TestInjectorCrashes:
+    def test_node_crash_requeues_and_completes(self):
+        sched = FaultSchedule([NodeCrash(time=30.0, node_id=0, down_for=60.0)])
+        system = make_system(sched, num_nodes=2)
+        system.submit_now("bt-0", "bt")
+        result = system.run(until_idle=True, max_time=7200.0)
+        assert result.requeued == ["bt-0"]
+        assert [t.job_id for t in result.completed] == ["bt-0"]
+        assert (30.0, "bt-0") in system.cluster.killed
+        assert "node-crash node=0 killed=bt-0" in system.faults.render()
+
+    def test_endpoint_crash_restarts_and_manager_recovers(self):
+        sched = FaultSchedule([EndpointCrash(time=30.0, job_id="bt-0")])
+        system = make_system(
+            sched, num_nodes=2, endpoint_restart_delay=10.0
+        )
+        system.submit_now("bt-0", "bt")
+        result = system.run(until_idle=True, max_time=7200.0)
+        assert [t.job_id for t in result.completed] == ["bt-0"]
+        assert any("restarted" in w for w in result.warnings)
+        # The fresh hello replaced the dead link before the dead-job timeout.
+        assert any("reconnected" in e for e in system.manager.events)
+        assert system.manager.evictions == 0
+
+    def test_endpoint_crash_without_watchdog_leads_to_eviction(self):
+        sched = FaultSchedule([EndpointCrash(time=30.0, job_id="bt-0")])
+        system = make_system(
+            sched, num_nodes=2, endpoint_restart_delay=None, dead_job_timeout=40.0
+        )
+        system.submit_now("bt-0", "bt")
+        for _ in range(90):
+            system.step()
+        assert "bt-0" not in system.manager.jobs
+        assert system.manager.evictions == 1
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sched = FaultSchedule.random(
+            240.0,
+            seed=99,
+            num_nodes=4,
+            node_crash_rate=1 / 120.0,
+            endpoint_crash_rate=1 / 120.0,
+            link_burst_rate=1 / 100.0,
+            meter_outage_rate=1 / 150.0,
+            corrupt_status_rate=1 / 100.0,
+        )
+        system = make_system(sched, seed=seed)
+        system.submit_now("bt-0", "bt")
+        system.submit_now("sp-1", "sp")
+        result = system.run(240.0)
+        return system, result
+
+    def test_same_seed_same_fault_log_and_trace(self):
+        sys_a, res_a = self._run(5)
+        sys_b, res_b = self._run(5)
+        assert sys_a.faults.log_lines() == sys_b.faults.log_lines()
+        assert res_a.power_trace.tobytes() == res_b.power_trace.tobytes()
+        assert res_a.warnings == res_b.warnings
