@@ -1,0 +1,257 @@
+"""Perf-regression harness for the simulation core.
+
+Times three kernels with ``time.perf_counter``:
+
+* ``fig9`` — the reduced fig9 end-to-end loop (emulated cluster + full
+  two-tier control plane);
+* ``tabsim`` — the 1000-node tabular simulator loop;
+* ``budgeter`` — the even-slowdown and even-power solvers over repeated
+  budget rounds (the bisection hot path of every manager period).
+
+Output is ``BENCH_core.json``: per-kernel wall time, ticks/sec (or
+rounds/sec), and the speedup vs. the recorded **seed baseline**
+(``baseline_seed.json``, measured on the pre-vectorization implementation —
+never regenerate it on optimized code).  A second, regenerable baseline
+(``baseline.json``) gates CI: ``--check`` fails the run when ticks/sec
+regresses more than ``--max-regress`` against it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core.py                  # full
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --quick          # CI smoke
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --quick --check  # gate
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).parent
+SEED_BASELINE = HERE / "baseline_seed.json"
+CURRENT_BASELINE = HERE / "baseline.json"
+DEFAULT_OUTPUT = Path("BENCH_core.json")
+
+
+# ----------------------------------------------------------------- kernels
+
+
+def bench_fig9(*, duration: float, seed: int) -> dict:
+    """End-to-end fig9 loop: one simulated second per tick."""
+    from repro.experiments.fig9 import run_fig9
+
+    start = time.perf_counter()
+    fig9 = run_fig9(duration=duration, seed=seed)
+    wall = time.perf_counter() - start
+    ticks = fig9.result.power_trace.shape[0]
+    return {
+        "wall_s": wall,
+        "ticks": int(ticks),
+        "ticks_per_sec": ticks / wall,
+        "jobs_completed": len(fig9.result.completed),
+    }
+
+
+def bench_tabsim(*, num_nodes: int, duration: float, seed: int) -> dict:
+    """The 1000-node-scale tabular simulator loop (paper §5.6)."""
+    from repro.aqa.regulation import BoundedRandomWalkSignal
+    from repro.tabsim.simulator import SimConfig, TabularClusterSimulator
+    from repro.tabsim.tables import SimJobType
+    from repro.workloads.generator import PoissonScheduleGenerator
+    from repro.workloads.nas import long_running_mix
+
+    base_types = long_running_mix()
+    sim_types = [SimJobType.from_job_type(jt, node_scale=25) for jt in base_types]
+    scaled = [jt.scaled_nodes(25) for jt in base_types]
+    generator = PoissonScheduleGenerator(
+        scaled, utilization=0.75, total_nodes=num_nodes, seed=seed
+    )
+    schedule = generator.generate(duration)
+    signal = BoundedRandomWalkSignal(duration * 4, step=4.0, seed=seed + 1)
+    config = SimConfig(num_nodes=num_nodes, seed=seed + 2)
+    sim = TabularClusterSimulator(sim_types, schedule, signal, config)
+    start = time.perf_counter()
+    result = sim.run(duration)
+    wall = time.perf_counter() - start
+    ticks = result.power_trace.shape[0]
+    return {
+        "wall_s": wall,
+        "ticks": int(ticks),
+        "ticks_per_sec": ticks / wall,
+        "jobs_completed": result.completed_jobs,
+    }
+
+
+def bench_budgeter(*, n_jobs: int, rounds: int, seed: int) -> dict:
+    """Repeated budget rounds over a fixed job mix (the bisection hot path)."""
+    import numpy as np
+
+    from repro.budget.base import JobBudgetRequest
+    from repro.budget.even_power import EvenPowerBudgeter
+    from repro.budget.even_slowdown import EvenSlowdownBudgeter
+    from repro.workloads.nas import NAS_TYPES, P_NODE_MAX, P_NODE_MIN
+
+    types = list(NAS_TYPES.values())
+    jobs = [
+        JobBudgetRequest(
+            job_id=f"j{i:03d}",
+            nodes=types[i % len(types)].nodes,
+            model=types[i % len(types)].truth,
+            p_min=P_NODE_MIN,
+            p_max=P_NODE_MAX,
+        )
+        for i in range(n_jobs)
+    ]
+    total_nodes = sum(j.nodes for j in jobs)
+    budgets = np.linspace(
+        total_nodes * P_NODE_MIN * 1.02, total_nodes * P_NODE_MAX * 0.98, rounds
+    )
+    solvers = [EvenSlowdownBudgeter(), EvenPowerBudgeter()]
+    start = time.perf_counter()
+    for budget in budgets:
+        for solver in solvers:
+            solver.allocate(jobs, float(budget))
+    wall = time.perf_counter() - start
+    n_rounds = rounds * len(solvers)
+    return {
+        "wall_s": wall,
+        "rounds": n_rounds,
+        "ticks_per_sec": n_rounds / wall,  # rounds/sec, same key for the gate
+    }
+
+
+# ------------------------------------------------------------- harness
+
+
+def _best_of(repeats: int, fn, **kwargs) -> dict:
+    """Run ``fn`` ``repeats`` times, keep the fastest (min-wall) sample.
+
+    Wall-clock minima are the standard noise filter for micro/meso
+    benchmarks: interference only ever adds time, so the minimum is the
+    closest observable to the true cost.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        result = fn(**kwargs)
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    best["repeats"] = max(1, repeats)
+    return best
+
+
+def run_suite(quick: bool, seed: int, repeats: int = 3) -> dict:
+    kernels = {}
+    kernels["fig9"] = _best_of(
+        repeats, bench_fig9, duration=300.0 if quick else 900.0, seed=seed
+    )
+    kernels["tabsim"] = _best_of(
+        repeats,
+        bench_tabsim,
+        num_nodes=1000,
+        duration=600.0 if quick else 1800.0,
+        seed=seed + 3,
+    )
+    kernels["budgeter"] = _best_of(
+        repeats, bench_budgeter, n_jobs=24, rounds=50 if quick else 200, seed=seed
+    )
+    return kernels
+
+
+def compare(kernels: dict, baseline: dict | None, config: str) -> dict:
+    """Per-kernel speedup of this run vs. a config-matched baseline.
+
+    Baseline files store one entry per config ("quick"/"full") because
+    ticks/sec is workload-dependent — comparing across configs would be
+    meaningless.
+    """
+    if not baseline:
+        return {}
+    base_kernels = baseline.get(config, {}).get("kernels", {})
+    out = {}
+    for name, result in kernels.items():
+        base = base_kernels.get(name)
+        if base and base.get("ticks_per_sec"):
+            out[name] = result["ticks_per_sec"] / base["ticks_per_sec"]
+    return out
+
+
+def load_json(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced CI smoke config")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="samples per kernel; the fastest (min wall) is reported",
+    )
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when ticks/sec regresses more than --max-regress "
+        "against the committed baseline.json",
+    )
+    parser.add_argument("--max-regress", type=float, default=0.30)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite baseline.json from this run (quick mode numbers)",
+    )
+    args = parser.parse_args(argv)
+
+    config = "quick" if args.quick else "full"
+    kernels = run_suite(args.quick, args.seed, args.repeats)
+    seed_baseline = load_json(SEED_BASELINE)
+    report = {
+        "config": config,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": kernels,
+        "speedup_vs_seed": compare(kernels, seed_baseline, config),
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    for name, result in kernels.items():
+        speed = report["speedup_vs_seed"].get(name)
+        extra = f"  ({speed:.2f}x vs seed)" if speed else ""
+        print(
+            f"{name:10s} {result['wall_s']:8.3f}s  "
+            f"{result['ticks_per_sec']:10.1f} ticks/s{extra}"
+        )
+    print(f"wrote {out_path}")
+
+    if args.update_baseline:
+        baseline = load_json(CURRENT_BASELINE) or {}
+        baseline[config] = {"kernels": kernels}
+        CURRENT_BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {CURRENT_BASELINE} [{config}]")
+    if args.check:
+        baseline = load_json(CURRENT_BASELINE)
+        if baseline is None or config not in baseline:
+            print(f"no committed baseline.json entry for {config!r}; "
+                  "run --update-baseline first")
+            return 1
+        failures = []
+        for name, speedup in compare(kernels, baseline, config).items():
+            if speedup < 1.0 - args.max_regress:
+                failures.append(f"{name}: {speedup:.2f}x of baseline ticks/sec")
+        if failures:
+            print("PERF REGRESSION: " + "; ".join(failures))
+            return 1
+        print(f"perf gate ok (>{1.0 - args.max_regress:.0%} of baseline ticks/sec)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,12 +47,11 @@ class WeightedScheduler:
         free = idle_nodes
         # Round-robin across queues ordered by descending weight so heavier
         # queues get first pick, until no queue can start anything.
+        by_weight = sorted(self.queues, key=lambda q: (-q.weight, q.type_name))
         progressing = True
         while progressing and free > 0:
             progressing = False
-            for queue in sorted(
-                self.queues, key=lambda q: (-q.weight, q.type_name)
-            ):
+            for queue in by_weight:
                 head = queue.peek()
                 if head is None or head.nodes > free:
                     continue

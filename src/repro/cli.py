@@ -2,7 +2,9 @@
 
 Each subcommand regenerates one of the paper's figures and prints the
 paper-vs-measured comparison table.  Scaled-down runs (for quick checks) are
-available through ``--quick``.
+available through ``--quick``.  ``--jobs N`` fans independent runs over N
+worker processes (see :mod:`repro.runner`); ``--seeds`` sweeps a figure over
+several seeds, one run per seed.
 """
 
 from __future__ import annotations
@@ -104,34 +106,77 @@ def _resilience(quick: bool, seed: int) -> str:
     return f"{table}\n\n{card.render()}"
 
 
-def _run_all(quick: bool, seed: int, out_dir: str | None) -> str:
-    """Run every figure, optionally archiving tables + CSVs to a directory."""
+def _all_tasks(quick: bool, seed: int, out_dir: str | None) -> list:
+    """One :class:`~repro.runner.ExperimentTask` per figure, in name order."""
     from pathlib import Path
 
-    lines = []
+    from repro.runner import ExperimentTask
+
     out = Path(out_dir) if out_dir else None
-    if out is not None:
-        out.mkdir(parents=True, exist_ok=True)
+    tasks = []
     for name, (runner, _) in sorted(_COMMANDS.items()):
         if name == "all":
             continue
-        start = time.time()
-        if name in ("fig4", "fig9", "fig11") and out is not None:
-            table = runner(quick, seed, str(out / f"{name}.csv"))
-        elif name in ("fig4", "fig9", "fig11"):
-            table = runner(quick, seed, None)
+        kwargs: dict = {"quick": quick, "seed": seed}
+        if name in _EXPORTABLE:
+            kwargs["csv_path"] = str(out / f"{name}.csv") if out is not None else None
+        tasks.append(ExperimentTask(key=name, fn=runner, kwargs=kwargs))
+    return tasks
+
+
+def _run_all(quick: bool, seed: int, out_dir: str | None, jobs: int = 1) -> str:
+    """Run every figure, optionally archiving tables + CSVs to a directory.
+
+    With ``jobs > 1`` the figures run concurrently; outcomes merge back in
+    figure-name order, so the archived tables are identical to a serial run.
+    """
+    from pathlib import Path
+
+    from repro.runner import run_tasks
+
+    out = Path(out_dir) if out_dir else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    outcomes = run_tasks(_all_tasks(quick, seed, out_dir), jobs=jobs)
+    lines = []
+    failed = []
+    for outcome in outcomes:
+        lines.append(f"=== {outcome.key} ({outcome.elapsed:.1f}s) ===")
+        if outcome.ok:
+            lines.append(outcome.table)
+            if out is not None:
+                (out / f"{outcome.key}.txt").write_text(outcome.table + "\n")
         else:
-            table = runner(quick, seed)
-        elapsed = time.time() - start
-        if out is not None:
-            (out / f"{name}.txt").write_text(table + "\n")
-        lines.append(f"=== {name} ({elapsed:.1f}s) ===")
-        lines.append(table)
+            lines.append(f"FAILED: {outcome.error}")
+            failed.append(outcome.key)
         lines.append("")
     if out is not None:
         lines.append(f"[tables and CSVs archived under {out}]")
+    if failed:
+        lines.append(f"[{len(failed)} experiment(s) failed: {', '.join(failed)}]")
     return "\n".join(lines)
 
+
+def _run_seed_sweep(name: str, quick: bool, seeds: list[int], jobs: int) -> str:
+    """Run one figure once per seed, fanned over ``jobs`` workers."""
+    from repro.runner import ExperimentTask, run_tasks
+
+    runner, _ = _COMMANDS[name]
+    tasks = [
+        ExperimentTask(
+            key=f"{name}[seed={s}]", fn=runner, kwargs={"quick": quick, "seed": s}
+        )
+        for s in seeds
+    ]
+    lines = []
+    for outcome in run_tasks(tasks, jobs=jobs):
+        lines.append(f"=== {outcome.key} ({outcome.elapsed:.1f}s) ===")
+        lines.append(outcome.table if outcome.ok else f"FAILED: {outcome.error}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+_EXPORTABLE = {"fig4", "fig9", "fig11"}
 
 _COMMANDS = {
     "fig3": (_fig3, "power-performance characterization curves + fit R²"),
@@ -155,31 +200,49 @@ def main(argv: list[str] | None = None) -> int:
         "for Dynamic Power Objectives' (SC-W 2023).",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
-    exportable = {"fig4", "fig9", "fig11"}
     for name, (_, help_text) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--quick", action="store_true", help="scaled-down run")
-        p.add_argument("--seed", type=int, default=0)
-        if name in exportable:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent runs (default: serial)",
+        )
+        if name in _EXPORTABLE:
             p.add_argument(
                 "--csv", default=None, help="also write the plotted series as CSV"
             )
         if name == "all":
+            p.add_argument("--seed", type=int, default=0)
             p.add_argument(
                 "--out", default=None, help="directory to archive tables and CSVs"
             )
+        else:
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument(
+                "--seeds",
+                default=None,
+                help="comma-separated seed list: run the figure once per seed "
+                "(fanned over --jobs workers)",
+            )
     args = parser.parse_args(argv)
-    start = time.time()
+    start = time.perf_counter()
     if args.experiment == "all":
-        table = _run_all(args.quick, args.seed, args.out)
-    elif args.experiment in exportable:
+        table = _run_all(args.quick, args.seed, args.out, jobs=args.jobs)
+    elif getattr(args, "seeds", None):
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+        if not seeds:
+            parser.error("--seeds must name at least one seed")
+        table = _run_seed_sweep(args.experiment, args.quick, seeds, args.jobs)
+    elif args.experiment in _EXPORTABLE:
         runner, _ = _COMMANDS[args.experiment]
         table = runner(args.quick, args.seed, args.csv)
     else:
         runner, _ = _COMMANDS[args.experiment]
         table = runner(args.quick, args.seed)
     print(table)
-    print(f"\n[{args.experiment} completed in {time.time() - start:.1f}s]")
+    print(f"\n[{args.experiment} completed in {time.perf_counter() - start:.1f}s]")
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 from repro.sched.base import PendingJob, RunningView, Scheduler
 from repro.sched.fcfs import FcfsScheduler
+from repro.util.clock import PeriodicGate
 from repro.util.rng import ensure_rng
 from repro.workloads.nas import NAS_TYPES, JobType, P_NODE_MAX, P_NODE_MIN
 from repro.workloads.trace import JobRequest, Schedule
@@ -200,9 +201,11 @@ class AnorSystem:
         self._tracers: dict[str, JobTracer] = {}
         if self.config.output_dir is not None:
             Path(self.config.output_dir).mkdir(parents=True, exist_ok=True)
-        self._next_agent = 0.0
-        self._next_endpoint = 0.0
-        self._next_manager = 0.0
+        # Grid-anchored gates: fire on the k·period grid set by their first
+        # firing, with no per-fire epsilon drift (see PeriodicGate).
+        self._agent_gate = PeriodicGate(self.config.agent_period)
+        self._endpoint_gate = PeriodicGate(self.config.endpoint_period)
+        self._manager_gate = PeriodicGate(self.config.manager_period)
         # Fault-tolerance state: what each launched job looked like (for
         # requeue after a node crash), per-job attempt counts, endpoint
         # restarts pending, and run-level incident records.
@@ -427,20 +430,17 @@ class AnorSystem:
         # endpoints translate budgets into GEOPM policies, then agents apply
         # them — so a decision reaches the MSRs within one tick plus link
         # latency, matching a real deployment where each hop is a few ms.
-        if now >= self._next_manager:
+        if self._manager_gate.due(now):
             self.manager.step(now)
-            self._next_manager = now + cfg.manager_period - 1e-9
-        if now >= self._next_endpoint:
+        if self._endpoint_gate.due(now):
             for endpoint in self.endpoints.values():
                 endpoint.step(now)
-            self._next_endpoint = now + cfg.endpoint_period - 1e-9
-        if now >= self._next_agent:
+        if self._agent_gate.due(now):
             for job in self.cluster.running.values():
                 sample = job.agents.step(now)
                 tracer = self._tracers.get(job.job_id)
                 if tracer is not None:
                     tracer.record(sample)
-            self._next_agent = now + cfg.agent_period - 1e-9
         measured = self.cluster.advance(cfg.tick)
         self._trace.append((now, self.target_source.target(now), measured))
         # Completed jobs: close their endpoints so the manager forgets them.

@@ -111,6 +111,7 @@ class JobTierEndpoint:
         # them to the modeler out of order would run its clock backwards
         # (§7.2's timestamped-sample mapping).
         status: StatusMessage | None = None
+        model_fields: dict | None = None
         sample = self.geopm.read_sample()
         if sample is not None:
             # Feed the modeler with the cap the agents report *enforcing*,
@@ -118,13 +119,14 @@ class JobTierEndpoint:
             self.modeler.observe(
                 sample.timestamp, sample.epoch_count, sample.applied_cap
             )
+            model_fields = self._model_fields()
             status = StatusMessage(
                 job_id=self.job_id,
                 timestamp=sample.timestamp,
                 epoch_count=sample.epoch_count,
                 measured_power=sample.power,
                 applied_cap=sample.applied_cap,
-                **self._model_fields(),
+                **model_fields,
             )
             self.link.send_up(status, now)
             self.statuses_sent += 1
@@ -137,7 +139,7 @@ class JobTierEndpoint:
                 new_cap = msg.power_cap_node
         if new_cap is not None:
             self.current_cap = float(new_cap)
-        applied_cap = self._cap_to_apply()
+        applied_cap = self._cap_to_apply(model_fields)
         if new_cap is not None or applied_cap != self.current_cap:
             self.geopm.write_policy(
                 AgentPolicy(power_cap_node=applied_cap, issued_at=now)
@@ -145,7 +147,7 @@ class JobTierEndpoint:
             self.modeler.set_cap(now, applied_cap)
         return status
 
-    def _cap_to_apply(self) -> float:
+    def _cap_to_apply(self, model_fields: dict | None = None) -> float:
         """The budgeted cap, dithered while still identifying the model.
 
         The sign is held for ``explore_hold_steps`` control periods so that
@@ -154,11 +156,17 @@ class JobTierEndpoint:
         Exploration stops once the modeler's fit is good enough to share
         (and resumes if the fit degrades), bounding the dither's cost to
         job performance and cluster power-tracking.
+
+        ``model_fields`` lets :meth:`step` reuse the shareability decision it
+        already computed for the status message (nothing mutates the modeler
+        in between).
         """
+        if model_fields is None:
+            model_fields = self._model_fields()
         if (
             not self.feedback_enabled
             or self.explore_amplitude <= 0.0
-            or self._model_fields()
+            or model_fields
         ):
             return self.current_cap
         self._explore_step += 1

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.geopm.comm_tree import AgentTree
 from repro.geopm.endpoint import Endpoint
 from repro.geopm.profiler import EpochProfiler
-from repro.geopm.signals import ControlNames, PlatformIO, SignalNames
+from repro.geopm.signals import ControlNames, PlatformIO
 
 __all__ = ["AgentPolicy", "AgentSample", "PowerGovernorAgent", "JobAgentGroup"]
 
@@ -90,12 +90,15 @@ class PowerGovernorAgent:
             self.pio.write_control(
                 ControlNames.CPU_POWER_LIMIT_CONTROL, self.policy.power_cap_node
             )
-        own_power = self.pio.read_signal(SignalNames.CPU_POWER)
-        own_energy = self.pio.read_signal(SignalNames.CPU_ENERGY)
-        applied = self.pio.read_control(ControlNames.CPU_POWER_LIMIT_CONTROL)
-        power = own_power + sum(s.power for s in self._child_samples.values())
-        energy = own_energy + sum(s.energy for s in self._child_samples.values())
-        nodes = 1 + sum(s.nodes for s in self._child_samples.values())
+        own_power, own_energy, applied = self.pio.sample()
+        if self._child_samples:
+            children = self._child_samples.values()
+            power = own_power + sum(s.power for s in children)
+            energy = own_energy + sum(s.energy for s in children)
+            nodes = 1 + sum(s.nodes for s in children)
+        else:
+            # Leaf agents (the vast majority) aggregate nothing.
+            power, energy, nodes = own_power, own_energy, 1
         epoch = self.profiler.epoch_count if self.profiler is not None else 0
         sample = AgentSample(
             timestamp=now,

@@ -62,6 +62,9 @@ class MsrBank:
         self._energy_raw = 0  # 32-bit accumulating counter
         self._energy_joules_total = 0.0  # unwrapped ground truth (emulator only)
         self._power_limit_raw = int(round(tdp_watts / POWER_UNIT_WATTS))
+        #: Bumped on every power-limit write; lets node-level cap sums be
+        #: cached and invalidated without re-deriving watts on each read.
+        self.cap_version = 0
 
     # ---------------------------------------------------------- register API
 
@@ -77,6 +80,7 @@ class MsrBank:
             if value < 0:
                 raise ValueError(f"power limit cannot be negative: {value}")
             self._power_limit_raw = int(value)
+            self.cap_version += 1
             return
         if address == MSR_PKG_ENERGY_STATUS:
             raise PermissionError("PKG_ENERGY_STATUS is read-only")

@@ -102,6 +102,19 @@ class PlatformIO:
         self._last_power_value = (energy - e0) / dt
         return self._last_power_value
 
+    def sample(self) -> tuple[float, float, float]:
+        """One-shot ``(CPU_POWER, CPU_ENERGY, applied cap)`` read.
+
+        Agents read all three every control period; reading them through one
+        call skips the second energy-counter sweep (its delta is always zero
+        because nothing deposits energy between the reads) while returning
+        exactly what three :meth:`read_signal`/:meth:`read_control` calls
+        would.
+        """
+        power = self._read_power()  # unwraps + accumulates the counters
+        applied = sum(b.power_limit_watts for b in self._banks)
+        return power, self._energy_joules, applied
+
     # -------------------------------------------------------------- controls
 
     def write_control(self, name: str, value: float) -> None:

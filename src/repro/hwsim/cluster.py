@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geopm.report import ApplicationTotals
-from repro.hwsim.job import RunningJob
+from repro.hwsim.job import BATCH_MIN_NODES, RunningJob
 from repro.hwsim.node import Node
 from repro.util.clock import SimClock
 from repro.util.rng import ensure_rng, spawn_rng
@@ -173,8 +173,22 @@ class EmulatedCluster:
             job.advance(dt, now)
             if job.is_done:
                 finished.append(job.job_id)
-        for node in self.idle_nodes():
-            node.consume_idle(dt, self._node_rngs[node.node_id])
+        idle = self.idle_nodes()
+        if len(idle) >= BATCH_MIN_NODES:
+            # One draw per idle node from its own stream (order matches the
+            # per-node consume_idle loop); the cap/floor arithmetic and
+            # energy deposit batch across nodes.
+            eps = np.array(
+                [self._node_rngs[n.node_id].normal(0.0, 0.01) for n in idle]
+            )
+            idle_powers = np.array([n.idle_power for n in idle])
+            caps = np.array([n.power_cap for n in idle])
+            powers = np.minimum(caps, np.maximum(idle_powers * (1.0 + eps), idle_powers))
+            for node, power in zip(idle, powers):
+                node.deposit(float(power), dt)
+        else:
+            for node in idle:
+                node.consume_idle(dt, self._node_rngs[node.node_id])
         for job_id in finished:
             job = self.running.pop(job_id)
             for node in job.nodes:

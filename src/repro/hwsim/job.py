@@ -24,6 +24,12 @@ from repro.workloads.nas import JobType
 
 __all__ = ["JobPhase", "RunningJob"]
 
+#: Node count above which the batched numpy physics path beats the scalar
+#: per-node loop.  Both paths are bit-identical (the golden traces pin them
+#: to each other); below this width the ufunc call overhead on 1–2 element
+#: arrays costs more than it saves.
+BATCH_MIN_NODES = 8
+
 
 class JobPhase(enum.Enum):
     SETUP = "setup"
@@ -73,6 +79,17 @@ class RunningJob:
         )
         # Fractional epoch progress per rank (rank i ↔ node i).
         self._rank_progress = np.zeros(len(nodes), dtype=float)
+        # Invariants hoisted for the batched physics path.
+        self._perf_multipliers = np.array([n.perf_multiplier for n in nodes])
+        self._idle_powers = np.array([n.idle_power for n in nodes])
+        # Compute ticks draw, per node in order: one progress-jitter sample
+        # (σ = type noise) then one RAPL-noise sample (σ = 0.01, consumed by
+        # Node.consume).  A single Generator.normal call with this alternating
+        # scale vector reproduces the sequential scalar draws bit for bit.
+        scales = np.empty(2 * len(nodes))
+        scales[0::2] = job_type.noise
+        scales[1::2] = 0.01
+        self._noise_scales = scales
         self._compute_started: float | None = None
         self._compute_finished: float | None = None
         self.end_time: float | None = None
@@ -85,50 +102,18 @@ class RunningJob:
     def advance(self, dt: float, now: float) -> None:
         """Advance the job's physical state by ``dt`` seconds ending at ``now``."""
         if self.phase is JobPhase.DONE:
-            for node in self.nodes:
-                node.consume_idle(dt, self.rng)
+            self._consume_idle_all(dt)
             return
         self.phase_elapsed += dt
         if self.phase is JobPhase.SETUP:
-            for node in self.nodes:
-                node.consume_idle(dt, self.rng)
+            self._consume_idle_all(dt)
             if self.phase_elapsed >= self.job_type.setup_time:
                 self.phase = JobPhase.COMPUTE
                 self.phase_elapsed = 0.0
                 self._compute_started = now
             return
         if self.phase is JobPhase.COMPUTE:
-            tick_power = 0.0
-            for i, node in enumerate(self.nodes):
-                cap = node.power_cap
-                frac = self._rank_progress[i] / self.job_type.epochs
-                # Phase-aware lookup: phase-less types ignore the progress
-                # fraction; PhasedJobType switches curves mid-run (§8).
-                tau = self.job_type.time_per_epoch_at(cap, frac)
-                # Per-tick jitter on the progress rate plus the run-level and
-                # node-variation multipliers.
-                jitter = float(np.exp(self.rng.normal(0.0, self.job_type.noise)))
-                rate = (
-                    node.perf_multiplier
-                    / (tau * self._run_multiplier * jitter)
-                )
-                self._rank_progress[i] += rate * dt
-                done_epochs = min(int(self._rank_progress[i]), self.job_type.epochs)
-                if done_epochs > self.profiler.rank_counts[i]:
-                    self.profiler.set_rank_progress(i, done_epochs, timestamp=now)
-                demand = min(
-                    max(cap, self.job_type.p_min),
-                    self.job_type.power_demand_at(frac),
-                )
-                if self.job_type.power_wave > 0.0:
-                    # Epoch-periodic draw signature (compute vs. exchange
-                    # phases inside each iteration) — what §8's automatic
-                    # epoch detection listens for.
-                    epoch_phase = self._rank_progress[i] % 1.0
-                    demand *= 1.0 + self.job_type.power_wave * np.sin(
-                        2.0 * np.pi * epoch_phase
-                    )
-                tick_power += node.consume(demand, dt, self.rng)
+            tick_power = self._advance_compute(dt, now)
             self._compute_energy += tick_power * dt
             self._compute_seconds += dt
             if self.profiler.epoch_count >= self.job_type.epochs:
@@ -137,11 +122,97 @@ class RunningJob:
                 self._compute_finished = now
             return
         if self.phase is JobPhase.TEARDOWN:
-            for node in self.nodes:
-                node.consume_idle(dt, self.rng)
+            self._consume_idle_all(dt)
             if self.phase_elapsed >= self.job_type.teardown_time:
                 self.phase = JobPhase.DONE
                 self.end_time = now
+
+    def _advance_compute(self, dt: float, now: float) -> float:
+        """One compute tick across all ranks, batched; returns the job power.
+
+        Every arithmetic step mirrors the per-node scalar loop operation for
+        operation (same elementwise IEEE ops, same RNG consumption order), so
+        the batched path is bit-identical to the original implementation —
+        ``tests/test_golden_traces.py`` holds it to that.
+        """
+        nodes = self.nodes
+        jt = self.job_type
+        if len(nodes) < BATCH_MIN_NODES or any(node.failed for node in nodes):
+            # Narrow jobs: ufunc overhead dominates, the scalar loop wins.
+            # Failed ranks (normally the job is killed before advancing
+            # again) also route here — that path consumes no RNG draws for
+            # the crashed node.
+            return self._advance_compute_nodewise(dt, now)
+        caps = np.array([node.power_cap for node in nodes])
+        fracs = self._rank_progress / jt.epochs
+        # Phase-aware lookup: phase-less types ignore the progress fraction;
+        # PhasedJobType switches curves mid-run (§8).
+        taus = jt.time_per_epoch_array(caps, fracs)
+        draws = self.rng.normal(0.0, self._noise_scales)
+        # Per-tick jitter on the progress rate plus the run-level and
+        # node-variation multipliers.
+        jitter = np.exp(draws[0::2])
+        rates = self._perf_multipliers / (taus * self._run_multiplier * jitter)
+        self._rank_progress += rates * dt
+        done = np.minimum(self._rank_progress.astype(np.int64), jt.epochs)
+        counts = np.asarray(self.profiler.rank_counts)
+        for i in np.flatnonzero(done > counts):
+            self.profiler.set_rank_progress(int(i), int(done[i]), timestamp=now)
+        demand = np.minimum(np.maximum(caps, jt.p_min), jt.power_demand_array(fracs))
+        if jt.power_wave > 0.0:
+            # Epoch-periodic draw signature (compute vs. exchange phases
+            # inside each iteration) — what §8's automatic epoch detection
+            # listens for.
+            demand = demand * (
+                1.0 + jt.power_wave * np.sin(2.0 * np.pi * (self._rank_progress % 1.0))
+            )
+        # Node.consume, batched: RAPL noise, cap ceiling, idle floor.
+        noisy = demand * (1.0 + draws[1::2])
+        powers = np.minimum(caps, np.maximum(noisy, self._idle_powers))
+        tick_power = 0.0
+        for node, power in zip(nodes, powers):
+            node.deposit(float(power), dt)
+            tick_power += float(power)
+        return tick_power
+
+    def _advance_compute_nodewise(self, dt: float, now: float) -> float:
+        """Reference per-node compute tick (kept for failed-node edge cases)."""
+        tick_power = 0.0
+        for i, node in enumerate(self.nodes):
+            cap = node.power_cap
+            frac = self._rank_progress[i] / self.job_type.epochs
+            tau = self.job_type.time_per_epoch_at(cap, frac)
+            jitter = float(np.exp(self.rng.normal(0.0, self.job_type.noise)))
+            rate = node.perf_multiplier / (tau * self._run_multiplier * jitter)
+            self._rank_progress[i] += rate * dt
+            done_epochs = min(int(self._rank_progress[i]), self.job_type.epochs)
+            if done_epochs > self.profiler.rank_counts[i]:
+                self.profiler.set_rank_progress(i, done_epochs, timestamp=now)
+            demand = min(
+                max(cap, self.job_type.p_min),
+                self.job_type.power_demand_at(frac),
+            )
+            if self.job_type.power_wave > 0.0:
+                epoch_phase = self._rank_progress[i] % 1.0
+                demand *= 1.0 + self.job_type.power_wave * np.sin(
+                    2.0 * np.pi * epoch_phase
+                )
+            tick_power += node.consume(demand, dt, self.rng)
+        return tick_power
+
+    def _consume_idle_all(self, dt: float) -> None:
+        """Idle-power tick for every node (setup/teardown/done), batched."""
+        nodes = self.nodes
+        if len(nodes) < BATCH_MIN_NODES or any(node.failed for node in nodes):
+            for node in nodes:
+                node.consume_idle(dt, self.rng)
+            return
+        eps = self.rng.normal(0.0, 0.01, size=len(nodes))
+        caps = np.array([node.power_cap for node in nodes])
+        noisy = self._idle_powers * (1.0 + eps)
+        powers = np.minimum(caps, np.maximum(noisy, self._idle_powers))
+        for node, power in zip(nodes, powers):
+            node.deposit(float(power), dt)
 
     def kill(self, now: float) -> None:
         """Terminate the job mid-run (node crash took a rank with it).

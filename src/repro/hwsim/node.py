@@ -61,13 +61,26 @@ class Node:
         self.job_id: str | None = None  # set by the cluster on allocation
         self.failed = False  # crashed: draws nothing, unschedulable
         self._last_power = self.idle_power
+        self._cap_cache = sum(b.power_limit_watts for b in self.banks)
+        self._cap_cache_version = sum(b.cap_version for b in self.banks)
 
     # ----------------------------------------------------------- cap queries
 
     @property
     def power_cap(self) -> float:
-        """Total node CPU cap currently programmed across packages (W)."""
-        return sum(b.power_limit_watts for b in self.banks)
+        """Total node CPU cap currently programmed across packages (W).
+
+        The physics loop reads this every tick while caps change only a few
+        times per control period, so the package sum is cached against the
+        banks' write-version counters.
+        """
+        version = 0
+        for bank in self.banks:
+            version += bank.cap_version
+        if version != self._cap_cache_version:
+            self._cap_cache = sum(b.power_limit_watts for b in self.banks)
+            self._cap_cache_version = version
+        return self._cap_cache
 
     @property
     def max_power_cap(self) -> float:
@@ -114,6 +127,17 @@ class Node:
             return 0.0
         noisy_demand = demand_watts * (1.0 + rng.normal(0.0, 0.01))
         power = min(self.power_cap, max(noisy_demand, self.idle_power))
+        return self.deposit(power, dt)
+
+    def deposit(self, power: float, dt: float) -> float:
+        """Deposit an already-realised draw of ``power`` W for ``dt`` seconds.
+
+        The batched physics path (:meth:`RunningJob.advance`) computes the
+        realised power for all of a job's nodes in one vectorized step and
+        only needs the MSR energy bookkeeping done per node.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
         per_package = power * dt / len(self.banks)
         for bank in self.banks:
             bank.accumulate_energy(per_package)

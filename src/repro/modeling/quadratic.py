@@ -57,6 +57,13 @@ class QuadraticPowerModel:
 
     def time_per_epoch(self, p_cap: float | np.ndarray) -> float | np.ndarray:
         """Predicted seconds per epoch at cap ``p_cap`` (clamped into range)."""
+        if isinstance(p_cap, (int, float)):
+            # Scalar fast path: this sits inside the budgeters' bisection
+            # loop, where np.clip's array machinery costs ~10x the algebra.
+            p = self.p_min if p_cap < self.p_min else (
+                self.p_max if p_cap > self.p_max else p_cap
+            )
+            return float(self.a * p * p + self.b * p + self.c)
         p = np.clip(p_cap, self.p_min, self.p_max)
         result = self.a * p * p + self.b * p + self.c
         if np.isscalar(p_cap):
@@ -65,17 +72,27 @@ class QuadraticPowerModel:
 
     def time_at(self, p_cap: float) -> float:
         """Scalar alias of :meth:`time_per_epoch`."""
-        return float(self.time_per_epoch(float(p_cap)))
+        return self.time_per_epoch(float(p_cap))
 
     @property
     def t_min(self) -> float:
         """Fastest achievable time per epoch (at the maximum cap)."""
-        return self.time_at(self.p_max)
+        # The dataclass is frozen, so derived quantities can be memoized
+        # safely; object.__setattr__ bypasses the frozen guard.
+        t = self.__dict__.get("_t_min")
+        if t is None:
+            t = self.time_at(self.p_max)
+            object.__setattr__(self, "_t_min", t)
+        return t
 
     @property
     def t_max(self) -> float:
         """Slowest time per epoch within the cap range (at the minimum cap)."""
-        return self.time_at(self.p_min)
+        t = self.__dict__.get("_t_max")
+        if t is None:
+            t = self.time_at(self.p_min)
+            object.__setattr__(self, "_t_max", t)
+        return t
 
     def slowdown_at(self, p_cap: float) -> float:
         """Fractional slowdown vs. the uncapped (max-cap) time; ≥ 0."""
@@ -99,26 +116,35 @@ class QuadraticPowerModel:
             return self.p_max
         if t_target >= self.t_max:
             return self.p_min
-        if abs(self.a) < 1e-18:
-            if abs(self.b) < 1e-18:
-                return self.p_max  # constant model: any cap achieves it
-            p = (t_target - self.c) / self.b
-            return clamp(p, self.p_min, self.p_max)
+        a, b, p_min, p_max = self.a, self.b, self.p_min, self.p_max
+        if abs(a) < 1e-18:
+            if abs(b) < 1e-18:
+                return p_max  # constant model: any cap achieves it
+            p = (t_target - self.c) / b
+            return clamp(p, p_min, p_max)
         # Solve a·P² + b·P + (c − t) = 0; take the root inside the cap range.
-        disc = self.b * self.b - 4.0 * self.a * (self.c - t_target)
+        disc = b * b - 4.0 * a * (self.c - t_target)
         if disc < 0:
             # Shouldn't happen for monotone models within [t_min, t_max];
             # fall back to the vertex.
-            return clamp(-self.b / (2.0 * self.a), self.p_min, self.p_max)
+            return clamp(-b / (2.0 * a), p_min, p_max)
         sqrt_disc = math.sqrt(disc)
-        roots = ((-self.b - sqrt_disc) / (2.0 * self.a),
-                 (-self.b + sqrt_disc) / (2.0 * self.a))
-        in_range = [r for r in roots if self.p_min - 1e-9 <= r <= self.p_max + 1e-9]
-        if in_range:
-            return clamp(min(in_range, key=lambda r: abs(self.time_at(r) - t_target)),
-                         self.p_min, self.p_max)
+        r1 = (-b - sqrt_disc) / (2.0 * a)
+        r2 = (-b + sqrt_disc) / (2.0 * a)
+        in1 = p_min - 1e-9 <= r1 <= p_max + 1e-9
+        in2 = p_min - 1e-9 <= r2 <= p_max + 1e-9
+        if in1 and in2:
+            # Both roots valid: keep the one whose predicted time is closer
+            # to the target (ties resolve to r1, matching min() semantics).
+            if abs(self.time_at(r1) - t_target) <= abs(self.time_at(r2) - t_target):
+                return clamp(r1, p_min, p_max)
+            return clamp(r2, p_min, p_max)
+        if in1:
+            return clamp(r1, p_min, p_max)
+        if in2:
+            return clamp(r2, p_min, p_max)
         # Both roots outside: choose the nearer bound.
-        return self.p_min if t_target > self.time_at(self.p_min) else self.p_max
+        return p_min if t_target > self.t_max else p_max
 
     def power_for_slowdown(self, s: float) -> float:
         """Cap achieving slowdown factor ``s`` (s=1 → no slowdown)."""
@@ -128,9 +154,14 @@ class QuadraticPowerModel:
 
     def is_monotone_decreasing(self, samples: int = 64) -> bool:
         """Check T(P) decreases over the cap range (sanity for fitted models)."""
-        ps = np.linspace(self.p_min, self.p_max, samples)
-        ts = self.time_per_epoch(ps)
-        return bool(np.all(np.diff(ts) <= 1e-12))
+        key = f"_monotone_{samples}"
+        cached = self.__dict__.get(key)
+        if cached is None:
+            ps = np.linspace(self.p_min, self.p_max, samples)
+            ts = self.time_per_epoch(ps)
+            cached = bool(np.all(np.diff(ts) <= 1e-12))
+            object.__setattr__(self, key, cached)
+        return cached
 
     # ------------------------------------------------------------ construct
 

@@ -39,21 +39,74 @@ def _waterfill_cap(
     n = demand_max.size
     if n == 0:
         return p_max
-    if available >= float(demand_max.sum()):
-        return p_max
-    if available <= n * p_min:
-        return p_min
     order = np.sort(demand_max)
     # Below breakpoint k (0-based), the first k nodes saturate at their
     # demand and the rest sit at the cap: total(c) = prefix[k] + (n-k)·c.
     prefix = np.concatenate([[0.0], np.cumsum(order)])
-    ks = np.arange(n)
-    cands = (available - prefix[:-1]) / (n - ks)
     lower = np.concatenate([[0.0], order[:-1]])
-    valid = (cands >= lower - 1e-12) & (cands <= order + 1e-12)
-    hits = np.flatnonzero(valid)
-    c = cands[hits[0]] if hits.size else order[-1]
-    return float(np.clip(c, p_min, p_max))
+    return _waterfill_scan(
+        available, float(demand_max.sum()), order, prefix,
+        n - np.arange(n), lower - 1e-12, order + 1e-12, p_min, p_max
+    )
+
+
+def _waterfill_scan(
+    available: float,
+    demand_sum: float,
+    order: np.ndarray,
+    prefix: np.ndarray,
+    denom: np.ndarray,
+    lower_eps: np.ndarray,
+    upper_eps: np.ndarray,
+    p_min: float,
+    p_max: float,
+) -> float:
+    """Waterfill breakpoint scan over presorted demands.
+
+    Split out of :func:`_waterfill_cap` so the simulator can reuse the
+    sorted demands and prefix sums across ticks — the busy set (and hence
+    the demand vector) only changes when jobs start or finish.
+    """
+    n = order.size
+    if n == 0 or available >= demand_sum:
+        return p_max
+    if available <= n * p_min:
+        return p_min
+    cands = (available - prefix[:-1]) / denom
+    valid = (cands >= lower_eps) & (cands <= upper_eps)
+    first = int(np.argmax(valid))
+    c = cands[first] if valid[first] else order[-1]
+    # Scalar clamp: same value as np.clip for the finite c produced above.
+    return float(min(max(c, p_min), p_max))
+
+
+@dataclass
+class _BusyState:
+    """Gathers over the busy node set, cached between assignment changes.
+
+    Every array is aligned with ``busy_idx``; the ``demand_*`` fields are
+    the waterfill's sorted-demand state.  The cache is invalidated by the
+    node table's ``version`` counter (bumped on assign/release), so per-tick
+    stages reuse these instead of re-gathering 1000-wide fancy indexes.
+    """
+
+    version: int
+    busy_idx: np.ndarray
+    job_of: np.ndarray
+    type_of: np.ndarray
+    p_lo: np.ndarray
+    p_hi: np.ndarray
+    p_span: np.ndarray
+    t_fast: np.ndarray
+    t_slow: np.ndarray
+    t_span: np.ndarray
+    perf: np.ndarray
+    demand_sum: float
+    demand_order: np.ndarray
+    demand_prefix: np.ndarray
+    demand_denom: np.ndarray
+    demand_lower_eps: np.ndarray
+    demand_upper_eps: np.ndarray
 
 
 @dataclass
@@ -192,6 +245,70 @@ class TabularClusterSimulator:
         self._t_slow = np.array([t.t_at_p_min for t in self.job_types])
         self._tp_min = np.array([t.p_min for t in self.job_types])
         self._tp_max = np.array([t.p_max for t in self.job_types])
+        self._tp_span = self._tp_max - self._tp_min
+        self._t_span_by_type = self._t_fast - self._t_slow
+        self._qos_limits = np.array([t.qos_limit for t in self.job_types])
+        self._busy_cache: _BusyState | None = None
+        self._pending_pos = 0  # intake cursor into the sorted request list
+        self._next_submit = (
+            self._pending[0].submit_time if self._pending else float("inf")
+        )
+        self._queued_count = 0  # jobs submitted but not yet started
+        # schedule() is a pure function of (idle count, queue contents,
+        # running-node shares); when the last round returned an empty
+        # decision and none of those inputs changed since, the round can be
+        # skipped outright.  Submissions, starts, and completions set dirty.
+        self._sched_dirty = True
+        self._sched_idle_memo = -1
+        # When every busy node carries the same cap (the uniform rule without
+        # QoS exemptions), the node update only needs per-*type* arithmetic;
+        # the derived per-node rate/power vectors are memoized on the
+        # (cap, assignment-version, dt) triple since the cap frequently sits
+        # clamped at p_min/p_max for stretches of ticks.
+        self._uniform_cap: float | None = None
+        self._uniform_cap_version = -1
+        self._cap_target_memo = float("nan")  # nan != nan: first call always runs
+        self._cap_version_memo = -1
+        self._rate_cache: tuple[float, int, float, np.ndarray, np.ndarray] | None = None
+        self._power_buf = np.full(cfg.num_nodes, cfg.idle_power)
+
+    def _busy_state(self) -> _BusyState:
+        """Current busy-set gathers, refreshed only when assignments change."""
+        st = self._busy_cache
+        if st is None or st.version != self.nodes.version:
+            nodes = self.nodes
+            busy_idx = np.flatnonzero(nodes.job_idx >= 0)
+            job_of = nodes.job_idx[busy_idx]
+            type_of = self.jobs.type_idx[job_of]
+            p_lo = self._tp_min[type_of]
+            p_hi = self._tp_max[type_of]
+            t_fast = self._t_fast[type_of]
+            t_slow = self._t_slow[type_of]
+            order = np.sort(p_hi)
+            prefix = np.concatenate([[0.0], np.cumsum(order)])
+            n = busy_idx.size
+            lower = np.concatenate([[0.0], order[:-1]]) if n else order
+            st = _BusyState(
+                version=nodes.version,
+                busy_idx=busy_idx,
+                job_of=job_of,
+                type_of=type_of,
+                p_lo=p_lo,
+                p_hi=p_hi,
+                p_span=p_hi - p_lo,
+                t_fast=t_fast,
+                t_slow=t_slow,
+                t_span=t_fast - t_slow,
+                perf=nodes.perf_mult[busy_idx],
+                demand_sum=float(p_hi.sum()),
+                demand_order=order,
+                demand_prefix=prefix,
+                demand_denom=n - np.arange(n),
+                demand_lower_eps=lower - 1e-12,
+                demand_upper_eps=order + 1e-12,
+            )
+            self._busy_cache = st
+        return st
 
     # --------------------------------------------------------- stage 1: nodes
 
@@ -199,45 +316,78 @@ class TabularClusterSimulator:
         """Advance busy-node progress and compute realised power; returns
         the cluster's measured power for this tick."""
         nodes = self.nodes
-        busy = nodes.busy_mask
-        power = np.full(nodes.num_nodes, nodes.idle_power)
-        if np.any(busy):
-            job_of = nodes.job_idx[busy]
-            type_of = self.jobs.type_idx[job_of]
-            p_lo, p_hi = self._tp_min[type_of], self._tp_max[type_of]
-            cap = np.clip(nodes.cap[busy], p_lo, p_hi)
-            frac = (cap - p_lo) / (p_hi - p_lo)
-            exec_time = self._t_slow[type_of] + frac * (
-                self._t_fast[type_of] - self._t_slow[type_of]
-            )
-            rate = nodes.perf_mult[busy] / exec_time
-            nodes.progress[busy] = nodes.progress[busy] + rate * dt
-            power[busy] = np.minimum(nodes.cap[busy], p_hi)
+        st = self._busy_cache
+        if st is None or st.version != nodes.version:
+            st = self._busy_state()
+        busy_idx = st.busy_idx
+        power = self._power_buf
+        power.fill(nodes.idle_power)
+        progress = None
+        if busy_idx.size:
+            if (
+                self._uniform_cap is not None
+                and self._uniform_cap_version == nodes.version
+            ):
+                # Every busy node carries the same scalar cap, so the clamp /
+                # interpolation collapses to one evaluation per *job type*
+                # followed by a gather — elementwise identical to the
+                # per-node arithmetic below (same IEEE ops on equal inputs).
+                c = self._uniform_cap
+                memo = self._rate_cache
+                if memo is not None and memo[:3] == (c, nodes.version, dt):
+                    step, busy_power = memo[3], memo[4]
+                else:
+                    cap_t = np.minimum(np.maximum(c, self._tp_min), self._tp_max)
+                    frac_t = (cap_t - self._tp_min) / self._tp_span
+                    exec_t = self._t_slow + frac_t * self._t_span_by_type
+                    step = (st.perf / exec_t[st.type_of]) * dt
+                    busy_power = np.minimum(c, self._tp_max)[st.type_of]
+                    self._rate_cache = (c, nodes.version, dt, step, busy_power)
+            else:
+                cap_raw = nodes.cap[busy_idx]
+                cap = np.minimum(np.maximum(cap_raw, st.p_lo), st.p_hi)
+                frac = (cap - st.p_lo) / st.p_span
+                exec_time = st.t_slow + frac * st.t_span
+                step = (st.perf / exec_time) * dt
+                busy_power = np.minimum(cap_raw, st.p_hi)
+            progress = nodes.progress[busy_idx] + step
+            nodes.progress[busy_idx] = progress
+            power[busy_idx] = busy_power
         nodes.power = power
         # Completion check: a multi-node job finishes when *all* of its nodes
-        # reach 100 % progress (§5.6).
-        if np.any(busy):
+        # reach 100 % progress (§5.6).  A job's minimum can only reach 1.0
+        # when at least one node has, so most ticks skip the reduction.
+        if progress is not None and float(progress.max()) >= 1.0:
             running = np.flatnonzero(self.jobs.state[: self.jobs.count] == JobState.RUNNING)
             if running.size:
                 min_progress = np.full(self.jobs.count, np.inf)
-                np.minimum.at(min_progress, nodes.job_idx[busy], nodes.progress[busy])
+                np.minimum.at(min_progress, st.job_of, progress)
                 for j in running[min_progress[running] >= 1.0]:
                     self.jobs.mark_done(int(j), self.now)
                     sim_type = self.job_types[int(self.jobs.type_idx[j])]
                     self.scheduler.job_finished(sim_type.name, int(self.jobs.nodes[j]))
                     self.nodes.release(int(j))
+                    self._sched_dirty = True
+        # Release() above rewrites freed nodes' power to idle in-place, so
+        # the metered sum must come after the completion sweep.
         return float(power.sum())
 
     # ----------------------------------------------------- stage 2: arrivals
 
     def _intake(self) -> None:
-        while self._pending and self._pending[0].submit_time <= self.now:
-            req = self._pending.pop(0)
+        pending = self._pending
+        while self._pending_pos < len(pending) and (
+            pending[self._pending_pos].submit_time <= self.now
+        ):
+            req = pending[self._pending_pos]
+            self._pending_pos += 1
             type_idx = self.type_index.get(req.type_name)
             if type_idx is None:
                 raise KeyError(f"schedule references unknown type {req.type_name!r}")
             job_index = self.jobs.add(type_idx, req.nodes, req.submit_time)
             self._queued_index[req.job_id] = job_index
+            self._queued_count += 1
+            self._sched_dirty = True
             self.scheduler.queues.submit(
                 QueuedJob(
                     job_id=req.job_id,
@@ -246,11 +396,31 @@ class TabularClusterSimulator:
                     submit_time=req.submit_time,
                 )
             )
+        self._next_submit = (
+            pending[self._pending_pos].submit_time
+            if self._pending_pos < len(pending)
+            else float("inf")
+        )
 
     # ---------------------------------------------------- stage 3: schedule
 
     def _schedule_jobs(self, target: float) -> None:
-        decision = self.scheduler.schedule(int(self.nodes.idle_mask.sum()))
+        if not self._queued_count:
+            # Nothing queued: schedule() would mutate nothing and start
+            # nothing, so skip its share accounting entirely.  The counter
+            # mirrors ``queues.total_pending`` without walking the queues.
+            return
+        idle_count = self.nodes.num_nodes - self.nodes.busy_count
+        if not self._sched_dirty and idle_count == self._sched_idle_memo:
+            return
+        decision = self.scheduler.schedule(idle_count)
+        if not decision.to_start:
+            # Empty decision with no mutations: memoizable until a submit,
+            # start, or completion changes the scheduler's inputs.
+            self._sched_dirty = False
+            self._sched_idle_memo = idle_count
+            return
+        self._sched_dirty = True
         deferred: list = []
         for queued in decision.to_start:
             if self.config.power_aware_admission and self._would_break_floor(
@@ -267,6 +437,7 @@ class TabularClusterSimulator:
                 )
             self.nodes.assign(chosen, job_index)
             self.jobs.mark_started(job_index, self.now)
+            self._queued_count -= 1
         # Deferred jobs return to the head of their queues (their node-share
         # accounting was already charged by the scheduler; refund it).
         for queued in deferred:
@@ -289,46 +460,74 @@ class TabularClusterSimulator:
 
     def _cap_power(self, target: float) -> None:
         nodes = self.nodes
-        busy_idx = np.flatnonzero(nodes.busy_mask)
+        if not self.config.qos_aware_capping:
+            # Without QoS exemptions the caps are a pure function of
+            # (target, allocation): a zero-order-hold target repeats for
+            # several ticks, so the whole waterfill is skippable until the
+            # signal steps or the busy set changes.  (The QoS path also
+            # depends on per-tick progress, so it cannot take this exit.)
+            if target == self._cap_target_memo and nodes.version == self._cap_version_memo:
+                return
+            self._cap_target_memo = target
+            self._cap_version_memo = nodes.version
+        st = self._busy_cache
+        if st is None or st.version != nodes.version:
+            st = self._busy_state()
+        busy_idx = st.busy_idx
         if busy_idx.size == 0:
             return
         idle_count = nodes.num_nodes - busy_idx.size
         available = target - idle_count * nodes.idle_power
-        exempt = np.zeros(busy_idx.size, dtype=bool)
         if self.config.qos_aware_capping:
-            exempt = self._at_risk_mask(busy_idx)
-            # At-risk jobs run uncapped; their demand comes off the budget.
-            job_of = nodes.job_idx[busy_idx[exempt]]
-            type_of = self.jobs.type_idx[job_of]
-            available -= float(self._tp_max[type_of].sum())
-            nodes.cap[busy_idx[exempt]] = nodes.p_max
-        capped_idx = busy_idx[~exempt]
-        if capped_idx.size == 0:
-            return
+            exempt = self._at_risk_mask(st)
+            if np.any(exempt):
+                # At-risk jobs run uncapped; their demand comes off the
+                # budget.  The exempt subset varies tick to tick, so the
+                # waterfill re-sorts the remaining demands (and the caps are
+                # no longer one shared scalar).
+                self._uniform_cap = None
+                available -= float(st.p_hi[exempt].sum())
+                nodes.cap[busy_idx[exempt]] = nodes.p_max
+                capped_idx = busy_idx[~exempt]
+                if capped_idx.size == 0:
+                    return
+                per_node = _waterfill_cap(
+                    available, st.p_hi[~exempt], nodes.p_min, nodes.p_max
+                )
+                nodes.cap[capped_idx] = np.minimum(per_node, nodes.p_max)
+                return
         # Uniform cap across active nodes (§4.4.2), waterfilled against each
         # node's precharacterized maximum draw: nodes whose job cannot use
         # the uniform cap release the excess to the others, so the realised
         # power lands on the target whenever it is physically reachable.
-        job_of = nodes.job_idx[capped_idx]
-        type_of = self.jobs.type_idx[job_of]
-        demand_max = self._tp_max[type_of]
-        per_node = _waterfill_cap(available, demand_max, nodes.p_min, nodes.p_max)
-        nodes.cap[capped_idx] = np.minimum(per_node, nodes.p_max)
+        # The sorted demands and prefix sums live in the busy-set cache.
+        per_node = _waterfill_scan(
+            available,
+            st.demand_sum,
+            st.demand_order,
+            st.demand_prefix,
+            st.demand_denom,
+            st.demand_lower_eps,
+            st.demand_upper_eps,
+            nodes.p_min,
+            nodes.p_max,
+        )
+        c = min(per_node, nodes.p_max)
+        if c == self._uniform_cap and self._uniform_cap_version == nodes.version:
+            return  # caps already hold exactly this value (clamped stretches)
+        nodes.cap[busy_idx] = c
+        self._uniform_cap = c
+        self._uniform_cap_version = nodes.version
 
-    def _at_risk_mask(self, busy_idx: np.ndarray) -> np.ndarray:
+    def _at_risk_mask(self, st: _BusyState) -> np.ndarray:
         """Nodes whose job's projected QoS is near its limit (§6.4 feedback)."""
-        job_of = self.nodes.job_idx[busy_idx]
-        type_of = self.jobs.type_idx[job_of]
         # Optimistic remaining time: finish the remaining fraction uncapped.
         min_progress = np.full(self.jobs.count, np.inf)
-        busy_all = self.nodes.busy_mask
-        np.minimum.at(
-            min_progress, self.nodes.job_idx[busy_all], self.nodes.progress[busy_all]
-        )
-        remaining = (1.0 - np.minimum(min_progress[job_of], 1.0)) * self._t_fast[type_of]
-        projected_sojourn = (self.now - self.jobs.submit_time[job_of]) + remaining
-        projected_q = projected_sojourn / self._t_fast[type_of] - 1.0
-        limits = np.array([t.qos_limit for t in self.job_types])[type_of]
+        np.minimum.at(min_progress, st.job_of, self.nodes.progress[st.busy_idx])
+        remaining = (1.0 - np.minimum(min_progress[st.job_of], 1.0)) * st.t_fast
+        projected_sojourn = (self.now - self.jobs.submit_time[st.job_of]) + remaining
+        projected_q = projected_sojourn / st.t_fast - 1.0
+        limits = self._qos_limits[st.type_of]
         return projected_q >= self.config.qos_risk_fraction * limits
 
     # ---------------------------------------------------------------- loop
@@ -338,7 +537,8 @@ class TabularClusterSimulator:
         dt = self.config.dt
         self.now += dt
         measured = self._update_nodes(dt)
-        self._intake()
+        if self._next_submit <= self.now:
+            self._intake()
         target = self.config.target(float(self.signal(self.now)))
         self._schedule_jobs(target)
         self._cap_power(target)
@@ -356,9 +556,9 @@ class TabularClusterSimulator:
             self.step()
         if drain:
             while (
-                self._pending
-                or self.scheduler.queues.total_pending
-                or np.any(self.nodes.busy_mask)
+                self._pending_pos < len(self._pending)
+                or self._queued_count
+                or self.nodes.busy_count
             ) and self.now < limit:
                 self.step()
         return SimResult(

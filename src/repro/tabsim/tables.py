@@ -97,6 +97,11 @@ class NodeTable:
         self.power = np.full(num_nodes, idle_power, dtype=float)
         self.perf_mult = np.ones(num_nodes, dtype=float)
         self.progress = np.zeros(num_nodes, dtype=float)  # current job's
+        #: Bumped on every assignment change; the simulator caches its
+        #: busy-set gathers (and the waterfill's sorted demands) against it.
+        self.version = 0
+        #: Running count of allocated nodes (== busy_mask.sum()).
+        self.busy_count = 0
 
     @property
     def idle_mask(self) -> np.ndarray:
@@ -115,13 +120,17 @@ class NodeTable:
         self.job_idx[node_indices] = job_index
         self.progress[node_indices] = 0.0
         self.cap[node_indices] = self.p_max
+        self.version += 1
+        self.busy_count += len(node_indices)
 
     def release(self, job_index: int) -> None:
         mask = self.job_idx == job_index
+        self.busy_count -= int(mask.sum())
         self.job_idx[mask] = -1
         self.progress[mask] = 0.0
         self.cap[mask] = self.p_max
         self.power[mask] = self.idle_power
+        self.version += 1
 
 
 class JobTable:

@@ -37,6 +37,56 @@ class SimClock:
         return self._now
 
 
+class PeriodicGate:
+    """Grid-anchored period gate for poll-style control loops.
+
+    Replaces the ``next = now + period - 1e-9`` re-anchoring pattern: that
+    form leaks an epsilon per firing into the schedule, and — worse —
+    re-anchoring at the *actual* fire time rounds the effective period up to
+    the caller's polling interval (a 2.5 s period polled every 1 s fires
+    every 3 s).  The gate instead anchors an absolute grid at the first
+    firing and computes every later due-instant as ``anchor + k·period``
+    with integer ``k``: over a horizon of N periods it fires exactly N
+    times, regardless of tick size or float accumulation.
+    """
+
+    def __init__(self, period: float) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = float(period)
+        self._anchor: float | None = None
+        self._fires = 0
+        # Relative tolerance absorbs accumulated tick-sum error in ``now``
+        # without shifting the grid: a poll landing within period·1e-9 below
+        # a grid instant counts as having reached it.
+        self._eps = self.period * 1e-9
+
+    @property
+    def next_due(self) -> float:
+        """The next grid instant; -inf before the first firing."""
+        if self._anchor is None:
+            return float("-inf")
+        return self._anchor + self._fires * self.period
+
+    def due(self, now: float) -> bool:
+        """True exactly when ``now`` reached the next grid instant.
+
+        A True return advances the gate.  The first poll always fires and
+        anchors the grid.  Grid instants the caller slept through collapse
+        into one firing (matching the control loops this gates: a missed
+        manager period is simply a late re-budget, not a burst of them).
+        """
+        if self._anchor is None:
+            self._anchor = now
+            self._fires = 1
+            return True
+        if now + self._eps < self._anchor + self._fires * self.period:
+            return False
+        skipped_past = int((now - self._anchor + self._eps) // self.period) + 1
+        self._fires = max(self._fires + 1, skipped_past)
+        return True
+
+
 @dataclass(order=True)
 class PeriodicTask:
     """A callback fired every ``period`` seconds of simulated time.

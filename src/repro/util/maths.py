@@ -29,6 +29,12 @@ def bisect_scalar(
     value is closest to zero is returned — for budgeting this corresponds to
     saturating every job at its minimum or maximum cap, which is exactly the
     clipping behaviour the paper describes at extreme budgets (§6.1.1).
+
+    Raises :class:`RuntimeError` after ``max_iter`` halvings without meeting
+    ``tol``.  Reaching the cap means the objective cannot be bisected to the
+    requested tolerance (e.g. a discontinuous step with ``tol=0``), and a
+    silently returned midpoint would feed an unconverged cap into the
+    budgeter.
     """
     if hi < lo:
         raise ValueError(f"empty bracket: [{lo}, {hi}]")
@@ -48,7 +54,10 @@ def bisect_scalar(
             lo, f_lo = mid, f_mid
         else:
             hi = mid
-    return 0.5 * (lo + hi)
+    raise RuntimeError(
+        f"bisect_scalar did not converge within max_iter={max_iter}: "
+        f"bracket [{lo}, {hi}] still wider than tol={tol}"
+    )
 
 
 def monotone_decreasing(values: Sequence[float], *, strict: bool = False) -> bool:

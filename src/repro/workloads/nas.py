@@ -123,6 +123,13 @@ class JobType:
 
     def time_per_epoch(self, p_cap: float | np.ndarray) -> float | np.ndarray:
         """True seconds per epoch under per-node cap ``p_cap``."""
+        if isinstance(p_cap, (int, float)):
+            # Scalar fast path: the emulator and tabular simulator call this
+            # per rank per tick, where np.clip's array machinery dominates.
+            p = self.p_min if p_cap < self.p_min else (
+                self.p_demand if p_cap > self.p_demand else p_cap
+            )
+            return self._truth.time_per_epoch(float(p))
         return self._truth.time_per_epoch(np.clip(p_cap, self.p_min, self.p_demand))
 
     def time_per_epoch_at(self, p_cap: float, progress: float) -> float:
@@ -136,6 +143,23 @@ class JobType:
     def power_demand_at(self, progress: float) -> float:
         """Unconstrained per-node draw at lifecycle ``progress`` (phase-less)."""
         return self.p_demand
+
+    def time_per_epoch_array(
+        self, p_caps: np.ndarray, progress: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`time_per_epoch_at` over per-rank caps.
+
+        The base type is phase-less so ``progress`` is ignored; the clamp
+        and quadratic evaluate elementwise with the exact operations of the
+        scalar path, keeping the emulator's batched physics bit-identical.
+        :class:`~repro.workloads.phased.PhasedJobType` overrides this with a
+        per-element phase lookup.
+        """
+        return np.asarray(self.time_per_epoch(np.asarray(p_caps, dtype=float)))
+
+    def power_demand_array(self, progress: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_demand_at` (constant for phase-less types)."""
+        return np.full(np.shape(progress), self.p_demand)
 
     def compute_time(self, p_cap: float) -> float:
         """True compute seconds (epochs × time/epoch) under cap ``p_cap``."""

@@ -172,3 +172,29 @@ class TestResultHelpers:
         t_min = {"mg": NAS_TYPES["mg"].total_time(280.0)}
         qos = result.qos_by_type(t_min)
         assert qos["mg"][0] >= -0.2  # ran immediately: Q near zero
+
+
+class TestControlPeriods:
+    def test_default_periods_fire_every_tick(self):
+        system = make_system(nodes=1)
+        calls = []
+        system.manager.step = lambda now: calls.append(now)
+        for _ in range(50):
+            system.step()
+        assert calls == [float(t) for t in range(1, 51)]
+
+    def test_non_tick_multiple_period_fires_exactly_duration_over_period(self):
+        # Regression for the old ``next = now + period - 1e-9`` re-anchor:
+        # a 2.5 s manager period polled at 1 s ticks fired every 3 s,
+        # losing a quarter of the control updates over a long run.
+        from repro.core.targets import ConstantTarget
+
+        system = AnorSystem(
+            target_source=ConstantTarget(280.0),
+            config=AnorConfig(num_nodes=1, tick=1.0, manager_period=2.5),
+        )
+        calls = []
+        system.manager.step = lambda now: calls.append(now)
+        for _ in range(2000):
+            system.step()
+        assert len(calls) == 800  # 2000 s horizon / 2.5 s period, exactly

@@ -1,0 +1,37 @@
+"""Golden-trace equivalence: vectorized kernels are bit-identical to seed.
+
+Each scenario in :mod:`tests.goldenlib` was recorded on the original
+per-object implementation.  These tests re-run the scenario on the current
+code and require ``np.array_equal`` — not ``allclose`` — so any reordering
+of floating-point operations in the rewritten kernels is caught, not
+averaged away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.goldenlib import GOLDEN_DIR, SCENARIOS
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_golden_fixture(name):
+    path = GOLDEN_DIR / f"{name}.npz"
+    assert path.exists(), (
+        f"missing fixture {path}; record with `PYTHONPATH=src:. python -m tests.goldenlib`"
+    )
+    produced = SCENARIOS[name]()
+    with np.load(path, allow_pickle=False) as recorded:
+        assert sorted(recorded.files) == sorted(produced), (
+            f"{name}: fixture arrays {sorted(recorded.files)} != produced "
+            f"{sorted(produced)}"
+        )
+        for key in recorded.files:
+            got = np.asarray(produced[key])
+            want = recorded[key]
+            assert got.shape == want.shape, f"{name}/{key}: shape {got.shape} != {want.shape}"
+            assert np.array_equal(got, want), (
+                f"{name}/{key}: values diverge from the recorded seed trace "
+                f"(first mismatch at {np.argwhere(got != want)[:5].tolist()})"
+            )

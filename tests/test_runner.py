@@ -1,0 +1,57 @@
+"""The parallel experiment runner: ordering, determinism, error capture."""
+
+import pytest
+
+from repro.runner import ExperimentTask, run_tasks
+
+
+def _render(seed: int) -> str:
+    # Stand-in for a figure runner: deterministic in its explicit seed.
+    return f"table(seed={seed}, value={seed * seed})"
+
+
+def _boom(seed: int) -> str:
+    raise ValueError(f"bad seed {seed}")
+
+
+def _tasks(n: int) -> list[ExperimentTask]:
+    return [
+        ExperimentTask(key=f"t{i}", fn=_render, kwargs={"seed": i}) for i in range(n)
+    ]
+
+
+class TestRunTasks:
+    def test_serial_outcomes_in_task_order(self):
+        outcomes = run_tasks(_tasks(5), jobs=1)
+        assert [o.key for o in outcomes] == [f"t{i}" for i in range(5)]
+        assert all(o.ok for o in outcomes)
+
+    def test_parallel_outcomes_in_task_order(self):
+        outcomes = run_tasks(_tasks(6), jobs=3)
+        assert [o.key for o in outcomes] == [f"t{i}" for i in range(6)]
+
+    def test_parallel_matches_serial(self):
+        serial = run_tasks(_tasks(6), jobs=1)
+        parallel = run_tasks(_tasks(6), jobs=4)
+        assert [o.table for o in parallel] == [o.table for o in serial]
+
+    def test_failure_is_captured_not_raised(self):
+        tasks = _tasks(3) + [ExperimentTask(key="bad", fn=_boom, kwargs={"seed": 9})]
+        outcomes = run_tasks(tasks, jobs=2)
+        assert [o.ok for o in outcomes] == [True, True, True, False]
+        assert "bad seed 9" in outcomes[-1].error
+        assert outcomes[-1].table is None
+
+    def test_elapsed_is_recorded(self):
+        (outcome,) = run_tasks(_tasks(1), jobs=1)
+        assert outcome.elapsed >= 0.0
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_tasks(_tasks(2), jobs=0)
+
+    def test_single_task_skips_pool(self):
+        # jobs > 1 with one task must not spin up workers needlessly; the
+        # observable contract is simply a correct, ordered result.
+        (outcome,) = run_tasks(_tasks(1), jobs=8)
+        assert outcome.ok and outcome.key == "t0"

@@ -53,6 +53,21 @@ class TestBisectScalar:
         root = bisect_scalar(lambda x: x - r, -200.0, 200.0, tol=1e-9)
         assert abs(root - r) < 1e-6
 
+    def test_unconvergeable_objective_raises_at_iteration_cap(self):
+        # A sign-changing step never evaluates to zero, and with tol=0 the
+        # bracket-width exit can never trigger: the cap must raise rather
+        # than hand back an unconverged midpoint.
+        step = lambda x: -1.0 if x < 0.5 else 1.0  # noqa: E731
+        with pytest.raises(RuntimeError, match="max_iter=50"):
+            bisect_scalar(step, 0.0, 1.0, tol=0.0, max_iter=50)
+
+    def test_flat_plateau_converges_by_tolerance(self):
+        # A wide flat-zero plateau: bisection lands inside it and returns
+        # immediately, never touching the iteration cap.
+        plateau = lambda x: -1.0 if x < 4.0 else (0.0 if x <= 6.0 else 1.0)  # noqa: E731
+        root = bisect_scalar(plateau, 0.0, 10.0, max_iter=10)
+        assert 4.0 <= root <= 6.0
+
 
 class TestMonotoneDecreasing:
     def test_decreasing(self):
