@@ -1,0 +1,40 @@
+"""Head-node crash recovery: checkpoint/journal + warm reconciliation.
+
+Acceptance run for the durable cluster tier: the head node dies mid-run
+(taking the queue, budget accounting, and every validated model with it)
+and a supervised restart recovers from the checkpoint + journal.  Scored
+against a no-crash golden run of the identical workload under a static
+target: no job lost, none admitted twice, planned draw never over the
+ceiling, live jobs reconciled warm, and the power trace re-converging
+within the documented bound.
+"""
+
+from repro.experiments import resilience
+from repro.experiments.scorecard import score_headnode_recovery
+
+
+def test_headnode_crash_recovery(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: resilience.run_headnode_recovery(
+            duration=1200.0, seed=1, crash_time=400.0, down_for=60.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    card = score_headnode_recovery(result)
+
+    assert result.budget_violations == 0
+    assert not result.lost_jobs
+    assert not result.double_admitted
+    assert result.recovery_merges > 0
+    assert result.convergence_time is not None
+    assert result.convergence_time <= 120.0
+    assert card.all_passed, card.render()
+
+    report(
+        resilience.format_headnode_table(result) + "\n\n" + card.render(),
+        recovery_merges=result.recovery_merges,
+        checkpoints_written=result.checkpoints_written,
+        convergence_time=result.convergence_time,
+        orphans=len(result.orphaned),
+    )

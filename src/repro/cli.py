@@ -106,6 +106,27 @@ def _resilience(quick: bool, seed: int) -> str:
     return f"{table}\n\n{card.render()}"
 
 
+def _headnode(
+    quick: bool,
+    seed: int,
+    checkpoint_dir: str | None = None,
+    checkpoint_period: float = 30.0,
+) -> str:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_headnode_recovery(
+        duration=600.0 if quick else 1800.0,
+        crash_time=200.0 if quick else 600.0,
+        down_for=45.0 if quick else 90.0,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_period=checkpoint_period,
+    )
+    table = resilience.format_headnode_table(result)
+    card = scorecard.score_headnode_recovery(result)
+    return f"{table}\n\n{card.render()}"
+
+
 def _all_tasks(quick: bool, seed: int, out_dir: str | None) -> list:
     """One :class:`~repro.runner.ExperimentTask` per figure, in name order."""
     from pathlib import Path
@@ -213,6 +234,25 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--csv", default=None, help="also write the plotted series as CSV"
             )
+        if name == "resilience":
+            p.add_argument(
+                "--headnode-crash",
+                action="store_true",
+                help="run the head-node crash/recovery scenario instead of "
+                "the standard fault load",
+            )
+            p.add_argument(
+                "--checkpoint-dir",
+                default=None,
+                help="directory for the cluster-tier checkpoint/journal "
+                "(default: a fresh temp dir)",
+            )
+            p.add_argument(
+                "--checkpoint-period",
+                type=float,
+                default=30.0,
+                help="seconds between cluster-tier checkpoints (default 30)",
+            )
         if name == "all":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument(
@@ -230,6 +270,10 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
     if args.experiment == "all":
         table = _run_all(args.quick, args.seed, args.out, jobs=args.jobs)
+    elif args.experiment == "resilience" and args.headnode_crash:
+        table = _headnode(
+            args.quick, args.seed, args.checkpoint_dir, args.checkpoint_period
+        )
     elif getattr(args, "seeds", None):
         seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
         if not seeds:

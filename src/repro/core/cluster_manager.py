@@ -34,6 +34,8 @@ from repro.budget.base import JobBudgetRequest, PowerBudgeter
 from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
 from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.core.transport import TcpLink
+from repro.durable.journal import Journal
+from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 
@@ -89,12 +91,15 @@ class BudgetRound:
     target: float
     correction: float
     idle_power: float  # watts reserved for idle nodes
-    reserved: float  # watts reserved for dormant/stale jobs
+    reserved: float  # watts reserved for dormant/stale/recovering jobs
     allocated: float  # watts the budgeter allocated to active jobs
     floor: float  # idle_power + reserved + active p_min floor
     stale_jobs: int
     dormant_jobs: int
     active_jobs: int
+    # Jobs restored from a checkpoint after a head-node restart that have not
+    # re-HELLOed yet: budgeted conservatively (their last cap stays reserved).
+    recovering_jobs: int = 0
 
 
 @dataclass
@@ -158,6 +163,10 @@ class ClusterPowerManager:
     stale_status_timeout: float = 15.0
     dead_job_timeout: float = 60.0
 
+    # Optional write-ahead journal (head-node crash recovery, DESIGN.md §4d).
+    # None keeps every hot path journalling-free — zero overhead when off.
+    journal: Journal | None = None
+
     jobs: dict[str, JobRecord] = field(default_factory=dict)
     tracking: list[TrackingSample] = field(default_factory=list)
     events: list[str] = field(default_factory=list)
@@ -166,8 +175,17 @@ class ClusterPowerManager:
     rejected_statuses: int = 0
     rejected_models: int = 0
     meter_faults: int = 0
+    # Recovery-mode state: jobs restored from the durable store awaiting
+    # their re-HELLO, the reconnect deadline, jobs declared orphaned at that
+    # deadline (drained by AnorSystem for requeue/cleanup), and how many
+    # reconnects merged warm state back in (observability).
+    orphaned: list[str] = field(default_factory=list)
+    recovery_merges: int = 0
+    _recovered: dict[str, RecoveredJob] = field(default_factory=dict)
+    _recovery_deadline: float | None = None
     _links: list[TcpLink] = field(default_factory=list)
     _correction: float = 0.0
+    _last_journalled_target: float | None = None
 
     def __post_init__(self) -> None:
         if self.stale_status_timeout <= 0:
@@ -187,6 +205,10 @@ class ClusterPowerManager:
 
     # ------------------------------------------------------------- plumbing
 
+    def _journal(self, rtype: str, now: float, **data) -> None:
+        if self.journal is not None:
+            self.journal.append(rtype, now, data)
+
     def register_link(self, link: TcpLink) -> None:
         """Accept a new job endpoint connection."""
         self._links.append(link)
@@ -199,7 +221,7 @@ class ClusterPowerManager:
                 elif isinstance(msg, StatusMessage):
                     self._on_status(msg, now)
                 elif isinstance(msg, GoodbyeMessage):
-                    self._on_goodbye(msg, link)
+                    self._on_goodbye(msg, link, now)
 
     def _on_hello(self, msg: HelloMessage, link: TcpLink, now: float) -> None:
         believed = self.classifier.model_for(msg.claimed_type, job_name=msg.job_id)
@@ -215,7 +237,7 @@ class ClusterPowerManager:
             )
         # The believed power ceiling is where the believed model flattens out;
         # the platform cannot cap below p_node_min regardless.
-        self.jobs[msg.job_id] = JobRecord(
+        record = JobRecord(
             job_id=msg.job_id,
             claimed_type=msg.claimed_type,
             nodes=msg.nodes,
@@ -223,6 +245,41 @@ class ClusterPowerManager:
             believed_model=believed,
             believed_p_max=min(believed.p_max, self.p_node_max),
             last_heard=now,
+        )
+        recovered = self._recovered.pop(msg.job_id, None)
+        if recovered is not None:
+            # Head-node restart reconciliation: the job was known before the
+            # crash — merge its checkpointed model and budget accounting so
+            # the cluster tier resumes warm instead of relearning the curve.
+            record.online_model = recovered.online_model
+            record.online_r2 = recovered.online_r2
+            record.last_cap = recovered.last_cap
+            record.caps_sent = recovered.caps_sent
+            self.recovery_merges += 1
+            self.events.append(
+                f"t={now:.1f} {msg.job_id}: reconciled after head-node restart "
+                f"(model {'restored' if recovered.online_model is not None else 'none'})"
+            )
+            if not self._recovered and self._recovery_deadline is not None:
+                self.events.append(f"t={now:.1f} recovery complete: all jobs reconciled")
+                self._recovery_deadline = None
+        elif stale is not None:
+            # Warm reconnect: an endpoint restart must not cost the cluster
+            # tier its validated online model or its budget accounting — the
+            # job itself never stopped running.
+            record.online_model = stale.online_model
+            record.online_r2 = stale.online_r2
+            record.last_cap = stale.last_cap
+            record.caps_sent = stale.caps_sent
+        self.jobs[msg.job_id] = record
+        self._journal(
+            "job-admit",
+            now,
+            kind="hello",
+            job_id=msg.job_id,
+            claimed_type=msg.claimed_type,
+            nodes=msg.nodes,
+            believed_p_max=record.believed_p_max,
         )
 
     def _on_status(self, msg: StatusMessage, now: float) -> None:
@@ -259,6 +316,15 @@ class ClusterPowerManager:
                 else:
                     record.online_model = model
                     record.online_r2 = msg.model_r2
+                    self._journal(
+                        "model-accept",
+                        now,
+                        job_id=msg.job_id,
+                        a=model.a,
+                        b=model.b,
+                        c=model.c,
+                        r2=msg.model_r2,
+                    )
 
     def _validated_model(
         self, msg: StatusMessage, record: JobRecord
@@ -285,8 +351,9 @@ class ClusterPowerManager:
             return None
         return model
 
-    def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink) -> None:
-        self.jobs.pop(msg.job_id, None)
+    def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink, now: float) -> None:
+        if self.jobs.pop(msg.job_id, None) is not None:
+            self._journal("job-evict", now, job_id=msg.job_id, kind="goodbye")
         if link in self._links:
             self._links.remove(link)
 
@@ -311,6 +378,82 @@ class ClusterPowerManager:
                 f"t={now:.1f} {job_id}: evicted after "
                 f"{now - record.last_heard:.1f}s of silence"
             )
+            self._journal("job-evict", now, job_id=job_id, kind="timeout")
+
+    # ------------------------------------------------------------- recovery
+
+    def begin_recovery(
+        self, now: float, recovered: dict[str, RecoveredJob], timeout: float
+    ) -> None:
+        """Enter bounded recovery mode after a head-node restart.
+
+        Every restored job stays a conservative liability — its last sent cap
+        (× nodes) reserved, no budget granted — until it re-HELLOs over a
+        fresh link or the reconnect window closes, whichever comes first.
+        Jobs still silent at the deadline are declared orphans: they died
+        during the outage (or their endpoint did; the node-local watchdog
+        brings those back later as ordinary new connections).
+        """
+        if timeout <= 0:
+            raise ValueError(f"recovery timeout must be positive, got {timeout}")
+        self._recovered = dict(recovered)
+        self._recovery_deadline = now + timeout
+        self.events.append(
+            f"t={now:.1f} recovery mode: {len(recovered)} job(s) to reconcile, "
+            f"deadline t={self._recovery_deadline:.1f}"
+        )
+
+    def restore_from_state(
+        self,
+        manager_state: dict,
+        target_hold: dict,
+        *,
+        now: float,
+        recovery_timeout: float,
+    ) -> None:
+        """Rebuild learned/accounting state from a checkpoint+journal baseline.
+
+        Called on a freshly constructed manager during a supervised head-node
+        restart: the integral correction, incident counters, hold-last-good
+        target state, and per-job records come back; the jobs themselves
+        enter recovery mode until they re-HELLO.
+        """
+        self._correction = float(manager_state.get("correction", 0.0))
+        counters = manager_state.get("counters", {})
+        self.evictions = int(counters.get("evictions", 0))
+        self.rejected_statuses = int(counters.get("rejected_statuses", 0))
+        self.rejected_models = int(counters.get("rejected_models", 0))
+        self.meter_faults = int(counters.get("meter_faults", 0))
+        self.target_source.restore_state(target_hold)
+        recovered = recovered_jobs_from_state(
+            manager_state.get("jobs", {}), p_node_min=self.p_node_min
+        )
+        self.begin_recovery(now, recovered, recovery_timeout)
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._recovery_deadline is not None
+
+    def recovered_items(self) -> list[tuple[str, RecoveredJob]]:
+        """Restored-but-unreconciled jobs, in deterministic order."""
+        return sorted(self._recovered.items())
+
+    def recovered_job(self, job_id: str) -> RecoveredJob | None:
+        return self._recovered.get(job_id)
+
+    def _reconcile_recovery(self, now: float) -> None:
+        if self._recovery_deadline is None or now < self._recovery_deadline:
+            return
+        for job_id in sorted(self._recovered):
+            self._recovered.pop(job_id)
+            self.orphaned.append(job_id)
+            self.events.append(
+                f"t={now:.1f} {job_id}: recovery orphan "
+                f"(no reconnect before t={self._recovery_deadline:.1f})"
+            )
+            self._journal("job-evict", now, job_id=job_id, kind="orphan")
+        self._recovery_deadline = None
+        self.events.append(f"t={now:.1f} recovery window closed")
 
     # -------------------------------------------------------------- control
 
@@ -322,7 +465,16 @@ class ClusterPowerManager:
         """
         self._drain_messages(now)
         self._evict_dead(now)
+        self._reconcile_recovery(now)
         target = self.target_source.target(now)
+        if self.journal is not None and target != self._last_journalled_target:
+            self._journal(
+                "target-change",
+                now,
+                target=target,
+                hold=self.target_source.state_dict(),
+            )
+            self._last_journalled_target = target
         if self.meter is not None:
             try:
                 measured = float(self.meter())
@@ -345,10 +497,17 @@ class ClusterPowerManager:
                 # Meter outage: no sample, and the integral term holds its
                 # last value rather than winding up against garbage.
                 self.meter_faults += 1
-        if not self.jobs:
+        if not self.jobs and not self._recovered:
             self.last_round = None
             return {}
-        busy_nodes = sum(r.nodes for r in self.jobs.values())
+        # Restored-but-unreconciled jobs are presumed alive: their nodes are
+        # busy and their last sent cap stays reserved — the conservative
+        # stance that keeps planned draw under the target while the cluster
+        # re-discovers itself.
+        recovering = [self._recovered[j] for j in sorted(self._recovered)]
+        busy_nodes = sum(r.nodes for r in self.jobs.values()) + sum(
+            r.nodes for r in recovering
+        )
         idle_nodes = max(0, self.total_nodes - busy_nodes)
         idle_power = idle_nodes * self.idle_power_estimate
         available = max(target - idle_power + self._correction, 1.0)
@@ -373,6 +532,11 @@ class ClusterPowerManager:
                 active.append(record)
         caps: dict[str, float] = {}
         reserved = 0.0
+        for rec in recovering:
+            assumed_cap = (
+                rec.last_cap if rec.last_cap is not None else rec.believed_p_max
+            )
+            reserved += rec.nodes * assumed_cap
         for record in stale:
             assumed_cap = (
                 record.last_cap if record.last_cap is not None else record.believed_p_max
@@ -419,6 +583,7 @@ class ClusterPowerManager:
             stale_jobs=len(stale),
             dormant_jobs=len(dormant),
             active_jobs=len(active),
+            recovering_jobs=len(recovering),
         )
         for record in self.jobs.values():
             cap = caps[record.job_id]
@@ -428,4 +593,13 @@ class ClusterPowerManager:
             )
             record.caps_sent += 1
             record.last_cap = cap
+        if self.journal is not None:
+            self._journal(
+                "cap-decision",
+                now,
+                caps=caps,
+                correction=self._correction,
+                target=target,
+                hold=self.target_source.state_dict(),
+            )
         return caps

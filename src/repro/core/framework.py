@@ -28,6 +28,9 @@ from repro.core.cluster_manager import ClusterPowerManager
 from repro.core.job_endpoint import JobTierEndpoint
 from repro.core.targets import ConstantTarget, PowerTargetSource
 from repro.core.transport import TcpLink
+from repro.durable.checkpoint import CheckpointError
+from repro.durable.state import apply_journal, capture_state, empty_state
+from repro.durable.store import DurableStore
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.geopm.report import ApplicationTotals, render_report
@@ -98,6 +101,15 @@ class AnorConfig:
     requeue_on_node_failure: bool = True
     max_requeues: int = 3
     endpoint_restart_delay: float | None = 30.0
+    # Head-node crash recovery (DESIGN.md §4d): when ``checkpoint_dir`` is
+    # set, cluster-tier state is checkpointed there every
+    # ``checkpoint_period`` seconds with a write-ahead journal in between;
+    # a restarted head node replays both and runs a bounded recovery mode
+    # for ``recovery_timeout`` seconds while live jobs re-HELLO.  ``None``
+    # disables persistence entirely (zero overhead on every hot path).
+    checkpoint_dir: str | None = None
+    checkpoint_period: float = 30.0
+    recovery_timeout: float = 30.0
 
 
 @dataclass
@@ -112,6 +124,9 @@ class AnorResult:
     warnings: list[str] = field(default_factory=list)
     fault_log: list[str] = field(default_factory=list)
     ghost_jobs: int = 0  # manager records still alive when the run ended
+    recovery_log: list[str] = field(default_factory=list)  # head-node crash/restart incidents
+    head_crashes: int = 0
+    orphaned: list[str] = field(default_factory=list)  # jobs found dead in recovery
 
     def slowdowns_by_type(
         self, reference: dict[str, float]
@@ -178,19 +193,7 @@ class AnorSystem:
             agent_fanout=self.config.agent_fanout,
             run_noise=self.config.run_noise,
         )
-        self.manager = ClusterPowerManager(
-            budgeter=self.budgeter,
-            target_source=self.target_source,
-            classifier=self.classifier,
-            total_nodes=self.config.num_nodes,
-            idle_power_estimate=self.config.idle_power,
-            meter=lambda: self.cluster.measured_power,
-            use_feedback=self.config.feedback_enabled,
-            p_node_min=P_NODE_MIN,
-            p_node_max=P_NODE_MAX,
-            stale_status_timeout=self.config.stale_status_timeout,
-            dead_job_timeout=self.config.dead_job_timeout,
-        )
+        self.manager: ClusterPowerManager | None = self._build_manager()
         self.endpoints: dict[str, JobTierEndpoint] = {}
         self._queue: list[_QueuedJob] = []
         self._pending = sorted(
@@ -214,9 +217,69 @@ class AnorSystem:
         self._endpoint_restarts: list[tuple[float, str]] = []
         self.requeued: list[str] = []
         self.warnings: list[str] = []
+        # Head-node crash-recovery state: the head's own view of which jobs
+        # it launched and believes running (what a checkpoint must carry —
+        # distinct from the emulator's ground truth), the durable store, and
+        # run-level recovery observability.
+        self._running_view: dict[str, dict] = {}
+        self._head_down = False
+        self.head_crashes = 0
+        self.recovery_log: list[str] = []
+        self.orphaned: list[str] = []
+        self.durable: DurableStore | None = None
+        self._checkpoint_gate: PeriodicGate | None = None
+        if self.config.checkpoint_dir is not None:
+            if self.config.checkpoint_period <= 0:
+                raise ValueError(
+                    f"checkpoint_period must be positive, got {self.config.checkpoint_period}"
+                )
+            self.durable = DurableStore(self.config.checkpoint_dir)
+            self._checkpoint_gate = PeriodicGate(self.config.checkpoint_period)
+            self.manager.journal = self.durable.journal
         self.faults = (
             FaultInjector(self, fault_schedule) if fault_schedule is not None else None
         )
+
+    def _build_manager(self) -> ClusterPowerManager:
+        """Construct a cluster-tier manager (initial boot and head restarts)."""
+        return ClusterPowerManager(
+            budgeter=self.budgeter,
+            target_source=self.target_source,
+            classifier=self.classifier,
+            total_nodes=self.config.num_nodes,
+            idle_power_estimate=self.config.idle_power,
+            meter=lambda: self.cluster.measured_power,
+            use_feedback=self.config.feedback_enabled,
+            p_node_min=P_NODE_MIN,
+            p_node_max=P_NODE_MAX,
+            stale_status_timeout=self.config.stale_status_timeout,
+            dead_job_timeout=self.config.dead_job_timeout,
+        )
+
+    def _journal(self, rtype: str, now: float, **data) -> None:
+        if self.durable is not None:
+            self.durable.journal.append(rtype, now, data)
+
+    @staticmethod
+    def _spec_dict(q: _QueuedJob) -> dict:
+        """JSON-serialisable submission spec (enough to rebuild the job)."""
+        return {
+            "job_id": q.request.job_id,
+            "type_name": q.request.type_name,
+            "nodes": q.job_type.nodes,
+            "claimed_type": q.claimed_type,
+            "submit_time": q.request.submit_time,
+        }
+
+    def _spec_from_dict(self, spec: dict) -> _QueuedJob:
+        jt = self.job_types[spec["type_name"]].with_nodes(int(spec["nodes"]))
+        req = JobRequest(
+            submit_time=float(spec["submit_time"]),
+            job_id=str(spec["job_id"]),
+            type_name=str(spec["type_name"]),
+            nodes=int(spec["nodes"]),
+        )
+        return _QueuedJob(request=req, job_type=jt, claimed_type=spec.get("claimed_type", ""))
 
     # ----------------------------------------------------------- job intake
 
@@ -243,19 +306,23 @@ class AnorSystem:
             type_name=type_name,
             nodes=jt.nodes,
         )
-        self._queue.append(
-            _QueuedJob(request=req, job_type=jt, claimed_type=claimed_type or type_name)
+        queued = _QueuedJob(
+            request=req, job_type=jt, claimed_type=claimed_type or type_name
         )
+        self._queue.append(queued)
         self._submit_times[job_id] = self.cluster.clock.now
+        self._journal(
+            "job-admit", self.cluster.clock.now, kind="manual", spec=self._spec_dict(queued)
+        )
 
     def _intake(self, now: float) -> None:
         while self._pending and self._pending[0].submit_time <= now:
             req = self._pending.pop(0)
             jt = self.job_types[req.type_name].with_nodes(req.nodes)
-            self._queue.append(
-                _QueuedJob(request=req, job_type=jt, claimed_type=req.type_name)
-            )
+            queued = _QueuedJob(request=req, job_type=jt, claimed_type=req.type_name)
+            self._queue.append(queued)
             self._submit_times[req.job_id] = req.submit_time
+            self._journal("job-admit", now, kind="queue", spec=self._spec_dict(queued))
 
     def _start_ready(self, now: float) -> None:
         """Start queued jobs according to the configured scheduler."""
@@ -299,7 +366,12 @@ class AnorSystem:
             submit_time=self._submit_times[head.request.job_id],
         )
         self._job_specs[head.request.job_id] = head
-        self._attempts.setdefault(head.request.job_id, 1)
+        attempt = self._attempts.setdefault(head.request.job_id, 1)
+        spec = self._spec_dict(head)
+        self._running_view[head.request.job_id] = spec
+        self._journal(
+            "job-admit", self.cluster.clock.now, kind="launch", spec=spec, attempt=attempt
+        )
         self._attach_endpoint(job, head.claimed_type or head.job_type.name)
         if self.config.output_dir is not None:
             self._tracers[head.request.job_id] = JobTracer(
@@ -307,16 +379,27 @@ class AnorSystem:
                 job_id=head.request.job_id,
             )
 
-    def _attach_endpoint(self, job: RunningJob, claimed_type: str) -> None:
-        """Connect a (possibly fresh) job-tier endpoint for a running job."""
+    def _make_link(self) -> TcpLink:
         cfg = self.config
-        link = TcpLink(
+        return TcpLink(
             cfg.link_latency,
             drop_probability=cfg.link_drop_probability,
             latency_up=cfg.link_latency_up,
             latency_down=cfg.link_latency_down,
             seed=self._rng,
         )
+
+    def _attach_endpoint(
+        self,
+        job: RunningJob,
+        claimed_type: str,
+        *,
+        warm_model: QuadraticPowerModel | None = None,
+        warm_r2: float | None = None,
+    ) -> None:
+        """Connect a (possibly fresh) job-tier endpoint for a running job."""
+        cfg = self.config
+        link = self._make_link()
         self.manager.register_link(link)
         self.endpoints[job.job_id] = JobTierEndpoint(
             job_id=job.job_id,
@@ -333,6 +416,8 @@ class AnorSystem:
             retrain_threshold=cfg.retrain_threshold,
             min_feedback_epochs=cfg.min_feedback_epochs,
             detect_drift=cfg.detect_drift,
+            warm_model=warm_model,
+            warm_r2=warm_r2,
         )
 
     # ------------------------------------------------------------- failures
@@ -356,6 +441,16 @@ class AnorSystem:
         tracer = self._tracers.pop(killed, None)
         if tracer is not None:
             tracer.close()
+        if self._head_down:
+            # No head node to notice, requeue, or journal anything: the job
+            # just dies.  Post-restart reconciliation finds it missing (no
+            # re-HELLO) and requeues it from the checkpointed spec.
+            self.warnings.append(
+                f"t={now:.1f}: node {node_id} crashed while head node down, "
+                f"job {killed} killed"
+            )
+            return killed
+        self._running_view.pop(killed, None)
         spec = self._job_specs.get(killed)
         attempts = self._attempts.get(killed, 1)
         if (
@@ -369,11 +464,19 @@ class AnorSystem:
             self.warnings.append(
                 f"t={now:.1f}: node {node_id} crashed, job {killed} killed and requeued"
             )
+            self._journal(
+                "job-admit",
+                now,
+                kind="requeue",
+                spec=self._spec_dict(spec),
+                attempt=attempts + 1,
+            )
         else:
             self.warnings.append(
                 f"t={now:.1f}: node {node_id} crashed, job {killed} killed "
                 f"(not requeued)"
             )
+            self._journal("job-evict", now, kind="killed", job_id=killed)
         return killed
 
     def crash_endpoint(self, job_id: str, now: float | None = None) -> bool:
@@ -395,7 +498,178 @@ class AnorSystem:
             )
         return True
 
+    def crash_head_node(self, now: float | None = None) -> bool:
+        """Kill the cluster-tier process: queue, budgeter state, models — gone.
+
+        Compute-node-side state survives (running jobs, their endpoints and
+        modelers, the node-local watchdog) but every link to the head is
+        dead: endpoints keep transmitting into the void until
+        :meth:`restart_head_node` reconnects them.  What comes back at
+        restart depends entirely on the durable store.
+        """
+        if self._head_down:
+            return False
+        if now is None:
+            now = self.cluster.clock.now
+        self._head_down = True
+        self.head_crashes += 1
+        self.manager = None
+        if self.durable is not None:
+            self.durable.close()
+            self.durable = None
+        self.recovery_log.append(f"t={now:.1f}: head node crashed")
+        return True
+
+    def restart_head_node(self, now: float | None = None) -> bool:
+        """Supervised head-node restart: replay durable state, enter recovery.
+
+        With a checkpoint directory configured, the restarted manager loads
+        the last checkpoint, folds in the journal tail, restores the queue /
+        running-set / budget accounting / models / target-hold / gate
+        phases, and runs a bounded recovery mode while live endpoints
+        re-HELLO over fresh links.  A missing store, an unknown schema
+        version, or a failed checksum all degrade to a *cold start* with an
+        incident record — never a guess at partial state.
+        """
+        if not self._head_down:
+            return False
+        if now is None:
+            now = self.cluster.clock.now
+        cfg = self.config
+        state: dict | None = None
+        if cfg.checkpoint_dir is not None:
+            self.durable = DurableStore(cfg.checkpoint_dir)
+            try:
+                payload, replay = self.durable.load()
+                base = payload["state"] if payload is not None else empty_state()
+                state = apply_journal(base, replay.records)
+                if replay.dropped_tail:
+                    self.recovery_log.append(
+                        f"t={now:.1f}: journal tail dropped "
+                        f"({replay.dropped_tail} corrupt/truncated record(s))"
+                    )
+            except CheckpointError as exc:
+                incident = f"t={now:.1f}: checkpoint rejected ({exc}); cold start"
+                self.recovery_log.append(incident)
+                self.warnings.append(incident)
+                state = None
+        self.manager = self._build_manager()
+        if self.durable is not None:
+            self.manager.journal = self.durable.journal
+        if self.faults is not None:
+            self.faults.reattach()
+        if state is not None:
+            self._restore_system_state(state)
+            self.manager.restore_from_state(
+                state["manager"],
+                state["target_hold"],
+                now=now,
+                recovery_timeout=cfg.recovery_timeout,
+            )
+            anchor, fires = state["gates"]["manager"]
+            self._manager_gate.restore(anchor, fires)
+            if self._checkpoint_gate is not None:
+                anchor, fires = state["gates"]["checkpoint"]
+                self._checkpoint_gate.restore(anchor, fires)
+            self.recovery_log.append(
+                f"t={now:.1f}: head node restarted warm "
+                f"({len(state['manager']['jobs'])} job(s) recovered from checkpoint+journal)"
+            )
+        else:
+            # Cold start: the in-memory queue/running-view stand in for the
+            # schedule and resource-manager state the head re-reads from
+            # files (§4.1); everything *learned* — models, correction,
+            # budget accounting — is gone.  The manager still runs a
+            # recovery window so reconnecting jobs are not mistaken for
+            # never-seen ones in the logs, and a fresh gate re-anchors the
+            # control grid at the restart instant.
+            self._manager_gate = PeriodicGate(cfg.manager_period)
+            self.manager.begin_recovery(now, {}, cfg.recovery_timeout)
+            self.recovery_log.append(
+                f"t={now:.1f}: head node restarted cold (no usable checkpoint)"
+            )
+        # Every surviving endpoint reconnects over a fresh link and re-HELLOs
+        # on its next control period (deterministic order).
+        for job_id in sorted(self.endpoints):
+            link = self._make_link()
+            self.manager.register_link(link)
+            self.endpoints[job_id].reconnect(link)
+        self._head_down = False
+        return True
+
+    def _restore_system_state(self, state: dict) -> None:
+        """Re-install the scheduler-side slice of a recovered checkpoint."""
+        ordered = sorted(
+            self.schedule.requests, key=lambda r: (r.submit_time, r.job_id)
+        )
+        self._pending = ordered[int(state["pending_index"]):]
+        self._queue = [self._spec_from_dict(s) for s in state["queue"]]
+        self._running_view = {
+            job_id: dict(spec) for job_id, spec in state["running"].items()
+        }
+        for spec in (*state["queue"], *state["running"].values()):
+            self._submit_times[spec["job_id"]] = float(spec["submit_time"])
+        self._attempts = {k: int(v) for k, v in state["attempts"].items()}
+        self.requeued = list(state["requeued"])
+
+    def _handle_orphans(self, now: float) -> None:
+        """Reconcile jobs the recovery window closed on without a re-HELLO.
+
+        Three deterministic cases: the job is still running (endpoint died
+        in the outage — leave it to the watchdog), it completed during the
+        outage (nothing to do), or it died with its node (requeue it from
+        the checkpointed spec, like any node-crash kill).
+        """
+        for job_id in self.manager.orphaned:
+            self.orphaned.append(job_id)
+            if job_id in self.cluster.running:
+                self.recovery_log.append(
+                    f"t={now:.1f}: job {job_id} silent past the recovery window "
+                    f"but still running; awaiting endpoint watchdog"
+                )
+                if (
+                    job_id not in self.endpoints
+                    and self.config.endpoint_restart_delay is not None
+                    and all(r[1] != job_id for r in self._endpoint_restarts)
+                ):
+                    self._endpoint_restarts.append((now, job_id))
+                continue
+            spec_state = self._running_view.pop(job_id, None)
+            if any(t.job_id == job_id for t in self.cluster.completed):
+                self.recovery_log.append(
+                    f"t={now:.1f}: job {job_id} completed during the head-node outage"
+                )
+                continue
+            attempts = self._attempts.get(job_id, 1)
+            if (
+                self.config.requeue_on_node_failure
+                and spec_state is not None
+                and attempts <= self.config.max_requeues
+            ):
+                queued = self._spec_from_dict(spec_state)
+                self._attempts[job_id] = attempts + 1
+                self._queue.append(queued)
+                self._submit_times.setdefault(job_id, queued.request.submit_time)
+                self.requeued.append(job_id)
+                self.recovery_log.append(
+                    f"t={now:.1f}: job {job_id} died during the head-node outage; requeued"
+                )
+                self._journal(
+                    "job-admit", now, kind="requeue", spec=spec_state, attempt=attempts + 1
+                )
+            else:
+                self.recovery_log.append(
+                    f"t={now:.1f}: job {job_id} died during the head-node outage "
+                    f"(not requeued)"
+                )
+        self.manager.orphaned.clear()
+
     def _restart_endpoints(self, now: float) -> None:
+        if self._head_down:
+            # The watchdog is node-local, but a restarted endpoint's first
+            # act is registering with the head node — hold due restarts until
+            # the head is back (the watchdog just keeps retrying its connect).
+            return
         due = [r for r in self._endpoint_restarts if r[0] <= now]
         if not due:
             return
@@ -403,35 +677,72 @@ class AnorSystem:
         for _, job_id in due:
             job = self.cluster.running.get(job_id)
             if job is None or job_id in self.endpoints:
-                continue  # job finished or was requeued meanwhile
+                # The job finished (or was requeued) while the endpoint was
+                # down, or another path already re-attached one.  Losing the
+                # restart is correct; losing the *record* of it is not.
+                reason = (
+                    "job no longer running"
+                    if job is None
+                    else "endpoint already attached"
+                )
+                self.warnings.append(
+                    f"t={now:.1f}: restart-cancelled for job {job_id} ({reason})"
+                )
+                continue
             spec = self._job_specs.get(job_id)
             claimed = (
                 spec.claimed_type or spec.job_type.name
                 if spec is not None
                 else job.job_type.name
             )
-            self._attach_endpoint(job, claimed)
+            # Warm restart: hand back the last model the cluster tier
+            # validated for this job (live record or checkpoint-recovered),
+            # so the fresh endpoint does not re-fit from zero.
+            warm_model = warm_r2 = None
+            record = self.manager.jobs.get(job_id) if self.manager is not None else None
+            if record is not None and record.online_model is not None:
+                warm_model, warm_r2 = record.online_model, record.online_r2
+            elif self.manager is not None:
+                recovered = self.manager.recovered_job(job_id)
+                if recovered is not None and recovered.online_model is not None:
+                    warm_model, warm_r2 = recovered.online_model, recovered.online_r2
+            self._attach_endpoint(job, claimed, warm_model=warm_model, warm_r2=warm_r2)
             self.warnings.append(f"t={now:.1f}: endpoint for job {job_id} restarted")
 
     # -------------------------------------------------------------- running
 
     def step(self) -> None:
-        """Advance the whole system by one tick."""
+        """Advance the whole system by one tick.
+
+        While the head node is down, everything *it* does pauses — intake,
+        scheduling, budgeting, checkpoints, endpoint-watchdog restarts — but
+        the compute side keeps going: physics, agents, endpoints (shouting
+        into dead links), fault events, and job completions.
+        """
         cfg = self.config
         clock = self.cluster.clock
         clock.advance(cfg.tick)
         now = clock.now
-        self._intake(now)
         if self.faults is not None:
             self.faults.tick(now)
-        self._restart_endpoints(now)
-        self._start_ready(now)
+        if not self._head_down:
+            self._intake(now)
+            self._restart_endpoints(now)
+            self._start_ready(now)
         # Control-plane order within a tick: the manager budgets first, then
         # endpoints translate budgets into GEOPM policies, then agents apply
         # them — so a decision reaches the MSRs within one tick plus link
         # latency, matching a real deployment where each hop is a few ms.
-        if self._manager_gate.due(now):
+        if not self._head_down and self._manager_gate.due(now):
             self.manager.step(now)
+            if self.manager.orphaned:
+                self._handle_orphans(now)
+        if (
+            not self._head_down
+            and self.durable is not None
+            and self._checkpoint_gate.due(now)
+        ):
+            self.durable.save_checkpoint({"state": capture_state(self, now)})
         if self._endpoint_gate.due(now):
             for endpoint in self.endpoints.values():
                 endpoint.step(now)
@@ -449,6 +760,11 @@ class AnorSystem:
             self.endpoints[jid].close(now)
             # Flush the goodbye promptly so budgets stop counting this job.
             self.endpoints.pop(jid)
+            if not self._head_down:
+                # Head-side bookkeeping; with the head down, post-restart
+                # reconciliation discovers the completion instead.
+                if self._running_view.pop(jid, None) is not None:
+                    self._journal("job-evict", now, kind="complete", job_id=jid)
             tracer = self._tracers.pop(jid, None)
             if tracer is not None:
                 tracer.close()
@@ -511,5 +827,8 @@ class AnorSystem:
             requeued=list(self.requeued),
             warnings=list(self.warnings),
             fault_log=self.faults.log_lines() if self.faults is not None else [],
-            ghost_jobs=len(self.manager.jobs),
+            ghost_jobs=len(self.manager.jobs) if self.manager is not None else 0,
+            recovery_log=list(self.recovery_log),
+            head_crashes=self.head_crashes,
+            orphaned=list(self.orphaned),
         )

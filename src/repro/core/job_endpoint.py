@@ -51,6 +51,8 @@ class JobTierEndpoint:
         explore_hold_steps: int = 12,
         min_feedback_samples: int = 6,
         detect_drift: bool = False,
+        warm_model: QuadraticPowerModel | None = None,
+        warm_r2: float | None = None,
     ) -> None:
         self.job_id = job_id
         self.claimed_type = claimed_type
@@ -90,6 +92,13 @@ class JobTierEndpoint:
         # hash(): Python salts string hashes per process, which would make
         # seeded runs non-reproducible.
         self._explore_step = zlib.crc32(job_id.encode()) % max(explore_hold_steps, 1)
+        # Warm restart: a watchdog-restarted endpoint receives the last model
+        # the cluster tier validated for this job, so it resumes sharing a
+        # trusted fit immediately instead of re-fitting (and re-dithering)
+        # from zero.  The modeler's own refits take over once live data
+        # accumulates.
+        if warm_model is not None:
+            self.modeler.seed_fit(warm_model, r2=warm_r2)
 
     # ---------------------------------------------------------------- control
 
@@ -184,19 +193,25 @@ class JobTierEndpoint:
         nothing — acting on either starves the job and (because a starved
         job's samples cluster at low caps) can lock the error in.
         """
-        if (
-            not self.feedback_enabled
-            or not self.modeler.has_fit
-            or self.modeler.epochs_observed < self.min_feedback_epochs
+        if not self.feedback_enabled or not self.modeler.has_fit:
+            return {}
+        if not self.modeler.seeded and (
+            self.modeler.epochs_observed < self.min_feedback_epochs
             or self.modeler.cap_coverage < self.min_cap_coverage
             or len(self.modeler.history) < self.min_feedback_samples
         ):
+            # A seeded (warm-restart) fit skips the history gates: it already
+            # passed the cluster tier's validation before the restart.
             return {}
         m = self.modeler.model
         if not m.is_monotone_decreasing() or m.t_min <= 0:
             # Non-physical fit; hold it back until it stabilises.
             return {}
-        if m.sensitivity < 1.02 and self.modeler.cap_coverage < 0.3:
+        if (
+            not self.modeler.seeded
+            and m.sensitivity < 1.02
+            and self.modeler.cap_coverage < 0.3
+        ):
             # "Flat" needs wide cap coverage to be believable.
             return {}
         return {
@@ -205,6 +220,17 @@ class JobTierEndpoint:
             "model_c": m.c,
             "model_r2": self.modeler.fit_r2,
         }
+
+    def reconnect(self, link: TcpLink) -> None:
+        """Swap in a fresh link and re-announce (head-node restart path).
+
+        The old connection died with the head node; the endpoint process
+        itself — modeler, dither phase, current cap — is untouched, so the
+        next control period opens with a HELLO and the cluster tier
+        reconciles this job against its recovered state.
+        """
+        self.link = link
+        self._hello_sent = False
 
     def close(self, now: float) -> None:
         """Send the goodbye when the job completes (idempotent)."""

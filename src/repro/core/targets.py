@@ -200,6 +200,26 @@ class HoldLastGoodTarget(PowerTargetSource):
         self._last_good: float | None = None
         self._last_good_time = 0.0
 
+    def state_dict(self) -> dict:
+        """Hold-last-good state for checkpointing (JSON-serialisable)."""
+        return {
+            "last_good": self._last_good,
+            "last_good_time": self._last_good_time,
+            "degraded_reads": self.degraded_reads,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-install state captured by :meth:`state_dict`.
+
+        A recovered manager must not treat a stalled feed as freshly stalled:
+        the grace window and decay are anchored at the *original* last-good
+        read, so a feed that was already decaying keeps decaying.
+        """
+        last_good = state.get("last_good")
+        self._last_good = None if last_good is None else float(last_good)
+        self._last_good_time = float(state.get("last_good_time", 0.0))
+        self.degraded_reads = int(state.get("degraded_reads", 0))
+
     def target(self, now: float) -> float:
         try:
             value = float(self.inner.target(now))

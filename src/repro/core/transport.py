@@ -11,9 +11,8 @@ drop only delays convergence — a property the tests pin down).
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Any, Deque
+import heapq
+from typing import Any
 
 import numpy as np
 
@@ -22,15 +21,16 @@ from repro.util.rng import ensure_rng
 __all__ = ["LatencyChannel", "TcpLink"]
 
 
-@dataclass
-class _InFlight:
-    deliver_at: float
-    seq: int
-    payload: Any
-
-
 class LatencyChannel:
-    """One-way FIFO with constant delivery latency and optional drops."""
+    """One-way queue with per-send delivery latency and optional drops.
+
+    Delivery order is ``(deliver_at, seq)``: a message sent after another can
+    overtake it only if it genuinely arrives earlier (its latency was lower),
+    and ties break by send order.  A plain FIFO gets this wrong when the
+    channel latency is *lowered* mid-flight (a link-degradation window
+    closing): messages sent under the old latency would block earlier-arriving
+    ones behind them at the head of the queue.
+    """
 
     def __init__(
         self,
@@ -46,7 +46,9 @@ class LatencyChannel:
         self.latency = float(latency)
         self.drop_probability = float(drop_probability)
         self._rng = ensure_rng(seed)
-        self._queue: Deque[_InFlight] = deque()
+        # Min-heap of (deliver_at, seq, payload); seq is unique, so payloads
+        # are never compared and ties resolve to send order.
+        self._queue: list[tuple[float, int, Any]] = []
         self._seq = 0
         self.sent = 0
         self.dropped = 0
@@ -58,15 +60,15 @@ class LatencyChannel:
         if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
             self.dropped += 1
             return False
-        self._queue.append(_InFlight(now + self.latency, self._seq, payload))
+        heapq.heappush(self._queue, (now + self.latency, self._seq, payload))
         self._seq += 1
         return True
 
     def receive(self, now: float) -> list[Any]:
-        """Pop every message whose delivery time has arrived, in send order."""
+        """Pop every message whose delivery time has arrived, in (deliver_at, seq) order."""
         out: list[Any] = []
-        while self._queue and self._queue[0].deliver_at <= now:
-            out.append(self._queue.popleft().payload)
+        while self._queue and self._queue[0][0] <= now:
+            out.append(heapq.heappop(self._queue)[2])
         self.delivered += len(out)
         return out
 

@@ -1,0 +1,47 @@
+"""Durable cluster-tier state: crash-consistent checkpoint/journal + recovery.
+
+The paper's cluster tier is one head-node process owning the job queue, the
+budgeter's accounting, and every job's fitted T(P) model — a single point of
+failure.  This package makes that state survive the process:
+
+* :mod:`repro.durable.checkpoint` — atomic, versioned, checksummed snapshot
+  files (write-temp + fsync + rename; refuse anything untrustworthy).
+* :mod:`repro.durable.journal` — a write-ahead JSON-lines journal of
+  state-changing events between checkpoints, each record checksummed and
+  sequence-numbered; replay tolerates a torn tail.
+* :mod:`repro.durable.store` — :class:`DurableStore`, the checkpoint+journal
+  pair with the crash-consistency protocol between them.
+* :mod:`repro.durable.state` — what gets captured, and how a journal tail
+  folds into a baseline snapshot.
+* :mod:`repro.durable.recovery` — :class:`RecoveredJob`, the per-job state
+  handed to a restarted :class:`~repro.core.cluster_manager.ClusterPowerManager`
+  for its bounded recovery mode (conservative reservations until each job
+  re-HELLOs, orphan detection after the reconnect window).
+"""
+
+from repro.durable.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durable.journal import Journal, JournalRecord, JournalReplay
+from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
+from repro.durable.state import apply_journal, capture_state, empty_state
+from repro.durable.store import DurableStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
+    "Journal",
+    "JournalRecord",
+    "JournalReplay",
+    "DurableStore",
+    "RecoveredJob",
+    "recovered_jobs_from_state",
+    "apply_journal",
+    "capture_state",
+    "empty_state",
+]

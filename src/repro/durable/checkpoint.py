@@ -1,0 +1,90 @@
+"""Crash-consistent checkpoint files: atomic, versioned, checksummed.
+
+A checkpoint is one JSON document written with the classic crash-safe
+discipline: serialise to a temporary file in the same directory, flush and
+fsync it, then :func:`os.replace` it over the live file — so a reader at any
+instant sees either the old complete checkpoint or the new complete one,
+never a torn write.  The on-disk format is two lines::
+
+    {"schema": 1, "crc": <crc32 of payload line>, "length": <byte length>}
+    {...payload...}
+
+The header is parsed first; ``length`` catches truncation (a crash mid-write
+of a non-atomic filesystem, or a copy that lost its tail) and ``crc`` catches
+corruption.  Loading anything unexpected raises :class:`CheckpointError` with
+a reason a recovery path can log — callers fall back to a cold start, they
+never guess at partial state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "CheckpointError", "write_checkpoint", "read_checkpoint"]
+
+#: Version of the checkpoint payload layout.  Bump on any incompatible change
+#: to what :mod:`repro.durable.state` captures; loaders refuse other versions
+#: rather than misinterpret fields (forward-compatibility guard).
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file could not be trusted (version/corruption/truncation)."""
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def write_checkpoint(path: str | Path, payload: dict, *, schema: int = SCHEMA_VERSION) -> None:
+    """Atomically persist ``payload`` (a JSON-serialisable dict) to ``path``."""
+    path = Path(path)
+    body = _canonical(payload)
+    header = json.dumps(
+        {"schema": int(schema), "crc": zlib.crc32(body), "length": len(body)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(header + b"\n" + body + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str | Path, *, schema: int = SCHEMA_VERSION) -> dict:
+    """Load and verify a checkpoint; raises :class:`CheckpointError` on doubt."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"{path}: unreadable ({exc})") from exc
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{path}: truncated (no header line)")
+    try:
+        header = json.loads(raw[:newline])
+    except ValueError as exc:
+        raise CheckpointError(f"{path}: corrupt header ({exc})") from exc
+    if not isinstance(header, dict) or not {"schema", "crc", "length"} <= set(header):
+        raise CheckpointError(f"{path}: malformed header {header!r}")
+    if header["schema"] != schema:
+        raise CheckpointError(
+            f"{path}: unknown schema version {header['schema']} "
+            f"(this build reads version {schema})"
+        )
+    body = raw[newline + 1 :].rstrip(b"\n")
+    if len(body) != header["length"]:
+        raise CheckpointError(
+            f"{path}: truncated payload ({len(body)} of {header['length']} bytes)"
+        )
+    if zlib.crc32(body) != header["crc"]:
+        raise CheckpointError(f"{path}: checksum mismatch")
+    try:
+        return json.loads(body)
+    except ValueError as exc:  # pragma: no cover - crc makes this unreachable
+        raise CheckpointError(f"{path}: corrupt payload ({exc})") from exc

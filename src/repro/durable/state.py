@@ -1,0 +1,185 @@
+"""Capture, journal-replay, and baseline construction for cluster-tier state.
+
+The checkpoint payload is a plain JSON dict covering exactly the state the
+paper's head-node process owns (§4.1, §4.4): the scheduler queue and
+running-set, per-job budget accounting (last sent caps, send counts), each
+job's validated online model coefficients and classifier label (claimed
+type), the target-feed hold-last-good state, and the manager/checkpoint
+:class:`~repro.util.clock.PeriodicGate` phases.  Compute-node-side state
+(running physics, endpoint modelers, node-local watchdogs) is deliberately
+absent — it survives a head-node crash in the real deployment and in the
+emulation alike.
+
+:func:`apply_journal` folds a journal tail into a checkpointed (or empty)
+baseline, so recovery sees the cluster as of the last durable write, not the
+last checkpoint cadence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.durable.journal import JournalRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.framework import AnorSystem
+
+__all__ = ["capture_state", "empty_state", "apply_journal"]
+
+
+def _job_entry(record) -> dict:
+    """JSON form of one manager :class:`JobRecord`."""
+    model = record.online_model
+    return {
+        "claimed_type": record.claimed_type,
+        "nodes": record.nodes,
+        "believed_p_max": record.believed_p_max,
+        "online": None if model is None else [model.a, model.b, model.c],
+        "online_r2": record.online_r2,
+        "last_cap": record.last_cap,
+        "caps_sent": record.caps_sent,
+    }
+
+
+def capture_state(system: "AnorSystem", now: float) -> dict:
+    """Snapshot everything the head node must not lose."""
+    mgr = system.manager
+    jobs_state = {
+        job_id: _job_entry(rec) for job_id, rec in sorted(mgr.jobs.items())
+    }
+    # Jobs restored from a previous crash that have not re-HELLOed yet are
+    # still liabilities the budgeter reserves power for; a second crash must
+    # not forget them.
+    for job_id, rec in mgr.recovered_items():
+        jobs_state.setdefault(job_id, rec.to_state())
+    return {
+        "now": float(now),
+        "pending_index": len(system.schedule.requests) - len(system._pending),
+        "queue": [system._spec_dict(q) for q in system._queue],
+        "running": {jid: dict(spec) for jid, spec in sorted(system._running_view.items())},
+        "attempts": dict(system._attempts),
+        "requeued": list(system.requeued),
+        "manager": {
+            "correction": mgr._correction,
+            "jobs": jobs_state,
+            "counters": {
+                "evictions": mgr.evictions,
+                "rejected_statuses": mgr.rejected_statuses,
+                "rejected_models": mgr.rejected_models,
+                "meter_faults": mgr.meter_faults,
+            },
+        },
+        "target_hold": mgr.target_source.state_dict(),
+        "gates": {
+            "manager": list(system._manager_gate.phase),
+            "checkpoint": list(system._checkpoint_gate.phase)
+            if system._checkpoint_gate is not None
+            else [None, 0],
+        },
+    }
+
+
+def empty_state() -> dict:
+    """The baseline before any event: a just-booted head node with no history.
+
+    Journal replay onto this baseline reconstructs a run that crashed before
+    its first checkpoint cadence fired.
+    """
+    return {
+        "now": 0.0,
+        "pending_index": 0,
+        "queue": [],
+        "running": {},
+        "attempts": {},
+        "requeued": [],
+        "manager": {
+            "correction": 0.0,
+            "jobs": {},
+            "counters": {
+                "evictions": 0,
+                "rejected_statuses": 0,
+                "rejected_models": 0,
+                "meter_faults": 0,
+            },
+        },
+        "target_hold": {"last_good": None, "last_good_time": 0.0, "degraded_reads": 0},
+        "gates": {"manager": [None, 0], "checkpoint": [None, 0]},
+    }
+
+
+def apply_journal(state: dict, records: Iterable[JournalRecord]) -> dict:
+    """Fold journalled state changes into ``state`` (mutates and returns it).
+
+    Application is idempotent with respect to re-delivered evictions and
+    tolerant of records about jobs the baseline no longer tracks — exactly
+    the overlaps a checkpoint-then-crash interleaving can produce.
+    """
+    jobs = state["manager"]["jobs"]
+    queue: list[dict] = state["queue"]
+    running: dict[str, dict] = state["running"]
+    for rec in records:
+        d = rec.data
+        state["now"] = max(state["now"], rec.time)
+        if rec.type == "job-admit":
+            kind = d.get("kind")
+            if kind in ("queue", "manual", "requeue"):
+                queue.append(dict(d["spec"]))
+                if kind == "queue":
+                    state["pending_index"] += 1
+                elif kind == "requeue":
+                    # The job was running when its node died; it is queued
+                    # again, not running.
+                    job_id = d["spec"]["job_id"]
+                    running.pop(job_id, None)
+                    state["attempts"][job_id] = int(d.get("attempt", 1))
+                    state["requeued"].append(job_id)
+            elif kind == "launch":
+                job_id = d["spec"]["job_id"]
+                queue[:] = [s for s in queue if s["job_id"] != job_id]
+                running[job_id] = dict(d["spec"])
+                state["attempts"].setdefault(job_id, int(d.get("attempt", 1)))
+            elif kind == "hello":
+                entry = jobs.get(d["job_id"])
+                if entry is None:
+                    jobs[d["job_id"]] = {
+                        "claimed_type": d["claimed_type"],
+                        "nodes": int(d["nodes"]),
+                        "believed_p_max": float(d["believed_p_max"]),
+                        "online": None,
+                        "online_r2": None,
+                        "last_cap": None,
+                        "caps_sent": 0,
+                    }
+                else:
+                    # Reconnect: identity fields refresh, learned state stays.
+                    entry["claimed_type"] = d["claimed_type"]
+                    entry["nodes"] = int(d["nodes"])
+                    entry["believed_p_max"] = float(d["believed_p_max"])
+        elif rec.type == "job-evict":
+            kind = d.get("kind")
+            # goodbye/timeout come from the manager and clear its record;
+            # complete/killed come from the scheduler side and clear the
+            # running-view (the manager's record goes separately, via a
+            # goodbye or a later heartbeat timeout); orphan clears both.
+            if kind in ("goodbye", "timeout", "orphan"):
+                jobs.pop(d["job_id"], None)
+            if kind in ("complete", "killed", "orphan"):
+                running.pop(d["job_id"], None)
+        elif rec.type == "model-accept":
+            entry = jobs.get(d["job_id"])
+            if entry is not None:
+                entry["online"] = [float(d["a"]), float(d["b"]), float(d["c"])]
+                entry["online_r2"] = d.get("r2")
+        elif rec.type == "cap-decision":
+            for job_id, cap in d.get("caps", {}).items():
+                entry = jobs.get(job_id)
+                if entry is not None:
+                    entry["last_cap"] = float(cap)
+                    entry["caps_sent"] = int(entry.get("caps_sent", 0)) + 1
+            state["manager"]["correction"] = float(d.get("correction", 0.0))
+            if "hold" in d:
+                state["target_hold"] = dict(d["hold"])
+        elif rec.type == "target-change":
+            if "hold" in d:
+                state["target_hold"] = dict(d["hold"])
+    return state

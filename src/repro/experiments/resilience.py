@@ -17,17 +17,35 @@ meter outage) — and compares:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
+import numpy as np
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.framework import AnorConfig, AnorResult, AnorSystem, precharacterized_models
+from repro.core.targets import ConstantTarget
 from repro.experiments.fig9 import (
     DEFAULT_AVERAGE_POWER,
     DEFAULT_RESERVE,
     Fig9Result,
     build_demand_response_system,
 )
+from repro.faults.events import HeadNodeCrash
 from repro.faults.schedule import FaultSchedule
+from repro.modeling.classifier import JobClassifier
+from repro.workloads.generator import PoissonScheduleGenerator
+from repro.workloads.nas import NAS_TYPES, long_running_mix
 
-__all__ = ["ResilienceResult", "run_resilience", "format_table"]
+__all__ = [
+    "ResilienceResult",
+    "run_resilience",
+    "format_table",
+    "HeadNodeRecoveryResult",
+    "run_headnode_recovery",
+    "format_headnode_table",
+]
 
 
 @dataclass
@@ -104,7 +122,8 @@ def _run_one(
         warmup=warmup,
     )
     quiescent = system.faults.quiescent if system.faults is not None else True
-    return fig9, len(system.manager.jobs), quiescent
+    ghosts = len(system.manager.jobs) if system.manager is not None else 0
+    return fig9, ghosts, quiescent
 
 
 def run_resilience(
@@ -142,6 +161,223 @@ def run_resilience(
         ghost_jobs=ghosts,
         injector_quiescent=quiescent,
     )
+
+
+def _build_static_system(
+    *,
+    duration: float,
+    seed: int,
+    target_power: float,
+    num_nodes: int,
+    checkpoint_dir: str | None,
+    checkpoint_period: float,
+    recovery_timeout: float,
+    fault_schedule: FaultSchedule | None,
+) -> AnorSystem:
+    """The head-node recovery workload: long jobs under a *static* target.
+
+    A static target makes the golden/recovered comparison exact — every
+    divergence between the two traces is attributable to the outage, not to
+    target motion racing the recovery window.
+    """
+    types = {jt.name: jt for jt in long_running_mix()}
+    generator = PoissonScheduleGenerator(
+        list(types.values()), utilization=0.9, total_nodes=num_nodes,
+        seed=seed * 7919 + 13,
+    )
+    schedule = generator.generate(duration)
+    cfg = AnorConfig(
+        num_nodes=num_nodes,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_period=checkpoint_period,
+        recovery_timeout=recovery_timeout,
+    )
+    return AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(target_power),
+        classifier=JobClassifier(precharacterized_models(NAS_TYPES)),
+        schedule=schedule,
+        job_types=types,
+        config=cfg,
+        fault_schedule=fault_schedule,
+    )
+
+
+def _drive(system: AnorSystem, *, max_time: float) -> tuple[AnorResult, np.ndarray]:
+    """Run a system to drain, sampling the manager's planned draw per round.
+
+    Returns ``(result, rounds)`` where rounds columns are (time, budget
+    ceiling = max(target+correction, floor), planned draw = idle+reserved+
+    allocated) — the raw material for the never-exceed-target invariant.
+    """
+    rows: list[tuple[float, float, float]] = []
+    last_time = None
+    while (
+        system._pending or system._queue or system.cluster.running
+    ) and system.cluster.clock.now < max_time:
+        system.step()
+        mgr = system.manager
+        rnd = mgr.last_round if mgr is not None else None
+        if rnd is not None and rnd.time != last_time:
+            last_time = rnd.time
+            ceiling = max(rnd.target + rnd.correction, rnd.floor)
+            planned = rnd.idle_power + rnd.reserved + rnd.allocated
+            rows.append((rnd.time, ceiling, planned))
+    result = system.run(0.0)
+    rounds = np.asarray(rows) if rows else np.empty((0, 3))
+    return result, rounds
+
+
+@dataclass
+class HeadNodeRecoveryResult:
+    """Golden-vs-recovered comparison of one head-node outage."""
+
+    golden: AnorResult
+    recovered: AnorResult
+    target_power: float
+    crash_time: float
+    down_for: float
+    recovery_merges: int  # live jobs reconciled against checkpointed state
+    checkpoints_written: int
+    rounds: np.ndarray  # (time, ceiling, planned) for the recovered run
+    convergence_tol: float = 0.05
+    convergence_window: int = 30
+    orphaned: list[str] = field(default_factory=list)
+
+    @property
+    def restart_time(self) -> float:
+        return self.crash_time + self.down_for
+
+    @property
+    def budget_violations(self) -> int:
+        """Budget rounds whose planned draw exceeded the enforceable ceiling.
+
+        0.1 W of slack on a multi-kilowatt ceiling absorbs the budgeter's
+        bisection/fp slop (present in healthy runs too); anything beyond it
+        is a real over-commitment.
+        """
+        if not len(self.rounds):
+            return 0
+        return int(np.sum(self.rounds[:, 2] > self.rounds[:, 1] + 0.1))
+
+    @property
+    def lost_jobs(self) -> list[str]:
+        """Jobs the golden run completed that the recovered run lost."""
+        gold = {t.job_id for t in self.golden.completed}
+        got = {t.job_id for t in self.recovered.completed}
+        return sorted(gold - got)
+
+    @property
+    def double_admitted(self) -> list[str]:
+        """Jobs that produced completion totals more than once."""
+        seen: dict[str, int] = {}
+        for t in self.recovered.completed:
+            seen[t.job_id] = seen.get(t.job_id, 0) + 1
+        return sorted(j for j, n in seen.items() if n > 1)
+
+    @property
+    def convergence_time(self) -> float | None:
+        """Seconds after restart until the recovered trace re-converges.
+
+        Convergence = the recovered run's measured power staying within
+        ``convergence_tol``·target of the golden run's for
+        ``convergence_window`` consecutive samples.  ``None`` = never.
+        """
+        gold, rec = self.golden.power_trace, self.recovered.power_trace
+        n = min(len(gold), len(rec))
+        if n == 0:
+            return None
+        mask = np.abs(rec[:n, 2] - gold[:n, 2]) <= self.convergence_tol * self.target_power
+        start = np.searchsorted(rec[:n, 0], self.restart_time)
+        window = self.convergence_window
+        for i in range(start, n - window + 1):
+            if mask[i : i + window].all():
+                return float(rec[i, 0] - self.restart_time)
+        return None
+
+
+def run_headnode_recovery(
+    *,
+    duration: float = 900.0,
+    seed: int = 1,
+    target_power: float = 16 * 170.0,
+    num_nodes: int = 16,
+    crash_time: float = 300.0,
+    down_for: float = 60.0,
+    checkpoint_dir: str | None = None,
+    checkpoint_period: float = 30.0,
+    recovery_timeout: float = 30.0,
+) -> HeadNodeRecoveryResult:
+    """Crash the head node mid-run and score the recovery against a golden run.
+
+    Both runs share the seed, schedule, and static target; only the crash
+    differs.  The golden run also checkpoints (into a sibling directory), so
+    any overhead of persistence is present on both sides of the comparison.
+    """
+    base = Path(checkpoint_dir) if checkpoint_dir is not None else Path(
+        tempfile.mkdtemp(prefix="anor-headnode-")
+    )
+    max_time = duration + 7200.0
+    golden_sys = _build_static_system(
+        duration=duration, seed=seed, target_power=target_power,
+        num_nodes=num_nodes, checkpoint_dir=str(base / "golden"),
+        checkpoint_period=checkpoint_period, recovery_timeout=recovery_timeout,
+        fault_schedule=None,
+    )
+    golden, _ = _drive(golden_sys, max_time=max_time)
+    recovered_sys = _build_static_system(
+        duration=duration, seed=seed, target_power=target_power,
+        num_nodes=num_nodes, checkpoint_dir=str(base / "recovered"),
+        checkpoint_period=checkpoint_period, recovery_timeout=recovery_timeout,
+        fault_schedule=FaultSchedule(
+            [HeadNodeCrash(time=crash_time, down_for=down_for)]
+        ),
+    )
+    recovered, rounds = _drive(recovered_sys, max_time=max_time)
+    merges = (
+        recovered_sys.manager.recovery_merges
+        if recovered_sys.manager is not None
+        else 0
+    )
+    checkpoints = (
+        recovered_sys.durable.checkpoints_written
+        if recovered_sys.durable is not None
+        else 0
+    )
+    return HeadNodeRecoveryResult(
+        golden=golden,
+        recovered=recovered,
+        target_power=target_power,
+        crash_time=crash_time,
+        down_for=down_for,
+        recovery_merges=merges,
+        checkpoints_written=checkpoints,
+        rounds=rounds,
+        orphaned=list(recovered.orphaned),
+    )
+
+
+def format_headnode_table(res: HeadNodeRecoveryResult) -> str:
+    conv = res.convergence_time
+    lines = [
+        f"head-node outage               : t={res.crash_time:.0f}s for {res.down_for:.0f}s",
+        f"checkpoints written            : {res.checkpoints_written}",
+        f"budget rounds over ceiling     : {res.budget_violations}",
+        f"jobs completed golden/recovered: "
+        f"{len(res.golden.completed)}/{len(res.recovered.completed)}",
+        f"jobs lost to the outage        : {len(res.lost_jobs)}"
+        + (f"  {res.lost_jobs}" if res.lost_jobs else ""),
+        f"double-admitted jobs           : {len(res.double_admitted)}",
+        f"live jobs reconciled (re-HELLO): {res.recovery_merges}",
+        f"orphans after recovery window  : {len(res.orphaned)}"
+        + (f"  {res.orphaned}" if res.orphaned else ""),
+        "trace re-convergence           : "
+        + (f"{conv:.0f}s after restart" if conv is not None else "NEVER"),
+        "recovery log:",
+    ]
+    lines.extend(f"  {line}" for line in res.recovered.recovery_log)
+    return "\n".join(lines)
 
 
 def format_table(res: ResilienceResult) -> str:

@@ -25,6 +25,7 @@ __all__ = [
     "score_fig10",
     "score_fig11",
     "score_resilience",
+    "score_headnode_recovery",
 ]
 
 
@@ -242,3 +243,26 @@ RESILIENCE_CLAIMS = (
 
 def score_resilience(result) -> Scorecard:
     return _evaluate(RESILIENCE_CLAIMS, result)
+
+
+# -------------------------------------------------- head-node crash recovery
+
+HEADNODE_CLAIMS = (
+    Claim("headnode", "planned draw never exceeds the budget ceiling, "
+          "during or after recovery",
+          lambda r: r.budget_violations == 0),
+    Claim("headnode", "no job the golden run completed is lost to the outage",
+          lambda r: not r.lost_jobs),
+    Claim("headnode", "no job is admitted twice across the restart",
+          lambda r: not r.double_admitted),
+    Claim("headnode", "surviving jobs reconcile warm (re-HELLO merges "
+          "checkpointed state)",
+          lambda r: r.recovery_merges > 0),
+    Claim("headnode", "the power trace re-converges to the golden run "
+          "within 120 s of restart",
+          lambda r: r.convergence_time is not None and r.convergence_time <= 120.0),
+)
+
+
+def score_headnode_recovery(result) -> Scorecard:
+    return _evaluate(HEADNODE_CLAIMS, result)

@@ -19,6 +19,8 @@ from repro.faults.events import (
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
+    HeadNodeCrash,
+    HeadNodeRestart,
     LinkDegradation,
     MeterOutage,
     NodeCrash,
@@ -31,6 +33,8 @@ __all__ = [
     "FaultEvent",
     "NodeCrash",
     "EndpointCrash",
+    "HeadNodeCrash",
+    "HeadNodeRestart",
     "LinkDegradation",
     "MeterOutage",
     "TargetOutage",

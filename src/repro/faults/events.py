@@ -16,6 +16,8 @@ __all__ = [
     "FaultEvent",
     "NodeCrash",
     "EndpointCrash",
+    "HeadNodeCrash",
+    "HeadNodeRestart",
     "LinkDegradation",
     "MeterOutage",
     "TargetOutage",
@@ -53,6 +55,33 @@ class NodeCrash(FaultEvent):
             raise ValueError(f"node_id must be ≥ 0, got {self.node_id}")
         if self.down_for <= 0:
             raise ValueError(f"down_for must be positive, got {self.down_for}")
+
+
+@dataclass(frozen=True)
+class HeadNodeCrash(FaultEvent):
+    """The cluster-tier (head node) process dies; compute nodes keep running.
+
+    A supervisor restarts the head ``down_for`` seconds later (``inf`` =
+    never; pair with an explicit :class:`HeadNodeRestart` instead).  What
+    the restarted head remembers depends on whether the system was built
+    with a checkpoint directory — see DESIGN.md §4d.
+    """
+
+    down_for: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for}")
+
+
+@dataclass(frozen=True)
+class HeadNodeRestart(FaultEvent):
+    """Explicitly restart a downed head node (scripted supervisor action).
+
+    A no-op (logged, skipped) if the head is already up — so schedules
+    mixing a finite-``down_for`` crash with a scripted restart stay valid.
+    """
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,8 @@ from repro.faults.events import (
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
+    HeadNodeCrash,
+    HeadNodeRestart,
     LinkDegradation,
     MeterOutage,
     NodeCrash,
@@ -86,6 +88,20 @@ class FaultInjector:
         hold.inner = switch
         return switch
 
+    def reattach(self) -> None:
+        """Re-hook a freshly built manager (head-node restart path).
+
+        The meter and target hooks wrap objects owned by the manager, so a
+        new manager needs new hooks; fault *state* (meter down, target down,
+        open windows) lives in the injector and carries across — an outage
+        window spanning the head-node restart keeps the restarted head
+        degraded until the window closes.
+        """
+        self._install_meter_hook()
+        switch = self._install_target_hook()
+        switch.down = self._target_switch.down
+        self._target_switch = switch
+
     def _record(self, now: float, line: str) -> None:
         self.log.append(f"t={now:10.1f} {line}")
 
@@ -125,6 +141,10 @@ class FaultInjector:
     def _fire(self, event: FaultEvent, now: float) -> None:
         if isinstance(event, NodeCrash):
             self._fire_node_crash(event, now)
+        elif isinstance(event, HeadNodeCrash):
+            self._fire_head_crash(event, now)
+        elif isinstance(event, HeadNodeRestart):
+            self._fire_head_restart(now)
         elif isinstance(event, EndpointCrash):
             self._fire_endpoint_crash(event, now)
         elif isinstance(event, LinkDegradation):
@@ -169,6 +189,24 @@ class FaultInjector:
                 f"node-restore node={node_id}",
                 lambda: cluster.restore_node(node_id),
             )
+
+    def _fire_head_crash(self, event: HeadNodeCrash, now: float) -> None:
+        if not self.system.crash_head_node(now):
+            self._record(now, "head-crash skipped (already down)")
+            return
+        self._record(now, f"head-crash down_for={event.down_for:.1f}")
+        if math.isfinite(event.down_for):
+            self._defer(
+                now + event.down_for,
+                "head-restart",
+                lambda: self.system.restart_head_node(),
+            )
+
+    def _fire_head_restart(self, now: float) -> None:
+        if not self.system.restart_head_node(now):
+            self._record(now, "head-restart skipped (head already up)")
+            return
+        self._record(now, "head-restart")
 
     def _pick_job(self, job_id: str | None, now: float) -> str | None:
         if job_id is not None:

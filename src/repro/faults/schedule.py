@@ -22,6 +22,7 @@ from repro.faults.events import (
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
+    HeadNodeCrash,
     LinkDegradation,
     MeterOutage,
     NodeCrash,
@@ -112,11 +113,13 @@ class FaultSchedule:
         num_nodes: int = 16,
         node_crash_rate: float = 0.0,
         endpoint_crash_rate: float = 0.0,
+        head_crash_rate: float = 0.0,
         link_burst_rate: float = 0.0,
         meter_outage_rate: float = 0.0,
         target_outage_rate: float = 0.0,
         corrupt_status_rate: float = 0.0,
         node_down_time: float = 300.0,
+        head_down_time: float = 60.0,
         burst_duration: float = 60.0,
         burst_drop: float = 0.2,
         outage_duration: float = 60.0,
@@ -152,6 +155,8 @@ class FaultSchedule:
             )
         for t in arrivals(endpoint_crash_rate):
             events.append(EndpointCrash(time=t))
+        for t in arrivals(head_crash_rate):
+            events.append(HeadNodeCrash(time=t, down_for=head_down_time))
         for t in arrivals(link_burst_rate):
             events.append(
                 LinkDegradation(

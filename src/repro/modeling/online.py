@@ -106,6 +106,10 @@ class OnlineModeler:
         self.min_sample_epochs = int(min_sample_epochs)
         self.history = EpochHistory()
         self._fit: FitResult | None = None
+        # True while the current fit came from seed_fit() rather than this
+        # modeler's own history; cleared by the first genuine refit or drift
+        # reset, so consumers can tell a carried-over model from a learned one.
+        self.seeded = False
         self._epochs_since_fit = 0
         self._pending_epochs = 0
         self._saw_first_epoch = False
@@ -276,6 +280,7 @@ class OnlineModeler:
         # New phase: throw away the stale model and its training data.
         self.history = EpochHistory()
         self._fit = None
+        self.seeded = False
         self._epochs_since_fit = 0
         self._recent_residuals.clear()
         self._live_residuals.clear()
@@ -285,6 +290,32 @@ class OnlineModeler:
         self._drift_model_age = 0
         self.drift_resets += 1
         return True
+
+    def seed_fit(
+        self,
+        model: QuadraticPowerModel,
+        *,
+        r2: float | None = None,
+        cap_range: tuple[float, float] | None = None,
+    ) -> None:
+        """Install a previously validated fit (warm restart, §4.2 continuity).
+
+        A restarted endpoint whose predecessor had already identified the
+        job's T(P) curve should not re-fit from zero: the cluster tier hands
+        back the last model it accepted, and the modeler resumes from it.
+        The seeded fit behaves exactly like a learned one — it is shared
+        upward, it suppresses exploration dither — until the modeler's own
+        history produces a refit (or drift detection fires), at which point
+        the live data wins.
+        """
+        self._fit = FitResult(
+            model=model,
+            r2=1.0 if r2 is None else float(r2),
+            n_samples=0,
+        )
+        lo, hi = cap_range if cap_range is not None else (model.p_min, model.p_max)
+        self._fit_cap_range = (float(lo), float(hi))
+        self.seeded = True
 
     def set_cap(self, timestamp: float, power_cap: float) -> None:
         """Note a cap change between status updates (keeps the average honest)."""
@@ -329,6 +360,7 @@ class OnlineModeler:
         ss_tot = float(np.sum(weights * (times - t_bar) ** 2))
         r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
         self._fit = FitResult(model=model, r2=r2, n_samples=len(self.history))
+        self.seeded = False
         self._fit_cap_range = (float(caps.min()), float(caps.max()))
         self._epochs_since_fit = 0
 

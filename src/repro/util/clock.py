@@ -68,6 +68,24 @@ class PeriodicGate:
             return float("-inf")
         return self._anchor + self._fires * self.period
 
+    @property
+    def phase(self) -> tuple[float | None, int]:
+        """``(anchor, fires)`` — enough to reconstruct the grid elsewhere."""
+        return (self._anchor, self._fires)
+
+    def restore(self, anchor: float | None, fires: int) -> None:
+        """Re-install a previously captured :attr:`phase`.
+
+        Used by head-node recovery: a restarted manager must keep firing on
+        the *original* k·period grid, not re-anchor at whatever instant the
+        restart happened to land on.  Instants slept through while down
+        collapse into one firing, exactly like a slow poller's.
+        """
+        if anchor is not None and not isinstance(anchor, (int, float)):
+            raise TypeError(f"anchor must be a float or None, got {anchor!r}")
+        self._anchor = None if anchor is None else float(anchor)
+        self._fires = int(fires)
+
     def due(self, now: float) -> bool:
         """True exactly when ``now`` reached the next grid instant.
 

@@ -51,6 +51,23 @@ class TestLatencyChannel:
         assert sum(results) < 10  # nearly everything dropped
         assert ch.dropped > 180
 
+    def test_deliver_at_order_when_latency_lowered(self):
+        # A message sent later over a faster link arrives first; the old
+        # FIFO queue would have held it hostage behind the slow one.
+        ch = LatencyChannel(latency=5.0)
+        ch.send("slow", now=0.0)  # arrives t=5
+        ch.latency = 1.0
+        ch.send("fast", now=0.0)  # arrives t=1
+        assert ch.receive(1.0) == ["fast"]
+        assert ch.receive(5.0) == ["slow"]
+
+    def test_deliver_at_ties_preserve_send_order(self):
+        ch = LatencyChannel(latency=2.0)
+        ch.send("first", now=0.0)
+        ch.latency = 1.0
+        ch.send("second", now=1.0)  # same arrival instant, t=2
+        assert ch.receive(2.0) == ["first", "second"]
+
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError, match="≥ 0"):
             LatencyChannel(latency=-1.0)

@@ -1,0 +1,301 @@
+"""Tests for the crash-consistent checkpoint/journal store (repro.durable)."""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.durable.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durable.journal import RECORD_TYPES, Journal
+from repro.durable.state import apply_journal, empty_state
+from repro.durable.store import DurableStore
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        payload = {"state": {"queue": [1, 2], "now": 3.5}, "journal_seq": 7}
+        write_checkpoint(path, payload)
+        assert read_checkpoint(path) == payload
+
+    def test_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, {"a": 1})
+        write_checkpoint(path, {"a": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+        assert read_checkpoint(path) == {"a": 2}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="unreadable"):
+            read_checkpoint(tmp_path / "nope.json")
+
+    def test_unknown_schema_version_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, {"a": 1}, schema=SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointError, match="unknown schema version"):
+            read_checkpoint(path)
+
+    def test_corrupted_payload_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, {"a": 1})
+        header, body = path.read_text().splitlines()
+        path.write_text(header + "\n" + body.replace("1", "2") + "\n")
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_truncated_payload_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, {"a": 1, "b": list(range(50))})
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_garbage_header_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("not json at all\n{}\n")
+        with pytest.raises(CheckpointError, match="header"):
+            read_checkpoint(path)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        j.append("job-admit", 1.0, {"kind": "queue", "spec": {"job_id": "a"}})
+        j.append("job-evict", 2.0, {"kind": "goodbye", "job_id": "a"})
+        j.close()
+        replay = Journal(tmp_path / "j.jsonl").replay()
+        assert [r.type for r in replay.records] == ["job-admit", "job-evict"]
+        assert [r.seq for r in replay.records] == [1, 2]
+        assert replay.dropped_tail == 0
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError, match="unknown journal record type"):
+            j.append("nonsense", 0.0, {})
+
+    def test_seq_resumes_across_reopen(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        j.append("target-change", 1.0, {})
+        j.close()
+        j2 = Journal(tmp_path / "j.jsonl")
+        assert j2.seq == 1
+        j2.append("target-change", 2.0, {})
+        j2.close()
+        assert [r.seq for r in j2.replay().records] == [1, 2]
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        j.append("target-change", 1.0, {"hold": {}})
+        j.append("target-change", 2.0, {"hold": {}})
+        j.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 15])  # tear the last record
+        replay = Journal(path).replay()
+        assert len(replay.records) == 1
+        assert replay.dropped_tail == 1
+
+    def test_corrupt_middle_stops_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        for t in (1.0, 2.0, 3.0):
+            j.append("target-change", t, {})
+        j.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"seq":2', '"seq":9')  # breaks the crc
+        path.write_text("\n".join(lines) + "\n")
+        replay = Journal(path).replay()
+        # Replay cannot trust anything after the first bad record.
+        assert [r.seq for r in replay.records] == [1]
+        assert replay.dropped_tail == 2
+
+    def test_watermark_skips_covered_records(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        for t in (1.0, 2.0, 3.0):
+            j.append("target-change", t, {})
+        replay = j.replay(min_seq=2)
+        assert [r.seq for r in replay.records] == [3]
+        j.close()
+
+
+class TestDurableStore:
+    def test_checkpoint_watermarks_journal(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.journal.append("job-admit", 1.0, {"kind": "queue", "spec": {}})
+        store.save_checkpoint({"state": empty_state()})
+        store.journal.append("job-evict", 2.0, {"kind": "goodbye", "job_id": "x"})
+        store.close()
+        reopened = DurableStore(tmp_path)
+        payload, replay = reopened.load()
+        assert payload["journal_seq"] == 1
+        # Only the record past the watermark replays.
+        assert [r.type for r in replay.records] == ["job-evict"]
+        reopened.close()
+
+    def test_no_checkpoint_replays_everything(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.journal.append("target-change", 1.0, {})
+        store.close()
+        payload, replay = DurableStore(tmp_path).load()
+        assert payload is None
+        assert len(replay.records) == 1
+
+    def test_corrupt_checkpoint_raises_not_guesses(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.save_checkpoint({"state": empty_state()})
+        store.close()
+        ck = tmp_path / DurableStore.CHECKPOINT_NAME
+        ck.write_text(ck.read_text()[:-30])
+        with pytest.raises(CheckpointError):
+            DurableStore(tmp_path).load()
+
+
+# Strategies for the lossless round-trip property test: randomized journal
+# payloads (JSON-representable scalars and containers keyed by strings).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10**6, 10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(_scalars, st.lists(_scalars, max_size=4)),
+    max_size=5,
+)
+_records = st.lists(
+    st.tuples(
+        st.sampled_from(RECORD_TYPES),
+        st.floats(0, 1e6, allow_nan=False),
+        _payloads,
+    ),
+    max_size=20,
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(records=_records)
+    def test_journal_round_trip_is_lossless(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("journal") / "j.jsonl"
+        j = Journal(path)
+        for rtype, t, data in records:
+            j.append(rtype, t, data)
+        j.close()
+        replay = Journal(path).replay()
+        assert replay.dropped_tail == 0
+        assert len(replay.records) == len(records)
+        for rec, (rtype, t, data) in zip(replay.records, records):
+            assert rec.type == rtype
+            assert rec.time == t
+            assert rec.data == json.loads(json.dumps(data))
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=_payloads)
+    def test_checkpoint_round_trip_is_lossless(self, payload, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ck") / "ck.json"
+        write_checkpoint(path, {"state": payload})
+        assert read_checkpoint(path) == {"state": json.loads(json.dumps(payload))}
+
+
+class TestApplyJournal:
+    def _rec(self, seq, rtype, t, data):
+        from repro.durable.journal import JournalRecord
+
+        return JournalRecord(seq=seq, time=t, type=rtype, data=data)
+
+    def test_launch_moves_queue_to_running(self):
+        spec = {"job_id": "a", "type_name": "bt", "nodes": 4,
+                "claimed_type": "bt", "submit_time": 0.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 0.0, {"kind": "queue", "spec": spec}),
+            self._rec(2, "job-admit", 1.0, {"kind": "launch", "spec": spec,
+                                            "attempt": 1}),
+        ])
+        assert state["queue"] == []
+        assert list(state["running"]) == ["a"]
+        assert state["pending_index"] == 1
+
+    def test_requeue_pops_running(self):
+        spec = {"job_id": "a", "type_name": "bt", "nodes": 4,
+                "claimed_type": "bt", "submit_time": 0.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 1.0, {"kind": "launch", "spec": spec,
+                                            "attempt": 1}),
+            self._rec(2, "job-admit", 5.0, {"kind": "requeue", "spec": spec,
+                                            "attempt": 2}),
+        ])
+        assert state["running"] == {}
+        assert [s["job_id"] for s in state["queue"]] == ["a"]
+        assert state["attempts"]["a"] == 2
+        assert state["requeued"] == ["a"]
+
+    def test_hello_then_model_then_evict(self):
+        hello = {"kind": "hello", "job_id": "a", "claimed_type": "bt",
+                 "nodes": 4, "believed_p_max": 250.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 1.0, hello),
+            self._rec(2, "model-accept", 2.0,
+                      {"job_id": "a", "a": 1e-5, "b": -0.01, "c": 3.0,
+                       "r2": 0.98}),
+            self._rec(3, "job-evict", 9.0, {"kind": "goodbye", "job_id": "a"}),
+        ])
+        assert state["manager"]["jobs"] == {}
+
+    def test_rehello_preserves_learned_state(self):
+        hello = {"kind": "hello", "job_id": "a", "claimed_type": "bt",
+                 "nodes": 4, "believed_p_max": 250.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 1.0, hello),
+            self._rec(2, "model-accept", 2.0,
+                      {"job_id": "a", "a": 1e-5, "b": -0.01, "c": 3.0,
+                       "r2": 0.98}),
+            self._rec(3, "job-admit", 5.0, hello),  # reconnect
+        ])
+        assert state["manager"]["jobs"]["a"]["online"] == [1e-5, -0.01, 3.0]
+
+    def test_complete_pops_running_only(self):
+        spec = {"job_id": "a", "type_name": "bt", "nodes": 4,
+                "claimed_type": "bt", "submit_time": 0.0}
+        hello = {"kind": "hello", "job_id": "a", "claimed_type": "bt",
+                 "nodes": 4, "believed_p_max": 250.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 1.0, {"kind": "launch", "spec": spec,
+                                            "attempt": 1}),
+            self._rec(2, "job-admit", 1.0, hello),
+            self._rec(3, "job-evict", 8.0, {"kind": "complete", "job_id": "a"}),
+        ])
+        assert state["running"] == {}
+        # The manager's record goes separately, via the goodbye.
+        assert "a" in state["manager"]["jobs"]
+
+    def test_cap_decision_updates_caps_and_hold(self):
+        hello = {"kind": "hello", "job_id": "a", "claimed_type": "bt",
+                 "nodes": 4, "believed_p_max": 250.0}
+        state = apply_journal(empty_state(), [
+            self._rec(1, "job-admit", 1.0, hello),
+            self._rec(2, "cap-decision", 2.0,
+                      {"caps": {"a": 180.0}, "correction": -3.0,
+                       "target": 2000.0,
+                       "hold": {"last_good": 2000.0, "last_good_time": 2.0,
+                                "degraded_reads": 0}}),
+        ])
+        entry = state["manager"]["jobs"]["a"]
+        assert entry["last_cap"] == 180.0
+        assert entry["caps_sent"] == 1
+        assert state["manager"]["correction"] == -3.0
+        assert state["target_hold"]["last_good"] == 2000.0
