@@ -4,6 +4,8 @@ Times three kernels with ``time.perf_counter``:
 
 * ``fig9`` — the reduced fig9 end-to-end loop (emulated cluster + full
   two-tier control plane);
+* ``fig9_telemetry`` — the same loop with ``repro.telemetry`` fully enabled
+  (metrics + event bus + ring sink), documenting the observability overhead;
 * ``tabsim`` — the 1000-node tabular simulator loop;
 * ``budgeter`` — the even-slowdown and even-power solvers over repeated
   budget rounds (the bisection hot path of every manager period).
@@ -47,6 +49,24 @@ def bench_fig9(*, duration: float, seed: int) -> dict:
 
     start = time.perf_counter()
     fig9 = run_fig9(duration=duration, seed=seed)
+    wall = time.perf_counter() - start
+    ticks = fig9.result.power_trace.shape[0]
+    return {
+        "wall_s": wall,
+        "ticks": int(ticks),
+        "ticks_per_sec": ticks / wall,
+        "jobs_completed": len(fig9.result.completed),
+    }
+
+
+def bench_fig9_telemetry(*, duration: float, seed: int) -> dict:
+    """The fig9 loop with full observability on — pins the enabled overhead."""
+    from repro.core.framework import AnorConfig
+    from repro.experiments.fig9 import run_fig9
+
+    cfg = AnorConfig(seed=seed, telemetry_enabled=True)
+    start = time.perf_counter()
+    fig9 = run_fig9(duration=duration, seed=seed, config=cfg)
     wall = time.perf_counter() - start
     ticks = fig9.result.power_trace.shape[0]
     return {
@@ -149,6 +169,9 @@ def run_suite(quick: bool, seed: int, repeats: int = 3) -> dict:
     kernels["fig9"] = _best_of(
         repeats, bench_fig9, duration=300.0 if quick else 900.0, seed=seed
     )
+    kernels["fig9_telemetry"] = _best_of(
+        repeats, bench_fig9_telemetry, duration=300.0 if quick else 900.0, seed=seed
+    )
     kernels["tabsim"] = _best_of(
         repeats,
         bench_tabsim,
@@ -220,6 +243,10 @@ def main(argv: list[str] | None = None) -> int:
         "kernels": kernels,
         "speedup_vs_seed": compare(kernels, seed_baseline, config),
     }
+    if "fig9" in kernels and "fig9_telemetry" in kernels:
+        report["telemetry_overhead"] = (
+            kernels["fig9_telemetry"]["wall_s"] / kernels["fig9"]["wall_s"] - 1.0
+        )
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     for name, result in kernels.items():
@@ -229,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{name:10s} {result['wall_s']:8.3f}s  "
             f"{result['ticks_per_sec']:10.1f} ticks/s{extra}"
         )
+    if "telemetry_overhead" in report:
+        print(f"telemetry overhead: {report['telemetry_overhead']:+.1%} wall time")
     print(f"wrote {out_path}")
 
     if args.update_baseline:

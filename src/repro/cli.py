@@ -214,6 +214,90 @@ _COMMANDS = {
 }
 
 
+def _add_observability_commands(sub) -> None:
+    """``anor top`` and ``anor trace`` — consumers of repro.telemetry.
+
+    Deliberately NOT in ``_COMMANDS``: they are views over a run, not
+    figures, so ``anor all`` must not iterate them.
+    """
+    top = sub.add_parser(
+        "top", help="live terminal view of the fig9 system (telemetry on)"
+    )
+    top.add_argument("--duration", type=float, default=600.0)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--refresh", type=float, default=10.0, help="simulated seconds per repaint"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single final frame (default on non-tty output)",
+    )
+    trace = sub.add_parser(
+        "trace", help="export or summarize structured JSONL traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="run fig9 with telemetry and write the JSONL trace"
+    )
+    export.add_argument("--out", required=True, help="trace output path")
+    export.add_argument("--duration", type=float, default=600.0)
+    export.add_argument("--seed", type=int, default=0)
+    summary = trace_sub.add_parser(
+        "summary", help="validate a JSONL trace and print record counts"
+    )
+    summary.add_argument("path", help="trace file to read")
+
+
+def _run_trace_export(out: str, duration: float, seed: int) -> str:
+    from repro.core.framework import AnorConfig
+    from repro.experiments.fig9 import build_demand_response_system
+
+    cfg = AnorConfig(seed=seed, telemetry_enabled=True, trace_path=out)
+    system = build_demand_response_system(duration=duration, seed=seed, config=cfg)
+    system.run(duration)
+    system.telemetry.close()
+    written = system.telemetry.trace_sink.records_written
+    return f"wrote {written} trace records to {out}"
+
+
+def _run_trace_summary(path: str) -> tuple[str, int]:
+    import json
+
+    from repro.telemetry.schema import summarize_trace, validate_trace
+
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            records.append(json.loads(line))
+    errors = validate_trace(records)
+    summary = summarize_trace(records)
+    lines = [
+        f"records   : {summary['records']}",
+        f"time range: t={summary['t_min']} .. t={summary['t_max']}",
+        "spans     : "
+        + (
+            ", ".join(f"{k}×{v}" for k, v in sorted(summary["spans"].items()))
+            or "(none)"
+        ),
+        "events    : "
+        + (
+            ", ".join(f"{k}×{v}" for k, v in sorted(summary["events"].items()))
+            or "(none)"
+        ),
+        "incidents : "
+        + (
+            ", ".join(f"{k}×{v}" for k, v in sorted(summary["incidents"].items()))
+            or "(none)"
+        ),
+    ]
+    if errors:
+        lines.append(f"INVALID: {len(errors)} schema error(s), first: {errors[0]}")
+    else:
+        lines.append("schema    : valid")
+    return "\n".join(lines), (1 if errors else 0)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="anor",
@@ -221,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
         "for Dynamic Power Objectives' (SC-W 2023).",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
+    _add_observability_commands(sub)
     for name, (_, help_text) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--quick", action="store_true", help="scaled-down run")
@@ -267,6 +352,22 @@ def main(argv: list[str] | None = None) -> int:
                 "(fanned over --jobs workers)",
             )
     args = parser.parse_args(argv)
+    if args.experiment == "top":
+        from repro.telemetry.top import run_top
+
+        return run_top(
+            duration=args.duration,
+            seed=args.seed,
+            refresh=args.refresh,
+            once=args.once,
+        )
+    if args.experiment == "trace":
+        if args.trace_command == "export":
+            print(_run_trace_export(args.out, args.duration, args.seed))
+            return 0
+        table, code = _run_trace_summary(args.path)
+        print(table)
+        return code
     start = time.perf_counter()
     if args.experiment == "all":
         table = _run_all(args.quick, args.seed, args.out, jobs=args.jobs)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from typing import Callable
 
-from repro.budget.base import JobBudgetRequest, PowerBudgeter
+from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
 from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
 from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.core.transport import TcpLink
@@ -38,6 +38,7 @@ from repro.durable.journal import Journal
 from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["JobRecord", "BudgetRound", "ClusterPowerManager"]
 
@@ -167,10 +168,15 @@ class ClusterPowerManager:
     # None keeps every hot path journalling-free — zero overhead when off.
     journal: Journal | None = None
 
+    # Observability (DESIGN.md §8): metrics + control-round span tree.  The
+    # shared NULL instance keeps every emission a single attribute check.
+    telemetry: Telemetry = field(default=NULL_TELEMETRY)
+
     jobs: dict[str, JobRecord] = field(default_factory=dict)
     tracking: list[TrackingSample] = field(default_factory=list)
     events: list[str] = field(default_factory=list)
     last_round: BudgetRound | None = field(default=None)
+    last_allocation: BudgetAllocation | None = field(default=None)
     evictions: int = 0
     rejected_statuses: int = 0
     rejected_models: int = 0
@@ -202,12 +208,54 @@ class ClusterPowerManager:
                 self.target_source,
                 floor=self.total_nodes * self.p_node_min,
             )
+        self._round_span = 0
+        if self.telemetry.enabled:
+            self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Create the manager's metric handles once (enabled runs only)."""
+        reg = self.telemetry.registry
+        self._mx_rounds = reg.counter(
+            "anor_budget_rounds_total", "budgeting rounds executed")
+        self._mx_caps_sent = reg.counter(
+            "anor_caps_sent_total", "per-job cap messages dispatched")
+        self._mx_models_accepted = reg.counter(
+            "anor_models_accepted_total", "online model fits accepted")
+        self._mx_models_rejected = reg.counter(
+            "anor_models_rejected_total", "online model fits rejected")
+        self._mx_statuses_rejected = reg.counter(
+            "anor_statuses_rejected_total", "corrupt status messages rejected")
+        self._mx_evictions = reg.counter(
+            "anor_jobs_evicted_total", "jobs evicted after dead-job timeout")
+        self._mx_meter_faults = reg.counter(
+            "anor_meter_faults_total", "facility meter samples discarded")
+        self._mx_journal_records = reg.counter(
+            "anor_journal_records_total", "write-ahead journal records appended")
+        self._mx_target = reg.gauge(
+            "anor_cluster_target_watts", "current cluster power target")
+        self._mx_measured = reg.gauge(
+            "anor_cluster_power_watts", "facility-metered cluster power")
+        self._mx_correction = reg.gauge(
+            "anor_power_correction_watts", "integral trim on the budget")
+        self._mx_planned = reg.gauge(
+            "anor_planned_draw_watts", "idle + reserved + allocated plan")
+        self._mx_jobs = {
+            state: reg.gauge(
+                "anor_jobs", "connected jobs by budgeting state", state=state)
+            for state in ("active", "dormant", "stale", "recovering")
+        }
+        self._mx_tracking = reg.histogram(
+            "anor_tracking_error_ratio",
+            "|measured - target| / target per manager period",
+        )
 
     # ------------------------------------------------------------- plumbing
 
     def _journal(self, rtype: str, now: float, **data) -> None:
         if self.journal is not None:
             self.journal.append(rtype, now, data)
+            if self.telemetry.enabled:
+                self._mx_journal_records.inc()
 
     def register_link(self, link: TcpLink) -> None:
         """Accept a new job endpoint connection."""
@@ -232,6 +280,7 @@ class ClusterPowerManager:
             # rather than waiting for the dead-job timeout.
             if stale.link in self._links:
                 self._links.remove(stale.link)
+            stale.link.close("replaced")
             self.events.append(
                 f"t={now:.1f} {msg.job_id}: reconnected, replaced stale link"
             )
@@ -272,6 +321,16 @@ class ClusterPowerManager:
             record.last_cap = stale.last_cap
             record.caps_sent = stale.caps_sent
         self.jobs[msg.job_id] = record
+        if self.telemetry.enabled:
+            self.telemetry.bus.event(
+                "job-hello",
+                now,
+                job_id=msg.job_id,
+                claimed_type=msg.claimed_type,
+                nodes=msg.nodes,
+                reconnect=stale is not None,
+                recovered=recovered is not None,
+            )
         self._journal(
             "job-admit",
             now,
@@ -296,6 +355,9 @@ class ClusterPowerManager:
             and msg.applied_cap > 0.0
         ):
             self.rejected_statuses += 1
+            if self.telemetry.enabled:
+                self._mx_statuses_rejected.inc()
+                self.telemetry.incident("status-rejected", now, job_id=msg.job_id)
             self.events.append(
                 f"t={now:.1f} {msg.job_id}: rejected corrupt status "
                 f"(power={msg.measured_power}, cap={msg.applied_cap})"
@@ -309,6 +371,14 @@ class ClusterPowerManager:
                 model = self._validated_model(msg, record)
                 if model is None:
                     self.rejected_models += 1
+                    if self.telemetry.enabled:
+                        self._mx_models_rejected.inc()
+                        self.telemetry.bus.event(
+                            "model-reject",
+                            now,
+                            parent=self._round_span or None,
+                            job_id=msg.job_id,
+                        )
                     self.events.append(
                         f"t={now:.1f} {msg.job_id}: rejected model coefficients "
                         f"(a={msg.model_a}, b={msg.model_b}, c={msg.model_c})"
@@ -316,6 +386,15 @@ class ClusterPowerManager:
                 else:
                     record.online_model = model
                     record.online_r2 = msg.model_r2
+                    if self.telemetry.enabled:
+                        self._mx_models_accepted.inc()
+                        self.telemetry.bus.event(
+                            "model-accept",
+                            now,
+                            parent=self._round_span or None,
+                            job_id=msg.job_id,
+                            r2=msg.model_r2,
+                        )
                     self._journal(
                         "model-accept",
                         now,
@@ -353,9 +432,12 @@ class ClusterPowerManager:
 
     def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink, now: float) -> None:
         if self.jobs.pop(msg.job_id, None) is not None:
+            if self.telemetry.enabled:
+                self.telemetry.bus.event("job-goodbye", now, job_id=msg.job_id)
             self._journal("job-evict", now, job_id=msg.job_id, kind="goodbye")
         if link in self._links:
             self._links.remove(link)
+        link.close("goodbye")
 
     def _evict_dead(self, now: float) -> None:
         """Garbage-collect jobs silent past the dead-job timeout.
@@ -373,7 +455,16 @@ class ClusterPowerManager:
             record = self.jobs.pop(job_id)
             if record.link in self._links:
                 self._links.remove(record.link)
+            record.link.close("evicted")
             self.evictions += 1
+            if self.telemetry.enabled:
+                self._mx_evictions.inc()
+                self.telemetry.incident(
+                    "job-evicted",
+                    now,
+                    job_id=job_id,
+                    silent_for=now - record.last_heard,
+                )
             self.events.append(
                 f"t={now:.1f} {job_id}: evicted after "
                 f"{now - record.last_heard:.1f}s of silence"
@@ -447,6 +538,8 @@ class ClusterPowerManager:
         for job_id in sorted(self._recovered):
             self._recovered.pop(job_id)
             self.orphaned.append(job_id)
+            if self.telemetry.enabled:
+                self.telemetry.incident("recovery-orphan", now, job_id=job_id)
             self.events.append(
                 f"t={now:.1f} {job_id}: recovery orphan "
                 f"(no reconnect before t={self._recovery_deadline:.1f})"
@@ -463,10 +556,21 @@ class ClusterPowerManager:
         Returns the per-job node caps chosen this round (empty when no jobs
         are connected).
         """
+        tel = self.telemetry.enabled
+        if tel:
+            # Span tree per DESIGN.md §8: control-round wraps everything this
+            # period; message-handler events parent themselves to it.
+            self._round_span = self.telemetry.bus.begin_span("control-round", now)
+            self._mx_rounds.inc()
         self._drain_messages(now)
         self._evict_dead(now)
         self._reconcile_recovery(now)
         target = self.target_source.target(now)
+        if tel:
+            self.telemetry.bus.event(
+                "target-read", now, parent=self._round_span, target=target
+            )
+            self._mx_target.set(target)
         if self.journal is not None and target != self._last_journalled_target:
             self._journal(
                 "target-change",
@@ -484,6 +588,10 @@ class ClusterPowerManager:
                 self.tracking.append(
                     TrackingSample(time=now, target=target, measured=measured)
                 )
+                if tel:
+                    self._mx_measured.set(measured)
+                    if target > 0:
+                        self._mx_tracking.observe(abs(measured - target) / target)
                 if self.correction_gain > 0:
                     limit = self.correction_limit_fraction * target
                     self._correction = float(
@@ -497,8 +605,17 @@ class ClusterPowerManager:
                 # Meter outage: no sample, and the integral term holds its
                 # last value rather than winding up against garbage.
                 self.meter_faults += 1
+                if tel:
+                    self._mx_meter_faults.inc()
+                    self.telemetry.incident("meter-fault", now)
         if not self.jobs and not self._recovered:
             self.last_round = None
+            self.last_allocation = None
+            if tel:
+                # The early return must still close the round span — leaked
+                # open spans would fail trace validation.
+                self.telemetry.bus.end_span(self._round_span, now, jobs=0)
+                self._round_span = 0
             return {}
         # Restored-but-unreconciled jobs are presumed alive: their nodes are
         # busy and their last sent cap stays reserved — the conservative
@@ -511,6 +628,16 @@ class ClusterPowerManager:
         idle_nodes = max(0, self.total_nodes - busy_nodes)
         idle_power = idle_nodes * self.idle_power_estimate
         available = max(target - idle_power + self._correction, 1.0)
+        budget_span = 0
+        if tel:
+            budget_span = self.telemetry.bus.begin_span(
+                "budget-round",
+                now,
+                parent=self._round_span,
+                policy=self.budgeter.name,
+                target=target,
+                available=available,
+            )
         # Triage (§7.2 plus fault hardening):
         # * stale — silent beyond the staleness timeout: its online fit and
         #   last status can no longer be trusted, so reserve what it may
@@ -552,6 +679,7 @@ class ClusterPowerManager:
             reserved += drawn
             caps[record.job_id] = self.p_node_min
         allocated = 0.0
+        allocation: BudgetAllocation | None = None
         if active:
             requests = [
                 JobBudgetRequest(
@@ -570,6 +698,7 @@ class ClusterPowerManager:
             allocated = sum(
                 allocation.caps[r.job_id] * r.nodes for r in active
             )
+        self.last_allocation = allocation
         self.last_round = BudgetRound(
             time=now,
             target=target,
@@ -585,6 +714,29 @@ class ClusterPowerManager:
             active_jobs=len(active),
             recovering_jobs=len(recovering),
         )
+        if tel:
+            # Policy metadata rides along: even-slowdown publishes its common
+            # slowdown s, fair-share its γ — whatever the budgeter reports.
+            self.telemetry.bus.end_span(
+                budget_span,
+                now,
+                allocated=allocated,
+                reserved=reserved,
+                idle_power=idle_power,
+                correction=self._correction,
+                floor=self.last_round.floor,
+                stale=len(stale),
+                dormant=len(dormant),
+                active=len(active),
+                recovering=len(recovering),
+                **(dict(allocation.meta) if allocation is not None else {}),
+            )
+            self._mx_correction.set(self._correction)
+            self._mx_planned.set(idle_power + reserved + allocated)
+            self._mx_jobs["active"].set(len(active))
+            self._mx_jobs["dormant"].set(len(dormant))
+            self._mx_jobs["stale"].set(len(stale))
+            self._mx_jobs["recovering"].set(len(recovering))
         for record in self.jobs.values():
             cap = caps[record.job_id]
             record.link.send_down(
@@ -593,6 +745,17 @@ class ClusterPowerManager:
             )
             record.caps_sent += 1
             record.last_cap = cap
+            if tel:
+                self._mx_caps_sent.inc()
+                self.telemetry.registry.gauge(
+                    "anor_job_cap_watts",
+                    "most recent per-node cap sent to each job",
+                    job=record.job_id,
+                ).set(cap)
+        if tel:
+            self.telemetry.bus.event(
+                "cap-dispatch", now, parent=self._round_span, caps=dict(caps)
+            )
         if self.journal is not None:
             self._journal(
                 "cap-decision",
@@ -602,4 +765,7 @@ class ClusterPowerManager:
                 target=target,
                 hold=self.target_source.state_dict(),
             )
+        if tel:
+            self.telemetry.bus.end_span(self._round_span, now, jobs=len(caps))
+            self._round_span = 0
         return caps

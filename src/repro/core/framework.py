@@ -41,6 +41,8 @@ from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 from repro.sched.base import PendingJob, RunningView, Scheduler
 from repro.sched.fcfs import FcfsScheduler
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.prometheus import MetricsHTTPServer
 from repro.util.clock import PeriodicGate
 from repro.util.rng import ensure_rng
 from repro.workloads.nas import NAS_TYPES, JobType, P_NODE_MAX, P_NODE_MIN
@@ -110,6 +112,14 @@ class AnorConfig:
     checkpoint_dir: str | None = None
     checkpoint_period: float = 30.0
     recovery_timeout: float = 30.0
+    # Observability (DESIGN.md §8).  Off by default: the disabled path is a
+    # shared null object, so golden traces and the perf harness see zero
+    # change.  ``trace_path`` streams the event bus to a JSONL file;
+    # ``prometheus_port`` serves /metrics on 127.0.0.1 (0 = ephemeral).
+    telemetry_enabled: bool = False
+    telemetry_ring_size: int = 4096
+    trace_path: str | None = None
+    prometheus_port: int | None = None
 
 
 @dataclass
@@ -185,6 +195,28 @@ class AnorSystem:
         self.schedule = schedule or Schedule()
         self.scheduler = scheduler or FcfsScheduler()
         self._rng = ensure_rng(self.config.seed)
+        # Observability: one Telemetry handle threaded through every tier.
+        # Disabled (the default) it is the shared null object — golden traces
+        # and the perf harness see literally the same code path as before.
+        cfg = self.config
+        self.telemetry = (
+            Telemetry(
+                ring_size=cfg.telemetry_ring_size,
+                trace_path=cfg.trace_path,
+            )
+            if cfg.telemetry_enabled
+            else NULL_TELEMETRY
+        )
+        self.metrics_server: MetricsHTTPServer | None = None
+        if self.telemetry.enabled and cfg.prometheus_port is not None:
+            self.metrics_server = MetricsHTTPServer(
+                self.telemetry.registry, cfg.prometheus_port
+            )
+        # Ledger of every TcpLink ever created: cluster-wide message/drop
+        # totals must survive links being replaced or garbage-collected.
+        self._all_links: list[TcpLink] = []
+        if self.telemetry.enabled:
+            self._init_metrics()
         self.cluster = EmulatedCluster(
             self.config.num_nodes,
             seed=self._rng,
@@ -254,7 +286,70 @@ class AnorSystem:
             p_node_max=P_NODE_MAX,
             stale_status_timeout=self.config.stale_status_timeout,
             dead_job_timeout=self.config.dead_job_timeout,
+            telemetry=self.telemetry,
         )
+
+    def _init_metrics(self) -> None:
+        """System-level metric handles (enabled runs only)."""
+        reg = self.telemetry.registry
+        self._mx_power = reg.gauge(
+            "anor_measured_power_watts", "emulated facility meter, per tick"
+        )
+        self._mx_target_now = reg.gauge(
+            "anor_target_watts", "cluster power target, per tick"
+        )
+        self._mx_running = reg.gauge("anor_running_jobs", "jobs on nodes")
+        self._mx_queued = reg.gauge("anor_queued_jobs", "jobs waiting in queue")
+        self._mx_pending = reg.gauge(
+            "anor_pending_jobs", "jobs not yet submitted from the schedule"
+        )
+        self._mx_completed = reg.gauge("anor_completed_jobs", "jobs finished")
+        self._mx_checkpoints = reg.counter(
+            "anor_checkpoints_total", "durable checkpoints written"
+        )
+        self._mx_link_sent = reg.counter(
+            "anor_link_messages_sent_total", "messages offered to any link"
+        )
+        self._mx_link_delivered = reg.counter(
+            "anor_link_messages_delivered_total", "messages delivered by any link"
+        )
+        self._mx_link_reordered = reg.counter(
+            "anor_link_messages_reordered_total",
+            "deliveries that overtook an earlier send",
+        )
+        self._mx_link_dropped: dict[str, object] = {}
+
+    def _sample_link_counters(self) -> None:
+        """Fold the per-link ledgers into cluster-wide monotone counters.
+
+        Links come and go (replaced on reconnect, garbage-collected on
+        eviction) but the ledger in ``_all_links`` keeps every channel ever
+        created, so summing it is safe and ``set_total`` keeps Prometheus
+        counters monotone.
+        """
+        reg = self.telemetry.registry
+        sent = delivered = reordered = 0
+        dropped: dict[str, int] = {}
+        for link in self._all_links:
+            for ch in (link.down, link.up):
+                sent += ch.sent
+                delivered += ch.delivered
+                reordered += ch.reordered
+                for reason, n in ch.drop_reasons.items():
+                    dropped[reason] = dropped.get(reason, 0) + n
+        self._mx_link_sent.set_total(sent)
+        self._mx_link_delivered.set_total(delivered)
+        self._mx_link_reordered.set_total(reordered)
+        for reason, n in dropped.items():
+            counter = self._mx_link_dropped.get(reason)
+            if counter is None:
+                counter = reg.counter(
+                    "anor_link_messages_dropped_total",
+                    "messages lost on any link, by reason",
+                    reason=reason,
+                )
+                self._mx_link_dropped[reason] = counter
+            counter.set_total(n)
 
     def _journal(self, rtype: str, now: float, **data) -> None:
         if self.durable is not None:
@@ -381,13 +476,15 @@ class AnorSystem:
 
     def _make_link(self) -> TcpLink:
         cfg = self.config
-        return TcpLink(
+        link = TcpLink(
             cfg.link_latency,
             drop_probability=cfg.link_drop_probability,
             latency_up=cfg.link_latency_up,
             latency_down=cfg.link_latency_down,
             seed=self._rng,
         )
+        self._all_links.append(link)
+        return link
 
     def _attach_endpoint(
         self,
@@ -418,6 +515,7 @@ class AnorSystem:
             detect_drift=cfg.detect_drift,
             warm_model=warm_model,
             warm_r2=warm_r2,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------- failures
@@ -434,6 +532,8 @@ class AnorSystem:
         killed = self.cluster.fail_node(node_id)
         if killed is None:
             return None
+        if self.telemetry.enabled:
+            self.telemetry.incident("node-crash", now, node=node_id, job_id=killed)
         self.endpoints.pop(killed, None)
         self._endpoint_restarts = [
             r for r in self._endpoint_restarts if r[1] != killed
@@ -461,6 +561,10 @@ class AnorSystem:
             self._attempts[killed] = attempts + 1
             self._queue.append(spec)
             self.requeued.append(killed)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "job-requeue", now, job_id=killed, attempt=attempts + 1
+                )
             self.warnings.append(
                 f"t={now:.1f}: node {node_id} crashed, job {killed} killed and requeued"
             )
@@ -491,6 +595,8 @@ class AnorSystem:
             now = self.cluster.clock.now
         if self.endpoints.pop(job_id, None) is None:
             return False
+        if self.telemetry.enabled:
+            self.telemetry.incident("endpoint-crash", now, job_id=job_id)
         self.warnings.append(f"t={now:.1f}: endpoint for job {job_id} crashed")
         if self.config.endpoint_restart_delay is not None:
             self._endpoint_restarts.append(
@@ -513,10 +619,18 @@ class AnorSystem:
             now = self.cluster.clock.now
         self._head_down = True
         self.head_crashes += 1
+        # Every connection to the dead head is gone: close them so that
+        # endpoints shouting into the void show up as counted drops, not
+        # silently vanished mail.  (The loss RNG draw precedes the closed
+        # check in LatencyChannel.send, so seeded runs are unchanged.)
+        for link in self.manager._links:
+            link.close("head-crash")
         self.manager = None
         if self.durable is not None:
             self.durable.close()
             self.durable = None
+        if self.telemetry.enabled:
+            self.telemetry.incident("head-crash", now)
         self.recovery_log.append(f"t={now:.1f}: head node crashed")
         return True
 
@@ -544,12 +658,20 @@ class AnorSystem:
                 base = payload["state"] if payload is not None else empty_state()
                 state = apply_journal(base, replay.records)
                 if replay.dropped_tail:
+                    if self.telemetry.enabled:
+                        self.telemetry.incident(
+                            "journal-tail-dropped", now, records=replay.dropped_tail
+                        )
                     self.recovery_log.append(
                         f"t={now:.1f}: journal tail dropped "
                         f"({replay.dropped_tail} corrupt/truncated record(s))"
                     )
             except CheckpointError as exc:
                 incident = f"t={now:.1f}: checkpoint rejected ({exc}); cold start"
+                if self.telemetry.enabled:
+                    self.telemetry.incident(
+                        "checkpoint-rejected", now, error=str(exc)
+                    )
                 self.recovery_log.append(incident)
                 self.warnings.append(incident)
                 state = None
@@ -571,6 +693,13 @@ class AnorSystem:
             if self._checkpoint_gate is not None:
                 anchor, fires = state["gates"]["checkpoint"]
                 self._checkpoint_gate.restore(anchor, fires)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "head-restart",
+                    now,
+                    mode="warm",
+                    recovered_jobs=len(state["manager"]["jobs"]),
+                )
             self.recovery_log.append(
                 f"t={now:.1f}: head node restarted warm "
                 f"({len(state['manager']['jobs'])} job(s) recovered from checkpoint+journal)"
@@ -585,6 +714,8 @@ class AnorSystem:
             # control grid at the restart instant.
             self._manager_gate = PeriodicGate(cfg.manager_period)
             self.manager.begin_recovery(now, {}, cfg.recovery_timeout)
+            if self.telemetry.enabled:
+                self.telemetry.incident("head-restart-cold", now)
             self.recovery_log.append(
                 f"t={now:.1f}: head node restarted cold (no usable checkpoint)"
             )
@@ -685,6 +816,10 @@ class AnorSystem:
                     if job is None
                     else "endpoint already attached"
                 )
+                if self.telemetry.enabled:
+                    self.telemetry.incident(
+                        "restart-cancelled", now, job_id=job_id, reason=reason
+                    )
                 self.warnings.append(
                     f"t={now:.1f}: restart-cancelled for job {job_id} ({reason})"
                 )
@@ -707,6 +842,10 @@ class AnorSystem:
                 if recovered is not None and recovered.online_model is not None:
                     warm_model, warm_r2 = recovered.online_model, recovered.online_r2
             self._attach_endpoint(job, claimed, warm_model=warm_model, warm_r2=warm_r2)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "endpoint-restart", now, job_id=job_id, warm=warm_model is not None
+                )
             self.warnings.append(f"t={now:.1f}: endpoint for job {job_id} restarted")
 
     # -------------------------------------------------------------- running
@@ -743,6 +882,9 @@ class AnorSystem:
             and self._checkpoint_gate.due(now)
         ):
             self.durable.save_checkpoint({"state": capture_state(self, now)})
+            if self.telemetry.enabled:
+                self._mx_checkpoints.inc()
+                self.telemetry.event("checkpoint", now)
         if self._endpoint_gate.due(now):
             for endpoint in self.endpoints.values():
                 endpoint.step(now)
@@ -754,6 +896,14 @@ class AnorSystem:
                     tracer.record(sample)
         measured = self.cluster.advance(cfg.tick)
         self._trace.append((now, self.target_source.target(now), measured))
+        if self.telemetry.enabled:
+            self._mx_power.set(measured)
+            self._mx_target_now.set(self._trace[-1][1])
+            self._mx_running.set(len(self.cluster.running))
+            self._mx_queued.set(len(self._queue))
+            self._mx_pending.set(len(self._pending))
+            self._mx_completed.set(len(self.cluster.completed))
+            self._sample_link_counters()
         # Completed jobs: close their endpoints so the manager forgets them.
         done_ids = [jid for jid in self.endpoints if jid not in self.cluster.running]
         for jid in done_ids:
@@ -819,6 +969,9 @@ class AnorSystem:
             if self._trace
             else np.empty((0, 3))
         )
+        # Durable sinks must not hold back records a consumer reads right
+        # after run() returns; the system stays usable (run can be resumed).
+        self.telemetry.flush()
         return AnorResult(
             completed=list(self.cluster.completed),
             power_trace=trace,

@@ -24,6 +24,7 @@ from repro.geopm.agent import AgentPolicy
 from repro.geopm.endpoint import Endpoint
 from repro.modeling.online import OnlineModeler
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["JobTierEndpoint"]
 
@@ -53,6 +54,7 @@ class JobTierEndpoint:
         detect_drift: bool = False,
         warm_model: QuadraticPowerModel | None = None,
         warm_r2: float | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.job_id = job_id
         self.claimed_type = claimed_type
@@ -99,6 +101,14 @@ class JobTierEndpoint:
         # accumulates.
         if warm_model is not None:
             self.modeler.seed_fit(warm_model, r2=warm_r2)
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            self._mx_statuses = telemetry.registry.counter(
+                "anor_statuses_sent_total", "status messages sent by job endpoints"
+            )
+            self._mx_policies = telemetry.registry.counter(
+                "anor_policies_written_total", "GEOPM policies written by job endpoints"
+            )
 
     # ---------------------------------------------------------------- control
 
@@ -139,6 +149,8 @@ class JobTierEndpoint:
             )
             self.link.send_up(status, now)
             self.statuses_sent += 1
+            if self.telemetry.enabled:
+                self._mx_statuses.inc()
 
         # Apply budget messages from the cluster tier (last one wins).
         new_cap: float | None = self._pending_cap
@@ -154,6 +166,8 @@ class JobTierEndpoint:
                 AgentPolicy(power_cap_node=applied_cap, issued_at=now)
             )
             self.modeler.set_cap(now, applied_cap)
+            if self.telemetry.enabled:
+                self._mx_policies.inc()
         return status
 
     def _cap_to_apply(self, model_fields: dict | None = None) -> float:
@@ -229,6 +243,9 @@ class JobTierEndpoint:
         next control period opens with a HELLO and the cluster tier
         reconciles this job against its recovered state.
         """
+        if self.link is not link:
+            # The dead connection's in-flight mail is lost — count it.
+            self.link.close("reconnect")
         self.link = link
         self._hello_sent = False
 

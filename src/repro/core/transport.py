@@ -53,12 +53,37 @@ class LatencyChannel:
         self.sent = 0
         self.dropped = 0
         self.delivered = 0
+        # Observability contract: *every* message that vanishes increments
+        # ``dropped`` and a reason bucket here — random loss, a send into a
+        # closed channel, or in-flight mail discarded when the channel
+        # closes.  Silent loss is a bug (see repro.telemetry).
+        self.drop_reasons: dict[str, int] = {}
+        # Deliveries that overtook an earlier-sent message (latency lowered
+        # mid-flight); counted at receive time.
+        self.reordered = 0
+        self._max_seq_delivered = -1
+        self.closed = False
+
+    def _drop(self, reason: str) -> None:
+        self.dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
 
     def send(self, payload: Any, now: float) -> bool:
-        """Enqueue a message at time ``now``; returns False if dropped."""
+        """Enqueue a message at time ``now``; returns False if dropped.
+
+        The loss draw happens before the closed check so that closing a
+        channel never shifts the RNG stream of a lossy link — seeded runs
+        stay bit-identical whether or not anyone closes links.
+        """
         self.sent += 1
         if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
-            self.dropped += 1
+            self._drop("loss")
+            return False
+        if self.closed:
+            # The peer is gone (dead head node, replaced link): a real TCP
+            # send here returns ECONNRESET.  Count it — an endpoint shouting
+            # into a dead link is exactly what telemetry must surface.
+            self._drop("closed")
             return False
         heapq.heappush(self._queue, (now + self.latency, self._seq, payload))
         self._seq += 1
@@ -68,9 +93,28 @@ class LatencyChannel:
         """Pop every message whose delivery time has arrived, in (deliver_at, seq) order."""
         out: list[Any] = []
         while self._queue and self._queue[0][0] <= now:
-            out.append(heapq.heappop(self._queue)[2])
+            _, seq, payload = heapq.heappop(self._queue)
+            if seq < self._max_seq_delivered:
+                self.reordered += 1
+            else:
+                self._max_seq_delivered = seq
+            out.append(payload)
         self.delivered += len(out)
         return out
+
+    def close(self, reason: str = "closed") -> int:
+        """Tear the channel down; in-flight messages drop as ``reason``.
+
+        Idempotent.  Returns how many queued messages were discarded so the
+        caller can log the loss.  Subsequent sends drop with reason
+        ``"closed"`` instead of queueing into the void.
+        """
+        discarded = len(self._queue)
+        for _ in range(discarded):
+            self._drop(reason)
+        self._queue.clear()
+        self.closed = True
+        return discarded
 
     @property
     def in_flight(self) -> int:
@@ -106,6 +150,14 @@ class TcpLink:
             drop_probability=drop_probability,
             seed=rng,
         )
+
+    def close(self, reason: str = "closed") -> int:
+        """Close both directions; returns total in-flight messages dropped."""
+        return self.down.close(reason) + self.up.close(reason)
+
+    @property
+    def closed(self) -> bool:
+        return self.down.closed and self.up.closed
 
     # Cluster-side verbs.
     def send_down(self, payload: Any, now: float) -> bool:

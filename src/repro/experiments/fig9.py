@@ -112,13 +112,21 @@ def run_fig9(
     warmup: float = 300.0,
     average_power: float = DEFAULT_AVERAGE_POWER,
     reserve: float = DEFAULT_RESERVE,
+    config: AnorConfig | None = None,
 ) -> Fig9Result:
-    """One hour of demand-response tracking with the characterized balancer."""
+    """One hour of demand-response tracking with the characterized balancer.
+
+    ``config`` overrides the default :class:`AnorConfig` — used by the
+    telemetry smoke harness and the overhead benchmark, which run the same
+    scenario with observability switched on.  Callers passing one must keep
+    ``seed``/``num_nodes`` consistent themselves.
+    """
     system = build_demand_response_system(
         duration=duration,
         average_power=average_power,
         reserve=reserve,
         seed=seed,
+        config=config,
     )
     result = system.run(duration)
     return Fig9Result(

@@ -35,6 +35,7 @@ from repro.experiments.fig9 import (
 from repro.faults.events import HeadNodeCrash
 from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier
+from repro.telemetry import summarize_incidents
 from repro.workloads.generator import PoissonScheduleGenerator
 from repro.workloads.nas import NAS_TYPES, long_running_mix
 
@@ -57,6 +58,10 @@ class ResilienceResult:
     schedule: FaultSchedule
     ghost_jobs: int  # manager JobRecords alive after the settle window
     injector_quiescent: bool  # every event fired, every fault window closed
+    # Telemetry streams from the faulted run (DESIGN.md §8): incidents by
+    # category (event bus) and control-plane decision counters (registry).
+    incident_counts: dict[str, int] = field(default_factory=dict)
+    decision_counts: dict[str, float] = field(default_factory=dict)
 
     @property
     def healthy_error90(self) -> float:
@@ -87,6 +92,40 @@ class ResilienceResult:
         return self.faulted.result.fault_log
 
 
+def _decision_summary(system: AnorSystem) -> dict[str, float]:
+    """Control-plane decision counters from the run's metrics registry.
+
+    Purely observational — the counters are maintained by the telemetry
+    subsystem and survive head-node restarts (the registry outlives any one
+    manager instance).
+    """
+    reg = system.telemetry.registry
+    names = {
+        "budget rounds": "anor_budget_rounds_total",
+        "caps sent": "anor_caps_sent_total",
+        "models accepted": "anor_models_accepted_total",
+        "models rejected": "anor_models_rejected_total",
+        "statuses rejected": "anor_statuses_rejected_total",
+        "jobs evicted": "anor_jobs_evicted_total",
+        "meter faults": "anor_meter_faults_total",
+        "link msgs dropped": "anor_link_messages_dropped_total",
+    }
+    out: dict[str, float] = {}
+    for label, metric in names.items():
+        if metric == "anor_link_messages_dropped_total":
+            # Labelled by reason; sum the family.
+            total = 0.0
+            for name, _, _, rows in reg.families():
+                if name == metric:
+                    total = sum(inst.value for _, inst in rows)
+            out[label] = total
+            continue
+        value = reg.get_value(metric)
+        if value is not None:
+            out[label] = value
+    return out
+
+
 def _run_one(
     *,
     duration: float,
@@ -95,13 +134,17 @@ def _run_one(
     average_power: float,
     reserve: float,
     fault_schedule: FaultSchedule | None,
-) -> tuple[Fig9Result, int, bool]:
+) -> tuple[Fig9Result, int, bool, AnorSystem]:
+    # Telemetry rides along on the faulted/healthy comparison: incidents and
+    # decision counters feed the resilience report, and bit-identity with
+    # telemetry off is separately pinned by tests/test_telemetry_noop.py.
     system = build_demand_response_system(
         duration=duration,
         average_power=average_power,
         reserve=reserve,
         seed=seed,
         fault_schedule=fault_schedule,
+        config=AnorConfig(seed=seed, telemetry_enabled=True),
     )
     result = system.run(duration, until_idle=True, max_time=duration + 3600.0)
     # Settle: after the last job drains, goodbyes are still in flight and any
@@ -123,7 +166,7 @@ def _run_one(
     )
     quiescent = system.faults.quiescent if system.faults is not None else True
     ghosts = len(system.manager.jobs) if system.manager is not None else 0
-    return fig9, ghosts, quiescent
+    return fig9, ghosts, quiescent, system
 
 
 def run_resilience(
@@ -138,7 +181,7 @@ def run_resilience(
     """Run the Fig. 9 workload healthy and under a fault load, and compare."""
     if schedule is None:
         schedule = FaultSchedule.standard_load(duration)
-    healthy, _, _ = _run_one(
+    healthy, _, _, _ = _run_one(
         duration=duration,
         seed=seed,
         warmup=warmup,
@@ -146,7 +189,7 @@ def run_resilience(
         reserve=reserve,
         fault_schedule=None,
     )
-    faulted, ghosts, quiescent = _run_one(
+    faulted, ghosts, quiescent, faulted_sys = _run_one(
         duration=duration,
         seed=seed,
         warmup=warmup,
@@ -160,6 +203,8 @@ def run_resilience(
         schedule=schedule,
         ghost_jobs=ghosts,
         injector_quiescent=quiescent,
+        incident_counts=faulted_sys.telemetry.incident_counts,
+        decision_counts=_decision_summary(faulted_sys),
     )
 
 
@@ -192,6 +237,7 @@ def _build_static_system(
         checkpoint_dir=checkpoint_dir,
         checkpoint_period=checkpoint_period,
         recovery_timeout=recovery_timeout,
+        telemetry_enabled=True,
     )
     return AnorSystem(
         budgeter=EvenSlowdownBudgeter(),
@@ -244,6 +290,9 @@ class HeadNodeRecoveryResult:
     convergence_tol: float = 0.05
     convergence_window: int = 30
     orphaned: list[str] = field(default_factory=list)
+    # Incident stream from the recovered run's event bus (crash, journal
+    # tail drops, cold restarts, restart cancellations ... by category).
+    incident_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def restart_time(self) -> float:
@@ -355,6 +404,7 @@ def run_headnode_recovery(
         checkpoints_written=checkpoints,
         rounds=rounds,
         orphaned=list(recovered.orphaned),
+        incident_counts=dict(recovered_sys.telemetry.incident_counts),
     )
 
 
@@ -377,6 +427,9 @@ def format_headnode_table(res: HeadNodeRecoveryResult) -> str:
         "recovery log:",
     ]
     lines.extend(f"  {line}" for line in res.recovered.recovery_log)
+    if res.incident_counts:
+        lines.append("incident summary:")
+        lines.extend(summarize_incidents(res.incident_counts))
     return "\n".join(lines)
 
 
@@ -395,4 +448,14 @@ def format_table(res: ResilienceResult) -> str:
         "fault event log:",
     ]
     lines.extend(f"  {line}" for line in res.fault_log)
+    if res.incident_counts:
+        lines.append("incident summary:")
+        lines.extend(summarize_incidents(res.incident_counts))
+    if res.decision_counts:
+        lines.append("control-plane decisions (faulted run):")
+        width = max(len(k) for k in res.decision_counts)
+        lines.extend(
+            f"  {label:<{width}} : {int(value)}"
+            for label, value in res.decision_counts.items()
+        )
     return "\n".join(lines)

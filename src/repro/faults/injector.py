@@ -104,6 +104,13 @@ class FaultInjector:
 
     def _record(self, now: float, line: str) -> None:
         self.log.append(f"t={now:10.1f} {line}")
+        telemetry = self.system.telemetry
+        if telemetry.enabled:
+            # Every injected fault (and window resolution) doubles as an
+            # incident on the event bus.  The "fault:" prefix marks these as
+            # *injected* causes; unprefixed categories are effects observed
+            # by the framework (eviction, meter-fault, head-restart ...).
+            telemetry.incident(f"fault:{line.split(None, 1)[0]}", now, detail=line)
 
     def _defer(self, at: float, line: str, action: Callable[[], None]) -> None:
         self._resolutions.append((at, self._seq, line, action))

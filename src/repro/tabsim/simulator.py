@@ -22,6 +22,7 @@ from repro.aqa.queues import QueuedJob, QueueSet, WorkQueue
 from repro.aqa.scheduler import WeightedScheduler
 from repro.tabsim.tables import JobState, JobTable, NodeTable, SimJobType
 from repro.tabsim.variation import draw_node_multipliers
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util.rng import ensure_rng
 from repro.workloads.trace import Schedule
 
@@ -204,6 +205,7 @@ class TabularClusterSimulator:
         *,
         queue_weights: dict[str, float] | None = None,
         state_logger=None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if not job_types:
             raise ValueError("need at least one job type")
@@ -271,6 +273,26 @@ class TabularClusterSimulator:
         self._cap_version_memo = -1
         self._rate_cache: tuple[float, int, float, np.ndarray, np.ndarray] | None = None
         self._power_buf = np.full(cfg.num_nodes, cfg.idle_power)
+        # Observability (DESIGN.md §8): gauges on the tabular tier's state.
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            reg = telemetry.registry
+            self._mx_ticks = reg.counter(
+                "tabsim_ticks_total", "simulated seconds stepped"
+            )
+            self._mx_power = reg.gauge(
+                "tabsim_cluster_power_watts", "tabular cluster measured power"
+            )
+            self._mx_target = reg.gauge(
+                "tabsim_target_watts", "demand-response target"
+            )
+            self._mx_busy = reg.gauge("tabsim_busy_nodes", "nodes running jobs")
+            self._mx_queue = reg.gauge(
+                "tabsim_queued_jobs", "jobs submitted but not started"
+            )
+            self._mx_cap = reg.gauge(
+                "tabsim_uniform_cap_watts", "uniform per-node cap (when uniform)"
+            )
 
     def _busy_state(self) -> _BusyState:
         """Current busy-set gathers, refreshed only when assignments change."""
@@ -543,6 +565,14 @@ class TabularClusterSimulator:
         self._schedule_jobs(target)
         self._cap_power(target)
         self._trace.append((self.now, target, measured))
+        if self.telemetry.enabled:
+            self._mx_ticks.inc()
+            self._mx_power.set(measured)
+            self._mx_target.set(target)
+            self._mx_busy.set(self.nodes.busy_count)
+            self._mx_queue.set(self._queued_count)
+            if self._uniform_cap is not None:
+                self._mx_cap.set(self._uniform_cap)
         if self.state_logger is not None:
             self.state_logger.log(self.now, self.nodes, self.jobs)
 

@@ -1,0 +1,140 @@
+"""Structured event/trace bus: control rounds as span trees, plus incidents.
+
+Every record is a plain JSON-serialisable dict with a fixed envelope
+(see :mod:`repro.telemetry.schema`)::
+
+    {"kind": "span_start" | "span_end" | "event",
+     "name": <dotted name>, "t": <sim seconds>,
+     "id": <record id>, "parent": <enclosing span id or None>,
+     "attrs": {...}}
+
+Spans model one control round end-to-end — target read → budget round
+(policy, slowdown/γ, per-job caps, recovering-job reservations) → cap
+dispatch — with model-fit acceptance/rejection, fault incidents, and
+checkpoint/journal/recovery events hanging off the tree as events.
+``span_end`` reuses the ``id`` of its ``span_start``; attrs on the end
+record carry results computed during the span.
+
+The bus is synchronous and single-threaded like the simulator itself:
+``begin_span`` returns an int handle, sinks see records in emission order,
+and nothing here consumes RNG or branches on data — a disabled bus is a
+handful of no-op methods (``NULL_BUS``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["EventBus", "Sink", "NULL_BUS", "INCIDENT"]
+
+#: Record name used for incident events (fault/recovery/hygiene anomalies);
+#: the incident category travels in ``attrs["category"]``.
+INCIDENT = "incident"
+
+
+class Sink(Protocol):
+    """Anything that can absorb trace records."""
+
+    def emit(self, record: dict) -> None: ...  # pragma: no cover - protocol
+
+
+class EventBus:
+    """Synchronous span/event recorder fanning out to sinks."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.sinks: list[Sink] = []
+        self._next_id = 1
+        self._open_spans: set[int] = set()
+        self.records_emitted = 0
+        self.incident_counts: dict[str, int] = {}
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    # -------------------------------------------------------------- emission
+
+    def _emit(self, record: dict) -> None:
+        self.records_emitted += 1
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def begin_span(
+        self, name: str, t: float, *, parent: int | None = None, **attrs
+    ) -> int:
+        """Open a span; returns its id (0 when the bus is disabled)."""
+        if not self.enabled:
+            return 0
+        sid = self._next_id
+        self._next_id += 1
+        self._open_spans.add(sid)
+        self._emit(
+            {
+                "kind": "span_start",
+                "name": name,
+                "t": float(t),
+                "id": sid,
+                "parent": parent,
+                "attrs": attrs,
+            }
+        )
+        return sid
+
+    def end_span(self, span_id: int, t: float, **attrs) -> None:
+        """Close a span opened by :meth:`begin_span` (idempotent on 0)."""
+        if not self.enabled or span_id == 0:
+            return
+        if span_id not in self._open_spans:
+            raise ValueError(f"span {span_id} is not open")
+        self._open_spans.discard(span_id)
+        self._emit(
+            {
+                "kind": "span_end",
+                "name": None,
+                "t": float(t),
+                "id": span_id,
+                "parent": None,
+                "attrs": attrs,
+            }
+        )
+
+    def event(
+        self, name: str, t: float, *, parent: int | None = None, **attrs
+    ) -> None:
+        """Record a point-in-time event, optionally inside a span."""
+        if not self.enabled:
+            return
+        eid = self._next_id
+        self._next_id += 1
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "t": float(t),
+                "id": eid,
+                "parent": parent,
+                "attrs": attrs,
+            }
+        )
+
+    def incident(
+        self, category: str, t: float, *, parent: int | None = None, **attrs
+    ) -> None:
+        """Record an incident: an anomaly worth surfacing to operators.
+
+        Categories are short kebab-case strings ("node-crash",
+        "journal-tail-dropped", "restart-cancelled", ...); the per-category
+        totals are kept on the bus so summaries don't require a sink.
+        """
+        if not self.enabled:
+            return
+        self.incident_counts[category] = self.incident_counts.get(category, 0) + 1
+        self.event(INCIDENT, t, parent=parent, category=category, **attrs)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._open_spans)
+
+
+#: Shared disabled bus — emission methods return immediately.
+NULL_BUS = EventBus(enabled=False)

@@ -1,0 +1,292 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the *numeric* half of :mod:`repro.telemetry` (the event/span
+bus is the structured half).  Design constraints, in order:
+
+1. **Free when off.**  A disabled registry hands out shared null instruments
+   whose methods are no-ops, and every instrumented hot path guards on a
+   single ``telemetry.enabled`` attribute — no dict lookups, no string
+   formatting, no allocation.  Golden traces and the perf harness must not
+   be able to tell telemetry exists.
+2. **Deterministic.**  Instruments never consume RNG, never read wall-clock
+   time, and never change control flow; they only record what the caller
+   already computed.
+3. **Prometheus-shaped.**  Families carry a help string and a type; label
+   sets address instruments within a family; histograms use fixed buckets
+   with cumulative counts — exactly what the text exposition format needs
+   (:mod:`repro.telemetry.prometheus`).
+
+Quantiles come from the fixed buckets (linear interpolation inside the
+bucket), the standard trade: bounded memory and mergeability for bounded
+rank error.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: ratio-style observations (tracking error,
+#: relative overhead).  Callers measuring watts pass explicit buckets.
+DEFAULT_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically non-decreasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be ≥ 0, got {amount}")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        """Adopt an externally accumulated running total.
+
+        For counters whose truth lives elsewhere (e.g. per-channel message
+        counts summed over every link ever created).  The total must be
+        non-decreasing across calls — counter semantics are the caller's
+        contract; this just refuses obvious regressions.
+        """
+        if total < self.value - 1e-9:
+            raise ValueError(
+                f"counter total went backwards: {self.value} -> {total}"
+            )
+        self.value = float(total)
+
+
+class Gauge:
+    """A value that goes up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative counts and bucket quantiles."""
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError("need at least one bucket bound")
+        ordered = tuple(float(b) for b in buckets)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {buckets}")
+        self.buckets = ordered
+        # counts[i] = observations ≤ buckets[i]; the implicit +Inf bucket is
+        # ``count`` itself (cumulative form, as Prometheus exposes it).
+        self.counts = [0] * len(ordered)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            return  # a NaN observation carries no rank information
+        self.count += 1
+        self.sum += v
+        i = bisect_left(self.buckets, v)
+        for j in range(i, len(self.counts)):
+            self.counts[j] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 ≤ q ≤ 1) from the fixed buckets.
+
+        Linear interpolation within the winning bucket; observations above
+        the last bound estimate as the last bound (the +Inf bucket has no
+        upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        prev_cum = 0
+        lo = 0.0
+        for bound, cum in zip(self.buckets, self.counts):
+            if cum >= rank:
+                width = cum - prev_cum
+                frac = (rank - prev_cum) / width if width > 0 else 1.0
+                return lo + frac * (bound - lo)
+            prev_cum, lo = cum, bound
+        return self.buckets[-1]
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def set_total(self, total: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+#: Shared no-op instruments: a disabled registry returns these singletons so
+#: instrumented code holds ordinary handles and never allocates.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class _Family:
+    """One named metric family: type, help text, and labelled instruments."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "instruments")
+
+    def __init__(
+        self, name: str, kind: str, help_text: str, buckets: tuple[float, ...] | None
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.instruments: dict[_LabelKey, Counter | Gauge | Histogram] = {}
+
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricsRegistry:
+    """Registry of metric families, addressed by (name, labels)."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------ factories
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._instrument(name, "counter", help_text, None, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._instrument(name, "gauge", help_text, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._instrument(name, "histogram", help_text, tuple(buckets), labels)
+
+    def _instrument(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: tuple[float, ...] | None,
+        labels: dict[str, str],
+    ):
+        if not name or set(name) - _NAME_OK or name[0].isdigit():
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        elif kind == "histogram" and buckets != family.buckets:
+            raise ValueError(f"metric {name!r} already registered with other buckets")
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            if kind == "counter":
+                instrument = Counter()
+            elif kind == "gauge":
+                instrument = Gauge()
+            else:
+                instrument = Histogram(family.buckets)
+            family.instruments[key] = instrument
+        return instrument
+
+    # ------------------------------------------------------------ inspection
+
+    def families(self) -> list[tuple[str, str, str, list[tuple[dict, object]]]]:
+        """Snapshot for exporters: (name, kind, help, [(labels, instrument)])."""
+        out = []
+        for name in sorted(self._families):
+            fam = self._families[name]
+            rows = [
+                (dict(key), inst) for key, inst in sorted(fam.instruments.items())
+            ]
+            out.append((fam.name, fam.kind, fam.help, rows))
+        return out
+
+    def get_value(self, name: str, **labels: str) -> float | None:
+        """Current value of one counter/gauge (tests and the top view)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return None
+        inst = fam.instruments.get(_label_key(labels))
+        if inst is None or isinstance(inst, Histogram):
+            return None
+        return inst.value
+
+
+#: Shared disabled registry (the `Telemetry.NULL` default).
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,120 @@
+"""Prometheus text-exposition exporter and a stdlib scrape endpoint.
+
+``render_prometheus`` serialises a :class:`MetricsRegistry` into text
+exposition format version 0.0.4 (``# HELP`` / ``# TYPE`` headers, labelled
+samples, cumulative ``_bucket`` series with ``le="+Inf"`` mirroring
+``_count``).  ``MetricsHTTPServer`` serves it from ``/metrics`` on an
+opt-in port via ``http.server`` in a daemon thread — no third-party client
+library, so the container's baked-in toolchain is enough.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.metrics import Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "MetricsHTTPServer"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Serialise every family in ``registry`` to text exposition format."""
+    lines: list[str] = []
+    for name, kind, help_text, rows in registry.families():
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, inst in rows:
+            if isinstance(inst, Histogram):
+                # Histogram counts are stored cumulatively already.
+                for bound, count in zip(inst.buckets, inst.counts):
+                    bucket_labels = dict(labels, le=_fmt(bound))
+                    lines.append(
+                        f"{name}_bucket{_labels_str(bucket_labels)} {count}"
+                    )
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(f"{name}_bucket{_labels_str(inf_labels)} {inst.count}")
+                lines.append(f"{name}_sum{_labels_str(labels)} {_fmt(inst.sum)}")
+                lines.append(f"{name}_count{_labels_str(labels)} {inst.count}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"{name}{_labels_str(labels)} {_fmt(inst.value)}")
+            else:  # counter
+                lines.append(f"{name}{_labels_str(labels)} {_fmt(inst.value)}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # injected by the server factory
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "try /metrics")
+            return
+        body = render_prometheus(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: ARG002
+        pass  # scrapes must not spam the experiment's stdout
+
+
+class MetricsHTTPServer:
+    """Background ``/metrics`` endpoint bound to ``127.0.0.1:port``.
+
+    ``port=0`` asks the OS for an ephemeral port (tests, CI smoke); the
+    bound port is available as :attr:`port`.  The serving thread is a
+    daemon, so a forgotten shutdown cannot hang interpreter exit.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"registry": registry})
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="anor-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}/metrics"
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

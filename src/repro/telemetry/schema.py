@@ -1,0 +1,174 @@
+"""Trace-record schema: validation, span-tree reconstruction, summaries.
+
+The JSONL trace format is deliberately tiny — five envelope fields and a
+free-form ``attrs`` object — so this module is the single source of truth
+for what a well-formed trace looks like.  CI's telemetry-smoke job and the
+span-tree tests both validate through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.telemetry.events import INCIDENT
+
+__all__ = [
+    "validate_record",
+    "validate_trace",
+    "SpanNode",
+    "build_span_tree",
+    "summarize_trace",
+]
+
+_KINDS = {"span_start", "span_end", "event"}
+
+
+def validate_record(obj: object, index: int = 0) -> list[str]:
+    """Structural errors in one decoded trace record (empty = valid)."""
+    errors: list[str] = []
+    where = f"record {index}"
+    if not isinstance(obj, dict):
+        return [f"{where}: not an object"]
+    missing = {"kind", "name", "t", "id", "parent", "attrs"} - set(obj)
+    if missing:
+        errors.append(f"{where}: missing fields {sorted(missing)}")
+        return errors
+    kind = obj["kind"]
+    if kind not in _KINDS:
+        errors.append(f"{where}: unknown kind {kind!r}")
+    if kind == "span_end":
+        if obj["name"] is not None:
+            errors.append(f"{where}: span_end must carry name=null")
+    elif not isinstance(obj["name"], str) or not obj["name"]:
+        errors.append(f"{where}: name must be a non-empty string")
+    if not isinstance(obj["t"], (int, float)) or isinstance(obj["t"], bool):
+        errors.append(f"{where}: t must be a number")
+    if not isinstance(obj["id"], int) or obj["id"] < 1:
+        errors.append(f"{where}: id must be a positive integer")
+    if obj["parent"] is not None and not isinstance(obj["parent"], int):
+        errors.append(f"{where}: parent must be an integer or null")
+    if not isinstance(obj["attrs"], dict):
+        errors.append(f"{where}: attrs must be an object")
+    return errors
+
+
+def validate_trace(records: Iterable[dict]) -> list[str]:
+    """Structural + referential errors across a whole record stream.
+
+    Checks every record's envelope, that span_end ids match a previously
+    opened (and not yet closed) span, that parents reference spans that were
+    open at emission time, and that ids are unique per span_start/event.
+    """
+    errors: list[str] = []
+    open_spans: set[int] = set()
+    seen_ids: set[int] = set()
+    last_t: float | None = None
+    for i, rec in enumerate(records):
+        rec_errors = validate_record(rec, i)
+        errors.extend(rec_errors)
+        if rec_errors:
+            continue
+        t = float(rec["t"])
+        if last_t is not None and t < last_t - 1e-9:
+            errors.append(f"record {i}: time went backwards ({last_t} -> {t})")
+        last_t = t
+        rid, kind, parent = rec["id"], rec["kind"], rec["parent"]
+        if kind == "span_end":
+            if rid not in open_spans:
+                errors.append(f"record {i}: span_end for unopened span {rid}")
+            open_spans.discard(rid)
+            continue
+        if rid in seen_ids:
+            errors.append(f"record {i}: duplicate id {rid}")
+        seen_ids.add(rid)
+        if parent is not None and parent not in open_spans:
+            errors.append(f"record {i}: parent {parent} is not an open span")
+        if kind == "span_start":
+            open_spans.add(rid)
+    for sid in sorted(open_spans):
+        errors.append(f"span {sid} never closed")
+    return errors
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children and contained events."""
+
+    span_id: int
+    name: str
+    start: float
+    attrs: dict
+    end: float | None = None
+    end_attrs: dict = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    def child(self, name: str) -> "SpanNode | None":
+        return next((c for c in self.children if c.name == name), None)
+
+
+def build_span_tree(records: Iterable[dict]) -> list[SpanNode]:
+    """Reconstruct root spans (with nested children/events) from a stream.
+
+    Unparented events are dropped — the tree is about spans; standalone
+    events are better read straight off the record stream.
+    """
+    roots: list[SpanNode] = []
+    nodes: dict[int, SpanNode] = {}
+    for rec in records:
+        kind = rec["kind"]
+        if kind == "span_start":
+            node = SpanNode(
+                span_id=rec["id"],
+                name=rec["name"],
+                start=float(rec["t"]),
+                attrs=dict(rec["attrs"]),
+            )
+            nodes[rec["id"]] = node
+            parent = nodes.get(rec["parent"]) if rec["parent"] is not None else None
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        elif kind == "span_end":
+            node = nodes.get(rec["id"])
+            if node is not None:
+                node.end = float(rec["t"])
+                node.end_attrs = dict(rec["attrs"])
+        elif kind == "event" and rec["parent"] is not None:
+            parent = nodes.get(rec["parent"])
+            if parent is not None:
+                parent.events.append(rec)
+    return roots
+
+
+def summarize_trace(records: list[dict]) -> dict:
+    """Counts by span/event name plus incident categories (for CLI output)."""
+    spans: dict[str, int] = {}
+    events: dict[str, int] = {}
+    incidents: dict[str, int] = {}
+    t_min = t_max = None
+    for rec in records:
+        t = float(rec["t"])
+        t_min = t if t_min is None else min(t_min, t)
+        t_max = t if t_max is None else max(t_max, t)
+        if rec["kind"] == "span_start":
+            spans[rec["name"]] = spans.get(rec["name"], 0) + 1
+        elif rec["kind"] == "event":
+            events[rec["name"]] = events.get(rec["name"], 0) + 1
+            if rec["name"] == INCIDENT:
+                cat = rec["attrs"].get("category", "?")
+                incidents[cat] = incidents.get(cat, 0) + 1
+    return {
+        "records": len(records),
+        "spans": spans,
+        "events": events,
+        "incidents": incidents,
+        "t_min": t_min,
+        "t_max": t_max,
+    }

@@ -1,0 +1,79 @@
+"""Trace sinks: a bounded in-memory ring and a JSONL trace writer.
+
+Sinks receive every record the :class:`~repro.telemetry.events.EventBus`
+emits, in order.  The ring buffer is the default consumer surface (``anor
+top``, incident summaries); the JSONL writer produces offline-analysable
+traces alongside the durable journal (``anor trace export``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.telemetry.events import INCIDENT
+
+__all__ = ["RingBufferSink", "JsonlTraceSink"]
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be ≥ 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self.total_emitted = 0
+
+    def emit(self, record: dict) -> None:
+        self.total_emitted += 1
+        self._ring.append(record)
+
+    def records(self) -> list[dict]:
+        return list(self._ring)
+
+    def incidents(self) -> list[dict]:
+        """Incident events still in the ring, oldest first."""
+        return [r for r in self._ring if r["name"] == INCIDENT]
+
+    @property
+    def dropped(self) -> int:
+        """Records aged out of the bounded window."""
+        return self.total_emitted - len(self._ring)
+
+
+class JsonlTraceSink:
+    """Appends each record as one JSON line; flushes on a small cadence.
+
+    The flush interval bounds how much trace a hard kill can lose without
+    paying a syscall per record; :meth:`close` flushes the remainder.
+    """
+
+    def __init__(self, path: str | Path, *, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be ≥ 1, got {flush_every}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._flush_every = int(flush_every)
+        self._since_flush = 0
+        self.records_written = 0
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._fh.flush()
+            self._since_flush = 0
+
+    def flush(self) -> None:
+        self._fh.flush()
+        self._since_flush = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()

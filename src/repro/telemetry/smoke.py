@@ -1,0 +1,121 @@
+"""Telemetry smoke harness: ``python -m repro.telemetry.smoke --out trace.jsonl``.
+
+One short Fig. 9 run with full observability switched on, then three gates
+(CI's telemetry-smoke job runs exactly this):
+
+1. the JSONL trace parses and passes :func:`repro.telemetry.schema.validate_trace`;
+2. every control period produced a complete ``control-round`` span, and
+   budget rounds carry the policy attribute;
+3. the Prometheus endpoint scrapes, and the exposition reports cluster
+   power, target, and at least one per-job cap gauge.
+
+Exit code 0 iff all gates pass; failures print what broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+from repro.telemetry.schema import build_span_tree, summarize_trace, validate_trace
+
+__all__ = ["run_smoke", "main"]
+
+_REQUIRED_SERIES = (
+    "anor_cluster_power_watts",
+    "anor_cluster_target_watts",
+    "anor_job_cap_watts{",
+    "anor_budget_rounds_total",
+)
+
+
+def run_smoke(
+    *, out: str, duration: float = 300.0, seed: int = 0, verbose: bool = True
+) -> list[str]:
+    """Run the smoke scenario; returns a list of failures (empty = pass)."""
+    from repro.core.framework import AnorConfig
+    from repro.experiments.fig9 import build_demand_response_system
+
+    failures: list[str] = []
+    cfg = AnorConfig(
+        seed=seed, telemetry_enabled=True, trace_path=out, prometheus_port=0
+    )
+    system = build_demand_response_system(duration=duration, seed=seed, config=cfg)
+    system.run(duration)
+
+    # Gate 3 first, while the endpoint is still serving.
+    try:
+        body = urllib.request.urlopen(system.metrics_server.url, timeout=10).read()
+        exposition = body.decode("utf-8")
+        for series in _REQUIRED_SERIES:
+            if series not in exposition:
+                failures.append(f"prometheus exposition missing {series!r}")
+    except OSError as exc:
+        failures.append(f"prometheus scrape failed: {exc}")
+    finally:
+        system.metrics_server.shutdown()
+        system.telemetry.close()
+
+    # Gate 1: trace parses and validates.
+    records = []
+    for i, line in enumerate(Path(out).read_text().splitlines()):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            failures.append(f"trace line {i} is not JSON: {exc}")
+    errors = validate_trace(records)
+    failures.extend(f"trace: {e}" for e in errors[:10])
+    if len(errors) > 10:
+        failures.append(f"trace: ... {len(errors) - 10} more validation error(s)")
+
+    # Gate 2: span-tree shape.  The manager runs once per manager_period, so
+    # a clean run has one complete control-round span per period.
+    expected_rounds = int(duration / cfg.manager_period)
+    roots = build_span_tree(records)
+    rounds = [r for r in roots if r.name == "control-round"]
+    complete = [r for r in rounds if r.complete]
+    if len(complete) < expected_rounds:
+        failures.append(
+            f"expected ≥ {expected_rounds} complete control-round spans, "
+            f"got {len(complete)}"
+        )
+    budgets = [c for r in rounds for c in r.children if c.name == "budget-round"]
+    if not budgets:
+        failures.append("no budget-round spans recorded")
+    elif any("policy" not in b.attrs for b in budgets):
+        failures.append("budget-round span missing the policy attribute")
+
+    if verbose:
+        summary = summarize_trace(records)
+        print(f"trace: {summary['records']} records, spans={summary['spans']}")
+        print(
+            f"rounds: {len(complete)}/{len(rounds)} complete "
+            f"(expected ≥ {expected_rounds}), budget-rounds: {len(budgets)}"
+        )
+        print(f"incidents: {summary['incidents'] or '(none)'}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.smoke",
+        description="End-to-end telemetry smoke test (trace + scrape gates).",
+    )
+    parser.add_argument("--out", required=True, help="JSONL trace output path")
+    parser.add_argument("--duration", type=float, default=300.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    failures = run_smoke(out=args.out, duration=args.duration, seed=args.seed)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("telemetry smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Tests for the metrics registry: instruments, caching, null no-ops."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_set_total_adopts_running_total(self):
+        c = Counter()
+        c.set_total(10.0)
+        c.set_total(10.0)  # equal is fine
+        c.set_total(12.0)
+        assert c.value == 12.0
+
+    def test_set_total_refuses_regression(self):
+        c = Counter()
+        c.set_total(10.0)
+        with pytest.raises(ValueError):
+            c.set_total(9.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec()
+        assert g.value == 6.0
+
+
+class TestHistogram:
+    def test_rejects_empty_and_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((0.2, 0.1))
+        with pytest.raises(ValueError):
+            Histogram((0.1, 0.1))
+
+    def test_nan_observation_ignored(self):
+        h = Histogram((1.0,))
+        h.observe(math.nan)
+        assert h.count == 0
+        assert h.sum == 0.0
+
+    def test_quantile_of_empty_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    @given(st.lists(st.floats(0.0, 2.0, allow_nan=False), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_are_cumulative_and_exact(self, values):
+        h = Histogram(DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(sum(values))
+        for bound, cum in zip(h.buckets, h.counts):
+            assert cum == sum(1 for v in values if v <= bound)
+        # Cumulative form: never decreasing, capped by the total count.
+        assert all(a <= b for a, b in zip(h.counts, h.counts[1:]))
+        assert h.counts[-1] <= h.count
+
+    @given(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=100),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_bounded_and_monotone(self, values, q):
+        h = Histogram(DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        est = h.quantile(q)
+        assert 0.0 <= est <= h.buckets[-1]
+        assert h.quantile(0.0) <= h.quantile(1.0)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_label_sets_address_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("cap_watts", job="a")
+        b = reg.gauge("cap_watts", job="b")
+        assert a is not b
+        a.set(100.0)
+        assert reg.get_value("cap_watts", job="a") == 100.0
+        assert reg.get_value("cap_watts", job="b") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c_total", x="1", y="2")
+        b = reg.counter("c_total", y="2", x="1")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError):
+            reg.gauge("thing")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    @pytest.mark.parametrize("name", ["", "1starts_with_digit", "has space", "has-dash"])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter(name)
+
+    def test_get_value_missing_is_none(self):
+        reg = MetricsRegistry()
+        assert reg.get_value("nope") is None
+        reg.counter("c_total", job="a")
+        assert reg.get_value("c_total", job="b") is None
+
+    def test_get_value_histogram_is_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        assert reg.get_value("h") is None
+
+    def test_families_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "bees").inc(3)
+        reg.gauge("a_watts", "amps").set(7.0)
+        fams = reg.families()
+        assert [f[0] for f in fams] == ["a_watts", "b_total"]
+        name, kind, help_text, rows = fams[1]
+        assert (kind, help_text) == ("counter", "bees")
+        assert rows[0][1].value == 3.0
+
+
+class TestDisabled:
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("x_total") is NULL_COUNTER
+        assert reg.gauge("y") is NULL_GAUGE
+        assert reg.histogram("z") is NULL_HISTOGRAM
+        assert reg.families() == []
+
+    def test_null_instruments_never_accumulate(self):
+        NULL_COUNTER.inc(5.0)
+        NULL_COUNTER.set_total(99.0)
+        NULL_GAUGE.set(3.0)
+        NULL_GAUGE.inc()
+        NULL_HISTOGRAM.observe(0.5)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_shared_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.counter("anything") is NULL_COUNTER

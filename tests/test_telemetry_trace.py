@@ -1,0 +1,133 @@
+"""Sinks, JSONL traces, the smoke harness, and the CLI consumer surface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import EventBus, JsonlTraceSink, RingBufferSink
+from repro.telemetry.smoke import run_smoke
+from repro.telemetry.top import render_frame, run_top
+
+
+class TestRingBufferSink:
+    def test_bounded_and_counts_evictions(self):
+        ring = RingBufferSink(3)
+        for i in range(5):
+            ring.emit({"name": "e", "i": i})
+        assert [r["i"] for r in ring.records()] == [2, 3, 4]
+        assert ring.total_emitted == 5
+        assert ring.dropped == 2
+
+    def test_incidents_filtered(self):
+        ring = RingBufferSink(10)
+        ring.emit({"name": "other"})
+        ring.emit({"name": "incident", "attrs": {"category": "x"}})
+        assert len(ring.incidents()) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonlTraceSink:
+    def test_writes_sorted_key_json_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.emit({"b": 2, "a": 1})
+        sink.close()
+        assert path.read_text() == '{"a": 1, "b": 2}\n'
+        assert sink.records_written == 1
+
+    def test_flush_cadence_bounds_loss(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path, flush_every=2)
+        sink.emit({"i": 0})
+        sink.emit({"i": 1})  # hits the cadence -> flushed
+        sink.emit({"i": 2})  # buffered
+        assert len(path.read_text().splitlines()) >= 2
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 3
+        sink.close()
+        sink.close()  # idempotent
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(tmp_path / "t.jsonl", flush_every=0)
+
+    def test_creates_parent_directories(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "deep" / "nest" / "t.jsonl")
+        sink.emit({"ok": True})
+        sink.close()
+        assert (tmp_path / "deep" / "nest" / "t.jsonl").exists()
+
+    def test_wired_through_event_bus(self, tmp_path):
+        path = tmp_path / "bus.jsonl"
+        bus = EventBus()
+        bus.add_sink(JsonlTraceSink(path, flush_every=1))
+        sid = bus.begin_span("s", 0.0)
+        bus.end_span(sid, 1.0)
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [r["kind"] for r in lines] == ["span_start", "span_end"]
+
+
+class TestSmokeHarness:
+    def test_short_run_passes_all_gates(self, tmp_path):
+        out = tmp_path / "smoke.jsonl"
+        failures = run_smoke(out=str(out), duration=60.0, seed=0, verbose=False)
+        assert failures == []
+        assert out.exists()
+
+    def test_main_exit_code_zero_on_pass(self, tmp_path, capsys):
+        from repro.telemetry.smoke import main as smoke_main
+
+        out = tmp_path / "smoke.jsonl"
+        assert smoke_main(["--out", str(out), "--duration", "60"]) == 0
+        assert "telemetry smoke: PASS" in capsys.readouterr().out
+
+
+class TestTopView:
+    def test_once_renders_final_frame(self):
+        buf = io.StringIO()
+        assert run_top(duration=60.0, once=True, stream=buf) == 0
+        frame = buf.getvalue()
+        assert "anor top" in frame
+        assert "target" in frame and "measured" in frame
+        assert "JOB" in frame and "CAP/W" in frame
+        assert "\x1b[2J" not in frame  # no ANSI repaints in --once mode
+
+    def test_render_frame_handles_head_down(self):
+        snap = {
+            "t": 10.0, "head_up": False, "target": 100.0, "measured": 90.0,
+            "policy": "even-slowdown", "jobs": [], "queued": 0, "pending": 0,
+            "running": 0, "completed": 0, "round": None,
+            "incident_counts": {"head-crash": 1}, "recent_incidents": [],
+        }
+        frame = render_frame(snap)
+        assert "head=DOWN" in frame
+        assert "(no connected jobs)" in frame
+        assert "head-crash" in frame
+
+
+class TestCli:
+    def test_trace_export_then_summary(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "export", "--out", str(out), "--duration", "60"]) == 0
+        assert "trace records" in capsys.readouterr().out
+        assert main(["trace", "summary", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "control-round" in printed
+        assert "schema    : valid" in printed
+
+    def test_trace_summary_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"kind": "span_end", "name": null, "t": 0.0, "id": 9, '
+            '"parent": null, "attrs": {}}\n'
+        )
+        assert main(["trace", "summary", str(bad)]) == 1
+
+    def test_top_cli_runs_once(self, capsys):
+        assert main(["top", "--once", "--duration", "30"]) == 0
+        assert "anor top" in capsys.readouterr().out
