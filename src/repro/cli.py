@@ -106,6 +106,20 @@ def _resilience(quick: bool, seed: int) -> str:
     return f"{table}\n\n{card.render()}"
 
 
+def _partition(quick: bool, seed: int) -> str:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_partition_drill(
+        duration=600.0 if quick else 900.0,
+        partition_time=200.0 if quick else 300.0,
+        partition_duration=150.0 if quick else 240.0,
+        seed=seed,
+    )
+    table = resilience.format_partition_table(result)
+    card = scorecard.score_partition(result)
+    return f"{table}\n\n{card.render()}"
+
+
 def _headnode(
     quick: bool,
     seed: int,
@@ -255,10 +269,11 @@ def _run_trace_export(out: str, duration: float, seed: int) -> str:
 
     cfg = AnorConfig(seed=seed, telemetry_enabled=True, trace_path=out)
     system = build_demand_response_system(duration=duration, seed=seed, config=cfg)
-    system.run(duration)
-    system.telemetry.close()
-    written = system.telemetry.trace_sink.records_written
-    return f"wrote {written} trace records to {out}"
+    # The sink is a context manager: the trace is flushed and closed even if
+    # the run raises or the CLI is torn down early — no truncated traces.
+    with system.telemetry.trace_sink as sink:
+        system.run(duration)
+    return f"wrote {sink.records_written} trace records to {out}"
 
 
 def _run_trace_summary(path: str) -> tuple[str, int]:
@@ -327,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
                 "the standard fault load",
             )
             p.add_argument(
+                "--partition",
+                action="store_true",
+                help="run the partition drill (cap leases + degraded "
+                "autonomy) instead of the standard fault load",
+            )
+            p.add_argument(
                 "--checkpoint-dir",
                 default=None,
                 help="directory for the cluster-tier checkpoint/journal "
@@ -372,9 +393,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         table = _run_all(args.quick, args.seed, args.out, jobs=args.jobs)
     elif args.experiment == "resilience" and args.headnode_crash:
+        if args.partition:
+            parser.error("--headnode-crash and --partition are exclusive")
         table = _headnode(
             args.quick, args.seed, args.checkpoint_dir, args.checkpoint_period
         )
+    elif args.experiment == "resilience" and args.partition:
+        table = _partition(args.quick, args.seed)
     elif getattr(args, "seeds", None):
         seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
         if not seeds:

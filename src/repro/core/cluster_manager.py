@@ -36,6 +36,7 @@ from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.core.transport import TcpLink
 from repro.durable.journal import Journal
 from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
+from repro.facility.breaker import PowerBreaker
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -164,6 +165,19 @@ class ClusterPowerManager:
     stale_status_timeout: float = 15.0
     dead_job_timeout: float = 60.0
 
+    # Cap leases (fail-safe enforcement, DESIGN.md §4e).  When ``lease_ttl``
+    # is set, every dispatched cap is only valid that many seconds past
+    # receipt; leaseless endpoints decay toward ``safe_floor`` (p_node_min
+    # when unset).  ``None`` keeps pre-lease hold-last-value semantics and
+    # bit-identical golden traces.
+    lease_ttl: float | None = None
+    safe_floor: float | None = None
+
+    # Optional overshoot breaker (DESIGN.md §4e): while open, every cap this
+    # round is clamped to the emergency floor — a uniform throttle that only
+    # ever *reduces* the planned draw, so BudgetRound invariants still hold.
+    breaker: PowerBreaker | None = None
+
     # Optional write-ahead journal (head-node crash recovery, DESIGN.md §4d).
     # None keeps every hot path journalling-free — zero overhead when off.
     journal: Journal | None = None
@@ -187,6 +201,9 @@ class ClusterPowerManager:
     # reconnects merged warm state back in (observability).
     orphaned: list[str] = field(default_factory=list)
     recovery_merges: int = 0
+    # Re-HELLOs whose degraded-history model was validated and adopted
+    # (partition recovery path — distinct from checkpoint recovery_merges).
+    hello_merges: int = 0
     _recovered: dict[str, RecoveredJob] = field(default_factory=dict)
     _recovery_deadline: float | None = None
     _links: list[TcpLink] = field(default_factory=list)
@@ -247,6 +264,10 @@ class ClusterPowerManager:
         self._mx_tracking = reg.histogram(
             "anor_tracking_error_ratio",
             "|measured - target| / target per manager period",
+        )
+        self._mx_breaker = reg.gauge(
+            "anor_breaker_state",
+            "overshoot breaker state (0 closed, 1 half-open, 2 open)",
         )
 
     # ------------------------------------------------------------- plumbing
@@ -320,6 +341,31 @@ class ClusterPowerManager:
             record.online_r2 = stale.online_r2
             record.last_cap = stale.last_cap
             record.caps_sent = stale.caps_sent
+        if self.use_feedback and msg.has_model:
+            # Degraded-history handoff: the endpoint kept fitting while the
+            # head was unreachable, so its HELLO-borne fit is *fresher* than
+            # anything restored above — validate it exactly like a status
+            # model and let it win.
+            model = self._validated_model(msg, record)
+            if model is not None:
+                record.online_model = model
+                record.online_r2 = msg.model_r2
+                self.hello_merges += 1
+                self.events.append(
+                    f"t={now:.1f} {msg.job_id}: warm-merged degraded-mode model "
+                    f"({msg.degraded_seconds:.1f}s of autonomy)"
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.incident(
+                        "degraded-rejoin",
+                        now,
+                        job_id=msg.job_id,
+                        degraded_seconds=msg.degraded_seconds,
+                    )
+            else:
+                self.rejected_models += 1
+                if self.telemetry.enabled:
+                    self._mx_models_rejected.inc()
         self.jobs[msg.job_id] = record
         if self.telemetry.enabled:
             self.telemetry.bus.event(
@@ -592,6 +638,23 @@ class ClusterPowerManager:
                     self._mx_measured.set(measured)
                     if target > 0:
                         self._mx_tracking.observe(abs(measured - target) / target)
+                if self.breaker is not None:
+                    prev_state = self.breaker.state
+                    state = self.breaker.observe(measured, target, now=now)
+                    if state != prev_state:
+                        self.events.append(
+                            f"t={now:.1f} breaker {prev_state} -> {state} "
+                            f"(measured={measured:.0f}W target={target:.0f}W)"
+                        )
+                        if tel:
+                            self.telemetry.incident(
+                                "breaker-" + state,
+                                now,
+                                measured=measured,
+                                target=target,
+                            )
+                    if tel:
+                        self._mx_breaker.set(self.breaker.gauge_value)
                 if self.correction_gain > 0:
                     limit = self.correction_limit_fraction * target
                     self._correction = float(
@@ -737,10 +800,25 @@ class ClusterPowerManager:
             self._mx_jobs["dormant"].set(len(dormant))
             self._mx_jobs["stale"].set(len(stale))
             self._mx_jobs["recovering"].set(len(recovering))
+        if self.breaker is not None and self.breaker.tripped:
+            # Emergency uniform throttle: clamp every cap to the facility
+            # floor while the breaker is open.  min() — never raise a cap —
+            # so the planned-draw ceiling above remains an upper bound.
+            emergency = (
+                self.safe_floor if self.safe_floor is not None else self.p_node_min
+            )
+            emergency = max(self.p_node_min, float(emergency))
+            caps = {job_id: min(cap, emergency) for job_id, cap in caps.items()}
         for record in self.jobs.values():
             cap = caps[record.job_id]
             record.link.send_down(
-                BudgetMessage(job_id=record.job_id, power_cap_node=cap, timestamp=now),
+                BudgetMessage(
+                    job_id=record.job_id,
+                    power_cap_node=cap,
+                    timestamp=now,
+                    lease_ttl=self.lease_ttl,
+                    safe_floor=self.safe_floor,
+                ),
                 now,
             )
             record.caps_sent += 1

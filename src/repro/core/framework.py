@@ -26,11 +26,13 @@ from repro.budget.base import PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.cluster_manager import ClusterPowerManager
 from repro.core.job_endpoint import JobTierEndpoint
+from repro.core.reliable import ReliableLink
 from repro.core.targets import ConstantTarget, PowerTargetSource
 from repro.core.transport import TcpLink
 from repro.durable.checkpoint import CheckpointError
 from repro.durable.state import apply_journal, capture_state, empty_state
 from repro.durable.store import DurableStore
+from repro.facility.breaker import PowerBreaker
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.geopm.report import ApplicationTotals, render_report
@@ -120,6 +122,34 @@ class AnorConfig:
     telemetry_ring_size: int = 4096
     trace_path: str | None = None
     prometheus_port: int | None = None
+    # Partition tolerance and fail-safe enforcement (DESIGN.md §4e).  All
+    # off by default: with every knob at its default the control plane is
+    # bit-identical to the pre-lease implementation (golden traces pin it).
+    # ``lease_ttl`` arms the cap-lease dead-man switch at both the endpoint
+    # and agent tiers; ``safe_floor`` is the emergency cap leaseless nodes
+    # decay toward (p_min when unset).
+    lease_ttl: float | None = None
+    lease_ramp_seconds: float = 30.0
+    safe_floor: float | None = None
+    # Ack/retry reliability for the cap-dispatch and model-report paths.
+    reliable_messaging: bool = False
+    reliable_window: int = 8
+    reliable_base_backoff: float = 2.0
+    reliable_max_backoff: float = 30.0
+    partition_attempts: int = 3
+    # How long a leaseless endpoint waits between attempts to re-dial a
+    # closed link (only used once leases or reliable messaging are on).
+    reconnect_backoff: float = 10.0
+    # Facility breaker: trips after ``breaker_trip_rounds`` consecutive
+    # rounds of measured power above target × (1 + margin).  None disables.
+    breaker_margin: float | None = None
+    breaker_trip_rounds: int = 3
+    breaker_reset_rounds: int = 5
+    breaker_confirm_rounds: int = 3
+    # Internal: held True by the fault injector while a cluster-wide
+    # NetworkPartition window is open, so links created mid-window (e.g.
+    # reconnect attempts) are born partitioned too.
+    link_partitioned: bool = False
 
 
 @dataclass
@@ -137,6 +167,9 @@ class AnorResult:
     recovery_log: list[str] = field(default_factory=list)  # head-node crash/restart incidents
     head_crashes: int = 0
     orphaned: list[str] = field(default_factory=list)  # jobs found dead in recovery
+    # Partition detections by the reliable-messaging layer (PartitionStart/
+    # PartitionEnd records, in detection order; empty without reliable links).
+    partition_events: list = field(default_factory=list)
 
     def slowdowns_by_type(
         self, reference: dict[str, float]
@@ -215,6 +248,11 @@ class AnorSystem:
         # Ledger of every TcpLink ever created: cluster-wide message/drop
         # totals must survive links being replaced or garbage-collected.
         self._all_links: list[TcpLink] = []
+        # Every ReliableLink wrapper ever created (partition-event ledger)
+        # and per-job backoff state for re-dialling closed links.
+        self._reliable_links: list[ReliableLink] = []
+        self._link_serial = 0
+        self._reconnect_at: dict[str, float] = {}
         if self.telemetry.enabled:
             self._init_metrics()
         self.cluster = EmulatedCluster(
@@ -274,6 +312,17 @@ class AnorSystem:
 
     def _build_manager(self) -> ClusterPowerManager:
         """Construct a cluster-tier manager (initial boot and head restarts)."""
+        cfg = self.config
+        breaker = None
+        if cfg.breaker_margin is not None:
+            # A fresh breaker per manager build: breaker state is head-local
+            # and does not survive a head-node crash (it re-arms closed).
+            breaker = PowerBreaker(
+                margin=cfg.breaker_margin,
+                trip_rounds=cfg.breaker_trip_rounds,
+                reset_rounds=cfg.breaker_reset_rounds,
+                confirm_rounds=cfg.breaker_confirm_rounds,
+            )
         return ClusterPowerManager(
             budgeter=self.budgeter,
             target_source=self.target_source,
@@ -286,6 +335,9 @@ class AnorSystem:
             p_node_max=P_NODE_MAX,
             stale_status_timeout=self.config.stale_status_timeout,
             dead_job_timeout=self.config.dead_job_timeout,
+            lease_ttl=cfg.lease_ttl,
+            safe_floor=cfg.safe_floor,
+            breaker=breaker,
             telemetry=self.telemetry,
         )
 
@@ -483,8 +535,42 @@ class AnorSystem:
             latency_down=cfg.link_latency_down,
             seed=self._rng,
         )
+        if cfg.link_partitioned:
+            # Born mid-partition: the fault window covers new connections.
+            link.down.partitioned = True
+            link.up.partitioned = True
         self._all_links.append(link)
         return link
+
+    def _link_pair(self):
+        """One raw link, as the pair of handles the two tiers will hold.
+
+        Without reliable messaging both tiers share the raw :class:`TcpLink`
+        (the pre-existing code path, bit-identical).  With it, each tier
+        gets its own :class:`ReliableLink` side over the shared raw link.
+        """
+        raw = self._make_link()
+        cfg = self.config
+        if not cfg.reliable_messaging:
+            return raw, raw
+        self._link_serial += 1
+        common = dict(
+            window=cfg.reliable_window,
+            base_backoff=cfg.reliable_base_backoff,
+            max_backoff=cfg.reliable_max_backoff,
+            partition_attempts=cfg.partition_attempts,
+            telemetry=self.telemetry,
+        )
+        manager_side = ReliableLink(
+            raw, "cluster", seed=self._rng,
+            name=f"link{self._link_serial}:down", **common,
+        )
+        endpoint_side = ReliableLink(
+            raw, "job", seed=self._rng,
+            name=f"link{self._link_serial}:up", **common,
+        )
+        self._reliable_links.extend((manager_side, endpoint_side))
+        return manager_side, endpoint_side
 
     def _attach_endpoint(
         self,
@@ -496,14 +582,14 @@ class AnorSystem:
     ) -> None:
         """Connect a (possibly fresh) job-tier endpoint for a running job."""
         cfg = self.config
-        link = self._make_link()
-        self.manager.register_link(link)
+        manager_side, endpoint_side = self._link_pair()
+        self.manager.register_link(manager_side)
         self.endpoints[job.job_id] = JobTierEndpoint(
             job_id=job.job_id,
             claimed_type=claimed_type,
             nodes=job.job_type.nodes,
             geopm_endpoint=job.endpoint,
-            link=link,
+            link=endpoint_side,
             p_min=P_NODE_MIN,
             p_max=P_NODE_MAX,
             default_model=QuadraticPowerModel.from_anchors(
@@ -515,6 +601,9 @@ class AnorSystem:
             detect_drift=cfg.detect_drift,
             warm_model=warm_model,
             warm_r2=warm_r2,
+            lease_ttl=cfg.lease_ttl,
+            lease_ramp_seconds=cfg.lease_ramp_seconds,
+            safe_floor=cfg.safe_floor,
             telemetry=self.telemetry,
         )
 
@@ -722,9 +811,9 @@ class AnorSystem:
         # Every surviving endpoint reconnects over a fresh link and re-HELLOs
         # on its next control period (deterministic order).
         for job_id in sorted(self.endpoints):
-            link = self._make_link()
-            self.manager.register_link(link)
-            self.endpoints[job_id].reconnect(link)
+            manager_side, endpoint_side = self._link_pair()
+            self.manager.register_link(manager_side)
+            self.endpoints[job_id].reconnect(endpoint_side)
         self._head_down = False
         return True
 
@@ -794,6 +883,35 @@ class AnorSystem:
                     f"(not requeued)"
                 )
         self.manager.orphaned.clear()
+
+    def _reconnect_closed(self, now: float) -> None:
+        """Re-dial links the manager closed on a still-alive endpoint.
+
+        A partition longer than ``dead_job_timeout`` gets the job evicted
+        and its link closed; when the network heals, the endpoint must
+        re-HELLO over a fresh link or it stays degraded forever.  Gated on
+        the new resilience knobs so the long-standing behaviour (evicted
+        endpoints stay dark) — and with it every golden trace — is
+        untouched in default configurations.
+        """
+        cfg = self.config
+        if cfg.lease_ttl is None and not cfg.reliable_messaging:
+            return
+        for job_id in sorted(self.endpoints):
+            endpoint = self.endpoints[job_id]
+            if not endpoint.link.closed:
+                continue
+            if now < self._reconnect_at.get(job_id, 0.0):
+                continue
+            self._reconnect_at[job_id] = now + cfg.reconnect_backoff
+            manager_side, endpoint_side = self._link_pair()
+            self.manager.register_link(manager_side)
+            endpoint.reconnect(endpoint_side)
+            self.warnings.append(
+                f"t={now:.1f}: job {job_id} re-dialled its closed link"
+            )
+            if self.telemetry.enabled:
+                self.telemetry.incident("link-redial", now, job_id=job_id)
 
     def _restart_endpoints(self, now: float) -> None:
         if self._head_down:
@@ -867,6 +985,7 @@ class AnorSystem:
         if not self._head_down:
             self._intake(now)
             self._restart_endpoints(now)
+            self._reconnect_closed(now)
             self._start_ready(now)
         # Control-plane order within a tick: the manager budgets first, then
         # endpoints translate budgets into GEOPM policies, then agents apply
@@ -984,4 +1103,8 @@ class AnorSystem:
             recovery_log=list(self.recovery_log),
             head_crashes=self.head_crashes,
             orphaned=list(self.orphaned),
+            partition_events=sorted(
+                (f for rl in self._reliable_links for f in rl.faults),
+                key=lambda f: (f.time, f.link, type(f).__name__),
+            ),
         )

@@ -54,6 +54,9 @@ class JobTierEndpoint:
         detect_drift: bool = False,
         warm_model: QuadraticPowerModel | None = None,
         warm_r2: float | None = None,
+        lease_ttl: float | None = None,
+        lease_ramp_seconds: float = 30.0,
+        safe_floor: float | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.job_id = job_id
@@ -101,6 +104,27 @@ class JobTierEndpoint:
         # accumulates.
         if warm_model is not None:
             self.modeler.seed_fit(warm_model, r2=warm_r2)
+        # Cap-lease state (dead-man switch, paper-level fail-safe).  A lease
+        # only exists once a BudgetMessage arrives carrying ``lease_ttl``;
+        # until then the endpoint keeps the pre-lease hold-last-value
+        # behaviour bit-for-bit.  Expiry anchors to *receipt* time, so the
+        # over-target bound is relative to last contact with the head.
+        self.lease_ramp_seconds = float(lease_ramp_seconds)
+        self.safe_floor = safe_floor if safe_floor is None else float(safe_floor)
+        # Armed from birth when the deployment runs leases: an endpoint that
+        # has *never* heard from the head (admitted mid-partition, say) is the
+        # same fail-safe case as one whose head went silent — it must not sit
+        # at p_max indefinitely.  The expiry clock starts on the first step.
+        self._lease_ttl: float | None = (
+            None if lease_ttl is None else float(lease_ttl)
+        )
+        self._lease_floor: float | None = None
+        self._lease_expires: float | None = None
+        self._degraded_since: float | None = None
+        self._decay_from: float | None = None
+        self._degraded_applied: float | None = None
+        self.degraded_seconds = 0.0
+        self.lease_expiries = 0
         self.telemetry = telemetry
         if telemetry.enabled:
             self._mx_statuses = telemetry.registry.counter(
@@ -115,12 +139,19 @@ class JobTierEndpoint:
     def step(self, now: float) -> StatusMessage | None:
         """One endpoint control period; returns the status sent (if any)."""
         if not self._hello_sent:
+            # A re-HELLO after degraded autonomy hands the head our own fit
+            # so it warm-merges instead of cold-probing (mirrors the PR 3
+            # checkpoint warm-restart path, but sourced from the survivor).
+            degraded_total = self._total_degraded(now)
+            hello_model = self._model_fields() if degraded_total > 0 else {}
             self.link.send_up(
                 HelloMessage(
                     job_id=self.job_id,
                     claimed_type=self.claimed_type,
                     nodes=self.nodes,
                     timestamp=now,
+                    degraded_seconds=degraded_total,
+                    **hello_model,
                 ),
                 now,
             )
@@ -155,13 +186,69 @@ class JobTierEndpoint:
         # Apply budget messages from the cluster tier (last one wins).
         new_cap: float | None = self._pending_cap
         self._pending_cap = None
+        lease_msg: BudgetMessage | None = None
         for msg in self.link.recv_down(now):
             if isinstance(msg, BudgetMessage):
+                lease_msg = msg
                 new_cap = msg.power_cap_node
+        if lease_msg is not None:
+            self._adopt_lease(lease_msg, now)
         if new_cap is not None:
             self.current_cap = float(new_cap)
+        if self._lease_ttl is not None and self._lease_expires is None:
+            # First step under a configured lease with no budget yet: start
+            # the dead-man clock now (see the armed-from-birth note above).
+            self._lease_expires = now + self._lease_ttl
+        if (
+            self._lease_expires is not None
+            and now > self._lease_expires
+            and self._degraded_since is None
+        ):
+            self._enter_degraded(now)
+
+        if self._degraded_since is not None:
+            # Degraded autonomy: the head is silent past its lease.  Decay
+            # toward the safe floor over the bounded ramp and suppress dither
+            # (excitation with nobody listening only costs job performance);
+            # the modeler keeps observing so the eventual re-HELLO carries a
+            # current fit.
+            applied_cap = self._degraded_cap(now)
+            if applied_cap != self._degraded_applied:
+                self.geopm.write_policy(
+                    AgentPolicy(
+                        power_cap_node=applied_cap,
+                        issued_at=now,
+                        lease_ttl=self._lease_ttl,
+                        safe_floor=self._effective_floor(),
+                        ramp_seconds=self.lease_ramp_seconds,
+                    )
+                )
+                self.modeler.set_cap(now, applied_cap)
+                self._degraded_applied = applied_cap
+                if self.telemetry.enabled:
+                    self._mx_policies.inc()
+            return status
+
         applied_cap = self._cap_to_apply(model_fields)
-        if new_cap is not None or applied_cap != self.current_cap:
+        cap_changed = new_cap is not None or applied_cap != self.current_cap
+        if self._lease_ttl is not None:
+            # Leased and in contact: rewrite the policy every period so the
+            # agents' own dead-man switch stays armed-but-quiet — it fires
+            # only if this endpoint process dies and stops refreshing.
+            self.geopm.write_policy(
+                AgentPolicy(
+                    power_cap_node=applied_cap,
+                    issued_at=now,
+                    lease_ttl=self._lease_ttl,
+                    safe_floor=self._effective_floor(),
+                    ramp_seconds=self.lease_ramp_seconds,
+                )
+            )
+            if cap_changed:
+                self.modeler.set_cap(now, applied_cap)
+                if self.telemetry.enabled:
+                    self._mx_policies.inc()
+        elif cap_changed:
             self.geopm.write_policy(
                 AgentPolicy(power_cap_node=applied_cap, issued_at=now)
             )
@@ -234,6 +321,70 @@ class JobTierEndpoint:
             "model_c": m.c,
             "model_r2": self.modeler.fit_r2,
         }
+
+    # ------------------------------------------------------------ cap leases
+
+    @property
+    def degraded(self) -> bool:
+        """True while this endpoint is operating without a valid cap lease."""
+        return self._degraded_since is not None
+
+    def _total_degraded(self, now: float) -> float:
+        ongoing = now - self._degraded_since if self._degraded_since is not None else 0.0
+        return self.degraded_seconds + ongoing
+
+    def _effective_floor(self) -> float:
+        """Safe floor precedence: per-message > endpoint-configured > p_min."""
+        if self._lease_floor is not None:
+            return self._lease_floor
+        if self.safe_floor is not None:
+            return self.safe_floor
+        return self._p_min
+
+    def _adopt_lease(self, msg: BudgetMessage, now: float) -> None:
+        """Refresh (or clear) the lease from a just-received budget message."""
+        if msg.lease_ttl is not None:
+            self._lease_ttl = float(msg.lease_ttl)
+            self._lease_expires = now + self._lease_ttl
+            if msg.safe_floor is not None:
+                self._lease_floor = float(msg.safe_floor)
+        else:
+            self._lease_ttl = None
+            self._lease_expires = None
+        if self._degraded_since is not None:
+            self._exit_degraded(now)
+
+    def _enter_degraded(self, now: float) -> None:
+        self._degraded_since = now
+        self._decay_from = float(self.current_cap)
+        self._degraded_applied = None
+        self.lease_expiries += 1
+        if self.telemetry.enabled:
+            self.telemetry.incident("degraded-autonomy-start", now, job_id=self.job_id)
+
+    def _exit_degraded(self, now: float) -> None:
+        stretch = now - self._degraded_since
+        self.degraded_seconds += stretch
+        if self.telemetry.enabled:
+            self.telemetry.incident(
+                "degraded-autonomy-end", now, job_id=self.job_id, duration=stretch
+            )
+        self._degraded_since = None
+        self._decay_from = None
+        self._degraded_applied = None
+
+    def _degraded_cap(self, now: float) -> float:
+        """Linear decay from the last budget toward the safe floor.
+
+        Never raises the cap: a floor above the last budget clamps to the
+        budget (the dead-man switch exists to shed power, not grant it).
+        """
+        floor = min(self._effective_floor(), self._decay_from)
+        elapsed = now - self._degraded_since
+        ramp = self.lease_ramp_seconds
+        if ramp <= 0 or elapsed >= ramp:
+            return floor
+        return float(self._decay_from - (elapsed / ramp) * (self._decay_from - floor))
 
     def reconnect(self, link: TcpLink) -> None:
         """Swap in a fresh link and re-announce (head-node restart path).

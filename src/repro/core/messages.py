@@ -20,12 +20,28 @@ __all__ = ["HelloMessage", "StatusMessage", "BudgetMessage", "GoodbyeMessage"]
 
 @dataclass(frozen=True)
 class HelloMessage:
-    """A job's endpoint announces itself to the cluster-tier manager."""
+    """A job's endpoint announces itself to the cluster-tier manager.
+
+    A *re*-HELLO after degraded-mode autonomy carries the endpoint's own
+    fitted model so the manager can warm-merge instead of cold-probing —
+    the endpoint kept observing epochs while the head was unreachable, and
+    that history would otherwise be thrown away.
+    """
 
     job_id: str
     claimed_type: str  # what the submission metadata says the job is
     nodes: int
     timestamp: float
+    # Degraded-history handoff (all None/0 on a first HELLO).
+    model_a: float | None = None
+    model_b: float | None = None
+    model_c: float | None = None
+    model_r2: float | None = None
+    degraded_seconds: float = 0.0
+
+    @property
+    def has_model(self) -> bool:
+        return self.model_a is not None
 
 
 @dataclass(frozen=True)
@@ -56,11 +72,25 @@ class BudgetMessage:
     job_id: str
     power_cap_node: float
     timestamp: float
+    # Cap lease: the cap is valid for ``lease_ttl`` seconds after
+    # ``timestamp``; past that the job tier must treat the head as silent
+    # and decay toward ``safe_floor``.  ``None`` (the default) means an
+    # unleased cap — hold-last-value semantics, as before this field existed.
+    lease_ttl: float | None = None
+    safe_floor: float | None = None
 
     def __post_init__(self) -> None:
         if self.power_cap_node <= 0:
             raise ValueError(
                 f"{self.job_id}: power cap must be positive, got {self.power_cap_node}"
+            )
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError(
+                f"{self.job_id}: lease_ttl must be positive, got {self.lease_ttl}"
+            )
+        if self.safe_floor is not None and self.safe_floor <= 0:
+            raise ValueError(
+                f"{self.job_id}: safe_floor must be positive, got {self.safe_floor}"
             )
 
 

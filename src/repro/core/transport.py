@@ -63,6 +63,11 @@ class LatencyChannel:
         self.reordered = 0
         self._max_seq_delivered = -1
         self.closed = False
+        # Network partition: the peer is unreachable but the channel object
+        # survives (unlike ``closed``, which is terminal).  Sends during the
+        # partition blackhole with reason "partition"; messages already in
+        # flight still deliver (they left before the cut).
+        self.partitioned = False
 
     def _drop(self, reason: str) -> None:
         self.dropped += 1
@@ -84,6 +89,13 @@ class LatencyChannel:
             # send here returns ECONNRESET.  Count it — an endpoint shouting
             # into a dead link is exactly what telemetry must surface.
             self._drop("closed")
+            return False
+        if self.partitioned:
+            # Partition blackhole: the message leaves the NIC and dies in
+            # the network.  Checked after the loss draw (RNG-stream
+            # preservation) and after ``closed`` (a closed channel stays
+            # closed even inside a partition window).
+            self._drop("partition")
             return False
         heapq.heappush(self._queue, (now + self.latency, self._seq, payload))
         self._seq += 1

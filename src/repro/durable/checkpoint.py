@@ -23,7 +23,13 @@ import os
 import zlib
 from pathlib import Path
 
-__all__ = ["SCHEMA_VERSION", "CheckpointError", "write_checkpoint", "read_checkpoint"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "write_checkpoint",
+    "read_checkpoint",
+    "fsync_dir",
+]
 
 #: Version of the checkpoint payload layout.  Bump on any incompatible change
 #: to what :mod:`repro.durable.state` captures; loaders refuse other versions
@@ -37,6 +43,26 @@ class CheckpointError(RuntimeError):
 
 def _canonical(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic but only durable once the parent
+    directory's own metadata reaches disk — without this, a power cut after
+    the rename can roll the directory back and the checkpoint vanishes.
+    Platforms that cannot open directories (Windows) silently skip.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def write_checkpoint(path: str | Path, payload: dict, *, schema: int = SCHEMA_VERSION) -> None:
@@ -54,6 +80,7 @@ def write_checkpoint(path: str | Path, payload: dict, *, schema: int = SCHEMA_VE
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 def read_checkpoint(path: str | Path, *, schema: int = SCHEMA_VERSION) -> dict:

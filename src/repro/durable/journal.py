@@ -30,6 +30,8 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.durable.checkpoint import fsync_dir
+
 __all__ = ["JournalRecord", "JournalReplay", "Journal"]
 
 #: Journal record vocabulary (see DESIGN.md §4d).
@@ -101,6 +103,37 @@ class Journal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def rotate(self, min_seq: int) -> int:
+        """Atomically drop records a checkpoint already covers (seq ≤ min_seq).
+
+        Rewrites the journal with only the surviving tail using the same
+        crash-safe discipline as the checkpoint itself: write-temp + fsync +
+        atomic rename + parent-directory fsync.  A crash before the rename
+        leaves the old journal (its covered prefix is harmless — replay skips
+        it via the watermark); a crash after leaves the compacted one.
+        Sequence numbers never reset.  Returns the number of records dropped.
+        """
+        full = self.replay(min_seq=0)
+        survivors = [r for r in full.records if r.seq > min_seq]
+        dropped = len(full.records) - len(survivors)
+        if dropped == 0 and full.dropped_tail == 0:
+            return 0
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            for rec in survivors:
+                body = {"seq": rec.seq, "t": rec.time, "type": rec.type,
+                        "data": rec.data}
+                fh.write(
+                    _canonical({"crc": zlib.crc32(_canonical(body)), "rec": body})
+                    + b"\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        fsync_dir(self.path.parent)
+        return dropped
 
     def replay(self, *, min_seq: int = 0) -> JournalReplay:
         """Read back every trustworthy record with ``seq > min_seq``.

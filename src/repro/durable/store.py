@@ -39,12 +39,18 @@ class DurableStore:
         self.checkpoints_written = 0
 
     def save_checkpoint(self, payload: dict) -> None:
-        """Durably persist ``payload``, watermarked at the current journal seq."""
+        """Durably persist ``payload``, watermarked at the current journal seq.
+
+        After the checkpoint lands, the journal prefix it covers is dead
+        weight — rotate it out so the journal stays proportional to one
+        checkpoint period, not the cluster's lifetime.
+        """
         payload = dict(payload)
         payload["journal_seq"] = self.journal.seq
         self.journal.sync()
         write_checkpoint(self.checkpoint_path, payload)
         self.checkpoints_written += 1
+        self.journal.rotate(self.journal.seq)
 
     def load(self) -> tuple[dict | None, JournalReplay]:
         """Read back ``(checkpoint payload or None, journal tail past it)``.

@@ -25,19 +25,19 @@ import numpy as np
 
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.framework import AnorConfig, AnorResult, AnorSystem, precharacterized_models
-from repro.core.targets import ConstantTarget
+from repro.core.targets import ConstantTarget, PowerTargetSource, SteppedTarget
 from repro.experiments.fig9 import (
     DEFAULT_AVERAGE_POWER,
     DEFAULT_RESERVE,
     Fig9Result,
     build_demand_response_system,
 )
-from repro.faults.events import HeadNodeCrash
+from repro.faults.events import HeadNodeCrash, NetworkPartition, PartitionEnd, PartitionStart
 from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier
 from repro.telemetry import summarize_incidents
 from repro.workloads.generator import PoissonScheduleGenerator
-from repro.workloads.nas import NAS_TYPES, long_running_mix
+from repro.workloads.nas import NAS_TYPES, P_NODE_MIN, long_running_mix
 
 __all__ = [
     "ResilienceResult",
@@ -46,6 +46,9 @@ __all__ = [
     "HeadNodeRecoveryResult",
     "run_headnode_recovery",
     "format_headnode_table",
+    "PartitionDrillResult",
+    "run_partition_drill",
+    "format_partition_table",
 ]
 
 
@@ -218,12 +221,18 @@ def _build_static_system(
     checkpoint_period: float,
     recovery_timeout: float,
     fault_schedule: FaultSchedule | None,
+    target_source: PowerTargetSource | None = None,
+    lease_ttl: float | None = None,
+    lease_ramp_seconds: float = 30.0,
+    reliable_messaging: bool = False,
+    breaker_margin: float | None = None,
 ) -> AnorSystem:
     """The head-node recovery workload: long jobs under a *static* target.
 
     A static target makes the golden/recovered comparison exact — every
     divergence between the two traces is attributable to the outage, not to
-    target motion racing the recovery window.
+    target motion racing the recovery window.  The partition drill reuses the
+    same workload with a stepped target and the lease/reliability knobs on.
     """
     types = {jt.name: jt for jt in long_running_mix()}
     generator = PoissonScheduleGenerator(
@@ -238,10 +247,14 @@ def _build_static_system(
         checkpoint_period=checkpoint_period,
         recovery_timeout=recovery_timeout,
         telemetry_enabled=True,
+        lease_ttl=lease_ttl,
+        lease_ramp_seconds=lease_ramp_seconds,
+        reliable_messaging=reliable_messaging,
+        breaker_margin=breaker_margin,
     )
     return AnorSystem(
         budgeter=EvenSlowdownBudgeter(),
-        target_source=ConstantTarget(target_power),
+        target_source=target_source or ConstantTarget(target_power),
         classifier=JobClassifier(precharacterized_models(NAS_TYPES)),
         schedule=schedule,
         job_types=types,
@@ -458,4 +471,221 @@ def format_table(res: ResilienceResult) -> str:
             f"  {label:<{width}} : {int(value)}"
             for label, value in res.decision_counts.items()
         )
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ partition drill
+
+
+@dataclass
+class PartitionDrillResult:
+    """Golden-vs-partitioned comparison of one head↔endpoint partition.
+
+    Both runs share the seed, schedule, stepped target, and lease
+    configuration; only the :class:`~repro.faults.NetworkPartition` differs.
+    The target steps *down* shortly after the partition opens — the dangerous
+    direction: every endpoint holds a cap sized for the old, higher target
+    and the head cannot deliver the lower one.  The drill's headline claim is
+    the dead-man bound: the cluster may sit above the enforceable limit only
+    for a stretch bounded by ``lease_ttl + lease_ramp (+ slack)``.
+    """
+
+    golden: AnorResult
+    partitioned: AnorResult
+    high_power: float
+    low_power: float
+    step_time: float
+    partition_time: float
+    partition_duration: float
+    lease_ttl: float
+    lease_ramp: float
+    floor_power: float  # enforceable cluster floor (all nodes at p_min)
+    slack: float = 30.0  # control-period + epoch granularity allowance
+    tol: float = 0.10
+    injector_quiescent: bool = True
+    convergence_window: int = 30
+    incident_counts: dict[str, int] = field(default_factory=dict)
+    partition_events: list = field(default_factory=list)
+
+    @property
+    def heal_time(self) -> float:
+        return self.partition_time + self.partition_duration
+
+    @property
+    def overshoot_bound(self) -> float:
+        """The fail-safe guarantee: max tolerated over-limit stretch."""
+        return self.lease_ttl + self.lease_ramp + self.slack
+
+    def _longest_over_limit(self, trace: np.ndarray) -> float:
+        """Longest contiguous stretch past ``partition_time`` with measured
+        power above ``max(target, floor)·(1+tol)``, in seconds."""
+        if not len(trace):
+            return 0.0
+        t, target, measured = trace[:, 0], trace[:, 1], trace[:, 2]
+        limit = np.maximum(target, self.floor_power) * (1.0 + self.tol)
+        over = (measured > limit) & (t >= self.partition_time)
+        best, start = 0.0, None
+        for i in range(len(t)):
+            if over[i]:
+                if start is None:
+                    start = t[i]
+                best = max(best, float(t[i] - start))
+            else:
+                start = None
+        return best
+
+    @property
+    def overshoot_seconds(self) -> float:
+        return self._longest_over_limit(self.partitioned.power_trace)
+
+    @property
+    def golden_overshoot_seconds(self) -> float:
+        return self._longest_over_limit(self.golden.power_trace)
+
+    @property
+    def degraded_endpoints(self) -> int:
+        """Lease expiries observed (degraded-autonomy incidents)."""
+        return self.incident_counts.get("degraded-autonomy-start", 0)
+
+    @property
+    def partitions_detected(self) -> int:
+        return sum(1 for f in self.partition_events if isinstance(f, PartitionStart))
+
+    @property
+    def partitions_healed(self) -> int:
+        return sum(1 for f in self.partition_events if isinstance(f, PartitionEnd))
+
+    @property
+    def lost_jobs(self) -> list[str]:
+        """Jobs the golden run completed that the partitioned run lost."""
+        gold = {t.job_id for t in self.golden.completed}
+        got = {t.job_id for t in self.partitioned.completed}
+        return sorted(gold - got)
+
+    @property
+    def convergence_time(self) -> float | None:
+        """Seconds after the heal until the partitioned trace re-converges.
+
+        Convergence = measured power staying within ``tol``·low_power of the
+        golden run's for ``convergence_window`` consecutive samples.
+        """
+        gold, part = self.golden.power_trace, self.partitioned.power_trace
+        n = min(len(gold), len(part))
+        if n == 0:
+            return None
+        mask = np.abs(part[:n, 2] - gold[:n, 2]) <= self.tol * self.low_power
+        start = int(np.searchsorted(part[:n, 0], self.heal_time))
+        window = self.convergence_window
+        for i in range(start, n - window + 1):
+            if mask[i : i + window].all():
+                return float(part[i, 0] - self.heal_time)
+        return None
+
+
+def run_partition_drill(
+    *,
+    duration: float = 900.0,
+    seed: int = 7,
+    num_nodes: int = 16,
+    high_power: float | None = None,
+    low_power: float | None = None,
+    partition_time: float = 300.0,
+    partition_duration: float = 240.0,
+    step_into: float = 10.0,
+    lease_ttl: float = 30.0,
+    lease_ramp: float = 60.0,
+    slack: float = 30.0,
+    tol: float = 0.10,
+    breaker_margin: float | None = None,
+) -> PartitionDrillResult:
+    """Partition the head from every endpoint mid-run and score the fail-safe.
+
+    The target steps from ``high_power`` down to ``low_power`` at
+    ``partition_time + step_into`` — inside the partition window, while the
+    endpoints still hold valid leases sized for the high target.  Leases then
+    expire, caps decay to the floor, the partition heals, and tracking must
+    re-converge to the golden run.
+    """
+    if high_power is None:
+        high_power = num_nodes * 220.0
+    if low_power is None:
+        low_power = num_nodes * 175.0
+    step_time = partition_time + step_into
+    if not partition_time < step_time < partition_time + partition_duration:
+        raise ValueError(
+            f"target step at t={step_time} must fall inside the partition "
+            f"window [{partition_time}, {partition_time + partition_duration}]"
+        )
+    target = SteppedTarget([0.0, step_time], [high_power, low_power])
+    common = dict(
+        duration=duration,
+        seed=seed,
+        target_power=high_power,
+        num_nodes=num_nodes,
+        checkpoint_dir=None,
+        checkpoint_period=30.0,
+        recovery_timeout=30.0,
+        target_source=target,
+        lease_ttl=lease_ttl,
+        lease_ramp_seconds=lease_ramp,
+        reliable_messaging=True,
+        breaker_margin=breaker_margin,
+    )
+    max_time = duration + 7200.0
+    golden_sys = _build_static_system(fault_schedule=None, **common)
+    golden, _ = _drive(golden_sys, max_time=max_time)
+    part_sys = _build_static_system(
+        fault_schedule=FaultSchedule(
+            [NetworkPartition(time=partition_time, duration=partition_duration)]
+        ),
+        **common,
+    )
+    partitioned, _ = _drive(part_sys, max_time=max_time)
+    quiescent = part_sys.faults.quiescent if part_sys.faults is not None else True
+    return PartitionDrillResult(
+        golden=golden,
+        partitioned=partitioned,
+        high_power=high_power,
+        low_power=low_power,
+        step_time=step_time,
+        partition_time=partition_time,
+        partition_duration=partition_duration,
+        lease_ttl=lease_ttl,
+        lease_ramp=lease_ramp,
+        floor_power=num_nodes * P_NODE_MIN,
+        slack=slack,
+        tol=tol,
+        injector_quiescent=quiescent,
+        incident_counts=dict(part_sys.telemetry.incident_counts),
+        partition_events=list(partitioned.partition_events),
+    )
+
+
+def format_partition_table(res: PartitionDrillResult) -> str:
+    conv = res.convergence_time
+    lines = [
+        f"partition window               : t={res.partition_time:.0f}s "
+        f"for {res.partition_duration:.0f}s (all head↔endpoint links)",
+        f"target step (inside partition) : {res.high_power:.0f}W -> "
+        f"{res.low_power:.0f}W at t={res.step_time:.0f}s",
+        f"lease: ttl/ramp/slack          : {res.lease_ttl:.0f}s / "
+        f"{res.lease_ramp:.0f}s / {res.slack:.0f}s",
+        f"over-limit stretch (partition) : {res.overshoot_seconds:.0f}s "
+        f"(bound {res.overshoot_bound:.0f}s, golden "
+        f"{res.golden_overshoot_seconds:.0f}s)",
+        f"lease expiries (degraded mode) : {res.degraded_endpoints}",
+        f"partitions detected/healed     : {res.partitions_detected}/"
+        f"{res.partitions_healed}",
+        f"jobs completed golden/partition: "
+        f"{len(res.golden.completed)}/{len(res.partitioned.completed)}",
+        f"jobs lost to the partition     : {len(res.lost_jobs)}"
+        + (f"  {res.lost_jobs}" if res.lost_jobs else ""),
+        f"fault windows all closed       : "
+        f"{'yes' if res.injector_quiescent else 'NO'}",
+        "trace re-convergence           : "
+        + (f"{conv:.0f}s after heal" if conv is not None else "NEVER"),
+    ]
+    if res.incident_counts:
+        lines.append("incident summary:")
+        lines.extend(summarize_incidents(res.incident_counts))
     return "\n".join(lines)

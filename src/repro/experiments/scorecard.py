@@ -26,6 +26,7 @@ __all__ = [
     "score_fig11",
     "score_resilience",
     "score_headnode_recovery",
+    "score_partition",
 ]
 
 
@@ -266,3 +267,30 @@ HEADNODE_CLAIMS = (
 
 def score_headnode_recovery(result) -> Scorecard:
     return _evaluate(HEADNODE_CLAIMS, result)
+
+
+# ------------------------------------------------------- partition tolerance
+
+PARTITION_CLAIMS = (
+    Claim("partition", "over-limit power is bounded by lease_ttl + ramp "
+          "(+ slack) — the dead-man switch fired",
+          lambda r: r.overshoot_seconds <= r.overshoot_bound),
+    Claim("partition", "endpoints entered degraded autonomy during the "
+          "partition",
+          lambda r: r.degraded_endpoints > 0),
+    Claim("partition", "the reliable layer declared the partition and its "
+          "heal",
+          lambda r: r.partitions_detected > 0 and r.partitions_healed > 0),
+    Claim("partition", "no job the golden run completed is lost to the "
+          "partition",
+          lambda r: not r.lost_jobs),
+    Claim("partition", "every fault fired and every fault window closed",
+          lambda r: r.injector_quiescent),
+    Claim("partition", "tracking re-converges to the golden run after the "
+          "heal",
+          lambda r: r.convergence_time is not None),
+)
+
+
+def score_partition(result) -> Scorecard:
+    return _evaluate(PARTITION_CLAIMS, result)

@@ -12,6 +12,7 @@ described to the facility by an aggregate power-performance model, so the
 facility can run either an even-power or an even-slowdown split.
 """
 
+from repro.facility.breaker import PowerBreaker
 from repro.facility.coordinator import (
     ClusterMember,
     FacilityCoordinator,
@@ -23,5 +24,6 @@ __all__ = [
     "ClusterMember",
     "FacilityCoordinator",
     "MutableTarget",
+    "PowerBreaker",
     "aggregate_cluster_model",
 ]

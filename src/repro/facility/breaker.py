@@ -1,0 +1,116 @@
+"""Facility power breaker: last-line guard against sustained overshoot.
+
+The budgeting stack is feed-forward with a slow integral trim — nothing in
+it *guarantees* measured cluster power stays under the facility target when
+models are wrong, jobs misbehave, or a partition strands stale caps.  The
+breaker is that guarantee's enforcement arm, deliberately shaped like an
+electrical circuit breaker (and the software pattern of the same name):
+
+* **closed** — normal operation.  Measured power exceeding
+  ``target × (1 + margin)`` scores a *strike*; ``trip_rounds`` consecutive
+  strikes trip the breaker (one bad sample never does — meters glitch).
+* **open** — tripped.  The owner (cluster manager or facility coordinator)
+  dispatches an emergency uniform throttle every round while open.  After
+  ``reset_rounds`` consecutive clean rounds the breaker moves to half-open.
+* **half-open** — probation.  ``confirm_rounds`` further clean rounds close
+  it; a single overshoot re-opens it immediately (the classic asymmetry:
+  getting out of emergency mode must be much harder than re-entering it).
+
+The breaker is pure bookkeeping — it never touches caps itself, consumes no
+RNG, and keeps no wall-clock state, so adding one to a seeded run changes
+nothing until its owner acts on ``tripped``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PowerBreaker", "BREAKER_STATE_VALUES"]
+
+#: Gauge encoding for ``anor_breaker_state`` (Prometheus wants a number).
+BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+@dataclass
+class PowerBreaker:
+    """Three-state overshoot breaker (closed / open / half-open).
+
+    Parameters
+    ----------
+    margin:
+        Fractional overshoot that counts as a strike: measured power above
+        ``target * (1 + margin)`` is a violation.  Must be ≥ 0.
+    trip_rounds:
+        Consecutive striking rounds needed to trip closed → open.
+    reset_rounds:
+        Consecutive clean rounds needed to move open → half-open.
+    confirm_rounds:
+        Consecutive clean rounds in half-open needed to fully close.
+    """
+
+    margin: float = 0.1
+    trip_rounds: int = 3
+    reset_rounds: int = 5
+    confirm_rounds: int = 3
+
+    state: str = field(default="closed", init=False)
+    strikes: int = field(default=0, init=False)
+    clean: int = field(default=0, init=False)
+    trips: int = field(default=0, init=False)
+    #: Human-readable transition log (mirrors manager/coordinator events).
+    transitions: list[str] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.margin < 0:
+            raise ValueError(f"margin must be ≥ 0, got {self.margin}")
+        for name in ("trip_rounds", "reset_rounds", "confirm_rounds"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be ≥ 1, got {getattr(self, name)}")
+
+    @property
+    def tripped(self) -> bool:
+        return self.state == "open"
+
+    @property
+    def gauge_value(self) -> int:
+        return BREAKER_STATE_VALUES[self.state]
+
+    def observe(self, measured: float, target: float, now: float = 0.0) -> str:
+        """Feed one control round's (measured, target) pair; returns the state.
+
+        A non-positive target carries no overshoot information (nothing to
+        exceed) and leaves the breaker untouched.
+        """
+        if target <= 0:
+            return self.state
+        violating = measured > target * (1.0 + self.margin)
+        if self.state == "closed":
+            if violating:
+                self.strikes += 1
+                if self.strikes >= self.trip_rounds:
+                    self._transition("open", now)
+                    self.trips += 1
+            else:
+                self.strikes = 0
+        elif self.state == "open":
+            if violating:
+                self.clean = 0
+            else:
+                self.clean += 1
+                if self.clean >= self.reset_rounds:
+                    self._transition("half-open", now)
+        else:  # half-open: one strike re-opens, confirm_rounds clean closes
+            if violating:
+                self._transition("open", now)
+                self.trips += 1
+            else:
+                self.clean += 1
+                if self.clean >= self.confirm_rounds:
+                    self._transition("closed", now)
+        return self.state
+
+    def _transition(self, new_state: str, now: float) -> None:
+        self.transitions.append(f"t={now:.1f} breaker {self.state} -> {new_state}")
+        self.state = new_state
+        self.strikes = 0
+        self.clean = 0

@@ -13,13 +13,14 @@ shared feed than one running insensitive jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.budget.base import JobBudgetRequest, PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.targets import PowerTargetSource
+from repro.facility.breaker import PowerBreaker
 from repro.modeling.quadratic import QuadraticPowerModel
 
 __all__ = [
@@ -126,6 +127,14 @@ class FacilityCoordinator:
     budgeter: PowerBudgeter = field(default_factory=EvenSlowdownBudgeter)
     members: dict[str, ClusterMember] = field(default_factory=dict)
     history: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+    # Facility-level breaker (DESIGN.md §4e): when the summed facility meter
+    # exceeds the facility target past the breaker's margin for its trip
+    # window, every member is assigned its p_min — an emergency uniform
+    # throttle one tier above the cluster managers' own breakers.  ``meter``
+    # returns total measured facility power; both default to None (off).
+    meter: Callable[[], float] | None = None
+    breaker: PowerBreaker | None = None
+    events: list[str] = field(default_factory=list)
 
     def add_member(self, member: ClusterMember) -> None:
         if member.name in self.members:
@@ -148,6 +157,25 @@ class FacilityCoordinator:
         if not self.members:
             return {}
         total = self.facility_target.target(now)
+        if self.breaker is not None and self.meter is not None:
+            measured = float(self.meter())
+            prev = self.breaker.state
+            state = self.breaker.observe(measured, total, now=now)
+            if state != prev:
+                self.events.append(
+                    f"t={now:.1f} facility breaker {prev} -> {state} "
+                    f"(measured={measured:.0f}W target={total:.0f}W)"
+                )
+        if self.breaker is not None and self.breaker.tripped:
+            # Emergency: every member to its enforceable floor.  Clusters
+            # cannot draw less than p_min anyway, so this is the hardest
+            # uniform throttle the facility can command.
+            caps = {name: m.p_min for name, m in self.members.items()}
+            for name, member in self.members.items():
+                member.target.set(caps[name])
+                member.last_assigned = caps[name]
+            self.history.append((now, dict(caps)))
+            return caps
         requests = [
             m.to_request() for m in sorted(self.members.values(), key=lambda m: m.name)
         ]

@@ -23,7 +23,10 @@ from repro.faults.events import (
     HeadNodeRestart,
     LinkDegradation,
     MeterOutage,
+    NetworkPartition,
     NodeCrash,
+    PartitionEnd,
+    PartitionStart,
     TargetOutage,
 )
 from repro.faults.injector import FaultInjector
@@ -36,6 +39,9 @@ __all__ = [
     "HeadNodeCrash",
     "HeadNodeRestart",
     "LinkDegradation",
+    "NetworkPartition",
+    "PartitionStart",
+    "PartitionEnd",
     "MeterOutage",
     "TargetOutage",
     "CorruptStatus",

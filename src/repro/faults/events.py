@@ -19,6 +19,9 @@ __all__ = [
     "HeadNodeCrash",
     "HeadNodeRestart",
     "LinkDegradation",
+    "NetworkPartition",
+    "PartitionStart",
+    "PartitionEnd",
     "MeterOutage",
     "TargetOutage",
     "CorruptStatus",
@@ -118,6 +121,46 @@ class LinkDegradation(FaultEvent):
             )
         if self.extra_latency < 0:
             raise ValueError(f"extra_latency must be ≥ 0, got {self.extra_latency}")
+
+
+@dataclass(frozen=True)
+class NetworkPartition(FaultEvent):
+    """A full partition: messages blackhole in both directions.
+
+    Unlike :class:`LinkDegradation` (probabilistic loss), a partition drops
+    *every* message for ``duration`` seconds — including over links created
+    while the partition is open.  ``job_id`` of ``None`` cuts every link
+    (head node unreachable from all jobs).
+    """
+
+    duration: float = 60.0
+    job_id: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class PartitionStart(FaultEvent):
+    """Observed (not scheduled): a reliable link declared its peer unreachable.
+
+    Emitted by :class:`~repro.core.reliable.ReliableLink` when retransmits
+    exhaust the partition threshold — the *detection* of sustained loss,
+    whatever its cause.  Scheduling one in a FaultSchedule is an error; the
+    injector refuses it.
+    """
+
+    link: str = ""
+
+
+@dataclass(frozen=True)
+class PartitionEnd(FaultEvent):
+    """Observed (not scheduled): a partitioned reliable link heard an ack again."""
+
+    link: str = ""
+    outage_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,10 @@ from repro.faults.events import (
     HeadNodeRestart,
     LinkDegradation,
     MeterOutage,
+    NetworkPartition,
     NodeCrash,
+    PartitionEnd,
+    PartitionStart,
     TargetOutage,
 )
 from repro.faults.schedule import FaultSchedule
@@ -164,6 +167,15 @@ class FaultInjector:
             self._target_switch.down = True
             self._record(now, f"target-outage start duration={event.duration:.1f}")
             self._defer(now + event.duration, "target-outage end", self._target_up)
+        elif isinstance(event, NetworkPartition):
+            self._fire_partition(event, now)
+        elif isinstance(event, (PartitionStart, PartitionEnd)):
+            # Observational records emitted by the reliable-messaging layer;
+            # scheduling one is a category error, not a silent no-op.
+            raise TypeError(
+                f"{type(event).__name__} is an observed record, not a schedulable "
+                "fault; inject NetworkPartition instead"
+            )
         elif isinstance(event, CorruptStatus):
             self._fire_corrupt_status(event, now)
         else:  # pragma: no cover - exhaustive over the vocabulary
@@ -287,6 +299,47 @@ class FaultInjector:
             f"link-degrade end job={event.job_id}",
             lambda: self._restore_link(link, saved),
         )
+
+    def _fire_partition(self, event: NetworkPartition, now: float) -> None:
+        system = self.system
+        if event.job_id is None:
+            # Cluster-wide cut: every live link blackholes, and links created
+            # while the window is open are born partitioned (the config flag
+            # covers reconnect attempts during the outage).
+            system.config.link_partitioned = True
+            for endpoint in system.endpoints.values():
+                self._set_partitioned(endpoint.link, True)
+            self._record(
+                now, f"partition start scope=all duration={event.duration:.1f}"
+            )
+
+            def heal() -> None:
+                system.config.link_partitioned = False
+                for endpoint in system.endpoints.values():
+                    self._set_partitioned(endpoint.link, False)
+
+            self._defer(now + event.duration, "partition end scope=all", heal)
+            return
+        endpoint = system.endpoints.get(event.job_id)
+        if endpoint is None:
+            self._record(
+                now, f"partition job={event.job_id} skipped (no live endpoint)"
+            )
+            return
+        link = endpoint.link
+        self._set_partitioned(link, True)
+        self._record(
+            now, f"partition start job={event.job_id} duration={event.duration:.1f}"
+        )
+        self._defer(
+            now + event.duration,
+            f"partition end job={event.job_id}",
+            lambda: self._set_partitioned(link, False),
+        )
+
+    def _set_partitioned(self, link, value: bool) -> None:
+        link.up.partitioned = value
+        link.down.partitioned = value
 
     def _degrade_link(self, link, event: LinkDegradation) -> None:
         link.up.drop_probability = event.drop_probability

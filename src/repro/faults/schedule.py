@@ -132,6 +132,34 @@ class FaultSchedule:
         """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be ≥ 1, got {num_nodes}")
+        # A negative rate silently yields an empty arrival stream and a
+        # negative duration builds events the injector chokes on much later —
+        # reject both here, naming the offending field.
+        rates = {
+            "node_crash_rate": node_crash_rate,
+            "endpoint_crash_rate": endpoint_crash_rate,
+            "head_crash_rate": head_crash_rate,
+            "link_burst_rate": link_burst_rate,
+            "meter_outage_rate": meter_outage_rate,
+            "target_outage_rate": target_outage_rate,
+            "corrupt_status_rate": corrupt_status_rate,
+        }
+        for name, rate in rates.items():
+            if rate < 0:
+                raise ValueError(f"{name} must be ≥ 0, got {rate}")
+        durations = {
+            "node_down_time": node_down_time,
+            "head_down_time": head_down_time,
+            "burst_duration": burst_duration,
+            "outage_duration": outage_duration,
+        }
+        for name, value in durations.items():
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not 0.0 <= burst_drop <= 1.0:
+            raise ValueError(f"burst_drop must be in [0, 1], got {burst_drop}")
         rng = ensure_rng(seed)
         events: list[FaultEvent] = []
 

@@ -22,14 +22,47 @@ __all__ = ["AgentPolicy", "AgentSample", "PowerGovernorAgent", "JobAgentGroup"]
 
 @dataclass(frozen=True)
 class AgentPolicy:
-    """Control message flowing down the tree: the per-node CPU power cap."""
+    """Control message flowing down the tree: the per-node CPU power cap.
+
+    With a ``lease_ttl`` the policy is a *lease*: past
+    ``issued_at + lease_ttl`` the agent treats its controller as silent and
+    decays the cap toward ``safe_floor`` over ``ramp_seconds`` (a dead-man
+    switch for the case where the job endpoint itself dies).  ``None``
+    (default) keeps the pre-lease hold-last-value behaviour.
+    """
 
     power_cap_node: float
     issued_at: float = 0.0
+    lease_ttl: float | None = None
+    safe_floor: float | None = None
+    ramp_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.power_cap_node <= 0:
             raise ValueError(f"power cap must be positive, got {self.power_cap_node}")
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
+        if self.ramp_seconds < 0:
+            raise ValueError(f"ramp_seconds must be ≥ 0, got {self.ramp_seconds}")
+
+    def effective_cap(self, now: float) -> float:
+        """Cap to enforce at time ``now``, honouring lease expiry.
+
+        Inside the lease (or with no lease) this is the dispatched cap;
+        past expiry it ramps linearly down to ``safe_floor`` over
+        ``ramp_seconds`` and stays there.  Never *raises* the cap: a floor
+        above the dispatched cap clamps to the dispatched cap.
+        """
+        if self.lease_ttl is None or self.safe_floor is None:
+            return self.power_cap_node
+        expired_for = now - (self.issued_at + self.lease_ttl)
+        if expired_for <= 0:
+            return self.power_cap_node
+        floor = min(self.safe_floor, self.power_cap_node)
+        if self.ramp_seconds <= 0 or expired_for >= self.ramp_seconds:
+            return floor
+        frac = expired_for / self.ramp_seconds
+        return self.power_cap_node - frac * (self.power_cap_node - floor)
 
 
 @dataclass(frozen=True)
@@ -88,8 +121,20 @@ class PowerGovernorAgent:
             self.policy = self._policy_inbox
             self._policy_inbox = None
             self.pio.write_control(
-                ControlNames.CPU_POWER_LIMIT_CONTROL, self.policy.power_cap_node
+                ControlNames.CPU_POWER_LIMIT_CONTROL,
+                self.policy.effective_cap(now),
             )
+        elif self.policy is not None and self.policy.lease_ttl is not None:
+            # Leased policy with no refresh this period: the dead-man switch
+            # re-evaluates every step so an expired lease keeps ramping the
+            # cap down even when the endpoint above has gone silent.
+            effective = self.policy.effective_cap(now)
+            if effective != self.pio.read_control(
+                ControlNames.CPU_POWER_LIMIT_CONTROL
+            ):
+                self.pio.write_control(
+                    ControlNames.CPU_POWER_LIMIT_CONTROL, effective
+                )
         own_power, own_energy, applied = self.pio.sample()
         if self._child_samples:
             children = self._child_samples.values()

@@ -48,7 +48,11 @@ class JsonlTraceSink:
     """Appends each record as one JSON line; flushes on a small cadence.
 
     The flush interval bounds how much trace a hard kill can lose without
-    paying a syscall per record; :meth:`close` flushes the remainder.
+    paying a syscall per record; :meth:`close` flushes the remainder.  Also
+    a context manager: ``with JsonlTraceSink(path) as sink: ...`` guarantees
+    the flush-on-close even when the body raises or exits early — the CLI
+    export path uses this so an interrupted run can't leave a silently
+    truncated trace.
     """
 
     def __init__(self, path: str | Path, *, flush_every: int = 64) -> None:
@@ -77,3 +81,9 @@ class JsonlTraceSink:
         if not self._fh.closed:
             self._fh.flush()
             self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

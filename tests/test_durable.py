@@ -299,3 +299,78 @@ class TestApplyJournal:
         assert entry["caps_sent"] == 1
         assert state["manager"]["correction"] == -3.0
         assert state["target_hold"]["last_good"] == 2000.0
+
+
+class TestJournalRotation:
+    def test_rotate_drops_covered_records(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        for t in range(1, 6):
+            j.append("target-change", float(t), {"watts": 100.0 * t})
+        dropped = j.rotate(3)
+        assert dropped == 3
+        replay = Journal(tmp_path / "j.jsonl").replay()
+        assert [r.seq for r in replay.records] == [4, 5]
+        assert replay.dropped_tail == 0
+
+    def test_rotate_noop_when_nothing_covered(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        j.append("target-change", 1.0, {"watts": 100.0})
+        before = (tmp_path / "j.jsonl").read_bytes()
+        assert j.rotate(0) == 0
+        assert (tmp_path / "j.jsonl").read_bytes() == before
+
+    def test_seq_never_resets_after_rotation(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        for t in range(1, 4):
+            j.append("target-change", float(t), {"watts": 1.0})
+        j.rotate(3)  # journal now empty on disk
+        assert j.append("target-change", 4.0, {"watts": 2.0}) == 4
+        replay = Journal(tmp_path / "j.jsonl").replay()
+        assert [r.seq for r in replay.records] == [4]
+
+    def test_rotate_discards_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        for t in range(1, 4):
+            j.append("target-change", float(t), {"watts": 1.0})
+        j.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"crc": 0, "rec":')  # torn final write
+        j2 = Journal(path)
+        j2.rotate(1)
+        replay = Journal(path).replay()
+        assert [r.seq for r in replay.records] == [2, 3]
+        assert replay.dropped_tail == 0  # the torn line is gone from disk
+
+    def test_rotated_journal_survives_reopen_and_append(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        for t in range(1, 6):
+            j.append("target-change", float(t), {"watts": float(t)})
+        j.rotate(2)
+        j.append("target-change", 6.0, {"watts": 6.0})
+        j.close()
+        replay = Journal(tmp_path / "j.jsonl").replay()
+        assert [r.seq for r in replay.records] == [3, 4, 5, 6]
+
+    def test_store_checkpoint_rotates_journal(self, tmp_path):
+        store = DurableStore(tmp_path)
+        for t in range(1, 20):
+            store.journal.append("target-change", float(t), {"watts": float(t)})
+        store.save_checkpoint(empty_state())
+        # Everything the checkpoint covers is physically gone from disk.
+        replay = Journal(store.journal.path).replay()
+        assert replay.records == []
+        store.journal.append("target-change", 21.0, {"watts": 1.0})
+        assert Journal(store.journal.path).replay().records[0].seq == 20
+
+
+class TestFsyncDir:
+    def test_fsync_dir_on_real_directory(self, tmp_path):
+        from repro.durable.checkpoint import fsync_dir
+
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_fsync_dir_tolerates_missing_path(self, tmp_path):
+        from repro.durable.checkpoint import fsync_dir
+
+        fsync_dir(tmp_path / "does-not-exist")  # silently skipped

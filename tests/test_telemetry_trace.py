@@ -131,3 +131,29 @@ class TestCli:
     def test_top_cli_runs_once(self, capsys):
         assert main(["top", "--once", "--duration", "30"]) == 0
         assert "anor top" in capsys.readouterr().out
+
+
+class TestJsonlSinkContextManager:
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path, flush_every=1000) as sink:
+            for i in range(5):
+                sink.emit({"name": "event", "i": i})
+            # Under the flush cadence: nothing is guaranteed on disk yet.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert sink.records_written == 5
+        assert sink._fh.closed
+
+    def test_context_manager_flushes_when_body_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlTraceSink(path, flush_every=1000) as sink:
+                sink.emit({"name": "event"})
+                raise RuntimeError("interrupted run")
+        assert len(path.read_text().splitlines()) == 1  # not truncated
+
+    def test_enter_returns_the_sink(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        with sink as entered:
+            assert entered is sink
