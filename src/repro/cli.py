@@ -159,32 +159,48 @@ def _all_tasks(quick: bool, seed: int, out_dir: str | None) -> list:
     return tasks
 
 
-def _run_all(quick: bool, seed: int, out_dir: str | None, jobs: int = 1) -> str:
+def _run_all(
+    quick: bool,
+    seed: int,
+    out_dir: str | None,
+    jobs: int = 1,
+    seeds: list[int] | None = None,
+) -> str:
     """Run every figure, optionally archiving tables + CSVs to a directory.
 
     With ``jobs > 1`` the figures run concurrently; outcomes merge back in
     figure-name order, so the archived tables are identical to a serial run.
+    ``seeds`` sweeps the whole figure set once per seed; all batches share
+    one worker pool, so workers start once for the entire sweep.
     """
     from pathlib import Path
 
-    from repro.runner import run_tasks
+    from repro.runner import WorkerPool, run_tasks
 
     out = Path(out_dir) if out_dir else None
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
-    outcomes = run_tasks(_all_tasks(quick, seed, out_dir), jobs=jobs)
-    lines = []
-    failed = []
-    for outcome in outcomes:
-        lines.append(f"=== {outcome.key} ({outcome.elapsed:.1f}s) ===")
-        if outcome.ok:
-            lines.append(outcome.table)
-            if out is not None:
-                (out / f"{outcome.key}.txt").write_text(outcome.table + "\n")
-        else:
-            lines.append(f"FAILED: {outcome.error}")
-            failed.append(outcome.key)
-        lines.append("")
+    sweep = seeds if seeds else [seed]
+    lines: list[str] = []
+    failed: list[str] = []
+    with WorkerPool(jobs) as pool:
+        for s in sweep:
+            sub = out
+            if out is not None and len(sweep) > 1:
+                sub = out / f"seed-{s}"
+                sub.mkdir(parents=True, exist_ok=True)
+            tasks = _all_tasks(quick, s, str(sub) if sub is not None else None)
+            prefix = f"[seed={s}] " if len(sweep) > 1 else ""
+            for outcome in run_tasks(tasks, pool=pool):
+                lines.append(f"=== {prefix}{outcome.key} ({outcome.elapsed:.1f}s) ===")
+                if outcome.ok:
+                    lines.append(outcome.table)
+                    if sub is not None:
+                        (sub / f"{outcome.key}.txt").write_text(outcome.table + "\n")
+                else:
+                    lines.append(f"FAILED: {outcome.error}")
+                    failed.append(f"{prefix}{outcome.key}")
+                lines.append("")
     if out is not None:
         lines.append(f"[tables and CSVs archived under {out}]")
     if failed:
@@ -247,6 +263,28 @@ def _add_observability_commands(sub) -> None:
         action="store_true",
         help="print a single final frame (default on non-tty output)",
     )
+    prof = sub.add_parser(
+        "profile",
+        help="run one figure under cProfile and print the hottest functions",
+    )
+    prof.add_argument(
+        "figure", choices=[n for n in _COMMANDS if n != "all"],
+        help="which figure to profile",
+    )
+    prof.add_argument("--quick", action="store_true")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--top", type=int, default=25, help="functions to show (default 25)"
+    )
+    prof.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "calls"],
+        default="cumulative",
+        help="pstats sort key (default cumulative)",
+    )
+    prof.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
     trace = sub.add_parser(
         "trace", help="export or summarize structured JSONL traces"
     )
@@ -261,6 +299,44 @@ def _add_observability_commands(sub) -> None:
         "summary", help="validate a JSONL trace and print record counts"
     )
     summary.add_argument("path", help="trace file to read")
+
+
+def _run_profile(
+    name: str, quick: bool, seed: int, top: int, sort: str, out: str | None
+) -> str:
+    """Profile one figure run and render the top-N hot functions.
+
+    The figure executes exactly as ``anor <figure>`` would (same seed, same
+    config, event-driven core included), so the report reflects the real
+    simulation hot path rather than a synthetic kernel.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    runner, _ = _COMMANDS[name]
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        runner(quick, seed)
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - start
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    report = (
+        f"profile: {name} (quick={quick}, seed={seed}), "
+        f"wall {elapsed:.2f}s, sorted by {sort}\n{buf.getvalue()}"
+    )
+    if out is not None:
+        from pathlib import Path
+
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+    return report
 
 
 def _run_trace_export(out: str, duration: float, seed: int) -> str:
@@ -364,6 +440,12 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--out", default=None, help="directory to archive tables and CSVs"
             )
+            p.add_argument(
+                "--seeds",
+                default=None,
+                help="comma-separated seed list: run the whole figure set "
+                "once per seed, sharing one worker pool across the sweep",
+            )
         else:
             p.add_argument("--seed", type=int, default=0)
             p.add_argument(
@@ -382,6 +464,13 @@ def main(argv: list[str] | None = None) -> int:
             refresh=args.refresh,
             once=args.once,
         )
+    if args.experiment == "profile":
+        print(
+            _run_profile(
+                args.figure, args.quick, args.seed, args.top, args.sort, args.out
+            )
+        )
+        return 0
     if args.experiment == "trace":
         if args.trace_command == "export":
             print(_run_trace_export(args.out, args.duration, args.seed))
@@ -391,7 +480,14 @@ def main(argv: list[str] | None = None) -> int:
         return code
     start = time.perf_counter()
     if args.experiment == "all":
-        table = _run_all(args.quick, args.seed, args.out, jobs=args.jobs)
+        all_seeds = None
+        if args.seeds:
+            all_seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+            if not all_seeds:
+                parser.error("--seeds must name at least one seed")
+        table = _run_all(
+            args.quick, args.seed, args.out, jobs=args.jobs, seeds=all_seeds
+        )
     elif args.experiment == "resilience" and args.headnode_crash:
         if args.partition:
             parser.error("--headnode-crash and --partition are exclusive")

@@ -232,6 +232,11 @@ class ClusterPowerManager:
     def _init_metrics(self) -> None:
         """Create the manager's metric handles once (enabled runs only)."""
         reg = self.telemetry.registry
+        # Label-addressed children (anor_job_cap_watts{job=...}) are cached
+        # per job: the registry resolves (name, labels) with validation and
+        # a sorted label key on every call, which the cap-dispatch hot path
+        # would otherwise pay per job per round.
+        self._mx_job_cap: dict[str, object] = {}
         self._mx_rounds = reg.counter(
             "anor_budget_rounds_total", "budgeting rounds executed")
         self._mx_caps_sent = reg.counter(
@@ -479,6 +484,7 @@ class ClusterPowerManager:
     def _on_goodbye(self, msg: GoodbyeMessage, link: TcpLink, now: float) -> None:
         if self.jobs.pop(msg.job_id, None) is not None:
             if self.telemetry.enabled:
+                self._mx_job_cap.pop(msg.job_id, None)
                 self.telemetry.bus.event("job-goodbye", now, job_id=msg.job_id)
             self._journal("job-evict", now, job_id=msg.job_id, kind="goodbye")
         if link in self._links:
@@ -504,6 +510,7 @@ class ClusterPowerManager:
             record.link.close("evicted")
             self.evictions += 1
             if self.telemetry.enabled:
+                self._mx_job_cap.pop(job_id, None)
                 self._mx_evictions.inc()
                 self.telemetry.incident(
                     "job-evicted",
@@ -825,11 +832,15 @@ class ClusterPowerManager:
             record.last_cap = cap
             if tel:
                 self._mx_caps_sent.inc()
-                self.telemetry.registry.gauge(
-                    "anor_job_cap_watts",
-                    "most recent per-node cap sent to each job",
-                    job=record.job_id,
-                ).set(cap)
+                gauge = self._mx_job_cap.get(record.job_id)
+                if gauge is None:
+                    gauge = self.telemetry.registry.gauge(
+                        "anor_job_cap_watts",
+                        "most recent per-node cap sent to each job",
+                        job=record.job_id,
+                    )
+                    self._mx_job_cap[record.job_id] = gauge
+                gauge.set(cap)
         if tel:
             self.telemetry.bus.event(
                 "cap-dispatch", now, parent=self._round_span, caps=dict(caps)

@@ -17,6 +17,7 @@ re-budgets — the same multi-rate asynchrony §7.2 discusses.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,6 +46,7 @@ from repro.sched.base import PendingJob, RunningView, Scheduler
 from repro.sched.fcfs import FcfsScheduler
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.prometheus import MetricsHTTPServer
+from repro.util.calendar import EventCalendar
 from repro.util.clock import PeriodicGate
 from repro.util.rng import ensure_rng
 from repro.workloads.nas import NAS_TYPES, JobType, P_NODE_MAX, P_NODE_MIN
@@ -146,6 +148,13 @@ class AnorConfig:
     breaker_trip_rounds: int = 3
     breaker_reset_rounds: int = 5
     breaker_confirm_rounds: int = 3
+    # Event-calendar stepping (DESIGN.md §7): between control events the run
+    # loop advances the hardware emulator analytically across whole runs of
+    # control-free ticks instead of executing them one by one.  Observables
+    # are bit-identical to per-tick stepping (the golden traces and the
+    # event-equivalence property tests pin it); set False to force the
+    # reference tick loop.
+    event_driven: bool = True
     # Internal: held True by the fault injector while a cluster-wide
     # NetworkPartition window is open, so links created mid-window (e.g.
     # reconnect attempts) are born partitioned too.
@@ -1023,6 +1032,10 @@ class AnorSystem:
             self._mx_pending.set(len(self._pending))
             self._mx_completed.set(len(self.cluster.completed))
             self._sample_link_counters()
+        self._finish_completed(now)
+
+    def _finish_completed(self, now: float) -> None:
+        """Close the endpoints of jobs that left the cluster this tick."""
         # Completed jobs: close their endpoints so the manager forgets them.
         done_ids = [jid for jid in self.endpoints if jid not in self.cluster.running]
         for jid in done_ids:
@@ -1053,6 +1066,177 @@ class AnorSystem:
                 report_path = Path(self.config.output_dir) / f"{jid}.report"
                 report_path.write_text(render_report(totals))
 
+    # ------------------------------------------------- event-calendar stepping
+    #
+    # Stride safety (DESIGN.md §7): between two control events every per-tick
+    # input to the physics is constant, because *all* time-dependent control
+    # behaviour is quantized to the event sources the calendar registers —
+    # message delivery and retransmit pumping only execute inside endpoint /
+    # manager / agent steps (gates); cap writes only happen in agent steps;
+    # lease decay and ramps are evaluated inside endpoint/agent steps; fault
+    # firings and window resolutions are `time <= now` checks (instants);
+    # intake/restarts/reconnects are `time <= now` checks under a live head;
+    # and scheduler decisions can only change when cluster state changes,
+    # which itself only happens at events or job completions (which truncate
+    # the stride inside the hardware emulator).
+
+    #: Upper bound on ticks per stride: keeps the per-stride numpy arrays
+    #: small enough to stay cache-friendly without limiting throughput.
+    _MAX_STRIDE = 1024
+
+    #: Smallest control-free window worth batching: below this the fixed
+    #: per-stride cost (planning, calendar, commit) exceeds what the plain
+    #: tick loop spends, so short windows take the per-tick path.  Purely a
+    #: performance knob — both paths are bit-identical.
+    _MIN_STRIDE = 8
+
+    def _build_calendar(self) -> EventCalendar:
+        """Register every source that could fire during upcoming ticks."""
+        cal = EventCalendar()
+        cal.add_gate(self._endpoint_gate)
+        cal.add_gate(self._agent_gate)
+        if not self._head_down:
+            cal.add_gate(self._manager_gate)
+            if self._checkpoint_gate is not None:
+                cal.add_gate(self._checkpoint_gate)
+            if self._pending:
+                cal.add_instant(self._pending[0].submit_time)
+            if self._endpoint_restarts:
+                cal.add_instant(min(r[0] for r in self._endpoint_restarts))
+            cfg = self.config
+            if cfg.lease_ttl is not None or cfg.reliable_messaging:
+                for job_id in self.endpoints:
+                    if self.endpoints[job_id].link.closed:
+                        cal.add_instant(self._reconnect_at.get(job_id, 0.0))
+        if self.faults is not None:
+            cal.add_instant(self.faults.next_due)
+        return cal
+
+    def _queue_blocks_stride(self, now: float) -> bool:
+        """Could the scheduler start a queued job on an upcoming free tick?
+
+        With the head down ``_start_ready`` never runs, so the queue cannot
+        act.  Otherwise a non-empty queue blocks striding unless the policy
+        declares itself time-invariant and one probe round (the exact view
+        ``_start_ready`` would build) comes back empty — in which case it
+        stays empty until cluster state changes, which only happens at an
+        event or a completion (both stride boundaries).
+        """
+        if not self._queue or self._head_down:
+            return False
+        if not self.scheduler.time_invariant:
+            return True
+        pending = [
+            PendingJob(
+                job_id=q.request.job_id,
+                nodes=q.job_type.nodes,
+                submit_time=self._submit_times[q.request.job_id],
+                est_runtime=q.job_type.total_time(q.job_type.p_min),
+                attempt=self._attempts.get(q.request.job_id, 1),
+            )
+            for q in self._queue
+        ]
+        pending.sort(key=lambda p: p.submit_time)
+        running = [
+            RunningView(
+                job_id=j.job_id,
+                nodes=len(j.nodes),
+                est_end=j.start_time + j.job_type.total_time(j.job_type.p_min),
+            )
+            for j in self.cluster.running.values()
+        ]
+        return bool(
+            self.scheduler.select(
+                pending, running, len(self.cluster.idle_nodes()), now
+            )
+        )
+
+    def _try_stride(
+        self,
+        start: float,
+        duration: float | None,
+        until_idle: bool,
+        max_time: float,
+    ) -> bool:
+        """Advance across a run of control-free ticks; False → take a step().
+
+        Cheap scalar screening first (no arrays on the common next-event-is-
+        imminent path), then the exact elementwise truncation that decides
+        the stride length, then one batched physics call plus per-tick
+        observable replay.  Everything the tick loop would have produced —
+        trace rows, telemetry samples, RNG consumption, float accumulations
+        — is reproduced bit for bit; ticks are never skipped, only batched.
+        """
+        clock = self.cluster.clock
+        now = clock.now
+        tick = self.config.tick
+        cal = self._build_calendar()
+        bound = cal.horizon()
+        if math.isinf(bound):
+            quick = self._MAX_STRIDE if bound > 0 else 0
+        else:
+            quick = int((bound - now) / tick)
+        # Run-loop break conditions also bound the stride (scalar estimate;
+        # the exact predicates are replayed below).  The duration cap is
+        # suppressed only while ``until_idle`` still has work to drain; work
+        # can only *vanish* at a completion, which ends the stride anyway.
+        has_work = bool(self._pending or self._queue or self.cluster.running)
+        duration_caps = duration is not None and not (until_idle and has_work)
+        if duration_caps:
+            quick = min(quick, int((start + duration - now) / tick) + 1)
+        quick = min(quick, int((start + max_time - now) / tick) + 1)
+        if quick < self._MIN_STRIDE:
+            return False
+        if not self.cluster.stride_ready():
+            return False
+        # The scheduler probe walks the whole queue, so it runs only after
+        # the cheap scalar screens above say a stride is even possible.
+        if self._queue_blocks_stride(now):
+            return False
+        count = min(quick + 1, self._MAX_STRIDE)
+        times = clock.tick_times(count, tick)
+        free = cal.free_ticks(times)
+        if free >= 2:
+            # Replay the run() break predicates at the instants the loop
+            # would check them: before tick k the clock reads times[k-1].
+            prev = np.empty(free)
+            prev[0] = now
+            prev[1:] = times[: free - 1]
+            elapsed = prev - start
+            ok = elapsed < max_time
+            if duration_caps:
+                ok &= elapsed < duration
+            free = int(np.count_nonzero(ok))
+        if free < 2:
+            return False
+        times = times[:free]
+        tel = self.telemetry.enabled
+        running_before = len(self.cluster.running)
+        completed_before = len(self.cluster.completed)
+        ticks, totals = self.cluster.advance_stride(times, tick)
+        clock.advance_to(float(times[ticks - 1]))
+        last = ticks - 1
+        for k in range(ticks):
+            t = float(times[k])
+            self._trace.append((t, self.target_source.target(t), float(totals[k])))
+            if tel:
+                self._mx_power.set(float(totals[k]))
+                self._mx_target_now.set(self._trace[-1][1])
+                # Completions land on the stride's final tick only (the
+                # stride truncates there), matching what the tick loop's
+                # post-physics sampling would have seen each tick.
+                self._mx_running.set(
+                    len(self.cluster.running) if k == last else running_before
+                )
+                self._mx_queued.set(len(self._queue))
+                self._mx_pending.set(len(self._pending))
+                self._mx_completed.set(
+                    len(self.cluster.completed) if k == last else completed_before
+                )
+                self._sample_link_counters()
+        self._finish_completed(float(times[last]))
+        return True
+
     def run(
         self,
         duration: float | None = None,
@@ -1068,6 +1252,7 @@ class AnorSystem:
         if duration is None and not until_idle:
             raise ValueError("need a duration or until_idle=True")
         start = self.cluster.clock.now
+        event_driven = self.config.event_driven
         while True:
             now = self.cluster.clock.now
             elapsed = now - start
@@ -1082,6 +1267,8 @@ class AnorSystem:
                 break
             if elapsed >= max_time:
                 break
+            if event_driven and self._try_stride(start, duration, until_idle, max_time):
+                continue
             self.step()
         trace = (
             np.asarray(self._trace)

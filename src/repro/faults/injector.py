@@ -140,6 +140,22 @@ class FaultInjector:
         """True once every event has fired and every window has closed."""
         return not self._pending and not self._resolutions
 
+    @property
+    def next_due(self) -> float:
+        """Earliest instant :meth:`tick` would act; +inf when quiescent.
+
+        Both firing rules are ``time <= now`` checks, so a tick strictly
+        before this instant is a guaranteed no-op — the event-driven loop
+        uses that to stride across fault-free stretches.
+        """
+        due = math.inf
+        if self._pending:
+            due = self._pending[0].time
+        for resolution in self._resolutions:
+            if resolution[0] < due:
+                due = resolution[0]
+        return due
+
     def log_lines(self) -> list[str]:
         return list(self.log)
 

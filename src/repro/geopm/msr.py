@@ -14,6 +14,8 @@ the two registers with realistic semantics:
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = [
     "MSR_PKG_POWER_LIMIT",
     "MSR_PKG_ENERGY_STATUS",
@@ -107,6 +109,37 @@ class MsrBank:
         if joules < 0:
             raise ValueError(f"cannot consume negative energy: {joules}")
         self._energy_joules_total += joules
+        ticks = int(round(self._energy_joules_total / ENERGY_UNIT_JOULES))
+        self._energy_raw = ticks & _ENERGY_MASK
+
+    def accumulate_energy_series(self, joules: np.ndarray) -> None:
+        """Deposit a run of per-tick energies in one call (stride commit).
+
+        The unwrapped total is folded with ``np.cumsum`` over the chain
+        ``[total, j₁, …, jₙ]`` — an ordered left-to-right accumulation, so
+        the final total is bit-identical to n sequential
+        :meth:`accumulate_energy` calls.  The raw counter is a pure function
+        of that total; intermediate raw values are only ever observed at
+        agent samples, which bound strides, so deriving it once at the end
+        is exact.
+        """
+        deposits = np.asarray(joules, dtype=float)
+        if deposits.size == 0:
+            return
+        if float(deposits.min()) < 0:
+            raise ValueError(f"cannot consume negative energy: {deposits.min()}")
+        if deposits.size < 64:
+            # Short runs (typical stride length): a scalar loop of the same
+            # left-to-right adds beats the ufunc setup cost.
+            total = self._energy_joules_total
+            for j in deposits.tolist():
+                total += j
+            self._energy_joules_total = total
+        else:
+            chain = np.empty(deposits.size + 1)
+            chain[0] = self._energy_joules_total
+            chain[1:] = deposits
+            self._energy_joules_total = float(np.cumsum(chain)[-1])
         ticks = int(round(self._energy_joules_total / ENERGY_UNIT_JOULES))
         self._energy_raw = ticks & _ENERGY_MASK
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geopm.report import ApplicationTotals
-from repro.hwsim.job import BATCH_MIN_NODES, RunningJob
+from repro.hwsim.job import BATCH_MIN_NODES, RunningJob, plan_stride_batch
 from repro.hwsim.node import Node
 from repro.util.clock import SimClock
 from repro.util.rng import ensure_rng, spawn_rng
@@ -198,6 +198,76 @@ class EmulatedCluster:
         power = sum(n.last_power for n in self.nodes)
         self._power_history.append((now, power))
         return power
+
+    def stride_ready(self) -> bool:
+        """True when every running job can be advanced analytically.
+
+        Jobs with epoch-periodic power waves, phased curves, or failed nodes
+        force the per-tick path (see :attr:`RunningJob.stride_capable`).
+        """
+        for job in self.running.values():
+            if not job.stride_capable:
+                return False
+        return True
+
+    def advance_stride(self, times: np.ndarray, dt: float) -> tuple[int, np.ndarray]:
+        """Advance physics across every instant in ``times`` in one call.
+
+        Returns ``(M, totals)``: the number of ticks actually executed and
+        the per-tick cluster power, bit-identical to ``M`` successive
+        :meth:`advance` calls at those instants.  ``M < len(times)`` exactly
+        when some job crosses a phase transition — the stride truncates at
+        the earliest one so completions release nodes (and the scheduler
+        sees them) on the very next tick, as under per-tick stepping.
+
+        Callers must not change any per-tick input (caps, node allocation,
+        fault state) between the instants covered; the framework guarantees
+        this by striding only across control-event-free ticks.
+        """
+        total = len(times)
+        if total == 0:
+            return 0, np.empty(0)
+        jobs = list(self.running.values())
+        ticks, plans = plan_stride_batch(jobs, times, dt)
+        finished = []
+        for job, plan in zip(jobs, plans):
+            job.commit_stride(plan, times, dt)
+            if job.is_done:
+                finished.append(job.job_id)
+        # Per-node power series for the whole fleet: job plans fill their
+        # nodes' columns, idle nodes draw their own streams, failed nodes
+        # hold their last (zero) draw.
+        series = np.empty((ticks, len(self.nodes)))
+        for node in self.nodes:
+            series[:, node.node_id] = node.last_power
+        for job, plan in zip(jobs, plans):
+            for j, node in enumerate(job.nodes):
+                series[:, node.node_id] = plan.powers[:, j]
+        for node in self.idle_nodes():
+            rng = self._node_rngs[node.node_id]
+            # standard_normal·σ ≡ normal(0, σ) bit for bit, minus the
+            # broadcasting slow path of the scale argument.
+            eps = rng.standard_normal(ticks) * 0.01
+            noisy = node.idle_power * (1.0 + eps)
+            powers = np.minimum(node.power_cap, np.maximum(noisy, node.idle_power))
+            node.deposit_series(powers, dt)
+            series[:, node.node_id] = powers
+        for job_id in finished:
+            job = self.running.pop(job_id)
+            for node in job.nodes:
+                node.job_id = None
+                node.pio.detach_profiler()
+            self.completed.append(job.totals())
+        # Cluster power per tick: left-to-right accumulation in node order,
+        # matching the scalar `sum(n.last_power for n in self.nodes)`
+        # (seeding with node 0's column is exact: 0 + p ≡ p for the
+        # non-negative draws).
+        totals = series[:, self.nodes[0].node_id].copy()
+        for node in self.nodes[1:]:
+            np.add(totals, series[:, node.node_id], out=totals)
+        for k in range(ticks):
+            self._power_history.append((float(times[k]), float(totals[k])))
+        return ticks, totals
 
     # ------------------------------------------------------------- metering
 

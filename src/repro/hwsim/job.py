@@ -12,6 +12,7 @@ finishes an iteration (GEOPM's all-processes barrier semantics).
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,7 +23,7 @@ from repro.geopm.report import ApplicationTotals
 from repro.hwsim.node import Node
 from repro.workloads.nas import JobType
 
-__all__ = ["JobPhase", "RunningJob"]
+__all__ = ["JobPhase", "RunningJob", "StridePlan", "plan_stride_batch"]
 
 #: Node count above which the batched numpy physics path beats the scalar
 #: per-node loop.  Both paths are bit-identical (the golden traces pin them
@@ -37,6 +38,33 @@ class JobPhase(enum.Enum):
     TEARDOWN = "teardown"
     DONE = "done"
     KILLED = "killed"  # terminated by a node failure; produces no totals
+
+
+@dataclass
+class StridePlan:
+    """The fully realised effects of advancing one job across several ticks.
+
+    Produced by :func:`plan_stride_batch` without touching job state (only
+    the job's RNG stream moves), applied by :meth:`RunningJob.commit_stride`.
+    The plan/commit split lets the cluster truncate every job's stride to
+    the earliest phase transition before anything is applied — matching the
+    tick loop, which pops a finishing job before any later tick runs.
+    """
+
+    ticks: int  # ticks actually planned (≤ len(times) given)
+    finished: bool  # job reached DONE at tick ``ticks - 1``
+    powers: np.ndarray  # (ticks, nodes) realised per-node draw per tick
+    phase: "JobPhase"  # state after the final planned tick …
+    phase_elapsed: float
+    rank_progress: np.ndarray
+    # (tick_index, rank, cumulative_count) in exact per-tick call order.
+    profiler_updates: list
+    compute_started_at: float | None
+    compute_finished_at: float | None
+    end_at: float | None
+    # Per-tick job power over the plan's compute ticks (None without any);
+    # feeds the job's compute-energy/seconds accumulators on commit.
+    compute_tick_power: np.ndarray | None
 
 
 class RunningJob:
@@ -90,6 +118,12 @@ class RunningJob:
         scales[0::2] = job_type.noise
         scales[1::2] = 0.01
         self._noise_scales = scales
+        # Stride-planner cache: (caps, taus·run_mult, clamped demand).  Both
+        # model vectors depend only on the caps for statically-profiled
+        # types, and caps are constant across a stride, so the cache
+        # survives until the agent actually changes a cap value.
+        self._stride_cache: tuple | None = None  # (caps key, caps, base, demand)
+        self._profile_static = job_type.profile_static
         self._compute_started: float | None = None
         self._compute_finished: float | None = None
         self.end_time: float | None = None
@@ -214,6 +248,80 @@ class RunningJob:
         for node, power in zip(nodes, powers):
             node.deposit(float(power), dt)
 
+    # ------------------------------------------------------ stride stepping
+
+    @property
+    def stride_capable(self) -> bool:
+        """True when this job can be advanced analytically across a stride.
+
+        Requires a statically-profiled job type (no power wave, phase-less
+        curves — see :attr:`JobType.profile_static`) and no failed nodes:
+        the per-node scalar path skips RNG draws for crashed ranks, which
+        the batched planner cannot reproduce (in practice a crash kills the
+        job before it advances again; this guard is belt and braces).
+        """
+        return (
+            self.phase in (JobPhase.SETUP, JobPhase.COMPUTE, JobPhase.TEARDOWN)
+            and self._profile_static
+            and not any(node.failed for node in self.nodes)
+        )
+
+    def _stride_vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(caps, rate base, clamped demand) for the stride planners.
+
+        profile_static: the curve and demand ignore progress, so both model
+        vectors are pure functions of the caps (the fraction argument only
+        sets the output shape) — cached until the agent changes a cap value.
+        """
+        key = tuple(node.power_cap for node in self.nodes)
+        cached = self._stride_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2], cached[3]
+        caps = np.array(key)
+        jt = self.job_type
+        fracs = self._rank_progress / jt.epochs
+        base = jt.time_per_epoch_array(caps, fracs) * self._run_multiplier
+        demand = np.minimum(np.maximum(caps, jt.p_min), jt.power_demand_array(fracs))
+        self._stride_cache = (key, caps, base, demand)
+        return caps, base, demand
+
+    def commit_stride(self, plan: StridePlan, times: np.ndarray, dt: float) -> None:
+        """Apply a :class:`StridePlan` (node energy, profiler, phase state)."""
+        for j, node in enumerate(self.nodes):
+            node.deposit_series(plan.powers[:, j], dt)
+        for k, rank, count in plan.profiler_updates:
+            self.profiler.set_rank_progress(rank, count, timestamp=float(times[k]))
+        self._rank_progress = plan.rank_progress
+        self.phase = plan.phase
+        self.phase_elapsed = plan.phase_elapsed
+        if plan.compute_started_at is not None:
+            self._compute_started = plan.compute_started_at
+        if plan.compute_finished_at is not None:
+            self._compute_finished = plan.compute_finished_at
+        if plan.end_at is not None:
+            self.end_time = plan.end_at
+        if plan.compute_tick_power is not None:
+            deposits = plan.compute_tick_power * dt
+            if deposits.size < 64:
+                # Short strides: scalar left-to-right adds — the same IEEE
+                # chain as the cumsum fold — without the ufunc setup cost.
+                energy = self._compute_energy
+                seconds = self._compute_seconds
+                for j in deposits.tolist():
+                    energy += j
+                    seconds += dt
+                self._compute_energy = energy
+                self._compute_seconds = seconds
+            else:
+                chain = np.empty(deposits.size + 1)
+                chain[0] = self._compute_energy
+                chain[1:] = deposits
+                self._compute_energy = float(np.cumsum(chain)[-1])
+                chain = np.empty(deposits.size + 1)
+                chain[0] = self._compute_seconds
+                chain[1:] = dt
+                self._compute_seconds = float(np.cumsum(chain)[-1])
+
     def kill(self, now: float) -> None:
         """Terminate the job mid-run (node crash took a rank with it).
 
@@ -262,3 +370,204 @@ class RunningJob:
             epoch_count=self.profiler.epoch_count,
             average_power=avg_power,
         )
+
+
+def plan_stride_batch(
+    jobs: list[RunningJob], times: np.ndarray, dt: float
+) -> tuple[int, list[StridePlan]]:
+    """Plan one stride for every running job in one batched computation.
+
+    Bit-identical to running :meth:`RunningJob.advance` at each instant in
+    ``times`` for the stride length it returns: per-job quantities are
+    column blocks of one concatenated matrix computation whose elementwise
+    expressions mirror the per-tick operations (same IEEE ops in the same
+    order), sequential accumulations (rank progress, ``phase_elapsed``,
+    energy) go through ordered ``np.cumsum`` chains ≡ the ``+=`` chains,
+    and each job's private RNG stream consumes exactly the per-tick draws
+    (``standard_normal``·σ is bit-identical to ``normal(0, σ)`` from the
+    same stream, minus the broadcasting slow path).  Job streams are
+    independent, so batching per job never reorders anything observable.
+
+    The stride truncates at the earliest phase transition of *any* job —
+    epoch completion (RNG-dependent: detected from the drawn trajectory,
+    longer draws rewound and the retained prefix redrawn, value-identical),
+    or a setup/teardown timer expiry (deterministic: bounded up front).
+    Each job therefore stays in one phase per stride; the next stride picks
+    up from the new phase.  Caps are constant across a stride — the
+    framework only strides between control rounds — so the cached rate and
+    demand vectors are loop invariants.
+
+    Returns ``(ticks, plans)`` with plans in ``jobs`` order; only the job
+    RNG streams move until :meth:`RunningJob.commit_stride` applies them.
+    """
+    total = len(times)
+    compute_jobs: list[RunningJob] = []
+    idle_jobs: list[tuple[RunningJob, np.ndarray, float]] = []
+    L = total
+    for job in jobs:
+        if not job.stride_capable:
+            raise RuntimeError(f"job {job.job_id} cannot be stride-planned")
+        if job.phase is JobPhase.COMPUTE:
+            compute_jobs.append(job)
+            continue
+        jt = job.job_type
+        limit = jt.setup_time if job.phase is JobPhase.SETUP else jt.teardown_time
+        # phase_elapsed over the window: ordered cumsum ≡ the += chain; the
+        # first tick at or past the limit is the phase transition, and the
+        # stride may include it but not run beyond it.
+        chain = np.empty(total + 1)
+        chain[0] = job.phase_elapsed
+        chain[1:] = dt
+        pe_chain = np.cumsum(chain)[1:]
+        hits = np.flatnonzero(pe_chain >= limit)
+        if hits.size:
+            L = min(L, int(hits[0]) + 1)
+        idle_jobs.append((job, pe_chain, limit))
+
+    completed_flags: np.ndarray | None = None
+    if compute_jobs:
+        widths = [len(job.nodes) for job in compute_jobs]
+        starts: list[int] = []
+        acc = 0
+        for w in widths:
+            starts.append(acc)
+            acc += w
+        vectors = [job._stride_vectors() for job in compute_jobs]
+        caps_cat = np.concatenate([v[0] for v in vectors])
+        base_cat = np.concatenate([v[1] for v in vectors])
+        demand_cat = np.concatenate([v[2] for v in vectors])
+        perf_cat = np.concatenate([j._perf_multipliers for j in compute_jobs])
+        idle_cat = np.concatenate([j._idle_powers for j in compute_jobs])
+        prog0 = np.concatenate([j._rank_progress for j in compute_jobs])
+        counts_cat = np.concatenate(
+            [np.asarray(j.profiler.rank_counts) for j in compute_jobs]
+        )
+        epochs_job = np.array([j.job_type.epochs for j in compute_jobs])
+        epochs_cat = np.repeat(epochs_job, widths)
+        # One draw per job stream, interleaved [jitter, rapl] per node; the
+        # snapshot allows an exact rewind if a completion truncates the
+        # stride (the redrawn prefix is value-identical — same stream).
+        snapshots = [job.rng.bit_generator.state for job in compute_jobs]
+        draws = np.empty((L, 2 * acc))
+        for idx, job in enumerate(compute_jobs):
+            w2 = 2 * widths[idx]
+            z = job.rng.standard_normal(L * w2).reshape(L, w2)
+            z *= job._noise_scales
+            draws[:, 2 * starts[idx] : 2 * starts[idx] + w2] = z
+        jitter = np.exp(draws[:, 0::2])
+        rates = perf_cat[None, :] / (base_cat[None, :] * jitter)
+        # Rank progress: per-column ordered cumsum ≡ the per-tick += chain.
+        prog = np.cumsum(np.vstack((prog0, rates * dt)), axis=0)[1:]
+        done = np.minimum(prog.astype(np.int64), epochs_cat)
+        # Per-job barrier count after tick k is max(counts₀, done_k).min()
+        # over the job's ranks — monotone in k, so a completion inside the
+        # window shows at the final tick; screen there before materialising
+        # the full reduction.
+        fin = (
+            np.minimum.reduceat(np.maximum(done[-1], counts_cat), starts)
+            >= epochs_job
+        )
+        M = L
+        if fin.any():
+            bar = np.minimum.reduceat(
+                np.maximum(done, counts_cat[None, :]), starts, axis=1
+            )
+            bar_done = bar >= epochs_job[None, :]
+            M = int(np.argmax(bar_done.any(axis=1))) + 1
+            completed_flags = bar_done[M - 1]
+            if M < L:
+                for idx, job in enumerate(compute_jobs):
+                    job.rng.bit_generator.state = snapshots[idx]
+                    job.rng.standard_normal(M * 2 * widths[idx])
+                draws = draws[:M]
+                prog = prog[:M]
+                done = done[:M]
+        noisy = demand_cat[None, :] * (1.0 + draws[:, 1::2])
+        powers_mat = np.minimum(
+            caps_cat[None, :], np.maximum(noisy, idle_cat[None, :])
+        )
+    else:
+        M = L
+
+    plans: dict[str, StridePlan] = {}
+    if compute_jobs:
+        # Profiler crossings for every job in one pass.  done_k is monotone
+        # and never below counts₀ (counts₀ is the floored start progress),
+        # so the final tick screens for any crossing before the argwhere
+        # materialises.  argwhere's row-major order is tick-major, column
+        # ascending — the per-tick call order — and splitting the rows by
+        # owning job preserves it.
+        updates_by_job: list[list[tuple[int, int, int]]] = [[] for _ in compute_jobs]
+        if (done[-1] > counts_cat).any():
+            prev = np.vstack((counts_cat, done[:-1]))
+            rows = np.argwhere(done > prev)
+            owners = np.searchsorted(starts, rows[:, 1], side="right") - 1
+            for (k, c), jdx in zip(rows.tolist(), owners.tolist()):
+                updates_by_job[jdx].append((k, c - starts[jdx], int(done[k, c])))
+    for idx, job in enumerate(compute_jobs):
+        a = starts[idx]
+        b = a + widths[idx]
+        # Job tick power: left-to-right accumulation over nodes, matching
+        # the scalar `tick_power += power` loop (seeding with the first
+        # column is exact: 0.0 + p ≡ p for the strictly positive draws).
+        tick_power = powers_mat[:, a].copy()
+        for col in range(a + 1, b):
+            np.add(tick_power, powers_mat[:, col], out=tick_power)
+        completed = completed_flags is not None and bool(completed_flags[idx])
+        pe = job.phase_elapsed
+        finished_at: float | None = None
+        if completed:
+            finished_at = float(times[M - 1])
+            pe = 0.0
+        else:
+            for _ in range(M):  # the per-tick += chain, verbatim
+                pe += dt
+        plans[job.job_id] = StridePlan(
+            ticks=M,
+            finished=False,
+            powers=powers_mat[:, a:b],
+            phase=JobPhase.TEARDOWN if completed else JobPhase.COMPUTE,
+            phase_elapsed=pe,
+            rank_progress=prog[M - 1, a:b].copy(),
+            profiler_updates=updates_by_job[idx],
+            compute_started_at=None,
+            compute_finished_at=finished_at,
+            end_at=None,
+            compute_tick_power=tick_power,
+        )
+    for job, pe_chain, limit in idle_jobs:
+        n = len(job.nodes)
+        caps = np.array([node.power_cap for node in job.nodes])
+        idle = job._idle_powers
+        eps = job.rng.standard_normal((M, n)) * 0.01
+        powers = np.minimum(
+            caps[None, :], np.maximum(idle[None, :] * (1.0 + eps), idle[None, :])
+        )
+        pe = float(pe_chain[M - 1])
+        phase = job.phase
+        started_at: float | None = None
+        end_at: float | None = None
+        finished = False
+        if pe >= limit:  # the timer expired on the stride's final tick
+            if phase is JobPhase.SETUP:
+                phase = JobPhase.COMPUTE
+                started_at = float(times[M - 1])
+            else:
+                phase = JobPhase.DONE
+                end_at = float(times[M - 1])
+                finished = True
+            pe = 0.0
+        plans[job.job_id] = StridePlan(
+            ticks=M,
+            finished=finished,
+            powers=powers,
+            phase=phase,
+            phase_elapsed=pe,
+            rank_progress=job._rank_progress.copy(),
+            profiler_updates=[],
+            compute_started_at=started_at,
+            compute_finished_at=None,
+            end_at=end_at,
+            compute_tick_power=None,
+        )
+    return M, [plans[job.job_id] for job in jobs]

@@ -144,6 +144,25 @@ class Node:
         self._last_power = power
         return power
 
+    def deposit_series(self, powers: np.ndarray, dt: float) -> None:
+        """Deposit a run of already-realised per-tick draws (stride commit).
+
+        ``powers[k]`` is the node's draw over tick ``k`` of a stride.  The
+        per-package split is the same elementwise expression as
+        :meth:`deposit`, and each bank folds its deposits with an ordered
+        cumulative sum, so the result is bit-identical to calling
+        :meth:`deposit` once per tick.  The retained ``last_power`` is the
+        final tick's, exactly as the tick loop would leave it.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if len(powers) == 0:
+            return
+        per_package = powers * dt / len(self.banks)
+        for bank in self.banks:
+            bank.accumulate_energy_series(per_package)
+        self._last_power = float(powers[-1])
+
     def consume_idle(self, dt: float, rng: np.random.Generator) -> float:
         """Idle-power tick (no job, or a job in setup/teardown)."""
         return self.consume(self.idle_power, dt, rng)

@@ -44,6 +44,15 @@ class RunningView:
 class Scheduler(ABC):
     """Chooses which queued jobs start this round."""
 
+    #: True when :meth:`select` is a pure function of
+    #: ``(pending, running, idle_nodes)`` that never reads ``now`` and
+    #: mutates no scheduler state.  The event-driven framework loop may then
+    #: evaluate one round and reuse an empty decision across control-free
+    #: ticks instead of re-polling every simulated second.  Policies that
+    #: age jobs, reserve windows, or otherwise depend on the clock must
+    #: leave this False.
+    time_invariant: bool = False
+
     @abstractmethod
     def select(
         self,

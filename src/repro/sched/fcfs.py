@@ -16,6 +16,10 @@ class FcfsScheduler(Scheduler):
     starvation-free, but it leaves nodes idle whenever the head job is wide.
     """
 
+    # Pure function of (pending, idle_nodes): never reads ``now`` or
+    # ``running``, keeps no state — safe for the event-driven stride probe.
+    time_invariant = True
+
     def select(
         self,
         pending: Sequence[PendingJob],

@@ -1,0 +1,103 @@
+"""Event calendar: how far can the simulation stride before anything fires?
+
+The tick-driven :meth:`AnorSystem.step` loop pays full Python overhead on
+every simulated second even when no control round, agent sample, fault, or
+message event is due.  The event-driven loop instead asks this calendar for
+the number of upcoming tick instants that are *event-free* and advances the
+hardware emulator analytically across the whole run of them (a "stride"),
+executing the ordinary per-tick path only at instants where some source
+fires.
+
+Correctness contract — the calendar must be *exact*, not approximate: a
+tick is event-free precisely when every registered source, evaluated with
+its own comparison arithmetic, would decline to fire at that instant.  Two
+source shapes cover the whole control plane:
+
+* **gates** — :class:`~repro.util.clock.PeriodicGate` instances.  A gate
+  declines at ``t`` iff ``t + eps < anchor + fires·period`` (the exact
+  test inside :meth:`PeriodicGate.due`); an unanchored gate fires on its
+  first poll, so it allows no free ticks at all.
+* **instants** — absolute times guarding ``event_time <= now`` checks
+  (fault firings, schedule intake, endpoint restarts, reconnect backoff).
+  A tick ``t`` is free iff ``t < event_time``.
+
+:meth:`free_ticks` replays those comparisons elementwise over the exact
+float tick sequence (see :meth:`SimClock.tick_times`), so the stride
+boundary lands on precisely the tick the per-tick loop would have fired
+on — bit-identical schedules, including under accumulated float drift.
+:meth:`horizon` is only a cheap scalar *estimate* used to skip the array
+work when the next event is imminent; it never decides correctness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.clock import PeriodicGate
+
+__all__ = ["EventCalendar"]
+
+
+class EventCalendar:
+    """Collects event sources and counts leading event-free tick instants."""
+
+    __slots__ = ("_gates", "_instants")
+
+    def __init__(self) -> None:
+        self._gates: list[PeriodicGate] = []
+        self._instants: list[float] = []
+
+    def add_gate(self, gate: PeriodicGate) -> None:
+        """Register a periodic gate polled once per tick."""
+        self._gates.append(gate)
+
+    def add_instant(self, time: float) -> None:
+        """Register an absolute instant guarding an ``event <= now`` check."""
+        self._instants.append(float(time))
+
+    def horizon(self) -> float:
+        """Scalar estimate of the earliest instant any source could fire.
+
+        ``-inf`` when some gate is unanchored (it fires on its next poll),
+        ``+inf`` when nothing is registered.  Callers use this only to size
+        the candidate tick window; :meth:`free_ticks` is the authority.
+        """
+        bound = math.inf
+        for gate in self._gates:
+            edge = gate.next_due - gate.eps
+            if edge < bound:
+                bound = edge
+        for time in self._instants:
+            if time < bound:
+                bound = time
+        return bound
+
+    def free_ticks(self, times: np.ndarray) -> int:
+        """Exact count of leading ticks in ``times`` at which nothing fires.
+
+        ``times`` must be the increasing tick sequence the per-tick loop
+        would visit (:meth:`SimClock.tick_times`).  Each source's own
+        comparison is replayed elementwise, so the returned prefix length
+        equals the number of iterations the tick loop would complete before
+        its first firing.
+        """
+        n = len(times)
+        for gate in self._gates:
+            anchor, fires = gate.phase
+            if anchor is None:
+                return 0  # unanchored gates fire on the very next poll
+            next_due = anchor + fires * gate.period
+            free = int(np.count_nonzero((times + gate.eps) < next_due))
+            if free < n:
+                n = free
+                if n == 0:
+                    return 0
+        for time in self._instants:
+            free = int(np.count_nonzero(times < time))
+            if free < n:
+                n = free
+                if n == 0:
+                    return 0
+        return n

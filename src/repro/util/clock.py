@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List
 
+import numpy as np
+
 
 class SimClock:
     """Monotonic simulated time in seconds."""
@@ -34,6 +36,32 @@ class SimClock:
         if step < 0:
             raise ValueError(f"cannot advance clock backwards by {step}")
         self._now += step
+        return self._now
+
+    def tick_times(self, count: int, dt: float | None = None) -> np.ndarray:
+        """The next ``count`` instants repeated :meth:`advance` would visit.
+
+        ``np.cumsum`` over ``[now, dt, dt, …]`` is an ordered left-to-right
+        accumulation, so each element is bit-identical to the float the
+        ``_now += step`` chain would produce — event-driven stepping relies
+        on this to compare against gate grids with zero drift.  The clock
+        itself does not move; pair with :meth:`advance_to`.
+        """
+        if count < 0:
+            raise ValueError(f"count must be ≥ 0, got {count}")
+        step = self.tick if dt is None else float(dt)
+        if step < 0:
+            raise ValueError(f"cannot advance clock backwards by {step}")
+        chain = np.empty(count + 1)
+        chain[0] = self._now
+        chain[1:] = step
+        return np.cumsum(chain)[1:]
+
+    def advance_to(self, time: float) -> float:
+        """Jump directly to ``time`` (an instant from :meth:`tick_times`)."""
+        if time < self._now:
+            raise ValueError(f"cannot advance clock backwards to {time}")
+        self._now = float(time)
         return self._now
 
 
@@ -67,6 +95,16 @@ class PeriodicGate:
         if self._anchor is None:
             return float("-inf")
         return self._anchor + self._fires * self.period
+
+    @property
+    def eps(self) -> float:
+        """The tolerance :meth:`due` applies below a grid instant.
+
+        Exposed so the event calendar can replay the exact comparison —
+        ``now + eps < anchor + fires·period`` — when deciding how many
+        ticks are free of this gate.
+        """
+        return self._eps
 
     @property
     def phase(self) -> tuple[float | None, int]:

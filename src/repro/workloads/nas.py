@@ -161,6 +161,24 @@ class JobType:
         """Vectorized :meth:`power_demand_at` (constant for phase-less types)."""
         return np.full(np.shape(progress), self.p_demand)
 
+    @property
+    def profile_static(self) -> bool:
+        """True when the power/performance profile is constant over a job's life.
+
+        The event-driven stepper strides across control-free ticks only when
+        every per-tick input other than noise is constant: no epoch-periodic
+        power wave, and the phase-less ``time_per_epoch_array`` /
+        ``power_demand_array`` (which ignore ``progress``).  Subclasses that
+        override either method — :class:`~repro.workloads.phased.PhasedJobType`
+        looks up a per-element phase table — are detected by method identity
+        and automatically fall back to per-tick stepping.
+        """
+        return (
+            self.power_wave == 0.0
+            and type(self).time_per_epoch_array is JobType.time_per_epoch_array
+            and type(self).power_demand_array is JobType.power_demand_array
+        )
+
     def compute_time(self, p_cap: float) -> float:
         """True compute seconds (epochs × time/epoch) under cap ``p_cap``."""
         return self.epochs * float(self.time_per_epoch(float(p_cap)))

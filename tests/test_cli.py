@@ -39,3 +39,58 @@ class TestExecution:
         assert main(["fig5", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "ft(unknown)" in out
+
+
+def _fake_fig(quick: bool, seed: int) -> str:
+    # Module-level so the pool can pickle it by qualified name.
+    return f"fake(quick={quick}, seed={seed}, value={seed * 11})"
+
+
+class TestRunAllSeedSweep:
+    def test_sweep_matches_serial_and_labels_seeds(self, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(
+            cli, "_COMMANDS", {"figx": (_fake_fig, "fake"), "all": (None, "")}
+        )
+        serial = cli._run_all(True, 0, None, jobs=1, seeds=[0, 1, 2])
+        parallel = cli._run_all(True, 0, None, jobs=2, seeds=[0, 1, 2])
+
+        def tables(text: str) -> list[str]:
+            # Header lines carry wall-clock timings; everything else must
+            # be byte-identical between serial and pooled runs.
+            return [ln for ln in text.splitlines() if not ln.startswith("===")]
+
+        assert tables(serial) == tables(parallel)
+        assert "[seed=2] figx" in parallel
+        assert "fake(quick=True, seed=2, value=22)" in parallel
+
+    def test_single_seed_output_unchanged(self, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(
+            cli, "_COMMANDS", {"figx": (_fake_fig, "fake"), "all": (None, "")}
+        )
+        out = cli._run_all(True, 5, None, jobs=1)
+        assert "=== figx" in out and "[seed=" not in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_hot_functions(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(
+            ["profile", "fig4", "--quick", "--top", "5", "--out", str(out_file)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "profile: fig4" in printed
+        assert "cumulative" in printed
+        assert "ncalls" in printed
+        assert out_file.read_text().rstrip("\n") == printed.rstrip("\n")
+
+    def test_profile_rejects_all(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "all"])
+
+    def test_profile_sort_key(self, capsys):
+        assert main(["profile", "fig4", "--quick", "--sort", "tottime"]) == 0
+        assert "sorted by tottime" in capsys.readouterr().out

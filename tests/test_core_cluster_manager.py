@@ -178,3 +178,69 @@ class TestTrackingAndCorrection:
         for i in range(20):
             manager.step(float(i))
         assert manager._correction <= 0.1 * 840.0 + 1e-9
+
+
+class TestJobCapGaugeCache:
+    """The per-job cap gauge is a cached child instrument (hot path)."""
+
+    def _enabled_manager(self):
+        from repro.telemetry import Telemetry
+
+        return make_manager(telemetry=Telemetry(enabled=True))
+
+    def test_cap_dispatch_exports_and_caches_child_gauges(self):
+        manager = self._enabled_manager()
+        link_a = connect_job(manager, "a", "bt", 2)
+        link_b = connect_job(manager, "b", "sp", 2)
+        manager.step(0.0)
+        send_status(link_a, "a", t=1.0)
+        send_status(link_b, "b", t=1.0)
+        manager.step(1.0)
+
+        reg = manager.telemetry.registry
+        for job_id in ("a", "b"):
+            exported = reg.get_value("anor_job_cap_watts", job=job_id)
+            assert exported == pytest.approx(manager.jobs[job_id].last_cap)
+            # The cached handle IS the registry's instrument, so later
+            # rounds update the same exported child without re-resolving.
+            assert manager._mx_job_cap[job_id] is reg.gauge(
+                "anor_job_cap_watts", job=job_id
+            )
+
+    def test_repeated_rounds_reuse_the_cached_handle(self):
+        manager = self._enabled_manager()
+        link = connect_job(manager, "a", "bt", 2)
+        manager.step(0.0)
+        send_status(link, "a", t=1.0)
+        manager.step(1.0)
+        handle = manager._mx_job_cap["a"]
+        send_status(link, "a", t=2.0)
+        manager.step(2.0)
+        assert manager._mx_job_cap["a"] is handle
+        reg = manager.telemetry.registry
+        assert reg.get_value("anor_job_cap_watts", job="a") == pytest.approx(
+            manager.jobs["a"].last_cap
+        )
+
+    def test_goodbye_drops_the_cache_entry(self):
+        manager = self._enabled_manager()
+        link = connect_job(manager, "a", "bt", 2)
+        manager.step(0.0)
+        send_status(link, "a", t=1.0)
+        manager.step(1.0)
+        assert "a" in manager._mx_job_cap
+        link.send_up(GoodbyeMessage("a", 2.0), 2.0)
+        manager.step(2.0)
+        assert "a" not in manager._mx_job_cap
+
+    def test_disabled_manager_never_builds_instruments(self):
+        # Allocation-free when disabled: the metric handles (including the
+        # per-job gauge cache) must never exist on the default null path.
+        manager = make_manager()
+        link = connect_job(manager, "a", "bt", 2)
+        manager.step(0.0)
+        send_status(link, "a", t=1.0)
+        manager.step(1.0)
+        assert not manager.telemetry.enabled
+        assert not hasattr(manager, "_mx_job_cap")
+        assert not hasattr(manager, "_mx_caps_sent")

@@ -1,0 +1,185 @@
+"""Event-calendar core: tick sequences, free-tick counting, stride parity.
+
+Unit-level counterpart to ``tests/test_properties_event.py``: these tests
+pin the exact arithmetic the event-driven loop relies on — ``tick_times``
+matching the ``+=`` chain bit for bit, ``free_ticks`` replaying each gate's
+own comparison, and the batched cluster stride reproducing per-tick physics
+observable for observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AnorConfig
+from repro.experiments.fig9 import build_demand_response_system
+from repro.hwsim.cluster import EmulatedCluster
+from repro.util.calendar import EventCalendar
+from repro.util.clock import PeriodicGate, SimClock
+from repro.workloads.nas import NAS_TYPES
+
+
+class TestTickTimes:
+    def test_matches_the_advance_chain_bitwise(self):
+        # The stride compares these instants against gate grids, so they
+        # must equal the floats repeated advance() would produce — not just
+        # approximately, bit for bit, drift included.
+        clock = SimClock()
+        clock.advance(0.1)  # a start instant with no exact binary form
+        times = clock.tick_times(50, 0.1)
+        mirror = SimClock()
+        mirror.advance(0.1)
+        walked = [mirror.advance(0.1) for _ in range(50)]
+        assert times.tolist() == walked
+
+    def test_clock_does_not_move(self):
+        clock = SimClock()
+        clock.tick_times(10, 1.0)
+        assert clock.now == 0.0
+
+    def test_advance_to_lands_exactly(self):
+        clock = SimClock()
+        times = clock.tick_times(7, 0.1)
+        clock.advance_to(float(times[-1]))
+        assert clock.now == times[-1]
+
+    def test_advance_to_rejects_backwards(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(1.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            SimClock().tick_times(-1, 1.0)
+
+
+class TestEventCalendar:
+    def test_empty_calendar_is_unbounded(self):
+        cal = EventCalendar()
+        assert cal.horizon() == float("inf")
+        assert cal.free_ticks(np.arange(1.0, 10.0)) == 9
+
+    def test_unanchored_gate_blocks_everything(self):
+        cal = EventCalendar()
+        cal.add_gate(PeriodicGate(5.0))  # fires on its very first poll
+        assert cal.horizon() == float("-inf")
+        assert cal.free_ticks(np.arange(1.0, 10.0)) == 0
+
+    def test_instant_bounds_the_prefix(self):
+        cal = EventCalendar()
+        cal.add_instant(4.0)
+        # Ticks strictly before the instant are free; t=4.0 would satisfy
+        # the ``event_time <= now`` guard, so it is not.
+        assert cal.free_ticks(np.array([1.0, 2.0, 3.0, 4.0, 5.0])) == 3
+
+    @pytest.mark.parametrize("period", [2.5, 3.0, 7.7])
+    def test_free_ticks_replays_gate_polling_exactly(self, period):
+        # Ground truth: poll a gate tick by tick on a drift-y float grid and
+        # count iterations before it fires.  The calendar must agree using
+        # only the gate's phase — same comparison, vectorised.
+        gate = PeriodicGate(period)
+        gate.due(0.1)  # anchor at an inexact float
+        clock = SimClock()
+        clock.advance(0.1)
+        times = clock.tick_times(64, 0.1)
+        probe = PeriodicGate(period)
+        probe.restore(*gate.phase)
+        expected = 0
+        for t in times:
+            if probe.due(float(t)):
+                break
+            expected += 1
+        cal = EventCalendar()
+        cal.add_gate(gate)
+        assert cal.free_ticks(times) == expected
+
+    def test_tightest_source_wins(self):
+        gate = PeriodicGate(10.0)
+        gate.due(0.0)
+        cal = EventCalendar()
+        cal.add_gate(gate)
+        cal.add_instant(3.0)
+        times = np.arange(1.0, 9.0)
+        assert cal.free_ticks(times) == 2  # the instant, not the gate
+        assert cal.horizon() == 3.0
+
+
+def _make_cluster(seed: int) -> EmulatedCluster:
+    cluster = EmulatedCluster(num_nodes=6, clock=SimClock(), seed=seed)
+    cluster.start_job("j-bt", NAS_TYPES["bt"])  # 2 nodes
+    cluster.start_job("j-lu", NAS_TYPES["lu"])  # 1 node
+    cluster.start_job("j-ft", NAS_TYPES["ft"])  # 2 nodes; 1 node stays idle
+    return cluster
+
+
+def _observables(cluster: EmulatedCluster):
+    return {
+        "energy": [n.total_energy for n in cluster.nodes],
+        "last_power": [n.last_power for n in cluster.nodes],
+        "history": cluster.power_history().tolist(),
+        "progress": {
+            j.job_id: (j.phase, j.phase_elapsed, j._rank_progress.tolist())
+            for j in cluster.running.values()
+        },
+        "epochs": {
+            j.job_id: j.profiler.epoch_count for j in cluster.running.values()
+        },
+        "completed": [t.job_id for t in cluster.completed],
+    }
+
+
+class TestStrideParity:
+    def test_batched_stride_equals_per_tick_advance(self):
+        # Two identically-seeded clusters; one ticks, one strides.  Every
+        # observable — energies, meter history, rank progress, profiler
+        # counts — must come out bit-identical.
+        ticked = _make_cluster(seed=9)
+        strided = _make_cluster(seed=9)
+        dt = 1.0
+        for _ in range(40):
+            ticked.clock.advance(dt)
+            ticked.advance(dt)
+        remaining = 40
+        while remaining > 0:
+            times = strided.clock.tick_times(remaining, dt)
+            assert strided.stride_ready()
+            ticks, _ = strided.advance_stride(times, dt)
+            assert ticks >= 1
+            strided.clock.advance_to(float(times[ticks - 1]))
+            remaining -= ticks
+        assert _observables(ticked) == _observables(strided)
+
+    def test_stride_truncates_at_phase_transitions(self):
+        # Setup lasts 5 s: a 20-tick request must stop on the transition
+        # tick so the next stride starts in the new phase.
+        cluster = _make_cluster(seed=1)
+        times = cluster.clock.tick_times(20, 1.0)
+        ticks, _ = cluster.advance_stride(times, 1.0)
+        assert ticks == 5
+        assert all(j.phase.name == "COMPUTE" for j in cluster.running.values())
+
+
+class TestFrameworkEquivalence:
+    def test_multirate_run_identical_between_modes(self):
+        results = {}
+        for event_driven in (True, False):
+            config = AnorConfig(
+                seed=3,
+                agent_period=5.0,
+                endpoint_period=10.0,
+                manager_period=30.0,
+                event_driven=event_driven,
+            )
+            system = build_demand_response_system(
+                duration=240.0, seed=3, config=config
+            )
+            results[event_driven] = system.run(240.0)
+        event, tick = results[True], results[False]
+        assert np.array_equal(event.power_trace, tick.power_trace)
+        assert event.warnings == tick.warnings
+        assert [t.job_id for t in event.completed] == [
+            t.job_id for t in tick.completed
+        ]
+
+    def test_event_driven_is_the_default(self):
+        assert AnorConfig().event_driven is True

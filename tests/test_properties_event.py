@@ -1,0 +1,104 @@
+"""Property: event-driven stepping is observationally identical to ticking.
+
+The event-calendar core (DESIGN.md §7) batches control-free ticks into
+analytic strides.  Its contract is not statistical similarity but bitwise
+equality: for *any* configuration — multi-rate control periods, random
+fault schedules (node/endpoint/head crashes, link bursts, meter outages,
+corrupt statuses), cap leases, reliable messaging — the power trace and
+every incident log must match the per-tick loop exactly.  Hypothesis
+explores that configuration space; one counterexample is a real bug, not
+noise.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.core.framework import AnorConfig  # noqa: E402
+from repro.experiments.fig9 import build_demand_response_system  # noqa: E402
+from repro.faults.schedule import FaultSchedule  # noqa: E402
+
+DURATION = 180.0
+
+# Multi-rate control planes: (agent, endpoint, manager) periods in seconds.
+PERIODS = st.sampled_from(
+    [
+        (1.0, 1.0, 1.0),
+        (2.0, 2.0, 4.0),
+        (5.0, 5.0, 10.0),
+        (5.0, 10.0, 30.0),
+        (30.0, 30.0, 60.0),
+    ]
+)
+
+# Poisson fault rates, including none at all and a head-node crash.
+FAULTS = st.sampled_from(
+    [
+        None,
+        dict(node_crash_rate=1 / 90.0, node_down_time=40.0),
+        dict(endpoint_crash_rate=1 / 90.0, link_burst_rate=1 / 120.0),
+        dict(meter_outage_rate=1 / 90.0, corrupt_status_rate=1 / 60.0),
+        dict(head_crash_rate=1 / 150.0, head_down_time=25.0),
+        dict(
+            node_crash_rate=1 / 120.0,
+            endpoint_crash_rate=1 / 120.0,
+            head_crash_rate=1 / 180.0,
+            link_burst_rate=1 / 150.0,
+            meter_outage_rate=1 / 150.0,
+            corrupt_status_rate=1 / 90.0,
+            node_down_time=30.0,
+            head_down_time=20.0,
+        ),
+    ]
+)
+
+
+def _run(event_driven, *, seed, periods, faults, lease, reliable):
+    agent, endpoint, manager = periods
+    config = AnorConfig(
+        seed=seed,
+        agent_period=agent,
+        endpoint_period=endpoint,
+        manager_period=manager,
+        event_driven=event_driven,
+        lease_ttl=20.0 if lease else None,
+        reliable_messaging=reliable,
+        endpoint_restart_delay=15.0,
+    )
+    schedule = None
+    if faults is not None:
+        schedule = FaultSchedule.random(DURATION, seed=seed * 31 + 7, **faults)
+    system = build_demand_response_system(
+        duration=DURATION, seed=seed, config=config, fault_schedule=schedule
+    )
+    return system.run(DURATION)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=40),
+    periods=PERIODS,
+    faults=FAULTS,
+    lease=st.booleans(),
+    reliable=st.booleans(),
+)
+def test_event_mode_bit_identical_to_tick_mode(seed, periods, faults, lease, reliable):
+    kwargs = dict(
+        seed=seed, periods=periods, faults=faults, lease=lease, reliable=reliable
+    )
+    event = _run(True, **kwargs)
+    tick = _run(False, **kwargs)
+    assert np.array_equal(event.power_trace, tick.power_trace)
+    assert event.warnings == tick.warnings
+    assert event.fault_log == tick.fault_log
+    assert event.recovery_log == tick.recovery_log
+    assert event.partition_events == tick.partition_events
+    assert len(event.completed) == len(tick.completed)
+    assert [t.job_id for t in event.completed] == [t.job_id for t in tick.completed]
+    assert [t.energy for t in event.completed] == [t.energy for t in tick.completed]

@@ -55,3 +55,45 @@ class TestRunTasks:
         # observable contract is simply a correct, ordered result.
         (outcome,) = run_tasks(_tasks(1), jobs=8)
         assert outcome.ok and outcome.key == "t0"
+
+
+class TestWorkerPool:
+    def test_reused_pool_across_batches_matches_serial(self):
+        from repro.runner import WorkerPool
+
+        serial_a = run_tasks(_tasks(5), jobs=1)
+        serial_b = run_tasks(_tasks(3), jobs=1)
+        with WorkerPool(3) as pool:
+            batch_a = run_tasks(_tasks(5), pool=pool)
+            batch_b = run_tasks(_tasks(3), pool=pool)
+        assert [o.table for o in batch_a] == [o.table for o in serial_a]
+        assert [o.table for o in batch_b] == [o.table for o in serial_b]
+
+    def test_chunked_sweep_preserves_order_and_tables(self):
+        # Many more tasks than workers forces multi-task chunks; the merged
+        # outcome order and contents must still be byte-identical to serial.
+        tasks = _tasks(37)
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=2)
+        assert [o.key for o in parallel] == [o.key for o in serial]
+        assert [o.table for o in parallel] == [o.table for o in serial]
+
+    def test_chunksize_scales_with_batch(self):
+        from repro.runner import _chunksize
+
+        assert _chunksize(3, 8) == 1  # small batches: one task per message
+        assert _chunksize(100, 4) == 6  # 4 workers × 4 chunks each, rounded
+        assert _chunksize(1, 1) == 1
+
+    def test_serial_pool_runs_inline(self):
+        from repro.runner import WorkerPool
+
+        with WorkerPool(1) as pool:
+            outcomes = run_tasks(_tasks(4), pool=pool)
+        assert [o.key for o in outcomes] == [f"t{i}" for i in range(4)]
+
+    def test_pool_rejects_zero_jobs(self):
+        from repro.runner import WorkerPool
+
+        with pytest.raises(ValueError, match="jobs"):
+            WorkerPool(0)
