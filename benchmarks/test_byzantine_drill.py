@@ -1,0 +1,64 @@
+"""Trust boundary: byzantine drill and chaos soak acceptance runs.
+
+Acceptance runs for the cap-compliance auditor: the byzantine drill pits
+two wedged-open actuators and one fabricated-model endpoint against the
+audit-on manager (which must quarantine every rogue within the detection
+bound with zero collateral damage and hold facility power at target) and
+against the audit-off manager (which must visibly overshoot — proving the
+drill actually bites).  The short chaos soak then churns randomized fault
+cocktails through the audited manager and requires every online invariant
+monitor to stay silent.
+"""
+
+from repro.experiments import resilience
+from repro.experiments.scorecard import score_byzantine, score_soak
+
+
+def test_byzantine_drill_scorecard(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: resilience.run_byzantine_drill(duration=900.0, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    card = score_byzantine(result)
+
+    assert len(result.victims_on) >= 3, "drill should field three rogues"
+    assert not result.missed_victims, result.missed_victims
+    assert not result.collateral_quarantines, result.collateral_quarantines
+    assert not result.false_quarantines_clean, result.false_quarantines_clean
+    assert card.all_passed, card.render()
+
+    report(
+        resilience.format_byzantine_table(result) + "\n\n" + card.render(),
+        victims=len(result.victims_on),
+        detection_latencies={
+            k: round(v, 1) for k, v in result.detection_latencies.items()
+        },
+        on_settled_mean=round(result.on_settled_mean, 2),
+        off_detect_mean=round(result.off_detect_mean, 2),
+        energy_ratio=round(
+            result.off_total_energy / max(result.on_total_energy, 1e-9), 3
+        ),
+    )
+
+
+def test_chaos_soak_invariants_hold(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: resilience.run_chaos_soak(seconds=45.0, base_seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    card = score_soak(result)
+
+    assert result.episodes, "soak should complete at least one episode"
+    assert result.total_faults > 0
+    assert result.all_clean, "\n".join(result.violations)
+    assert card.all_passed, card.render()
+
+    report(
+        resilience.format_soak_table(result) + "\n\n" + card.render(),
+        episodes=len(result.episodes),
+        total_faults=result.total_faults,
+        quarantines=sum(e.quarantines for e in result.episodes),
+        violations=len(result.violations),
+    )

@@ -93,7 +93,7 @@ def _fig11(quick: bool, seed: int, csv_path: str | None = None) -> str:
     return fig11.format_table(result)
 
 
-def _resilience(quick: bool, seed: int) -> str:
+def _resilience_checked(quick: bool, seed: int) -> tuple:
     from repro.experiments import resilience, scorecard
 
     result = resilience.run_resilience(
@@ -103,10 +103,14 @@ def _resilience(quick: bool, seed: int) -> str:
     )
     table = resilience.format_table(result)
     card = scorecard.score_resilience(result)
-    return f"{table}\n\n{card.render()}"
+    return f"{table}\n\n{card.render()}", card.all_passed
 
 
-def _partition(quick: bool, seed: int) -> str:
+def _resilience(quick: bool, seed: int) -> str:
+    return _resilience_checked(quick, seed)[0]
+
+
+def _partition(quick: bool, seed: int) -> tuple:
     from repro.experiments import resilience, scorecard
 
     result = resilience.run_partition_drill(
@@ -117,7 +121,7 @@ def _partition(quick: bool, seed: int) -> str:
     )
     table = resilience.format_partition_table(result)
     card = scorecard.score_partition(result)
-    return f"{table}\n\n{card.render()}"
+    return f"{table}\n\n{card.render()}", card.all_passed
 
 
 def _headnode(
@@ -125,7 +129,7 @@ def _headnode(
     seed: int,
     checkpoint_dir: str | None = None,
     checkpoint_period: float = 30.0,
-) -> str:
+) -> tuple:
     from repro.experiments import resilience, scorecard
 
     result = resilience.run_headnode_recovery(
@@ -138,7 +142,37 @@ def _headnode(
     )
     table = resilience.format_headnode_table(result)
     card = scorecard.score_headnode_recovery(result)
-    return f"{table}\n\n{card.render()}"
+    return f"{table}\n\n{card.render()}", card.all_passed
+
+
+def _byzantine(quick: bool, seed: int) -> tuple:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_byzantine_drill(
+        duration=600.0 if quick else 900.0,
+        seed=seed,
+    )
+    table = resilience.format_byzantine_table(result)
+    card = scorecard.score_byzantine(result)
+    return f"{table}\n\n{card.render()}", card.all_passed
+
+
+def _soak(seconds: float, seed: int, trace_out: str | None) -> tuple:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_chaos_soak(seconds=seconds, base_seed=seed)
+    table = resilience.format_soak_table(result)
+    card = scorecard.score_soak(result)
+    if trace_out is not None:
+        from pathlib import Path
+
+        path = Path(trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "\n".join(result.violations) + "\n" if result.violations else ""
+        )
+        table += f"\n[violation trace written to {trace_out}]"
+    return f"{table}\n\n{card.render()}", card.all_passed
 
 
 def _all_tasks(quick: bool, seed: int, out_dir: str | None) -> list:
@@ -435,6 +469,30 @@ def main(argv: list[str] | None = None) -> int:
                 default=30.0,
                 help="seconds between cluster-tier checkpoints (default 30)",
             )
+            p.add_argument(
+                "--byzantine",
+                action="store_true",
+                help="run the byzantine drill: rogue job-tier endpoints "
+                "(stuck actuators, fabricated models) vs the cap-compliance "
+                "auditor",
+            )
+            p.add_argument(
+                "--soak",
+                action="store_true",
+                help="run a randomized chaos soak with online invariant "
+                "monitors for --seconds of wall-clock time",
+            )
+            p.add_argument(
+                "--seconds",
+                type=float,
+                default=60.0,
+                help="wall-clock budget for --soak (default 60)",
+            )
+            p.add_argument(
+                "--soak-trace",
+                default=None,
+                help="write the soak's invariant-violation trace to this file",
+            )
         if name == "all":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument(
@@ -447,7 +505,12 @@ def main(argv: list[str] | None = None) -> int:
                 "once per seed, sharing one worker pool across the sweep",
             )
         else:
-            p.add_argument("--seed", type=int, default=0)
+            # The byzantine drill and the soak have their own calibrated
+            # default seeds; None lets the dispatcher tell "no --seed given"
+            # from an explicit 0.
+            p.add_argument(
+                "--seed", type=int, default=None if name == "resilience" else 0
+            )
             p.add_argument(
                 "--seeds",
                 default=None,
@@ -479,6 +542,7 @@ def main(argv: list[str] | None = None) -> int:
         print(table)
         return code
     start = time.perf_counter()
+    exit_code = 0
     if args.experiment == "all":
         all_seeds = None
         if args.seeds:
@@ -488,14 +552,41 @@ def main(argv: list[str] | None = None) -> int:
         table = _run_all(
             args.quick, args.seed, args.out, jobs=args.jobs, seeds=all_seeds
         )
-    elif args.experiment == "resilience" and args.headnode_crash:
-        if args.partition:
-            parser.error("--headnode-crash and --partition are exclusive")
-        table = _headnode(
-            args.quick, args.seed, args.checkpoint_dir, args.checkpoint_period
-        )
-    elif args.experiment == "resilience" and args.partition:
-        table = _partition(args.quick, args.seed)
+    elif args.experiment == "resilience" and not args.seeds:
+        scenarios = [
+            flag
+            for flag in ("headnode_crash", "partition", "byzantine", "soak")
+            if getattr(args, flag)
+        ]
+        if len(scenarios) > 1:
+            parser.error(
+                "--headnode-crash, --partition, --byzantine and --soak "
+                "are exclusive"
+            )
+        scenario = scenarios[0] if scenarios else None
+        seed = args.seed
+        if scenario == "headnode_crash":
+            table, ok = _headnode(
+                args.quick,
+                seed if seed is not None else 0,
+                args.checkpoint_dir,
+                args.checkpoint_period,
+            )
+        elif scenario == "partition":
+            table, ok = _partition(args.quick, seed if seed is not None else 0)
+        elif scenario == "byzantine":
+            table, ok = _byzantine(args.quick, seed if seed is not None else 3)
+        elif scenario == "soak":
+            table, ok = _soak(
+                args.seconds, seed if seed is not None else 7, args.soak_trace
+            )
+        else:
+            table, ok = _resilience_checked(
+                args.quick, seed if seed is not None else 0
+            )
+        # A resilience scenario is a claim check, not just a report: a
+        # failed scorecard claim must fail the invoking script/CI job.
+        exit_code = 0 if ok else 1
     elif getattr(args, "seeds", None):
         seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
         if not seeds:
@@ -509,7 +600,7 @@ def main(argv: list[str] | None = None) -> int:
         table = runner(args.quick, args.seed)
     print(table)
     print(f"\n[{args.experiment} completed in {time.perf_counter() - start:.1f}s]")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -31,6 +31,7 @@ import numpy as np
 from typing import Callable
 
 from repro.budget.base import BudgetAllocation, JobBudgetRequest, PowerBudgeter
+from repro.core.audit import CapComplianceAuditor
 from repro.core.messages import BudgetMessage, GoodbyeMessage, HelloMessage, StatusMessage
 from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.core.transport import TcpLink
@@ -102,6 +103,9 @@ class BudgetRound:
     # Jobs restored from a checkpoint after a head-node restart that have not
     # re-HELLOed yet: budgeted conservatively (their last cap stays reserved).
     recovering_jobs: int = 0
+    # Jobs the cap-compliance auditor has quarantined (DESIGN.md §4f):
+    # budgeted at their metered envelope, counted inside ``reserved``.
+    quarantined_jobs: int = 0
 
 
 @dataclass
@@ -177,6 +181,12 @@ class ClusterPowerManager:
     # round is clamped to the emergency floor — a uniform throttle that only
     # ever *reduces* the planned draw, so BudgetRound invariants still hold.
     breaker: PowerBreaker | None = None
+
+    # Optional cap-compliance auditor (trust boundary, DESIGN.md §4f): audits
+    # each job's out-of-band metered draw against its dispatched cap and its
+    # shipped model, and quarantines non-compliant endpoints.  None keeps the
+    # pre-audit control flow and bit-identical golden traces.
+    auditor: CapComplianceAuditor | None = None
 
     # Optional write-ahead journal (head-node crash recovery, DESIGN.md §4d).
     # None keeps every hot path journalling-free — zero overhead when off.
@@ -264,7 +274,8 @@ class ClusterPowerManager:
         self._mx_jobs = {
             state: reg.gauge(
                 "anor_jobs", "connected jobs by budgeting state", state=state)
-            for state in ("active", "dormant", "stale", "recovering")
+            for state in ("active", "dormant", "stale", "recovering",
+                          "quarantined")
         }
         self._mx_tracking = reg.histogram(
             "anor_tracking_error_ratio",
@@ -715,10 +726,22 @@ class ClusterPowerManager:
         # * dormant — heard recently but drawing idle-level power
         #   (setup/teardown): budget it at what it actually consumes;
         # * active — budget normally.
+        quarantined: list[JobRecord] = []
+        if self.auditor is not None:
+            # Trust audit (DESIGN.md §4f) runs before triage so that this
+            # round's quarantine verdicts shape this round's budget.  It
+            # lives entirely inside the manager gate, keeping the event
+            # calendar's stride planning oblivious to it.
+            self.events.extend(self.auditor.audit_round(now, self.jobs))
         stale: list[JobRecord] = []
         dormant: list[JobRecord] = []
         active: list[JobRecord] = []
         for record in sorted(self.jobs.values(), key=lambda r: r.job_id):
+            if self.auditor is not None and self.auditor.is_quarantined(
+                record.job_id
+            ):
+                quarantined.append(record)
+                continue
             status = record.last_status
             threshold = record.nodes * self.idle_power_estimate * 1.5
             if now - record.last_heard > self.stale_status_timeout:
@@ -748,6 +771,14 @@ class ClusterPowerManager:
             )
             reserved += drawn
             caps[record.job_id] = self.p_node_min
+        for record in quarantined:
+            # Conservative envelope: reserve the job's *metered* draw plus
+            # the guardband (never its self-reported model) and dispatch the
+            # probe cap.  The headroom it was claiming flows back into the
+            # budgeter's pool for trusted jobs below.
+            envelope, probe_cap = self.auditor.envelope(record)
+            reserved += envelope
+            caps[record.job_id] = probe_cap
         allocated = 0.0
         allocation: BudgetAllocation | None = None
         if active:
@@ -755,7 +786,15 @@ class ClusterPowerManager:
                 JobBudgetRequest(
                     job_id=r.job_id,
                     nodes=r.nodes,
-                    model=r.active_model,
+                    # A rehabilitating job is budgeted again, but from the
+                    # believed (facility-side) model — its self-reported fit
+                    # stays distrusted until it re-earns trusted status.
+                    model=(
+                        r.believed_model
+                        if self.auditor is not None
+                        and self.auditor.distrusts_model(r.job_id)
+                        else r.active_model
+                    ),
                     p_min=self.p_node_min,
                     p_max=r.believed_p_max,
                 )
@@ -783,6 +822,7 @@ class ClusterPowerManager:
             dormant_jobs=len(dormant),
             active_jobs=len(active),
             recovering_jobs=len(recovering),
+            quarantined_jobs=len(quarantined),
         )
         if tel:
             # Policy metadata rides along: even-slowdown publishes its common
@@ -799,6 +839,7 @@ class ClusterPowerManager:
                 dormant=len(dormant),
                 active=len(active),
                 recovering=len(recovering),
+                quarantined=len(quarantined),
                 **(dict(allocation.meta) if allocation is not None else {}),
             )
             self._mx_correction.set(self._correction)
@@ -807,6 +848,7 @@ class ClusterPowerManager:
             self._mx_jobs["dormant"].set(len(dormant))
             self._mx_jobs["stale"].set(len(stale))
             self._mx_jobs["recovering"].set(len(recovering))
+            self._mx_jobs["quarantined"].set(len(quarantined))
         if self.breaker is not None and self.breaker.tripped:
             # Emergency uniform throttle: clamp every cap to the facility
             # floor while the breaker is open.  min() — never raise a cap —

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.budget.base import PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.audit import CapComplianceAuditor
 from repro.core.cluster_manager import ClusterPowerManager
 from repro.core.job_endpoint import JobTierEndpoint
 from repro.core.reliable import ReliableLink
@@ -155,10 +156,105 @@ class AnorConfig:
     # event-equivalence property tests pin it); set False to force the
     # reference tick loop.
     event_driven: bool = True
+    # Trust boundary for the job tier (DESIGN.md §4f).  Off by default:
+    # with ``audit_enabled`` False no auditor is constructed and the control
+    # plane is bit-identical to the pre-audit implementation.  The auditor
+    # compares out-of-band metered node power against each job's dispatched
+    # cap, self-reported meter, and shipped model, and quarantines endpoints
+    # that stay non-compliant.
+    audit_enabled: bool = False
+    audit_window: float = 30.0  # seconds of evidence per check
+    audit_tolerance: float = 0.10  # relative cap-compliance slack
+    audit_guardband: float = 20.0  # absolute W/node slack + quarantine pad
+    audit_mismatch_tolerance: float = 0.25  # self-report vs metered, relative
+    audit_model_error: float = 0.35  # shipped-model plausibility, relative
+    audit_min_epochs: int = 3  # epochs needed for a model replay
+    audit_suspect_rounds: int = 3  # consecutive violations to quarantine
+    audit_quarantine_rounds: int = 5  # compliant rounds to rehabilitate
+    audit_clear_rounds: int = 5  # clean rounds back to trusted
+    audit_probe_margin: float = 0.15  # probe-cap shave while quarantined
     # Internal: held True by the fault injector while a cluster-wide
     # NetworkPartition window is open, so links created mid-window (e.g.
     # reconnect attempts) are born partitioned too.
     link_partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        """Range-check every knob, naming the offending field.
+
+        Mirrors ``FaultSchedule.random``'s validation style: bad values
+        fail at construction with the field name, not deep inside a run.
+        """
+        positive = {
+            "num_nodes": self.num_nodes,
+            "tick": self.tick,
+            "agent_period": self.agent_period,
+            "endpoint_period": self.endpoint_period,
+            "manager_period": self.manager_period,
+            "checkpoint_period": self.checkpoint_period,
+            "recovery_timeout": self.recovery_timeout,
+            "stale_status_timeout": self.stale_status_timeout,
+            "dead_job_timeout": self.dead_job_timeout,
+            "telemetry_ring_size": self.telemetry_ring_size,
+            "reliable_window": self.reliable_window,
+            "reliable_base_backoff": self.reliable_base_backoff,
+            "reliable_max_backoff": self.reliable_max_backoff,
+            "partition_attempts": self.partition_attempts,
+            "reconnect_backoff": self.reconnect_backoff,
+            "breaker_trip_rounds": self.breaker_trip_rounds,
+            "breaker_reset_rounds": self.breaker_reset_rounds,
+            "breaker_confirm_rounds": self.breaker_confirm_rounds,
+            "audit_window": self.audit_window,
+            "audit_mismatch_tolerance": self.audit_mismatch_tolerance,
+            "audit_model_error": self.audit_model_error,
+            "audit_min_epochs": self.audit_min_epochs,
+            "audit_suspect_rounds": self.audit_suspect_rounds,
+            "audit_quarantine_rounds": self.audit_quarantine_rounds,
+            "audit_clear_rounds": self.audit_clear_rounds,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        non_negative = {
+            "idle_power": self.idle_power,
+            "lease_ramp_seconds": self.lease_ramp_seconds,
+            "max_requeues": self.max_requeues,
+            "audit_tolerance": self.audit_tolerance,
+            "audit_guardband": self.audit_guardband,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise ValueError(f"{name} must be ≥ 0, got {value}")
+        # Optional knobs: None disables, anything else must be meaningful.
+        optional_positive = {
+            "lease_ttl": self.lease_ttl,
+            "safe_floor": self.safe_floor,
+            "breaker_margin": self.breaker_margin,
+            "endpoint_restart_delay": self.endpoint_restart_delay,
+        }
+        for name, value in optional_positive.items():
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.link_drop_probability < 1.0:
+            raise ValueError(
+                "link_drop_probability must be in [0, 1), got "
+                f"{self.link_drop_probability}"
+            )
+        if not 0.0 < self.audit_probe_margin < 1.0:
+            raise ValueError(
+                "audit_probe_margin must be in (0, 1), got "
+                f"{self.audit_probe_margin}"
+            )
+        # Ordering inversions (the _MIN_STRIDE > _MAX_STRIDE class of bug).
+        if self.reliable_max_backoff < self.reliable_base_backoff:
+            raise ValueError(
+                "reliable_max_backoff must be ≥ reliable_base_backoff, got "
+                f"{self.reliable_max_backoff} < {self.reliable_base_backoff}"
+            )
+        if self.dead_job_timeout < self.stale_status_timeout:
+            raise ValueError(
+                "dead_job_timeout must be ≥ stale_status_timeout, got "
+                f"{self.dead_job_timeout} < {self.stale_status_timeout}"
+            )
 
 
 @dataclass
@@ -332,6 +428,28 @@ class AnorSystem:
                 reset_rounds=cfg.breaker_reset_rounds,
                 confirm_rounds=cfg.breaker_confirm_rounds,
             )
+        auditor = None
+        if cfg.audit_enabled:
+            # Fresh auditor per manager build: trust state is deliberately
+            # head-local (not checkpointed) — a restarted head re-earns its
+            # verdicts from new evidence rather than trusting a stale one.
+            auditor = CapComplianceAuditor(
+                job_meter=self._job_meter,
+                p_node_min=P_NODE_MIN,
+                p_node_max=P_NODE_MAX,
+                idle_power=cfg.idle_power,
+                window=cfg.audit_window,
+                tolerance=cfg.audit_tolerance,
+                guardband=cfg.audit_guardband,
+                mismatch_tolerance=cfg.audit_mismatch_tolerance,
+                model_error=cfg.audit_model_error,
+                min_epochs=cfg.audit_min_epochs,
+                suspect_rounds=cfg.audit_suspect_rounds,
+                quarantine_rounds=cfg.audit_quarantine_rounds,
+                clear_rounds=cfg.audit_clear_rounds,
+                probe_margin=cfg.audit_probe_margin,
+                telemetry=self.telemetry,
+            )
         return ClusterPowerManager(
             budgeter=self.budgeter,
             target_source=self.target_source,
@@ -347,8 +465,23 @@ class AnorSystem:
             lease_ttl=cfg.lease_ttl,
             safe_floor=cfg.safe_floor,
             breaker=breaker,
+            auditor=auditor,
             telemetry=self.telemetry,
         )
+
+    def _job_meter(self, job_id: str) -> tuple[float, tuple[int, ...]] | None:
+        """Out-of-band metering for the cap-compliance auditor.
+
+        Reads the cumulative MSR energy counters of the job's nodes — the
+        facility's metering plane, which the job-tier endpoint cannot
+        influence (and which keeps reporting through a facility-meter
+        outage).  Returns None while the job is not on the cluster.
+        """
+        job = self.cluster.running.get(job_id)
+        if job is None:
+            return None
+        energy = sum(node.total_energy for node in job.nodes)
+        return float(energy), tuple(node.node_id for node in job.nodes)
 
     def _init_metrics(self) -> None:
         """System-level metric handles (enabled runs only)."""

@@ -17,7 +17,9 @@ meter outage) — and compares:
 
 from __future__ import annotations
 
+import math
 import tempfile
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -32,7 +34,15 @@ from repro.experiments.fig9 import (
     Fig9Result,
     build_demand_response_system,
 )
-from repro.faults.events import HeadNodeCrash, NetworkPartition, PartitionEnd, PartitionStart
+from repro.faults.events import (
+    ByzantineModel,
+    HeadNodeCrash,
+    MeterDrift,
+    NetworkPartition,
+    PartitionEnd,
+    PartitionStart,
+    StuckActuator,
+)
 from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier
 from repro.telemetry import summarize_incidents
@@ -49,6 +59,12 @@ __all__ = [
     "PartitionDrillResult",
     "run_partition_drill",
     "format_partition_table",
+    "ByzantineDrillResult",
+    "run_byzantine_drill",
+    "format_byzantine_table",
+    "ChaosSoakResult",
+    "run_chaos_soak",
+    "format_soak_table",
 ]
 
 
@@ -226,6 +242,8 @@ def _build_static_system(
     lease_ramp_seconds: float = 30.0,
     reliable_messaging: bool = False,
     breaker_margin: float | None = None,
+    audit_enabled: bool = False,
+    correction_gain: float | None = None,
 ) -> AnorSystem:
     """The head-node recovery workload: long jobs under a *static* target.
 
@@ -251,8 +269,9 @@ def _build_static_system(
         lease_ramp_seconds=lease_ramp_seconds,
         reliable_messaging=reliable_messaging,
         breaker_margin=breaker_margin,
+        audit_enabled=audit_enabled,
     )
-    return AnorSystem(
+    system = AnorSystem(
         budgeter=EvenSlowdownBudgeter(),
         target_source=target_source or ConstantTarget(target_power),
         classifier=JobClassifier(precharacterized_models(NAS_TYPES)),
@@ -261,6 +280,11 @@ def _build_static_system(
         config=cfg,
         fault_schedule=fault_schedule,
     )
+    if correction_gain is not None:
+        # Scenario override (e.g. the byzantine drill zeroes the integral
+        # trim so overshoot attribution is purely the audit layer's doing).
+        system.manager.correction_gain = correction_gain
+    return system
 
 
 def _drive(system: AnorSystem, *, max_time: float) -> tuple[AnorResult, np.ndarray]:
@@ -688,4 +712,535 @@ def format_partition_table(res: PartitionDrillResult) -> str:
     if res.incident_counts:
         lines.append("incident summary:")
         lines.extend(summarize_incidents(res.incident_counts))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ byzantine drill
+
+
+def _overshoot_stats(
+    trace: np.ndarray, t0: float, t1: float
+) -> tuple[float, float]:
+    """(over-target energy in J, mean measured−target in W) on [t0, t1)."""
+    if not len(trace):
+        return 0.0, 0.0
+    mask = (trace[:, 0] >= t0) & (trace[:, 0] < t1)
+    t, target, measured = trace[mask, 0], trace[mask, 1], trace[mask, 2]
+    if len(t) < 2:
+        return 0.0, 0.0
+    dt = np.diff(t, append=t[-1])
+    over = np.maximum(measured - target, 0.0)
+    return float(np.sum(over * dt)), float(np.mean(measured - target))
+
+
+_ROGUE_KINDS = ("stuck-actuator", "byzantine-model", "meter-drift")
+
+
+def _parse_rogue_victims(
+    fault_log: list[str], kinds: tuple = _ROGUE_KINDS
+) -> dict[str, tuple[str, float]]:
+    """``job_id -> (fault kind, fire time)`` from an injector log."""
+    victims: dict[str, tuple[str, float]] = {}
+    for line in fault_log:
+        fields = line.split()
+        if not fields or not fields[0].startswith("t="):
+            continue
+        # The timestamp is space-padded, so "t=" and the number may split.
+        rest = fields[1:] if fields[0] == "t=" else [fields[0][2:], *fields[1:]]
+        if len(rest) < 3:
+            continue
+        when, kind, target = float(rest[0]), rest[1], rest[2]
+        if kind in kinds and target.startswith("job="):
+            victims.setdefault(target[len("job="):], (kind, when))
+    return victims
+
+
+@dataclass
+class ByzantineDrillResult:
+    """Golden-vs-attacked comparison of the job-tier trust boundary.
+
+    Three runs share the seed, workload, and static target: a fault-free
+    run with auditing on (false-alarm control), the attack with auditing
+    on, and the same attack with auditing off (damage control group).  The
+    attack wedges two actuators open (one heals mid-run) and has a third
+    endpoint ship fabricated model coefficients.  The integral trim is
+    zeroed in all three runs so any overshoot containment is attributable
+    to the audit layer alone.
+    """
+
+    clean: AnorResult
+    attacked_on: AnorResult
+    attacked_off: AnorResult
+    target_power: float
+    heal_time: float
+    healed_victim: str | None
+    victims_on: dict  # job_id -> (fault kind, fire time), audit-on run
+    transitions_clean: list
+    transitions_on: list
+    settle: float = 45.0
+    detection_bound: float = 60.0  # s from fault fire to quarantine
+    rehab_bound: float = 150.0  # s from actuator heal to trusted again
+    attack_start: float = 240.0
+
+    @property
+    def false_quarantines_clean(self) -> list:
+        return [t for t in self.transitions_clean if t.new == "quarantined"]
+
+    @property
+    def quarantined_on(self) -> dict:
+        """job_id -> first quarantine time in the attacked audit-on run."""
+        out: dict[str, float] = {}
+        for t in self.transitions_on:
+            if t.new == "quarantined" and t.job_id not in out:
+                out[t.job_id] = t.time
+        return out
+
+    @property
+    def collateral_quarantines(self) -> list[str]:
+        return sorted(set(self.quarantined_on) - set(self.victims_on))
+
+    @property
+    def detection_latencies(self) -> dict:
+        """job_id -> seconds from fault fire to first quarantine."""
+        q = self.quarantined_on
+        return {
+            job_id: q[job_id] - fired
+            for job_id, (_, fired) in self.victims_on.items()
+            if job_id in q
+        }
+
+    @property
+    def missed_victims(self) -> list[str]:
+        return sorted(set(self.victims_on) - set(self.quarantined_on))
+
+    @property
+    def last_quarantine(self) -> float:
+        q = self.quarantined_on
+        return max(q.values()) if q else self.attack_start
+
+    def _segments(self, result: AnorResult) -> tuple[float, float, float, float]:
+        """(detect kJ, detect mean W, settled kJ, settled mean W)."""
+        split = self.last_quarantine + self.settle
+        end = float(result.power_trace[-1, 0]) if len(result.power_trace) else split
+        e0, m0 = _overshoot_stats(result.power_trace, self.attack_start, split)
+        e1, m1 = _overshoot_stats(result.power_trace, split, end)
+        return e0 / 1000.0, m0, e1 / 1000.0, m1
+
+    @property
+    def on_detect_energy(self) -> float:
+        return self._segments(self.attacked_on)[0]
+
+    @property
+    def on_settled_mean(self) -> float:
+        return self._segments(self.attacked_on)[3]
+
+    @property
+    def off_detect_mean(self) -> float:
+        return self._segments(self.attacked_off)[1]
+
+    @property
+    def on_total_energy(self) -> float:
+        seg = self._segments(self.attacked_on)
+        return seg[0] + seg[2]
+
+    @property
+    def off_total_energy(self) -> float:
+        seg = self._segments(self.attacked_off)
+        return seg[0] + seg[2]
+
+    @property
+    def rehabilitated(self) -> bool:
+        """The healed actuator's job re-earned trust within the bound."""
+        if self.healed_victim is None:
+            return False
+        for t in self.transitions_on:
+            if (
+                t.job_id == self.healed_victim
+                and t.new == "trusted"
+                and self.heal_time <= t.time <= self.heal_time + self.rehab_bound
+            ):
+                return True
+        return False
+
+    @property
+    def unhealed_still_quarantined(self) -> bool:
+        """Victims whose fault never heals must never leave quarantine.
+
+        Checked from the transition log, not drain-time state: the auditor
+        forgets a job once it completes, and a wedged-open victim runs at
+        full speed, so it usually finishes long before the run drains.
+        """
+        healed = {self.healed_victim}
+        for job_id in self.victims_on:
+            if job_id in healed:
+                continue
+            last = [t for t in self.transitions_on if t.job_id == job_id]
+            if not last or last[-1].new != "quarantined":
+                return False
+        return True
+
+
+def run_byzantine_drill(
+    *,
+    duration: float = 900.0,
+    seed: int = 3,
+    num_nodes: int = 16,
+    target_power: float | None = None,
+    attack_time: float = 240.0,
+    stuck_heal_after: float = 60.0,
+) -> ByzantineDrillResult:
+    """Score the cap-compliance auditor against rogue job-tier endpoints.
+
+    The attack: two :class:`~repro.faults.StuckActuator` events five seconds
+    apart (the first permanent, the second healing ``stuck_heal_after``
+    seconds later) and one flat-mode :class:`~repro.faults.ByzantineModel`
+    sixty seconds in.  Victims are injector-chosen (most remaining work),
+    so the same drill exercises multi-job quarantine, headroom
+    redistribution, and the rehabilitation path.
+    """
+    if target_power is None:
+        target_power = num_nodes * 175.0
+    common = dict(
+        duration=duration,
+        seed=seed,
+        target_power=target_power,
+        num_nodes=num_nodes,
+        checkpoint_dir=None,
+        checkpoint_period=30.0,
+        recovery_timeout=60.0,
+        correction_gain=0.0,
+    )
+    max_time = duration + 7200.0
+
+    def attack() -> FaultSchedule:
+        return FaultSchedule(
+            [
+                StuckActuator(time=attack_time),
+                StuckActuator(time=attack_time + 5.0, duration=stuck_heal_after),
+                ByzantineModel(time=attack_time + 60.0, mode="flat"),
+            ]
+        )
+
+    clean_sys = _build_static_system(
+        fault_schedule=None, audit_enabled=True, **common
+    )
+    clean, _ = _drive(clean_sys, max_time=max_time)
+    transitions_clean = list(clean_sys.manager.auditor.transitions)
+
+    on_sys = _build_static_system(
+        fault_schedule=attack(), audit_enabled=True, **common
+    )
+    attacked_on, _ = _drive(on_sys, max_time=max_time)
+    transitions_on = list(on_sys.manager.auditor.transitions)
+    victims_on = _parse_rogue_victims(attacked_on.fault_log)
+    healed_victim = None
+    for line in attacked_on.fault_log:
+        if "stuck-actuator" in line and f"duration={stuck_heal_after:.1f}" in line:
+            healed_victim = line.split("job=")[1].split()[0]
+
+    off_sys = _build_static_system(
+        fault_schedule=attack(), audit_enabled=False, **common
+    )
+    attacked_off, _ = _drive(off_sys, max_time=max_time)
+
+    return ByzantineDrillResult(
+        clean=clean,
+        attacked_on=attacked_on,
+        attacked_off=attacked_off,
+        target_power=target_power,
+        heal_time=attack_time + 5.0 + stuck_heal_after,
+        healed_victim=healed_victim,
+        victims_on=victims_on,
+        transitions_clean=transitions_clean,
+        transitions_on=transitions_on,
+        attack_start=attack_time,
+    )
+
+
+def format_byzantine_table(res: ByzantineDrillResult) -> str:
+    latencies = res.detection_latencies
+    lines = [
+        f"target (static, trim zeroed)   : {res.target_power:.0f}W",
+        f"victims (audit-on run)         : "
+        + ", ".join(
+            f"{jid} ({kind} @t={fired:.0f}s)"
+            for jid, (kind, fired) in sorted(res.victims_on.items())
+        ),
+        f"false quarantines (clean run)  : {len(res.false_quarantines_clean)}",
+        f"victims quarantined            : "
+        f"{len(latencies)}/{len(res.victims_on)}"
+        + (f"  missed: {res.missed_victims}" if res.missed_victims else ""),
+        "detection latency              : "
+        + ", ".join(
+            f"{jid}: {lat:.0f}s" for jid, lat in sorted(latencies.items())
+        ),
+        f"collateral quarantines         : {len(res.collateral_quarantines)}"
+        + (f"  {res.collateral_quarantines}" if res.collateral_quarantines else ""),
+        f"over-target energy on/off      : {res.on_total_energy:.1f} / "
+        f"{res.off_total_energy:.1f} kJ after the attack",
+        f"audit-off mean excess (detect) : {res.off_detect_mean:+.0f}W",
+        f"audit-on mean excess (settled) : {res.on_settled_mean:+.0f}W",
+        f"healed actuator rehabilitated  : "
+        f"{'yes' if res.rehabilitated else 'NO'}"
+        + (
+            f"  ({res.healed_victim}, heal t={res.heal_time:.0f}s)"
+            if res.healed_victim
+            else ""
+        ),
+        f"unhealed victims still held    : "
+        f"{'yes' if res.unhealed_still_quarantined else 'NO'}",
+        "trust transitions (attacked, audit on):",
+    ]
+    lines.extend(
+        f"  t={t.time:7.1f} {t.job_id}: {t.old} -> {t.new} ({t.reason})"
+        for t in res.transitions_on
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- chaos soak
+
+
+#: Calm-window invariant bounds (see :func:`run_chaos_soak`).  Single-sample
+#: overshoot spikes are normal even fault-free (a freshly dispatched job's
+#: setup phase draws demand power before its first cap lands), so the bound
+#: is on a rolling mean: fault-free runs stay under ~3 % of target on a 60 s
+#: mean, while a containment failure holds a victim's excess indefinitely.
+_SOAK_SETTLE = 90.0
+_SOAK_ROLL = 60  # samples (≈ seconds) in the rolling overshoot mean
+_SOAK_SUSTAINED_EXCESS = 0.05  # fraction of target on the rolling mean
+_SOAK_PLAN_SLACK = 0.1  # W of float slack on planned ≤ ceiling
+
+#: Fault kinds whose target job may legitimately end up quarantined during a
+#: soak.  Beyond the three rogue-endpoint faults, a crashed endpoint goes
+#: silent (its stale self-report diverges from metered truth — quarantining
+#: it at metered power is the designed response, not collateral damage) and
+#: a corrupt status can ship a fabricated model.
+_SOAK_VICTIM_KINDS = _ROGUE_KINDS + ("endpoint-crash", "corrupt-status")
+
+
+@dataclass
+class SoakEpisode:
+    """One seeded episode of a chaos soak."""
+
+    seed: int
+    duration: float
+    num_faults: int
+    completed: int
+    violations: list = field(default_factory=list)
+    quarantines: int = 0
+    transitions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ChaosSoakResult:
+    """Outcome of a wall-clock-budgeted randomized fault soak.
+
+    Each episode drives a fresh seeded system under a
+    :meth:`~repro.faults.FaultSchedule.random` mix (rogue endpoints, node
+    and endpoint crashes, corrupt statuses, meter outages — all finite
+    duration) with auditing on, and checks online invariants:
+
+    * **budget conservation** — every budget round's planned power
+      (idle + reserved + allocated) stays within its ceiling;
+    * **bounded overshoot** — outside scheduled fault windows (plus a
+      settle margin), measured facility power stays near target;
+    * **drain** — every submitted job completes; no ghost records;
+    * **no collateral quarantine** — only injector-targeted jobs are ever
+      quarantined.
+    """
+
+    episodes: list
+    wall_seconds: float
+    budget_seconds: float
+
+    @property
+    def violations(self) -> list:
+        return [v for ep in self.episodes for v in ep.violations]
+
+    @property
+    def total_faults(self) -> int:
+        return sum(ep.num_faults for ep in self.episodes)
+
+    @property
+    def all_clean(self) -> bool:
+        return bool(self.episodes) and all(ep.clean for ep in self.episodes)
+
+
+def _fault_windows(schedule: FaultSchedule, end: float) -> list:
+    """(start, stop) spans during/after which the system may be off target."""
+    windows = []
+    for event in schedule:
+        span = getattr(event, "duration", None)
+        if span is None:
+            span = getattr(event, "down_for", 0.0)
+        stop = event.time + span if math.isfinite(span) else end
+        windows.append((event.time, min(stop + _SOAK_SETTLE, end)))
+    return windows
+
+
+def _check_episode_invariants(
+    *,
+    seed: int,
+    result: AnorResult,
+    rounds: np.ndarray,
+    schedule: FaultSchedule,
+    target_power: float,
+    ghosts: int,
+    quarantined: set,
+    victims: set,
+) -> list:
+    violations = []
+    for when, ceiling, planned in rounds:
+        if planned > ceiling + _SOAK_PLAN_SLACK:
+            violations.append(
+                f"seed={seed} t={when:.1f} budget-conservation: "
+                f"planned {planned:.1f}W > ceiling {ceiling:.1f}W"
+            )
+    if result.unstarted_jobs:
+        violations.append(
+            f"seed={seed} drain: {result.unstarted_jobs} jobs never started"
+        )
+    if ghosts:
+        violations.append(f"seed={seed} drain: {ghosts} ghost records")
+    collateral = quarantined - victims
+    if collateral:
+        violations.append(
+            f"seed={seed} collateral quarantine: {sorted(collateral)}"
+        )
+    trace = result.power_trace
+    if len(trace) >= _SOAK_ROLL:
+        end = float(trace[-1, 0])
+        calm = np.isfinite(trace[:, 2])
+        for start, stop in _fault_windows(schedule, end):
+            calm &= ~((trace[:, 0] >= start) & (trace[:, 0] < stop))
+        excess = np.where(calm, trace[:, 2] - trace[:, 1], 0.0)
+        kernel = np.ones(_SOAK_ROLL)
+        rolled = np.convolve(excess, kernel / _SOAK_ROLL, mode="valid")
+        # A rolling window counts only if every sample in it is calm.
+        all_calm = np.convolve(calm.astype(float), kernel, mode="valid") == (
+            _SOAK_ROLL
+        )
+        if all_calm.any():
+            worst = int(np.argmax(np.where(all_calm, rolled, -np.inf)))
+            if rolled[worst] > _SOAK_SUSTAINED_EXCESS * target_power:
+                violations.append(
+                    f"seed={seed} t={trace[worst, 0]:.1f} sustained "
+                    f"calm-window overshoot {rolled[worst]:.1f}W "
+                    f"({_SOAK_ROLL}s mean)"
+                )
+    return violations
+
+
+def run_chaos_soak(
+    *,
+    seconds: float = 60.0,
+    base_seed: int = 7,
+    episode_duration: float = 600.0,
+    num_nodes: int = 16,
+    target_power: float | None = None,
+    max_episodes: int = 1000,
+) -> ChaosSoakResult:
+    """Soak the trust boundary under randomized faults for ``seconds`` of
+    wall-clock time (always at least one episode)."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    if episode_duration <= 0:
+        raise ValueError(
+            f"episode_duration must be positive, got {episode_duration}"
+        )
+    if target_power is None:
+        target_power = num_nodes * 180.0
+    start_wall = time.monotonic()
+    episodes: list[SoakEpisode] = []
+    for i in range(max_episodes):
+        if episodes and time.monotonic() - start_wall >= seconds:
+            break
+        seed = base_seed + i
+        schedule = FaultSchedule.random(
+            episode_duration,
+            seed=seed,
+            num_nodes=num_nodes,
+            node_crash_rate=1.0 / 600.0,
+            endpoint_crash_rate=1.0 / 600.0,
+            link_burst_rate=1.0 / 600.0,
+            meter_outage_rate=1.0 / 600.0,
+            corrupt_status_rate=1.0 / 600.0,
+            byzantine_rate=1.0 / 300.0,
+            stuck_actuator_rate=1.0 / 300.0,
+            meter_drift_rate=1.0 / 300.0,
+            node_down_time=120.0,
+            rogue_duration=120.0,
+        )
+        system = _build_static_system(
+            duration=episode_duration,
+            seed=seed,
+            target_power=target_power,
+            num_nodes=num_nodes,
+            checkpoint_dir=None,
+            checkpoint_period=30.0,
+            recovery_timeout=60.0,
+            fault_schedule=schedule,
+            audit_enabled=True,
+        )
+        result, rounds = _drive(system, max_time=episode_duration + 7200.0)
+        # Settle before counting ghosts: goodbyes are still in flight at
+        # drain and silently-dead records need dead_job_timeout to pass.
+        for _ in range(int(system.config.dead_job_timeout) + 10):
+            system.step()
+        auditor = system.manager.auditor
+        quarantined = {
+            t.job_id for t in auditor.transitions if t.new == "quarantined"
+        }
+        victims = set(
+            _parse_rogue_victims(result.fault_log, kinds=_SOAK_VICTIM_KINDS)
+        )
+        violations = _check_episode_invariants(
+            seed=seed,
+            result=result,
+            rounds=rounds,
+            schedule=schedule,
+            target_power=target_power,
+            ghosts=len(system.manager.jobs),
+            quarantined=quarantined,
+            victims=victims,
+        )
+        episodes.append(
+            SoakEpisode(
+                seed=seed,
+                duration=episode_duration,
+                num_faults=len(schedule),
+                completed=len(result.completed),
+                violations=violations,
+                quarantines=len(quarantined),
+                transitions=len(auditor.transitions),
+            )
+        )
+    return ChaosSoakResult(
+        episodes=episodes,
+        wall_seconds=time.monotonic() - start_wall,
+        budget_seconds=seconds,
+    )
+
+
+def format_soak_table(res: ChaosSoakResult) -> str:
+    lines = [
+        f"episodes                       : {len(res.episodes)} "
+        f"({res.wall_seconds:.0f}s wall, budget {res.budget_seconds:.0f}s)",
+        f"faults injected                : {res.total_faults}",
+        f"quarantines                    : "
+        f"{sum(ep.quarantines for ep in res.episodes)}",
+        f"invariant violations           : {len(res.violations)}",
+    ]
+    for ep in res.episodes:
+        lines.append(
+            f"  seed={ep.seed}: faults={ep.num_faults} "
+            f"completed={ep.completed} quarantines={ep.quarantines} "
+            f"{'clean' if ep.clean else 'VIOLATIONS=' + str(len(ep.violations))}"
+        )
+    lines.extend(f"  {v}" for v in res.violations)
     return "\n".join(lines)

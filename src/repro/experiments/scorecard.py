@@ -27,6 +27,8 @@ __all__ = [
     "score_resilience",
     "score_headnode_recovery",
     "score_partition",
+    "score_byzantine",
+    "score_soak",
 ]
 
 
@@ -294,3 +296,55 @@ PARTITION_CLAIMS = (
 
 def score_partition(result) -> Scorecard:
     return _evaluate(PARTITION_CLAIMS, result)
+
+# --------------------------------------------------------- byzantine drill
+
+BYZANTINE_CLAIMS = (
+    Claim("byzantine", "a fault-free run with auditing on never quarantines "
+          "anyone (zero false positives)",
+          lambda r: not r.false_quarantines_clean),
+    Claim("byzantine", "every rogue endpoint is quarantined",
+          lambda r: not r.missed_victims and len(r.victims_on) >= 3),
+    Claim("byzantine", "detection latency stays under the bound for every "
+          "victim",
+          lambda r: all(
+              lat <= r.detection_bound for lat in r.detection_latencies.values()
+          )),
+    Claim("byzantine", "no honest job is quarantined during the attack",
+          lambda r: not r.collateral_quarantines),
+    Claim("byzantine", "with auditing on, facility power settles back under "
+          "target after the last quarantine",
+          lambda r: r.on_settled_mean <= 0.01 * r.target_power),
+    Claim("byzantine", "with auditing off, the attack sustains facility "
+          "overshoot (the contrast the auditor removes)",
+          lambda r: r.off_detect_mean >= 0.03 * r.target_power),
+    Claim("byzantine", "auditing cuts over-target energy by ≥ 1.5x",
+          lambda r: r.off_total_energy >= 1.5 * r.on_total_energy),
+    Claim("byzantine", "the healed actuator's job re-earns trust within the "
+          "rehabilitation bound",
+          lambda r: r.rehabilitated),
+    Claim("byzantine", "victims whose faults never heal stay quarantined",
+          lambda r: r.unhealed_still_quarantined),
+)
+
+
+def score_byzantine(result) -> Scorecard:
+    return _evaluate(BYZANTINE_CLAIMS, result)
+
+
+# --------------------------------------------------------------- chaos soak
+
+SOAK_CLAIMS = (
+    Claim("soak", "at least one randomized episode ran to drain",
+          lambda r: len(r.episodes) >= 1),
+    Claim("soak", "the fault mix actually exercised the trust boundary",
+          lambda r: sum(ep.quarantines for ep in r.episodes) > 0),
+    Claim("soak", "no online invariant was violated in any episode "
+          "(budget conservation, bounded overshoot, drain, no collateral "
+          "quarantine)",
+          lambda r: r.all_clean),
+)
+
+
+def score_soak(result) -> Scorecard:
+    return _evaluate(SOAK_CLAIMS, result)

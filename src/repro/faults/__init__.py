@@ -16,17 +16,20 @@ event stream.
 """
 
 from repro.faults.events import (
+    ByzantineModel,
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
     HeadNodeCrash,
     HeadNodeRestart,
     LinkDegradation,
+    MeterDrift,
     MeterOutage,
     NetworkPartition,
     NodeCrash,
     PartitionEnd,
     PartitionStart,
+    StuckActuator,
     TargetOutage,
 )
 from repro.faults.injector import FaultInjector
@@ -45,6 +48,9 @@ __all__ = [
     "MeterOutage",
     "TargetOutage",
     "CorruptStatus",
+    "ByzantineModel",
+    "StuckActuator",
+    "MeterDrift",
     "FaultSchedule",
     "FaultInjector",
 ]

@@ -25,10 +25,16 @@ __all__ = [
     "MeterOutage",
     "TargetOutage",
     "CorruptStatus",
+    "ByzantineModel",
+    "StuckActuator",
+    "MeterDrift",
 ]
 
 #: Corruption modes a :class:`CorruptStatus` event can inject.
 CORRUPTION_KINDS = ("nan", "inf", "nonphysical", "nan-power")
+
+#: Lying strategies a :class:`ByzantineModel` event can adopt.
+BYZANTINE_MODES = ("flat", "steep")
 
 
 @dataclass(frozen=True)
@@ -206,3 +212,84 @@ class CorruptStatus(FaultEvent):
             raise ValueError(
                 f"kind must be one of {CORRUPTION_KINDS}, got {self.kind!r}"
             )
+
+
+@dataclass(frozen=True)
+class ByzantineModel(FaultEvent):
+    """A job endpoint ships model coefficients decoupled from its true curve.
+
+    The shipped fit passes every syntactic check (finite, monotone, high
+    R²) but describes a different machine: ``"flat"`` claims the job is
+    power-insensitive *and* faster than physically possible (so the
+    budgeter starves it to the floor and its claimed progress rate is a
+    lie); ``"steep"`` claims extreme sensitivity (grabbing budget from
+    honest jobs).  ``job_id`` of ``None`` targets the live endpoint with
+    the most remaining work not already carrying a rogue fault.  The lie ends after
+    ``duration`` seconds (``inf`` = never) or when the endpoint process
+    is restarted.
+    """
+
+    job_id: str | None = None
+    mode: str = "flat"
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"mode must be one of {BYZANTINE_MODES}, got {self.mode!r}"
+            )
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class StuckActuator(FaultEvent):
+    """A job's platform cap writes are silently ignored.
+
+    With ``release`` True the actuator fails *open* first — the platform
+    cap jumps to ``p_max`` and stays there (the RAPL-register-wedged
+    worst case: the job draws its full demand regardless of dispatched
+    caps).  With ``release`` False the cap freezes at its current value.
+    The actuator heals after ``duration`` seconds (``inf`` = never), at
+    which point the most recently dispatched cap is applied.
+    """
+
+    job_id: str | None = None
+    release: bool = True
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class MeterDrift(FaultEvent):
+    """A job's self-reported power meter develops a bias ramp.
+
+    The power the endpoint reads (and reports upward in status messages)
+    becomes ``power · max(0, 1 + factor_rate·Δt) + offset_rate·Δt`` with
+    ``Δt`` seconds since the fault fired.  Negative rates under-report
+    (the dangerous direction: dormancy triage under-reserves), positive
+    rates over-report.  Out-of-band facility metering is unaffected —
+    that contrast is what the audit layer detects.  Heals after
+    ``duration`` seconds (``inf`` = never).
+    """
+
+    job_id: str | None = None
+    factor_rate: float = -0.004
+    offset_rate: float = 0.0
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.factor_rate):
+            raise ValueError(
+                f"factor_rate must be finite, got {self.factor_rate}")
+        if not math.isfinite(self.offset_rate):
+            raise ValueError(
+                f"offset_rate must be finite, got {self.offset_rate}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")

@@ -16,25 +16,31 @@ given (seed, schedule) pair — the property the resilience benchmark pins.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.messages import StatusMessage
 from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.faults.events import (
+    ByzantineModel,
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
     HeadNodeCrash,
     HeadNodeRestart,
     LinkDegradation,
+    MeterDrift,
     MeterOutage,
     NetworkPartition,
     NodeCrash,
     PartitionEnd,
     PartitionStart,
+    StuckActuator,
     TargetOutage,
 )
 from repro.faults.schedule import FaultSchedule
+from repro.geopm.agent import AgentPolicy
+from repro.modeling.quadratic import QuadraticPowerModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.framework import AnorSystem
@@ -68,6 +74,10 @@ class FaultInjector:
         self._resolutions: list[tuple[float, int, str, Callable[[], None]]] = []
         self._seq = 0
         self._meter_down = False
+        # Jobs currently carrying a rogue-endpoint fault (byzantine model,
+        # stuck actuator, meter drift): auto-targeted rogue events skip
+        # them so a storm spreads across distinct victims.
+        self._rogued: set[str] = set()
         self._install_meter_hook()
         self._target_switch = self._install_target_hook()
 
@@ -194,6 +204,12 @@ class FaultInjector:
             )
         elif isinstance(event, CorruptStatus):
             self._fire_corrupt_status(event, now)
+        elif isinstance(event, ByzantineModel):
+            self._fire_byzantine_model(event, now)
+        elif isinstance(event, StuckActuator):
+            self._fire_stuck_actuator(event, now)
+        elif isinstance(event, MeterDrift):
+            self._fire_meter_drift(event, now)
         else:  # pragma: no cover - exhaustive over the vocabulary
             raise TypeError(f"unknown fault event {event!r}")
 
@@ -248,6 +264,29 @@ class FaultInjector:
             return job_id
         live = sorted(self.system.endpoints)
         return live[0] if live else None
+
+    def _pick_fresh_job(self, job_id: str | None) -> str | None:
+        """Pick a victim for a rogue-endpoint fault.
+
+        Skips jobs already carrying a rogue fault so that successive
+        auto-targeted rogue events hit distinct victims, and among the
+        fresh ones picks the job with the most *remaining work* (uncapped
+        seconds left, ties by id) — the adversarial worst case, since a
+        rogue endpoint that exits seconds later does no lasting damage.
+        Deterministic for a given system state.
+        """
+        if job_id is not None:
+            return job_id
+        candidates = []
+        for jid, job in self.system.cluster.running.items():
+            if jid not in self.system.endpoints or jid in self._rogued:
+                continue
+            jt = job.job_type
+            remaining = (1.0 - job.progress) * jt.t_uncapped
+            candidates.append((remaining, jid))
+        if not candidates:
+            return None
+        return max(candidates)[1]
 
     def _fire_endpoint_crash(self, event: EndpointCrash, now: float) -> None:
         job_id = self._pick_job(event.job_id, now)
@@ -401,3 +440,147 @@ class FaultInjector:
         )
         endpoint.link.send_up(msg, now)
         self._record(now, f"corrupt-status job={job_id} kind={event.kind}")
+
+    # ----------------------------------------------- rogue-endpoint faults
+
+    def _fire_byzantine_model(self, event: ByzantineModel, now: float) -> None:
+        """Decouple a job's shipped model coefficients from its true curve.
+
+        The endpoint's ``_model_fields`` hook is shadowed with a fixed fake
+        fit that passes every syntactic check the manager applies (finite,
+        monotone decreasing, positive t_min, high R²) but describes a
+        different machine.  An endpoint-process restart builds a fresh
+        :class:`JobTierEndpoint` and clears the shadow — the watchdog heals
+        the lie, like any process-local corruption.
+        """
+        job_id = self._pick_fresh_job(event.job_id)
+        endpoint = self.system.endpoints.get(job_id) if job_id is not None else None
+        job = self.system.cluster.running.get(job_id) if job_id is not None else None
+        if endpoint is None or job is None:
+            self._record(now, "byzantine-model skipped (no fresh endpoint)")
+            return
+        truth = job.job_type.truth
+        if event.mode == "flat":
+            # Claims power-insensitivity *and* a faster-than-possible pace:
+            # the budgeter starves it to the floor, where its true (much
+            # slower) progress contradicts the shipped curve.
+            fake = QuadraticPowerModel.from_anchors(
+                truth.t_min * 0.5, 1.01, endpoint._p_min, endpoint._p_max
+            )
+        else:  # "steep": claims extreme sensitivity, grabbing budget.
+            fake = QuadraticPowerModel.from_anchors(
+                truth.t_min, 4.0, endpoint._p_min, endpoint._p_max
+            )
+        fields = {
+            "model_a": fake.a,
+            "model_b": fake.b,
+            "model_c": fake.c,
+            "model_r2": 0.97,
+        }
+        endpoint._model_fields = lambda: dict(fields)
+        self._rogued.add(job_id)
+        self._record(now, f"byzantine-model job={job_id} mode={event.mode}")
+        if math.isfinite(event.duration):
+            captured = endpoint
+
+            def heal() -> None:
+                self._rogued.discard(job_id)
+                live = self.system.endpoints.get(job_id)
+                if live is captured:
+                    live.__dict__.pop("_model_fields", None)
+
+            self._defer(
+                now + event.duration, f"byzantine-model end job={job_id}", heal
+            )
+
+    def _fire_stuck_actuator(self, event: StuckActuator, now: float) -> None:
+        """Make a job's platform cap writes silently no-op.
+
+        The proxy sits on the job's GEOPM endpoint object (owned by the
+        running job, i.e. the *platform* side), so it survives endpoint
+        process restarts — a wedged RAPL register does not care which
+        process talks to it.  It dies with the job (requeue onto new nodes
+        is new hardware).
+        """
+        job_id = self._pick_fresh_job(event.job_id)
+        endpoint = self.system.endpoints.get(job_id) if job_id is not None else None
+        if endpoint is None:
+            self._record(now, "stuck-actuator skipped (no fresh endpoint)")
+            return
+        geopm = endpoint.geopm
+        if event.release:
+            # Fail open first: the register wedges at the hardware maximum,
+            # so the job draws its full demand regardless of future caps.
+            geopm.write_policy(
+                AgentPolicy(power_cap_node=endpoint._p_max, issued_at=now)
+            )
+        geopm.write_policy = lambda policy: None
+        self._rogued.add(job_id)
+        self._record(
+            now,
+            f"stuck-actuator job={job_id} release={event.release} "
+            f"duration={event.duration:.1f}",
+        )
+        if math.isfinite(event.duration):
+
+            def heal() -> None:
+                self._rogued.discard(job_id)
+                geopm.__dict__.pop("write_policy", None)
+                live = self.system.endpoints.get(job_id)
+                if live is not None and live.geopm is geopm:
+                    # Re-assert the most recently dispatched cap: the healed
+                    # actuator applies what the control plane last asked for.
+                    geopm.write_policy(
+                        AgentPolicy(
+                            power_cap_node=live.current_cap,
+                            issued_at=now + event.duration,
+                        )
+                    )
+
+            self._defer(
+                now + event.duration, f"stuck-actuator end job={job_id}", heal
+            )
+
+    def _fire_meter_drift(self, event: MeterDrift, now: float) -> None:
+        """Bias the power samples a job's endpoint reads from its agents.
+
+        Affects only the job's *self-reported* telemetry (status messages
+        upward); the facility's out-of-band node metering is untouched —
+        the contrast the audit layer keys on.  Like the stuck actuator,
+        the proxy lives on the platform-side GEOPM endpoint object.
+        """
+        job_id = self._pick_fresh_job(event.job_id)
+        endpoint = self.system.endpoints.get(job_id) if job_id is not None else None
+        if endpoint is None:
+            self._record(now, "meter-drift skipped (no fresh endpoint)")
+            return
+        geopm = endpoint.geopm
+        real_read = geopm.read_sample
+        t0 = now
+
+        def biased_read():
+            sample = real_read()
+            if sample is None:
+                return None
+            dt = max(sample.timestamp - t0, 0.0)
+            factor = max(0.0, 1.0 + event.factor_rate * dt)
+            return replace(
+                sample, power=sample.power * factor + event.offset_rate * dt
+            )
+
+        geopm.read_sample = biased_read
+        self._rogued.add(job_id)
+        self._record(
+            now,
+            f"meter-drift job={job_id} factor_rate={event.factor_rate:+.4f} "
+            f"offset_rate={event.offset_rate:+.3f} duration={event.duration:.1f}",
+        )
+        if math.isfinite(event.duration):
+
+            def heal() -> None:
+                self._rogued.discard(job_id)
+                geopm.__dict__.pop("read_sample", None)
+
+            self._defer(
+                now + event.duration, f"meter-drift end job={job_id}", heal
+            )

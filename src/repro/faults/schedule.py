@@ -18,14 +18,18 @@ from dataclasses import fields
 from typing import Iterable, Iterator
 
 from repro.faults.events import (
+    BYZANTINE_MODES,
     CORRUPTION_KINDS,
+    ByzantineModel,
     CorruptStatus,
     EndpointCrash,
     FaultEvent,
     HeadNodeCrash,
     LinkDegradation,
+    MeterDrift,
     MeterOutage,
     NodeCrash,
+    StuckActuator,
     TargetOutage,
 )
 from repro.util.rng import Seedlike, ensure_rng
@@ -118,11 +122,16 @@ class FaultSchedule:
         meter_outage_rate: float = 0.0,
         target_outage_rate: float = 0.0,
         corrupt_status_rate: float = 0.0,
+        byzantine_rate: float = 0.0,
+        stuck_actuator_rate: float = 0.0,
+        meter_drift_rate: float = 0.0,
         node_down_time: float = 300.0,
         head_down_time: float = 60.0,
         burst_duration: float = 60.0,
         burst_drop: float = 0.2,
         outage_duration: float = 60.0,
+        rogue_duration: float = 120.0,
+        drift_ramp: float = 0.004,
     ) -> "FaultSchedule":
         """Draw a schedule from Poisson arrivals per fault class.
 
@@ -145,6 +154,9 @@ class FaultSchedule:
             "meter_outage_rate": meter_outage_rate,
             "target_outage_rate": target_outage_rate,
             "corrupt_status_rate": corrupt_status_rate,
+            "byzantine_rate": byzantine_rate,
+            "stuck_actuator_rate": stuck_actuator_rate,
+            "meter_drift_rate": meter_drift_rate,
         }
         for name, rate in rates.items():
             if rate < 0:
@@ -154,12 +166,15 @@ class FaultSchedule:
             "head_down_time": head_down_time,
             "burst_duration": burst_duration,
             "outage_duration": outage_duration,
+            "rogue_duration": rogue_duration,
         }
         for name, value in durations.items():
             if value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
         if not 0.0 <= burst_drop <= 1.0:
             raise ValueError(f"burst_drop must be in [0, 1], got {burst_drop}")
+        if drift_ramp < 0:
+            raise ValueError(f"drift_ramp must be ≥ 0, got {drift_ramp}")
         rng = ensure_rng(seed)
         events: list[FaultEvent] = []
 
@@ -198,6 +213,22 @@ class FaultSchedule:
         for t in arrivals(corrupt_status_rate):
             kind = CORRUPTION_KINDS[int(rng.integers(0, len(CORRUPTION_KINDS)))]
             events.append(CorruptStatus(time=t, kind=kind))
+        for t in arrivals(byzantine_rate):
+            mode = BYZANTINE_MODES[int(rng.integers(0, len(BYZANTINE_MODES)))]
+            events.append(
+                ByzantineModel(time=t, mode=mode, duration=rogue_duration)
+            )
+        for t in arrivals(stuck_actuator_rate):
+            events.append(StuckActuator(time=t, duration=rogue_duration))
+        for t in arrivals(meter_drift_rate):
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            events.append(
+                MeterDrift(
+                    time=t,
+                    factor_rate=sign * drift_ramp,
+                    duration=rogue_duration,
+                )
+            )
         return cls(events)
 
     # -------------------------------------------------------------- queries

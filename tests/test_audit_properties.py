@@ -1,0 +1,89 @@
+"""Property test: budget conservation under arbitrary trust churn.
+
+Whatever sequence of quarantine/rehabilitation verdicts the auditor (or an
+operator override) produces, every budget round's planned draw — idle +
+reserved (including quarantine envelopes) + allocated — must stay within
+the round's ceiling ``max(target + correction, floor)``.  Hypothesis drives
+the trust state machine through arbitrary forced sequences while a real
+system runs, in both the ticking and event-calendar modes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budget.even_slowdown import EvenSlowdownBudgeter
+from repro.core.audit import TRUST_STATES
+from repro.core.framework import AnorConfig, AnorSystem, precharacterized_models
+from repro.core.targets import ConstantTarget
+from repro.modeling.classifier import JobClassifier
+
+JOB_IDS = ("bt-0", "sp-1", "cg-2")
+
+# A churn script: (settle rounds before acting, which job, forced state).
+churn = st.lists(
+    st.tuples(
+        st.integers(1, 25),
+        st.integers(0, len(JOB_IDS) - 1),
+        st.sampled_from(sorted(TRUST_STATES)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build(event_driven: bool) -> AnorSystem:
+    system = AnorSystem(
+        budgeter=EvenSlowdownBudgeter(),
+        target_source=ConstantTarget(5 * 170.0),
+        classifier=JobClassifier(precharacterized_models()),
+        config=AnorConfig(
+            num_nodes=5, seed=2, feedback_enabled=True,
+            audit_enabled=True, event_driven=event_driven,
+        ),
+    )
+    for job_id in JOB_IDS:
+        system.submit_now(job_id, job_id.split("-")[0])
+    return system
+
+
+def assert_round_conserves(system, seen: set) -> None:
+    round_ = system.manager.last_round
+    if round_ is None or round_.time in seen:
+        return
+    seen.add(round_.time)
+    planned = round_.idle_power + round_.reserved + round_.allocated
+    ceiling = max(round_.target + round_.correction, round_.floor)
+    # 0.1 W slack: the even-slowdown water-fill solves caps numerically, so
+    # sums carry sub-milliwatt float noise (same slack the soak monitor uses).
+    assert planned <= ceiling + 0.1, (
+        f"t={round_.time}: planned {planned:.2f}W exceeds ceiling "
+        f"{ceiling:.2f}W (quarantined={round_.quarantined_jobs})"
+    )
+
+
+class TestBudgetConservationUnderTrustChurn:
+    @pytest.mark.parametrize("event_driven", [False, True])
+    @given(script=churn)
+    @settings(max_examples=12, deadline=None)
+    def test_planned_draw_never_exceeds_ceiling(self, event_driven, script):
+        system = build(event_driven)
+        seen: set = set()
+        # Warm up past job setup so caps and envelopes are in play.
+        for _ in range(40):
+            system.step()
+            assert_round_conserves(system, seen)
+        for settle, job_idx, state in script:
+            system.manager.auditor.force_state(
+                JOB_IDS[job_idx], state, now=system.cluster.clock.now)
+            for _ in range(settle):
+                system.step()
+                assert_round_conserves(system, seen)
+        # Quarantine churn must also never wedge the run: release all
+        # overrides and let the cluster drain.
+        for job_id in JOB_IDS:
+            system.manager.auditor.force_state(
+                job_id, "trusted", now=system.cluster.clock.now)
+        result = system.run(until_idle=True, max_time=7200.0)
+        assert_round_conserves(system, seen)
+        assert result.unstarted_jobs == 0
+        assert len(result.completed) == len(JOB_IDS)

@@ -1,0 +1,71 @@
+"""AnorConfig range validation: bad knobs fail loudly, naming the field."""
+
+import pytest
+
+from repro.core.framework import AnorConfig
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        AnorConfig()  # must not raise
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_nodes", 0),
+            ("tick", 0.0),
+            ("agent_period", -1.0),
+            ("endpoint_period", 0.0),
+            ("manager_period", -0.5),
+            ("checkpoint_period", 0.0),
+            ("recovery_timeout", 0.0),
+            ("stale_status_timeout", -3.0),
+            ("dead_job_timeout", 0.0),
+            ("telemetry_ring_size", 0),
+            ("reliable_window", 0),
+            ("reliable_base_backoff", 0.0),
+            ("reliable_max_backoff", -1.0),
+            ("partition_attempts", 0),
+            ("reconnect_backoff", 0.0),
+            ("breaker_trip_rounds", 0),
+            ("breaker_reset_rounds", 0),
+            ("breaker_confirm_rounds", 0),
+            ("audit_window", 0.0),
+            ("audit_mismatch_tolerance", -0.2),
+            ("audit_model_error", 0.0),
+            ("audit_min_epochs", 0),
+            ("audit_suspect_rounds", 0),
+            ("audit_quarantine_rounds", -1),
+            ("audit_clear_rounds", 0),
+            ("idle_power", -1.0),
+            ("lease_ramp_seconds", -5.0),
+            ("max_requeues", -1),
+            ("audit_tolerance", -0.1),
+            ("audit_guardband", -2.0),
+            ("lease_ttl", 0.0),
+            ("safe_floor", -140.0),
+            ("breaker_margin", 0.0),
+            ("endpoint_restart_delay", -10.0),
+            ("link_drop_probability", 1.0),
+            ("link_drop_probability", -0.1),
+            ("audit_probe_margin", 0.0),
+            ("audit_probe_margin", 1.5),
+        ],
+    )
+    def test_bad_value_names_the_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            AnorConfig(**{field: value})
+
+    def test_optional_none_disables_without_error(self):
+        AnorConfig(
+            lease_ttl=None, safe_floor=None, breaker_margin=None,
+            endpoint_restart_delay=None,
+        )
+
+    def test_backoff_ordering_inversion_rejected(self):
+        with pytest.raises(ValueError, match="reliable_max_backoff"):
+            AnorConfig(reliable_base_backoff=10.0, reliable_max_backoff=1.0)
+
+    def test_timeout_ordering_inversion_rejected(self):
+        with pytest.raises(ValueError, match="dead_job_timeout"):
+            AnorConfig(stale_status_timeout=60.0, dead_job_timeout=30.0)
