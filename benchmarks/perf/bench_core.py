@@ -11,6 +11,11 @@ Times the core kernels with ``time.perf_counter``:
   load (fault firings truncate strides);
 * ``fig9_telemetry`` — the fig9 loop with ``repro.telemetry`` fully enabled
   (metrics + event bus + ring sink), documenting the observability overhead;
+* ``fig9_plan`` — the fig9 loop over a bursty stepped target at a 4 s
+  manager period, plan off then plan on in the same sample; the derived
+  ``plan_overhead`` (wall time) and ``plan_solve_overhead`` (deterministic
+  extra budgeter solves) pin the receding-horizon planner's cost on the
+  reactive path;
 * ``tabsim_event`` — the 1000-node tabular simulator stepped on the 4 s
   target-hold boundaries instead of every simulated second;
 * ``tabsim`` — the 1000-node tabular simulator loop at 1 s steps;
@@ -150,6 +155,97 @@ def bench_fig9_faults(*, duration: float, seed: int) -> dict:
     }
 
 
+def bench_fig9_plan(*, duration: float, seed: int) -> dict:
+    """Planner overhead on the reactive path (DESIGN.md §9).
+
+    Runs the same bursty stepped-target fig9 scenario twice — plan off
+    (pure reactive) and plan on (receding-horizon planner active, schedule
+    forecaster) — at a 4 s manager period.  Both runs come from the same
+    sample so ``plan_overhead`` compares a matched pair: the planner buys
+    its tracking/rewrite wins out of forecasting, not out of extra work.
+    ``plan_solve_overhead`` is the noise-free version of the same claim —
+    extra budgeter solves per run, a seeded-deterministic count (lazy cap
+    materialization keeps it near zero: only warm-hit rounds re-solve).
+    """
+    from repro.aqa.regulation import BoundedRandomWalkSignal
+    from repro.core.framework import AnorConfig
+    from repro.core.targets import RegulationTarget, SteppedTarget
+    from repro.experiments.fig9 import (
+        DEFAULT_AVERAGE_POWER,
+        DEFAULT_RESERVE,
+        build_demand_response_system,
+    )
+
+    hold = 4.0
+    signal = BoundedRandomWalkSignal(duration * 2, step=hold, seed=seed + 11)
+    regulation = RegulationTarget(
+        DEFAULT_AVERAGE_POWER, DEFAULT_RESERVE, signal, update_period=hold
+    )
+    n_steps = int(duration * 2 / hold)
+    times = [hold * k for k in range(n_steps)]
+    stepped = SteppedTarget(times, [regulation.target(t) for t in times])
+
+    def run_one(plan: bool) -> tuple[float, object, int]:
+        cfg = AnorConfig(
+            seed=seed,
+            manager_period=hold,
+            plan_enabled=plan,
+            plan_shadow_rounds=0,
+        )
+        system = build_demand_response_system(
+            duration=duration, seed=seed, target_source=stepped, config=cfg
+        )
+        budgeter = system.manager.budgeter
+        solves = [0]
+        orig_allocate = budgeter.allocate
+
+        def counting_allocate(requests, budget):
+            solves[0] += 1
+            return orig_allocate(requests, budget)
+
+        budgeter.allocate = counting_allocate
+        start = time.perf_counter()
+        result = system.run(duration)
+        return time.perf_counter() - start, result, solves[0]
+
+    # Interleave the arms; report per-arm minima for wall time but the
+    # *median of per-pair ratios* for the overhead: a noise burst hits both
+    # halves of its pair, so the ratio is far more stable than min-vs-min.
+    # Nine pairs because single-run noise on a shared box is several percent
+    # — comparable to the overhead being measured — and the median needs a
+    # majority of clean pairs to reject it.
+    reactive_wall = wall = float("inf")
+    result = None
+    ratios = []
+    reactive_solves = plan_solves = 0
+    for _ in range(9):
+        r_wall, _unused, reactive_solves = run_one(False)
+        p_wall, p_result, plan_solves = run_one(True)
+        ratios.append(p_wall / r_wall)
+        reactive_wall = min(reactive_wall, r_wall)
+        if p_wall < wall:
+            wall, result = p_wall, p_result
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    # Solve counts are seeded-deterministic, so the ratio is noise-free: it
+    # is the planner's *work* overhead (extra budgeter solves per run),
+    # immune to the wall-clock jitter that dominates `plan_overhead` on a
+    # shared box.
+    solve_overhead = plan_solves / reactive_solves - 1.0 if reactive_solves else 0.0
+    ticks = result.power_trace.shape[0]
+    return {
+        "wall_s": wall,
+        "reactive_wall_s": reactive_wall,
+        "plan_overhead": overhead,
+        "plan_solve_overhead": solve_overhead,
+        "reactive_solves": int(reactive_solves),
+        "plan_solves": int(plan_solves),
+        "ticks": int(ticks),
+        "ticks_per_sec": ticks / wall,
+        "jobs_completed": len(result.completed),
+    }
+
+
 def bench_tabsim_event(*, num_nodes: int, duration: float, seed: int) -> dict:
     """1000-node tabsim advanced on target-hold boundaries (dt = 4 s).
 
@@ -267,11 +363,13 @@ def _best_of(repeats: int, fn, **kwargs) -> dict:
     benchmarks: interference only ever adds time, so the minimum is the
     closest observable to the true cost.
     """
-    best = None
-    for _ in range(max(1, repeats)):
-        result = fn(**kwargs)
-        if best is None or result["wall_s"] < best["wall_s"]:
-            best = result
+    samples = [fn(**kwargs) for _ in range(max(1, repeats))]
+    best = min(samples, key=lambda r: r["wall_s"])
+    if "plan_overhead" in best:
+        # Overhead is a ratio, not a time: the min-wall sample's value is
+        # no less noisy than any other's, so take the median across repeats.
+        ratios = sorted(r["plan_overhead"] for r in samples)
+        best["plan_overhead"] = ratios[len(ratios) // 2]
     best["repeats"] = max(1, repeats)
     return best
 
@@ -289,6 +387,9 @@ def run_suite(quick: bool, seed: int, repeats: int = 3) -> dict:
     )
     kernels["fig9_telemetry"] = _best_of(
         repeats, bench_fig9_telemetry, duration=300.0 if quick else 900.0, seed=seed
+    )
+    kernels["fig9_plan"] = _best_of(
+        repeats, bench_fig9_plan, duration=300.0 if quick else 900.0, seed=seed
     )
     kernels["tabsim_event"] = _best_of(
         repeats,
@@ -372,6 +473,9 @@ def main(argv: list[str] | None = None) -> int:
         report["telemetry_overhead"] = (
             kernels["fig9_telemetry"]["wall_s"] / kernels["fig9"]["wall_s"] - 1.0
         )
+    if "fig9_plan" in kernels:
+        report["plan_overhead"] = kernels["fig9_plan"]["plan_overhead"]
+        report["plan_solve_overhead"] = kernels["fig9_plan"]["plan_solve_overhead"]
     # Headline for the event-calendar core: the multi-rate event kernel vs.
     # the *seed* implementation's fixed-dt fig9 (same scenario; only the
     # control-plane rates and stepping mode differ).
@@ -393,6 +497,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     if "telemetry_overhead" in report:
         print(f"telemetry overhead: {report['telemetry_overhead']:+.1%} wall time")
+    if "plan_overhead" in report:
+        print(f"plan overhead: {report['plan_overhead']:+.1%} wall time vs reactive")
+    if "plan_solve_overhead" in report:
+        print(
+            "plan solve overhead: "
+            f"{report['plan_solve_overhead']:+.1%} budgeter solves vs reactive "
+            "(deterministic)"
+        )
     if "fig9_event_vs_seed_fig9" in report:
         print(
             "fig9_event vs seed fig9: "

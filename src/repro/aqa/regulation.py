@@ -36,6 +36,13 @@ class RegulationSignal(ABC):
         return self.value(t)
 
     def series(self, times: Sequence[float]) -> np.ndarray:
+        """Sample the signal at every instant in ``times``, vectorised.
+
+        The generic fallback loops over :meth:`value`; concrete signals
+        override this with array arithmetic.  Forecaster fits
+        (:meth:`repro.plan.forecast.AR1Forecaster.fit_regulation`) sample
+        thousands of points through this path.
+        """
         return np.array([self.value(float(t)) for t in times])
 
 
@@ -53,6 +60,10 @@ class SinusoidSignal(RegulationSignal):
 
     def value(self, t: float) -> float:
         return self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+
+    def series(self, times: Sequence[float]) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        return self.amplitude * np.sin(2.0 * np.pi * t / self.period + self.phase)
 
 
 class BoundedRandomWalkSignal(RegulationSignal):
@@ -94,17 +105,36 @@ class BoundedRandomWalkSignal(RegulationSignal):
         idx = min(int(t / self.step), self._values.size - 1)
         return float(self._values[idx])
 
+    def series(self, times: Sequence[float]) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        if np.any(t < 0):
+            raise ValueError("times must be ≥ 0")
+        idx = np.minimum((t / self.step).astype(int), self._values.size - 1)
+        return self._values[idx]
+
 
 class TabulatedSignal(RegulationSignal):
-    """Zero-order-hold replay of (time, value) breakpoints."""
+    """Zero-order-hold replay of (time, value) breakpoints.
+
+    ``times`` must be strictly increasing: the zero-order-hold lookup is a
+    binary search, and an out-of-order or duplicated breakpoint would make
+    it return values from the wrong segment without any error at read time.
+    Construction therefore rejects non-monotone tables, naming the first
+    offending index.
+    """
 
     def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
         t = np.asarray(times, dtype=float)
         v = np.asarray(values, dtype=float)
         if t.ndim != 1 or t.shape != v.shape or t.size == 0:
             raise ValueError(f"need matching non-empty 1-D arrays, got {t.shape}, {v.shape}")
-        if np.any(np.diff(t) <= 0):
-            raise ValueError("times must be strictly increasing")
+        bad = np.flatnonzero(np.diff(t) <= 0)
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                f"TabulatedSignal times must be strictly increasing: "
+                f"times[{i}]={t[i]} ≥ times[{i + 1}]={t[i + 1]}"
+            )
         if np.any(np.abs(v) > 1.0 + 1e-12):
             raise ValueError("regulation values must lie in [-1, 1]")
         self._times = t
@@ -114,3 +144,9 @@ class TabulatedSignal(RegulationSignal):
         idx = int(np.searchsorted(self._times, t, side="right")) - 1
         idx = max(0, min(idx, self._values.size - 1))
         return float(self._values[idx])
+
+    def series(self, times: Sequence[float]) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        idx = np.searchsorted(self._times, t, side="right") - 1
+        idx = np.clip(idx, 0, self._values.size - 1)
+        return self._values[idx]

@@ -175,6 +175,19 @@ def _soak(seconds: float, seed: int, trace_out: str | None) -> tuple:
     return f"{table}\n\n{card.render()}", card.all_passed
 
 
+def _plan_drill(quick: bool, seed: int) -> tuple:
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_forecast_drill(
+        duration=600.0 if quick else 900.0,
+        warmup=120.0,
+        seed=seed,
+    )
+    table = resilience.format_forecast_table(result)
+    card = scorecard.score_forecast(result)
+    return f"{table}\n\n{card.render()}", card.all_passed
+
+
 def _all_tasks(quick: bool, seed: int, out_dir: str | None) -> list:
     """One :class:`~repro.runner.ExperimentTask` per figure, in name order."""
     from pathlib import Path
@@ -319,6 +332,19 @@ def _add_observability_commands(sub) -> None:
     prof.add_argument(
         "--out", default=None, help="also write the report to this file"
     )
+    plan = sub.add_parser(
+        "plan",
+        help="predictive-planning drill: reactive vs forecast-driven "
+        "receding-horizon budgeting on the fig9 target",
+    )
+    plan.add_argument(
+        "--drill",
+        action="store_true",
+        help="run the forecast drill scorecard (reactive / predictive / "
+        "adversarial forecaster arms)",
+    )
+    plan.add_argument("--quick", action="store_true", help="scaled-down run")
+    plan.add_argument("--seed", type=int, default=0)
     trace = sub.add_parser(
         "trace", help="export or summarize structured JSONL traces"
     )
@@ -534,6 +560,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         return 0
+    if args.experiment == "plan":
+        start = time.perf_counter()
+        table, ok = _plan_drill(args.quick, args.seed)
+        print(table)
+        print(f"\n[plan completed in {time.perf_counter() - start:.1f}s]")
+        # Like the resilience scenarios: a failed claim fails the caller.
+        return 0 if ok else 1
     if args.experiment == "trace":
         if args.trace_command == "export":
             print(_run_trace_export(args.out, args.duration, args.seed))

@@ -40,6 +40,8 @@ from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
 from repro.facility.breaker import PowerBreaker
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.plan.envelope import PLAN_FALLBACK
+from repro.plan.planner import RecedingHorizonPlanner
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["JobRecord", "BudgetRound", "ClusterPowerManager"]
@@ -192,6 +194,15 @@ class ClusterPowerManager:
     # None keeps every hot path journalling-free — zero overhead when off.
     journal: Journal | None = None
 
+    # Optional receding-horizon planner (predictive planning, DESIGN.md §9):
+    # forecasts the target over the next H rounds, pre-solves the budgeter,
+    # and hands this round's allocation back as a warm start.  The planned
+    # total must still fit the budget derived from the *actual* target read
+    # this round, and leases/breaker/quarantine are applied after the plan is
+    # consumed — a wrong forecast can never out-spend the reactive path.
+    # None keeps the reactive control flow and bit-identical golden traces.
+    planner: RecedingHorizonPlanner | None = None
+
     # Observability (DESIGN.md §8): metrics + control-round span tree.  The
     # shared NULL instance keeps every emission a single attribute check.
     telemetry: Telemetry = field(default=NULL_TELEMETRY)
@@ -205,6 +216,10 @@ class ClusterPowerManager:
     rejected_statuses: int = 0
     rejected_models: int = 0
     meter_faults: int = 0
+    # Dispatches whose cap differed from the job's previous one — the cap
+    # churn the predictive planner's hysteresis is meant to reduce; counted
+    # in reactive runs too so drills can compare like for like.
+    cap_rewrites: int = 0
     # Recovery-mode state: jobs restored from the durable store awaiting
     # their re-HELLO, the reconnect deadline, jobs declared orphaned at that
     # deadline (drained by AnorSystem for requeue/cleanup), and how many
@@ -285,6 +300,23 @@ class ClusterPowerManager:
             "anor_breaker_state",
             "overshoot breaker state (0 closed, 1 half-open, 2 open)",
         )
+        self._mx_cap_rewrites = reg.counter(
+            "anor_cap_rewrites_total",
+            "cap dispatches that changed a job's previous cap",
+        )
+        if self.planner is not None:
+            self._mx_plan_state = reg.gauge(
+                "anor_plan_state",
+                "planner envelope state (0 shadow, 1 active, 2 fallback)",
+            )
+            self._mx_forecast_error = reg.gauge(
+                "anor_forecast_error_watts",
+                "windowed mean absolute forecast error",
+            )
+            self._mx_plan_fallbacks = reg.counter(
+                "anor_plan_fallbacks_total",
+                "envelope trips from active planning back to reactive",
+            )
 
     # ------------------------------------------------------------- plumbing
 
@@ -614,6 +646,23 @@ class ClusterPowerManager:
 
     # -------------------------------------------------------------- control
 
+    def next_plan_instant(self) -> float | None:
+        """Earliest upcoming plan instant for the event calendar (None when
+        planning is off, inactive, or has no known breakpoints)."""
+        if self.planner is None:
+            return None
+        return self.planner.next_instant()
+
+    def plan_instant_due(self, now: float) -> bool:
+        """True when an active plan wants a control round fired at ``now``.
+
+        Also consumes instants that have passed, so a round triggered by the
+        ordinary manager gate at the same tick does not double-fire.
+        """
+        if self.planner is None:
+            return False
+        return self.planner.take_due_instants(now)
+
     def step(self, now: float) -> dict[str, float]:
         """One manager period: drain messages, budget, send caps.
 
@@ -643,6 +692,30 @@ class ClusterPowerManager:
                 hold=self.target_source.state_dict(),
             )
             self._last_journalled_target = target
+        if self.planner is not None:
+            # Score the previous round's forecast against the target just
+            # read and advance the shadow/active/fallback state machine —
+            # before budgeting, so a trip this round already budgets
+            # reactively.
+            prev_plan_state = self.planner.state
+            plan_state = self.planner.observe(now, target)
+            if plan_state != prev_plan_state:
+                self.events.append(
+                    f"t={now:.1f} plan {prev_plan_state} -> {plan_state} "
+                    f"(mae={self.planner.forecaster.mae:.1f}W)"
+                )
+                if tel:
+                    self.telemetry.incident(
+                        "plan-" + plan_state,
+                        now,
+                        mae=self.planner.forecaster.mae,
+                        bound=self.planner.envelope.error_bound_watts,
+                    )
+                    if plan_state == PLAN_FALLBACK:
+                        self._mx_plan_fallbacks.inc()
+            if tel:
+                self._mx_plan_state.set(self.planner.envelope.gauge)
+                self._mx_forecast_error.set(self.planner.forecaster.mae)
         if self.meter is not None:
             try:
                 measured = float(self.meter())
@@ -692,6 +765,8 @@ class ClusterPowerManager:
         if not self.jobs and not self._recovered:
             self.last_round = None
             self.last_allocation = None
+            if self.planner is not None:
+                self.planner.clear()
             if tel:
                 # The early return must still close the round span — leaked
                 # open spans would fail trace validation.
@@ -800,9 +875,47 @@ class ClusterPowerManager:
                 )
                 for r in active
             ]
-            allocation = self.budgeter.allocate(
-                requests, max(available - reserved, 1.0)
-            )
+            pool = max(available - reserved, 1.0)
+            plan_span = 0
+            if self.planner is not None:
+                if tel:
+                    plan_span = self.telemetry.bus.begin_span(
+                        "plan-round",
+                        now,
+                        parent=self._round_span,
+                        state=self.planner.state,
+                    )
+                allocation = self.planner.dispatch(
+                    now,
+                    requests,
+                    pool,
+                    {r.job_id: r.last_cap for r in active},
+                )
+            if allocation is None:
+                allocation = self.budgeter.allocate(requests, pool)
+            if self.planner is not None:
+                # Rebuild the cap trajectory for the next H rounds from this
+                # round's job set and the envelope-clamped forecast; future
+                # dispatches warm-start from it, and its breakpoints become
+                # plan instants for the event calendar.
+                plan = self.planner.rebuild(
+                    now,
+                    requests,
+                    observed_target=target,
+                    idle_power=idle_power,
+                    reserved=reserved,
+                    correction=self._correction,
+                )
+                if tel:
+                    self.telemetry.bus.end_span(
+                        plan_span,
+                        now,
+                        state=self.planner.state,
+                        warm=allocation.meta.get("plan_warm", 0.0),
+                        held_caps=allocation.meta.get("plan_held_caps", 0.0),
+                        horizon_points=len(plan.rounds),
+                        forecast_mae=self.planner.forecaster.mae,
+                    )
             caps.update(allocation.caps)
             allocated = sum(
                 allocation.caps[r.job_id] * r.nodes for r in active
@@ -860,6 +973,10 @@ class ClusterPowerManager:
             caps = {job_id: min(cap, emergency) for job_id, cap in caps.items()}
         for record in self.jobs.values():
             cap = caps[record.job_id]
+            if cap != record.last_cap:
+                self.cap_rewrites += 1
+                if tel:
+                    self._mx_cap_rewrites.inc()
             record.link.send_down(
                 BudgetMessage(
                     job_id=record.job_id,

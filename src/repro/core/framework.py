@@ -43,6 +43,9 @@ from repro.hwsim.cluster import EmulatedCluster
 from repro.hwsim.job import RunningJob
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.plan.envelope import SafetyEnvelope
+from repro.plan.forecast import FORECASTER_KINDS, make_forecaster
+from repro.plan.planner import RecedingHorizonPlanner
 from repro.sched.base import PendingJob, RunningView, Scheduler
 from repro.sched.fcfs import FcfsScheduler
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -173,6 +176,21 @@ class AnorConfig:
     audit_quarantine_rounds: int = 5  # compliant rounds to rehabilitate
     audit_clear_rounds: int = 5  # clean rounds back to trusted
     audit_probe_margin: float = 0.15  # probe-cap shave while quarantined
+    # Predictive planning (DESIGN.md §9).  Off by default: with
+    # ``plan_enabled`` False no planner is constructed and the control plane
+    # is bit-identical to the reactive implementation in both event_driven
+    # modes (golden traces pin it).  When on, a receding-horizon planner
+    # pre-solves the budgeter over the next ``plan_horizon_rounds`` manager
+    # periods against the chosen forecaster, clamped by the forecast safety
+    # envelope; ``plan_shadow_rounds`` is the promotion threshold of the
+    # shadow → active → fallback state machine (0 starts active).
+    plan_enabled: bool = False
+    plan_forecaster: str = "auto"  # auto|schedule|persistence|ramp|ar1|adversarial
+    plan_horizon_rounds: int = 8
+    plan_hysteresis_watts: float = 8.0
+    plan_error_bound_watts: float = 200.0
+    plan_error_window: int = 16
+    plan_shadow_rounds: int = 4
     # Internal: held True by the fault injector while a cluster-wide
     # NetworkPartition window is open, so links created mid-window (e.g.
     # reconnect attempts) are born partitioned too.
@@ -210,6 +228,9 @@ class AnorConfig:
             "audit_suspect_rounds": self.audit_suspect_rounds,
             "audit_quarantine_rounds": self.audit_quarantine_rounds,
             "audit_clear_rounds": self.audit_clear_rounds,
+            "plan_horizon_rounds": self.plan_horizon_rounds,
+            "plan_error_bound_watts": self.plan_error_bound_watts,
+            "plan_error_window": self.plan_error_window,
         }
         for name, value in positive.items():
             if value <= 0:
@@ -220,6 +241,8 @@ class AnorConfig:
             "max_requeues": self.max_requeues,
             "audit_tolerance": self.audit_tolerance,
             "audit_guardband": self.audit_guardband,
+            "plan_hysteresis_watts": self.plan_hysteresis_watts,
+            "plan_shadow_rounds": self.plan_shadow_rounds,
         }
         for name, value in non_negative.items():
             if value < 0:
@@ -243,6 +266,11 @@ class AnorConfig:
             raise ValueError(
                 "audit_probe_margin must be in (0, 1), got "
                 f"{self.audit_probe_margin}"
+            )
+        if self.plan_forecaster not in FORECASTER_KINDS:
+            raise ValueError(
+                f"plan_forecaster must be one of {FORECASTER_KINDS}, got "
+                f"{self.plan_forecaster!r}"
             )
         # Ordering inversions (the _MIN_STRIDE > _MAX_STRIDE class of bug).
         if self.reliable_max_backoff < self.reliable_base_backoff:
@@ -450,6 +478,27 @@ class AnorSystem:
                 probe_margin=cfg.audit_probe_margin,
                 telemetry=self.telemetry,
             )
+        planner = None
+        if cfg.plan_enabled:
+            # Fresh planner per manager build: forecast trust is head-local
+            # state, like breaker and auditor verdicts — a restarted head
+            # starts from shadow (or active when plan_shadow_rounds is 0)
+            # and re-earns promotion from new forecast scores.
+            planner = RecedingHorizonPlanner(
+                budgeter=self.budgeter,
+                forecaster=make_forecaster(
+                    cfg.plan_forecaster,
+                    self.target_source,
+                    error_window=cfg.plan_error_window,
+                ),
+                envelope=SafetyEnvelope(
+                    error_bound_watts=cfg.plan_error_bound_watts,
+                    promote_rounds=cfg.plan_shadow_rounds,
+                ),
+                horizon_rounds=cfg.plan_horizon_rounds,
+                period=cfg.manager_period,
+                hysteresis_watts=cfg.plan_hysteresis_watts,
+            )
         return ClusterPowerManager(
             budgeter=self.budgeter,
             target_source=self.target_source,
@@ -466,6 +515,7 @@ class AnorSystem:
             safe_floor=cfg.safe_floor,
             breaker=breaker,
             auditor=auditor,
+            planner=planner,
             telemetry=self.telemetry,
         )
 
@@ -1133,10 +1183,22 @@ class AnorSystem:
         # endpoints translate budgets into GEOPM policies, then agents apply
         # them — so a decision reaches the MSRs within one tick plus link
         # latency, matching a real deployment where each hop is a few ms.
-        if not self._head_down and self._manager_gate.due(now):
-            self.manager.step(now)
-            if self.manager.orphaned:
-                self._handle_orphans(now)
+        if not self._head_down:
+            # Poll the gate first (grid bookkeeping), then consume any plan
+            # instants due this tick: when an active plan knows the target
+            # steps *between* gate firings, the manager budgets at the step
+            # instant *instead of* the next grid round — the gate re-anchors
+            # onto the breakpoint so rounds stay one-per-period rather than
+            # doubling.  Planner off ⇒ the extra check is a constant False
+            # and the cadence is exactly the gate's.
+            manager_due = self._manager_gate.due(now)
+            if self.manager.plan_instant_due(now) and not manager_due:
+                self._manager_gate.restore(now, 1)
+                manager_due = True
+            if manager_due:
+                self.manager.step(now)
+                if self.manager.orphaned:
+                    self._handle_orphans(now)
         if (
             not self._head_down
             and self.durable is not None
@@ -1230,6 +1292,9 @@ class AnorSystem:
         cal.add_gate(self._agent_gate)
         if not self._head_down:
             cal.add_gate(self._manager_gate)
+            plan_instant = self.manager.next_plan_instant()
+            if plan_instant is not None:
+                cal.add_instant(plan_instant)
             if self._checkpoint_gate is not None:
                 cal.add_gate(self._checkpoint_gate)
             if self._pending:

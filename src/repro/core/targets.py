@@ -78,6 +78,21 @@ class SteppedTarget(PowerTargetSource):
         idx = max(0, min(idx, self._watts.size - 1))
         return float(self._watts[idx])
 
+    def window(self, t: float, horizon: float) -> tuple[tuple[float, float], ...]:
+        """Upcoming known breakpoints: ``(time, watts)`` with t < time ≤ t+horizon.
+
+        A file-backed target's future is already written down; the
+        predictive planner consumes these exact steps instead of
+        forecasting them, and registers the times as plan instants.
+        """
+        if horizon < 0:
+            raise ValueError(f"horizon must be ≥ 0, got {horizon}")
+        lo = int(np.searchsorted(self._times, t, side="right"))
+        hi = int(np.searchsorted(self._times, t + horizon, side="right"))
+        return tuple(
+            (float(self._times[i]), float(self._watts[i])) for i in range(lo, hi)
+        )
+
 
 class CarbonAwareTarget(PowerTargetSource):
     """Power target following grid carbon intensity (paper §3).

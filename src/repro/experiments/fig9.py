@@ -18,7 +18,7 @@ from repro.aqa.regulation import BoundedRandomWalkSignal
 from repro.budget.base import PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.framework import AnorConfig, AnorResult, AnorSystem, precharacterized_models
-from repro.core.targets import RegulationTarget
+from repro.core.targets import PowerTargetSource, RegulationTarget
 from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier, Misclassification
 from repro.workloads.generator import PoissonScheduleGenerator
@@ -67,12 +67,16 @@ def build_demand_response_system(
     target_period: float = 4.0,
     fault_schedule: FaultSchedule | None = None,
     config: AnorConfig | None = None,
+    target_source: PowerTargetSource | None = None,
 ) -> AnorSystem:
     """Assemble the Figs. 9–10 system: 6 long job types, moving target.
 
     ``fault_schedule`` attaches a :class:`~repro.faults.FaultInjector` so the
     resilience experiments can run the *same* workload, seed, and target
-    signal with and without faults.
+    signal with and without faults.  ``target_source`` replaces the default
+    regulation target (the forecast drill materialises the same signal into
+    a file-backed :class:`~repro.core.targets.SteppedTarget` so the planner
+    can consume exact breakpoints).
     """
     types = {jt.name: jt for jt in long_running_mix()}
     generator = PoissonScheduleGenerator(
@@ -80,12 +84,13 @@ def build_demand_response_system(
         seed=seed * 7919 + 13,
     )
     schedule = generator.generate(duration)
-    signal = BoundedRandomWalkSignal(
-        duration * 2, step=target_period, seed=seed * 104729 + 7
-    )
-    target = RegulationTarget(
-        average_power, reserve, signal, update_period=target_period
-    )
+    if target_source is None:
+        signal = BoundedRandomWalkSignal(
+            duration * 2, step=target_period, seed=seed * 104729 + 7
+        )
+        target_source = RegulationTarget(
+            average_power, reserve, signal, update_period=target_period
+        )
     models = precharacterized_models(NAS_TYPES)
     mis = (
         [Misclassification(true_type="bt", seen_as="is")]
@@ -95,7 +100,7 @@ def build_demand_response_system(
     classifier = JobClassifier(models, misclassifications=mis)
     return AnorSystem(
         budgeter=budgeter or EvenSlowdownBudgeter(),
-        target_source=target,
+        target_source=target_source,
         classifier=classifier,
         schedule=schedule,
         job_types=types,

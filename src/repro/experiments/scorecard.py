@@ -29,6 +29,7 @@ __all__ = [
     "score_partition",
     "score_byzantine",
     "score_soak",
+    "score_forecast",
 ]
 
 
@@ -348,3 +349,36 @@ SOAK_CLAIMS = (
 
 def score_soak(result) -> Scorecard:
     return _evaluate(SOAK_CLAIMS, result)
+
+
+# ----------------------------------------------------------- forecast drill
+
+FORECAST_CLAIMS = (
+    Claim("forecast", "predictive planning strictly improves tracking "
+          "(90th pct error ratio < 1)",
+          lambda r: r.tracking_ratio < 1.0),
+    Claim("forecast", "hysteresis + plan warm starts reduce cap rewrites "
+          "vs the reactive seed",
+          lambda r: r.predictive_rewrites < r.reactive_rewrites),
+    Claim("forecast", "predictive planned draw never exceeds the budget "
+          "ceiling",
+          lambda r: r.predictive_violations == 0),
+    Claim("forecast", "even a deliberately wrong forecast never pushes "
+          "planned draw over the ceiling (envelope clamp)",
+          lambda r: r.adversarial_violations == 0),
+    Claim("forecast", "the adversarial forecaster trips fallback within the "
+          "configured error window",
+          lambda r: r.adversarial_fallbacks > 0
+          and r.fallback_latency is not None
+          and r.fallback_latency <= r.fallback_latency_bound),
+    Claim("forecast", "the exact schedule forecaster never trips fallback",
+          lambda r: r.predictive_fallbacks == 0),
+    Claim("forecast", "all three arms drain the same workload",
+          lambda r: len(r.reactive.completed) == len(r.predictive.completed)
+          == len(r.adversarial.completed)
+          and r.reactive.unstarted_jobs == 0),
+)
+
+
+def score_forecast(result) -> Scorecard:
+    return _evaluate(FORECAST_CLAIMS, result)

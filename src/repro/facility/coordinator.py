@@ -52,6 +52,17 @@ class MutableTarget(PowerTargetSource):
     def target(self, now: float) -> float:
         return self._watts
 
+    def window(self, t: float, horizon: float) -> tuple[tuple[float, float], ...]:
+        """No known future breakpoints — facility rewrites are unannounced.
+
+        Present so a member cluster's predictive planner can treat the
+        facility feed uniformly with file-backed targets: an empty window
+        means "plan on the statistical forecast only".
+        """
+        if horizon < 0:
+            raise ValueError(f"horizon must be ≥ 0, got {horizon}")
+        return ()
+
 
 def aggregate_cluster_model(
     job_requests: Sequence[JobBudgetRequest],

@@ -1,0 +1,410 @@
+"""Target forecasters: past target samples → a horizon of (t, ŷ, confidence).
+
+A forecaster sees exactly what the cluster manager sees — the target value
+read at each control round — and extrapolates it over the planning horizon.
+Four families cover the target sources the framework ships:
+
+* :class:`PersistenceForecaster` — ŷ(t) = last observation.  The baseline
+  every other forecaster must beat; exact for constant targets.
+* :class:`RampForecaster` — fits the slope of the most recent samples by
+  least squares and extrapolates linearly.  Matches stepped ramps and slow
+  tariff/carbon transitions.
+* :class:`AR1Forecaster` — mean-reverting AR(1) extrapolation for
+  ``aqa.regulation`` signals: ŷ(t) = μ + ρ^k · (y − μ).  Fit offline from a
+  regulation signal's vectorised :meth:`~repro.aqa.regulation.RegulationSignal.series`.
+* :class:`ScheduleForecaster` — not a statistical model at all: file-backed
+  targets publish their upcoming breakpoints via ``window(t, horizon)``, so
+  the "forecast" is exact and its breakpoints become plan instants.
+
+Every forecaster tracks its own online error (MAE/bias over a sliding
+window) via :class:`ForecastErrorWindow`; the safety envelope reads that
+window to decide when predictions can be trusted.
+:class:`InvertedRampForecaster` deliberately extrapolates the wrong way —
+the adversarial probe the forecast drill uses to prove the envelope holds.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.targets import HoldLastGoodTarget, PowerTargetSource, RegulationTarget
+
+__all__ = [
+    "ForecastPoint",
+    "ForecastErrorWindow",
+    "TargetForecaster",
+    "PersistenceForecaster",
+    "RampForecaster",
+    "InvertedRampForecaster",
+    "AR1Forecaster",
+    "ScheduleForecaster",
+    "make_forecaster",
+]
+
+FORECASTER_KINDS = ("auto", "schedule", "persistence", "ramp", "ar1", "adversarial")
+
+
+@dataclass(frozen=True)
+class ForecastPoint:
+    """One horizon point: predicted target ``value`` (W) at ``time``.
+
+    ``confidence`` ∈ (0, 1] decays with lookahead distance; the planner
+    currently records it for observability (the envelope's min-bound makes
+    the plan safe regardless), but a future multi-cluster layer can weight
+    pre-positioning decisions by it.
+    """
+
+    time: float
+    value: float
+    confidence: float
+
+
+class ForecastErrorWindow:
+    """Sliding window of signed forecast errors (actual − predicted)."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"error window must be ≥ 1, got {window}")
+        self.window = int(window)
+        self._errors: deque[float] = deque(maxlen=self.window)
+
+    def push(self, error: float) -> None:
+        self._errors.append(float(error))
+
+    @property
+    def count(self) -> int:
+        return len(self._errors)
+
+    @property
+    def mae(self) -> float:
+        """Mean absolute error (W) over the window; 0 when empty."""
+        if not self._errors:
+            return 0.0
+        return float(np.mean(np.abs(self._errors)))
+
+    @property
+    def bias(self) -> float:
+        """Mean signed error (W); positive means the forecast runs low."""
+        if not self._errors:
+            return 0.0
+        return float(np.mean(self._errors))
+
+    def reset(self) -> None:
+        self._errors.clear()
+
+
+class TargetForecaster(ABC):
+    """Common interface: observe target samples, emit a forecast horizon.
+
+    Subclasses implement :meth:`predict`; the base class handles sample
+    bookkeeping, confidence decay, and the online error window.  The
+    *caller* (the planner) decides which issued predictions to score via
+    :meth:`record_error` — the forecaster itself has no notion of the
+    control-round cadence.
+    """
+
+    #: human-readable name used in drill tables and telemetry
+    name: str = "abstract"
+
+    def __init__(self, *, error_window: int = 16, confidence_tau: float = 60.0) -> None:
+        if confidence_tau <= 0:
+            raise ValueError(f"confidence_tau must be positive, got {confidence_tau}")
+        self.errors = ForecastErrorWindow(error_window)
+        self.confidence_tau = float(confidence_tau)
+        self._last_t: float | None = None
+        self._last_y: float | None = None
+
+    # -- observation ------------------------------------------------------
+    def observe(self, t: float, y: float) -> None:
+        """Feed one actual target sample (what the manager just read)."""
+        self._last_t = float(t)
+        self._last_y = float(y)
+        self._observe(float(t), float(y))
+
+    def _observe(self, t: float, y: float) -> None:
+        """Subclass hook: update internal fit state on a new sample."""
+
+    @property
+    def last_observation(self) -> tuple[float, float] | None:
+        if self._last_t is None or self._last_y is None:
+            return None
+        return (self._last_t, self._last_y)
+
+    # -- prediction -------------------------------------------------------
+    @abstractmethod
+    def predict(self, now: float, t: float) -> float:
+        """Predicted target (W) at future time ``t`` given samples up to ``now``."""
+
+    def confidence(self, now: float, t: float) -> float:
+        """Confidence in a prediction ``t − now`` seconds ahead, in (0, 1]."""
+        return math.exp(-max(t - now, 0.0) / self.confidence_tau)
+
+    def forecast(self, now: float, times: Iterable[float]) -> list[ForecastPoint]:
+        """Emit the horizon of ``(t, ŷ, confidence)`` points."""
+        return [
+            ForecastPoint(float(t), self.predict(now, float(t)), self.confidence(now, float(t)))
+            for t in times
+        ]
+
+    def breakpoints(self, now: float, horizon: float) -> tuple[float, ...]:
+        """Future instants where the target is *known* to change; empty for
+        statistical forecasters."""
+        return ()
+
+    # -- error tracking ---------------------------------------------------
+    def record_error(self, error: float) -> None:
+        """Record one signed error (actual − predicted) for a scored point."""
+        self.errors.push(error)
+
+    @property
+    def mae(self) -> float:
+        return self.errors.mae
+
+    @property
+    def bias(self) -> float:
+        return self.errors.bias
+
+    def _require_observation(self) -> tuple[float, float]:
+        if self._last_t is None or self._last_y is None:
+            raise ValueError(f"{self.name} forecaster has no observations yet")
+        return (self._last_t, self._last_y)
+
+
+class PersistenceForecaster(TargetForecaster):
+    """ŷ(t) = last observed target — the zero-order-hold baseline."""
+
+    name = "persistence"
+
+    def predict(self, now: float, t: float) -> float:
+        _, y = self._require_observation()
+        return y
+
+
+class RampForecaster(TargetForecaster):
+    """Linear extrapolation of the recent target slope.
+
+    Fits a least-squares line through the last ``fit_points`` samples and
+    extends it from the newest observation.  ``max_slope`` (W/s) optionally
+    clamps the fitted slope so one bad sample cannot launch the forecast.
+    """
+
+    name = "ramp"
+
+    def __init__(
+        self,
+        *,
+        fit_points: int = 8,
+        max_slope: float | None = None,
+        error_window: int = 16,
+        confidence_tau: float = 60.0,
+    ) -> None:
+        super().__init__(error_window=error_window, confidence_tau=confidence_tau)
+        if fit_points < 2:
+            raise ValueError(f"fit_points must be ≥ 2, got {fit_points}")
+        if max_slope is not None and max_slope <= 0:
+            raise ValueError(f"max_slope must be positive, got {max_slope}")
+        self.fit_points = int(fit_points)
+        self.max_slope = None if max_slope is None else float(max_slope)
+        self._samples: deque[tuple[float, float]] = deque(maxlen=self.fit_points)
+
+    def _observe(self, t: float, y: float) -> None:
+        if self._samples and self._samples[-1][0] == t:
+            self._samples[-1] = (t, y)
+        else:
+            self._samples.append((t, y))
+
+    def slope(self) -> float:
+        """Fitted slope (W/s) over the retained samples; 0 with < 2 points."""
+        if len(self._samples) < 2:
+            return 0.0
+        ts = np.array([s[0] for s in self._samples])
+        ys = np.array([s[1] for s in self._samples])
+        tc = ts - ts.mean()
+        denom = float(np.dot(tc, tc))
+        if denom <= 0.0:
+            return 0.0
+        slope = float(np.dot(tc, ys - ys.mean()) / denom)
+        if self.max_slope is not None:
+            slope = float(np.clip(slope, -self.max_slope, self.max_slope))
+        return slope
+
+    def predict(self, now: float, t: float) -> float:
+        t0, y0 = self._require_observation()
+        return y0 + self.slope() * (t - t0)
+
+
+class InvertedRampForecaster(RampForecaster):
+    """Adversarial probe: extrapolates the fitted slope *backwards*.
+
+    Wrong by construction — roughly twice the true move per step — so the
+    forecast drill can demonstrate that the safety envelope keeps planned
+    draw inside the reactive bound and that fallback engages once windowed
+    error crosses the configured limit.
+    """
+
+    name = "inverted-ramp"
+
+    def slope(self) -> float:
+        return -super().slope()
+
+
+class AR1Forecaster(TargetForecaster):
+    """Mean-reverting AR(1) extrapolation: ŷ(t) = μ + ρ^k · (y_now − μ).
+
+    ``rho`` is the per-``step`` autocorrelation; ``k = (t − t_now) / step``.
+    Built for :class:`~repro.core.targets.RegulationTarget` sources, whose
+    signals are bounded mean-reverting walks; :meth:`fit_regulation`
+    estimates μ and ρ offline from the signal's vectorised ``series()``.
+    """
+
+    name = "ar1"
+
+    def __init__(
+        self,
+        *,
+        mean_power: float,
+        rho: float,
+        step: float = 4.0,
+        error_window: int = 16,
+    ) -> None:
+        super().__init__(error_window=error_window)
+        if mean_power <= 0:
+            raise ValueError(f"mean_power must be positive, got {mean_power}")
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.mean_power = float(mean_power)
+        self.rho = float(rho)
+        self.step = float(step)
+
+    @classmethod
+    def fit_regulation(
+        cls,
+        target: RegulationTarget,
+        *,
+        fit_duration: float = 1800.0,
+        error_window: int = 16,
+    ) -> "AR1Forecaster":
+        """Estimate μ and ρ from a regulation target's signal.
+
+        Samples the signal on its update grid via the vectorised
+        :meth:`~repro.aqa.regulation.RegulationSignal.series` path and
+        regresses lag-1 values; μ comes from the signal mean mapped through
+        ``P̄ + R·ȳ``.
+        """
+        if fit_duration <= target.update_period:
+            raise ValueError("fit_duration must cover at least two update periods")
+        times = np.arange(0.0, fit_duration, target.update_period)
+        y = np.asarray(target.signal.series(times), dtype=float)
+        centred = y - y.mean()
+        denom = float(np.dot(centred[:-1], centred[:-1]))
+        rho = float(np.dot(centred[1:], centred[:-1]) / denom) if denom > 0 else 0.0
+        rho = float(np.clip(rho, 0.0, 0.999))
+        mean_power = target.average_power + target.reserve * float(y.mean())
+        return cls(
+            mean_power=mean_power,
+            rho=rho,
+            step=target.update_period,
+            error_window=error_window,
+        )
+
+    def predict(self, now: float, t: float) -> float:
+        _, y = self._require_observation()
+        k = max(t - now, 0.0) / self.step
+        return self.mean_power + (self.rho**k) * (y - self.mean_power)
+
+    def confidence(self, now: float, t: float) -> float:
+        k = max(t - now, 0.0) / self.step
+        return max(self.rho**k, 1e-6)
+
+
+class ScheduleForecaster(TargetForecaster):
+    """Exact lookahead over a source that publishes future breakpoints.
+
+    File-backed targets (``SteppedTarget`` from :func:`load_target_file`)
+    already *know* their future: ``window(t, horizon)`` returns the upcoming
+    (time, watts) breakpoints.  Forecasting what is already written down
+    would be silly, so this forecaster replays the schedule exactly
+    (confidence 1.0) and surfaces the breakpoints as plan instants.
+    """
+
+    name = "schedule"
+
+    def __init__(self, source: PowerTargetSource, *, error_window: int = 16) -> None:
+        super().__init__(error_window=error_window)
+        if not hasattr(source, "window"):
+            raise ValueError(
+                f"{type(source).__name__} has no window(t, horizon) method; "
+                "a schedule forecaster needs a breakpoint-publishing source"
+            )
+        self.source = source
+
+    def predict(self, now: float, t: float) -> float:
+        return float(self.source.target(t))
+
+    def confidence(self, now: float, t: float) -> float:
+        return 1.0
+
+    def breakpoints(self, now: float, horizon: float) -> tuple[float, ...]:
+        return tuple(time for time, _ in self.source.window(now, horizon))
+
+
+def unwrap_target_source(source: PowerTargetSource) -> PowerTargetSource:
+    """Peel fault-tolerance wrappers off a target source.
+
+    The manager reads targets through :class:`HoldLastGoodTarget`; the
+    forecaster wants the raw schedule/signal underneath.
+    """
+    while isinstance(source, HoldLastGoodTarget):
+        source = source.inner
+    return source
+
+
+def make_forecaster(
+    kind: str,
+    source: PowerTargetSource,
+    *,
+    error_window: int = 16,
+    fit_duration: float = 1800.0,
+) -> TargetForecaster:
+    """Build the forecaster ``kind`` for ``source``.
+
+    ``"auto"`` picks the best available: exact schedule lookahead when the
+    source publishes breakpoints, AR(1) for regulation targets, persistence
+    otherwise.  ``"adversarial"`` is the drill's inverted-ramp probe.
+    """
+    if kind not in FORECASTER_KINDS:
+        raise ValueError(
+            f"unknown forecaster kind {kind!r}; expected one of {FORECASTER_KINDS}"
+        )
+    raw = unwrap_target_source(source)
+    if kind == "auto":
+        if hasattr(raw, "window"):
+            kind = "schedule"
+        elif isinstance(raw, RegulationTarget):
+            kind = "ar1"
+        else:
+            kind = "persistence"
+    if kind == "schedule":
+        return ScheduleForecaster(raw, error_window=error_window)
+    if kind == "persistence":
+        return PersistenceForecaster(error_window=error_window)
+    if kind == "ramp":
+        return RampForecaster(error_window=error_window)
+    if kind == "adversarial":
+        return InvertedRampForecaster(error_window=error_window)
+    # kind == "ar1"
+    if not isinstance(raw, RegulationTarget):
+        raise ValueError(
+            f"ar1 forecaster needs a RegulationTarget source, got {type(raw).__name__}"
+        )
+    return AR1Forecaster.fit_regulation(
+        raw, fit_duration=fit_duration, error_window=error_window
+    )

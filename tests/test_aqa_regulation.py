@@ -5,6 +5,7 @@ import pytest
 
 from repro.aqa.regulation import (
     BoundedRandomWalkSignal,
+    RegulationSignal,
     SinusoidSignal,
     TabulatedSignal,
 )
@@ -98,3 +99,40 @@ class TestTabulated:
     def test_non_increasing_times_rejected(self):
         with pytest.raises(ValueError, match="strictly increasing"):
             TabulatedSignal([0.0, 0.0], [0.1, 0.2])
+
+
+class TestSeries:
+    def test_sinusoid_series_matches_scalar(self):
+        sig = SinusoidSignal(period=120.0, amplitude=0.8, phase=0.3)
+        times = [0.0, 1.5, 37.0, 119.9, 240.0]
+        out = sig.series(times)
+        assert out.tolist() == pytest.approx([sig.value(t) for t in times])
+
+    def test_random_walk_series_matches_scalar(self):
+        sig = BoundedRandomWalkSignal(200.0, step=4.0, seed=11)
+        times = np.arange(0.0, 400.0, 1.7)
+        out = sig.series(times)
+        assert out.tolist() == [sig.value(float(t)) for t in times]
+
+    def test_random_walk_series_rejects_negative_times(self):
+        sig = BoundedRandomWalkSignal(100.0, seed=1)
+        with pytest.raises(ValueError, match="≥ 0"):
+            sig.series([-1.0, 0.0])
+
+    def test_tabulated_series_matches_scalar(self):
+        sig = TabulatedSignal([0.0, 5.0, 10.0], [0.2, -0.4, 0.9])
+        times = [0.0, 2.5, 5.0, 7.0, 10.0, 50.0]
+        out = sig.series(times)
+        assert out.tolist() == [sig.value(t) for t in times]
+
+    def test_tabulated_error_names_offending_index(self):
+        with pytest.raises(ValueError, match=r"times\[1\]=5\.0"):
+            TabulatedSignal([0.0, 5.0, 5.0], [0.1, 0.2, 0.3])
+
+    def test_base_fallback_series(self):
+        class Lambda(RegulationSignal):
+            def value(self, t):
+                return min(t / 100.0, 1.0)
+
+        sig = Lambda()
+        assert sig.series([0.0, 50.0, 200.0]).tolist() == [0.0, 0.5, 1.0]

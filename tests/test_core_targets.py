@@ -73,3 +73,43 @@ class TestRegulation:
     def test_negative_reserve_rejected(self):
         with pytest.raises(ValueError, match="≥ 0"):
             RegulationTarget(100.0, -1.0, lambda now: 0.0)
+
+
+class TestSteppedWindow:
+    def test_window_returns_breakpoints_in_range(self):
+        t = SteppedTarget([0.0, 10.0, 20.0, 30.0], [100.0, 200.0, 300.0, 400.0])
+        assert t.window(5.0, 20.0) == ((10.0, 200.0), (20.0, 300.0))
+
+    def test_window_excludes_now_includes_endpoint(self):
+        # The planner already knows the value *at* now; the window is the
+        # strictly-future view (now, now + horizon].
+        t = SteppedTarget([0.0, 10.0, 20.0], [100.0, 200.0, 300.0])
+        assert t.window(10.0, 10.0) == ((20.0, 300.0),)
+
+    def test_window_empty_when_no_breakpoints_ahead(self):
+        t = SteppedTarget([0.0, 10.0], [100.0, 200.0])
+        assert t.window(50.0, 100.0) == ()
+
+    def test_window_zero_horizon(self):
+        t = SteppedTarget([0.0, 10.0], [100.0, 200.0])
+        assert t.window(0.0, 0.0) == ()
+
+    def test_negative_horizon_rejected(self):
+        t = SteppedTarget([0.0], [100.0])
+        with pytest.raises(ValueError, match="≥ 0"):
+            t.window(0.0, -1.0)
+
+
+class TestMutableWindow:
+    def test_window_always_empty(self):
+        from repro.facility.coordinator import MutableTarget
+
+        t = MutableTarget(500.0)
+        t.set(600.0)
+        assert t.window(0.0, 1e6) == ()
+
+    def test_negative_horizon_rejected(self):
+        from repro.facility.coordinator import MutableTarget
+
+        with pytest.raises(ValueError, match="≥ 0"):
+            MutableTarget(500.0).window(0.0, -1.0)

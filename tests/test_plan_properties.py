@@ -1,0 +1,167 @@
+"""Properties of the predictive planner (DESIGN.md §9).
+
+Two contracts that must hold for *any* forecaster behaviour:
+
+1. **Safety** — with planning active and a forecaster that is arbitrarily
+   wrong (any constant bias), every budget round's planned draw stays
+   inside the ceiling the reactive controller enforces.  The envelope's
+   min-clamp plus the dispatch-time pool check make this true by
+   construction; hypothesis hunts for a bias that breaks it.
+
+2. **Neutrality** — with planning off (the default), runs are bit-identical
+   whether the plan knobs are spelled out or absent, in tick and in
+   event-driven mode, healthy or faulted: the subsystem costs nothing when
+   unused.  With planning *on*, tick and event-driven stepping still agree
+   exactly — plan instants are calendar events, not wall-clock surprises.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.core.framework import AnorConfig  # noqa: E402
+from repro.core.targets import SteppedTarget  # noqa: E402
+from repro.experiments.fig9 import build_demand_response_system  # noqa: E402
+from repro.faults.schedule import FaultSchedule  # noqa: E402
+from repro.plan.forecast import PersistenceForecaster  # noqa: E402
+
+DURATION = 120.0
+
+
+def _stepped_target(kind: int) -> SteppedTarget:
+    times = [4.0 * k for k in range(80)]
+    if kind == 0:  # square wave
+        watts = [3000.0 + 500.0 * (-1) ** k for k in range(80)]
+    elif kind == 1:  # ramp up then down
+        watts = [2500.0 + 30.0 * min(k, 79 - k) for k in range(80)]
+    else:  # mostly flat with dips
+        watts = [3200.0 - (600.0 if k % 7 == 0 else 0.0) for k in range(80)]
+    return SteppedTarget(times, watts)
+
+
+class BiasedForecaster(PersistenceForecaster):
+    """Persistence plus an arbitrary constant offset — a tunable liar."""
+
+    name = "biased"
+
+    def __init__(self, offset: float) -> None:
+        super().__init__(error_window=8)
+        self.offset = float(offset)
+
+    def predict(self, now: float, t: float) -> float:
+        return super().predict(now, t) + self.offset
+
+
+@settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    bias=st.floats(min_value=-2000.0, max_value=2000.0),
+    target_kind=st.integers(min_value=0, max_value=2),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_planned_draw_never_exceeds_ceiling_for_any_forecast_bias(
+    bias, target_kind, seed
+):
+    cfg = AnorConfig(
+        num_nodes=16,
+        seed=seed,
+        manager_period=4.0,
+        plan_enabled=True,
+        plan_forecaster="persistence",
+        plan_shadow_rounds=0,
+        plan_error_bound_watts=150.0,
+    )
+    system = build_demand_response_system(
+        duration=DURATION, seed=seed, target_source=_stepped_target(target_kind),
+        config=cfg,
+    )
+    system.manager.planner.forecaster = BiasedForecaster(bias)
+    rows = []
+    for _ in range(int(DURATION) + 60):
+        system.step()
+        rnd = system.manager.last_round
+        if rnd is not None and (not rows or rows[-1][0] != rnd.time):
+            ceiling = max(rnd.target + rnd.correction, rnd.floor)
+            rows.append(
+                (rnd.time, ceiling, rnd.idle_power + rnd.reserved + rnd.allocated)
+            )
+    assert rows, "no budget rounds sampled"
+    overs = [(t, c, p) for t, c, p in rows if p > c + 0.1]
+    assert not overs, f"planned draw exceeded ceiling: {overs[:3]}"
+
+
+def _run(event_driven, *, seed, faults, plan, spell_out_knobs=True):
+    kwargs = dict(
+        seed=seed,
+        manager_period=4.0,
+        event_driven=event_driven,
+        endpoint_restart_delay=15.0,
+    )
+    if plan or spell_out_knobs:
+        kwargs.update(
+            plan_enabled=plan,
+            plan_forecaster="auto",
+            plan_horizon_rounds=6,
+            plan_hysteresis_watts=10.0,
+            plan_error_bound_watts=150.0,
+            plan_shadow_rounds=0,
+        )
+    schedule = None
+    if faults is not None:
+        schedule = FaultSchedule.random(DURATION, seed=seed * 31 + 7, **faults)
+    system = build_demand_response_system(
+        duration=DURATION,
+        seed=seed,
+        target_source=_stepped_target(0),
+        config=AnorConfig(**kwargs),
+        fault_schedule=schedule,
+    )
+    return system.run(DURATION)
+
+
+FAULTS = st.sampled_from(
+    [
+        None,
+        dict(node_crash_rate=1 / 90.0, node_down_time=40.0),
+        dict(endpoint_crash_rate=1 / 90.0, link_burst_rate=1 / 120.0),
+        dict(meter_outage_rate=1 / 90.0, corrupt_status_rate=1 / 60.0),
+    ]
+)
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.power_trace, b.power_trace)
+    assert a.warnings == b.warnings
+    assert a.fault_log == b.fault_log
+    assert len(a.completed) == len(b.completed)
+    assert [t.job_id for t in a.completed] == [t.job_id for t in b.completed]
+    assert [t.energy for t in a.completed] == [t.energy for t in b.completed]
+
+
+@settings(
+    max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=20), faults=FAULTS)
+def test_plan_off_is_bit_identical_to_seed_in_both_modes(seed, faults):
+    for event in (False, True):
+        with_knobs = _run(event, seed=seed, faults=faults, plan=False)
+        without = _run(
+            event, seed=seed, faults=faults, plan=False, spell_out_knobs=False
+        )
+        _assert_identical(with_knobs, without)
+    tick = _run(False, seed=seed, faults=faults, plan=False)
+    event = _run(True, seed=seed, faults=faults, plan=False)
+    _assert_identical(tick, event)
+
+
+@settings(
+    max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=20), faults=FAULTS)
+def test_plan_active_tick_and_event_modes_agree(seed, faults):
+    tick = _run(False, seed=seed, faults=faults, plan=True)
+    event = _run(True, seed=seed, faults=faults, plan=True)
+    _assert_identical(tick, event)
