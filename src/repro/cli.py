@@ -175,6 +175,18 @@ def _soak(seconds: float, seed: int, trace_out: str | None) -> tuple:
     return f"{table}\n\n{card.render()}", card.all_passed
 
 
+def _shed(quick: bool, seed: int) -> tuple:
+    # The drill is already short (fixed incident stagger over 900 simulated
+    # seconds); --quick changes nothing, the flag is accepted for symmetry.
+    del quick
+    from repro.experiments import resilience, scorecard
+
+    result = resilience.run_shed_drill(seed=seed)
+    table = resilience.format_shed_table(result)
+    card = scorecard.score_shed(result)
+    return f"{table}\n\n{card.render()}", card.all_passed
+
+
 def _plan_drill(quick: bool, seed: int) -> tuple:
     from repro.experiments import resilience, scorecard
 
@@ -519,6 +531,13 @@ def main(argv: list[str] | None = None) -> int:
                 default=None,
                 help="write the soak's invariant-violation trace to this file",
             )
+            p.add_argument(
+                "--shed",
+                action="store_true",
+                help="run the graceful-degradation shed drill: staggered "
+                "facility incidents walk the severity ladder (brownouts to "
+                "blackstart) against priority-tiered shedding",
+            )
         if name == "all":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument(
@@ -588,13 +607,13 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "resilience" and not args.seeds:
         scenarios = [
             flag
-            for flag in ("headnode_crash", "partition", "byzantine", "soak")
+            for flag in ("headnode_crash", "partition", "byzantine", "soak", "shed")
             if getattr(args, flag)
         ]
         if len(scenarios) > 1:
             parser.error(
-                "--headnode-crash, --partition, --byzantine and --soak "
-                "are exclusive"
+                "--headnode-crash, --partition, --byzantine, --soak and "
+                "--shed are exclusive"
             )
         scenario = scenarios[0] if scenarios else None
         seed = args.seed
@@ -613,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
             table, ok = _soak(
                 args.seconds, seed if seed is not None else 7, args.soak_trace
             )
+        elif scenario == "shed":
+            table, ok = _shed(args.quick, seed if seed is not None else 11)
         else:
             table, ok = _resilience_checked(
                 args.quick, seed if seed is not None else 0

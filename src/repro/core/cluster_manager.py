@@ -38,6 +38,7 @@ from repro.core.transport import TcpLink
 from repro.durable.journal import Journal
 from repro.durable.recovery import RecoveredJob, recovered_jobs_from_state
 from repro.facility.breaker import PowerBreaker
+from repro.facility.shed import ShedController
 from repro.modeling.classifier import JobClassifier
 from repro.modeling.quadratic import QuadraticPowerModel
 from repro.plan.envelope import PLAN_FALLBACK
@@ -203,6 +204,15 @@ class ClusterPowerManager:
     # None keeps the reactive control flow and bit-identical golden traces.
     planner: RecedingHorizonPlanner | None = None
 
+    # Optional graceful-degradation controller (DESIGN.md §10): grades a
+    # sagging power feed into severity states, shrinks the budgeting target
+    # to the ladder's ramped ceiling, clamps shed-class caps to the floor,
+    # and queues preempt/kill actions for the framework to execute between
+    # rounds.  Every intervention only *reduces* caps, so BudgetRound
+    # invariants still hold.  None keeps the pre-shed control flow and
+    # bit-identical golden traces.
+    shed: ShedController | None = None
+
     # Observability (DESIGN.md §8): metrics + control-round span tree.  The
     # shared NULL instance keeps every emission a single attribute check.
     telemetry: Telemetry = field(default=NULL_TELEMETRY)
@@ -251,6 +261,7 @@ class ClusterPowerManager:
                 floor=self.total_nodes * self.p_node_min,
             )
         self._round_span = 0
+        self._shed_span = 0
         if self.telemetry.enabled:
             self._init_metrics()
 
@@ -316,6 +327,27 @@ class ClusterPowerManager:
             self._mx_plan_fallbacks = reg.counter(
                 "anor_plan_fallbacks_total",
                 "envelope trips from active planning back to reactive",
+            )
+        if self.shed is not None:
+            self._mx_shed_severity = reg.gauge(
+                "anor_shed_severity",
+                "degradation-ladder severity (0 normal .. 3 blackstart)",
+            )
+            self._mx_shed_ceiling = reg.gauge(
+                "anor_shed_ceiling_watts",
+                "effective budget ceiling after the recovery ramp",
+            )
+            self._mx_shed_actions = {
+                action: reg.counter(
+                    "anor_shed_actions_total",
+                    "shed actions dispatched by the degradation ladder",
+                    action=action,
+                )
+                for action in ("cap-to-floor", "preempt", "kill")
+            }
+            self._mx_shed_restores = reg.counter(
+                "anor_shed_restores_total",
+                "shed episodes cleared (severity back to normal)",
             )
 
     # ------------------------------------------------------------- plumbing
@@ -663,6 +695,73 @@ class ClusterPowerManager:
             return False
         return self.planner.take_due_instants(now)
 
+    def _observe_shed(self, target: float, now: float) -> float:
+        """Grade the feed through the degradation ladder; returns the
+        effective budgeting target (the ladder's ramped ceiling)."""
+        shed = self.shed
+        prev = shed.severity
+        effective = shed.observe(target, now)
+        tel = self.telemetry.enabled
+        if shed.severity != prev:
+            self.events.append(
+                f"t={now:.1f} shed {prev} -> {shed.severity} "
+                f"(target={target:.0f}W ceiling={effective:.0f}W)"
+            )
+            if tel:
+                self.telemetry.incident(
+                    "shed-" + shed.severity, now,
+                    target=target, ceiling=effective,
+                )
+                if prev == "normal" and self._shed_span == 0:
+                    # One span per incident episode: opened on the first
+                    # escalation, closed when severity returns to normal.
+                    self._shed_span = self.telemetry.bus.begin_span(
+                        "shed-episode", now, severity=shed.severity
+                    )
+                elif shed.severity == "normal":
+                    self._mx_shed_restores.inc()
+                    if self._shed_span:
+                        self.telemetry.bus.end_span(
+                            self._shed_span, now,
+                            preempts=shed.preempts, kills=shed.kills,
+                        )
+                        self._shed_span = 0
+        if tel:
+            self._mx_shed_severity.set(shed.ladder.gauge_value)
+            self._mx_shed_ceiling.set(effective)
+        return effective
+
+    def _apply_shed(self, caps: dict[str, float], now: float) -> None:
+        """Clamp shed-class caps and queue preempt/kill actions in class
+        order.  Only ever reduces caps; protected jobs can at most be
+        floored (the plan table has no harsher entry for them)."""
+        shed = self.shed
+        plan = shed.ladder.plan
+        tel = self.telemetry.enabled
+        for job_id in sorted(caps):
+            record = self.jobs.get(job_id)
+            if record is None:
+                continue
+            action = plan[shed.class_of(record.claimed_type)]
+            if action == "none":
+                continue
+            if caps[job_id] > self.p_node_min:
+                caps[job_id] = self.p_node_min
+                if tel and action == "cap-to-floor":
+                    self._mx_shed_actions["cap-to-floor"].inc()
+            if action in ("preempt", "kill") and shed.request_shed(job_id, action):
+                self.events.append(
+                    f"t={now:.1f} {job_id}: shed {action} "
+                    f"(severity={shed.severity})"
+                )
+                if tel:
+                    self._mx_shed_actions[action].inc()
+                    self.telemetry.incident(
+                        "shed-" + action, now,
+                        parent=self._shed_span or None,
+                        job_id=job_id, severity=shed.severity,
+                    )
+
     def step(self, now: float) -> dict[str, float]:
         """One manager period: drain messages, budget, send caps.
 
@@ -679,6 +778,10 @@ class ClusterPowerManager:
         self._evict_dead(now)
         self._reconcile_recovery(now)
         target = self.target_source.target(now)
+        if self.shed is not None:
+            # The ladder sees the raw feed; everything downstream budgets
+            # to its ramped ceiling (identical to the feed while normal).
+            target = self._observe_shed(target, now)
         if tel:
             self.telemetry.bus.event(
                 "target-read", now, parent=self._round_span, target=target
@@ -971,6 +1074,8 @@ class ClusterPowerManager:
             )
             emergency = max(self.p_node_min, float(emergency))
             caps = {job_id: min(cap, emergency) for job_id, cap in caps.items()}
+        if self.shed is not None and self.shed.active:
+            self._apply_shed(caps, now)
         for record in self.jobs.values():
             cap = caps[record.job_id]
             if cap != record.last_cap:

@@ -35,6 +35,7 @@ from repro.durable.checkpoint import CheckpointError
 from repro.durable.state import apply_journal, capture_state, empty_state
 from repro.durable.store import DurableStore
 from repro.facility.breaker import PowerBreaker
+from repro.facility.shed import SHED_CLASSES, ShedController, ShedLadder
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.geopm.report import ApplicationTotals, render_report
@@ -191,6 +192,25 @@ class AnorConfig:
     plan_error_bound_watts: float = 200.0
     plan_error_window: int = 16
     plan_shadow_rounds: int = 4
+    # Graceful-degradation ladder (DESIGN.md §10).  Off by default: with
+    # ``shed_enabled`` False no controller is constructed and the control
+    # plane is bit-identical to the pre-shed implementation in both
+    # event_driven modes (golden traces pin it).  When on, feed deficits
+    # against nominal demand grade into severity states (normal →
+    # brownout-1 → brownout-2 → blackstart); each severity sheds power by
+    # job class (preemptible / checkpointable / protected) along a fixed
+    # escalation chain, and recovery ramps budgets back at
+    # ``shed_ramp_watts`` per manager round with asymmetric hysteresis.
+    shed_enabled: bool = False
+    shed_nominal_watts: float | None = None  # None: high-water of observed targets
+    shed_ramp_watts: float = 100.0
+    shed_brownout1_deficit: float = 0.10
+    shed_brownout2_deficit: float = 0.25
+    shed_blackstart_deficit: float = 0.50
+    shed_escalate_rounds: int = 2
+    shed_clear_rounds: int = 5
+    shed_classes: dict | None = None  # claimed job type -> shed class
+    shed_default_class: str = "checkpointable"
     # Internal: held True by the fault injector while a cluster-wide
     # NetworkPartition window is open, so links created mid-window (e.g.
     # reconnect attempts) are born partitioned too.
@@ -231,6 +251,9 @@ class AnorConfig:
             "plan_horizon_rounds": self.plan_horizon_rounds,
             "plan_error_bound_watts": self.plan_error_bound_watts,
             "plan_error_window": self.plan_error_window,
+            "shed_ramp_watts": self.shed_ramp_watts,
+            "shed_escalate_rounds": self.shed_escalate_rounds,
+            "shed_clear_rounds": self.shed_clear_rounds,
         }
         for name, value in positive.items():
             if value <= 0:
@@ -253,6 +276,7 @@ class AnorConfig:
             "safe_floor": self.safe_floor,
             "breaker_margin": self.breaker_margin,
             "endpoint_restart_delay": self.endpoint_restart_delay,
+            "shed_nominal_watts": self.shed_nominal_watts,
         }
         for name, value in optional_positive.items():
             if value is not None and value <= 0:
@@ -272,6 +296,35 @@ class AnorConfig:
                 f"plan_forecaster must be one of {FORECASTER_KINDS}, got "
                 f"{self.plan_forecaster!r}"
             )
+        deficits = {
+            "shed_brownout1_deficit": self.shed_brownout1_deficit,
+            "shed_brownout2_deficit": self.shed_brownout2_deficit,
+            "shed_blackstart_deficit": self.shed_blackstart_deficit,
+        }
+        for name, value in deficits.items():
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if not (
+            self.shed_brownout1_deficit
+            < self.shed_brownout2_deficit
+            < self.shed_blackstart_deficit
+        ):
+            raise ValueError(
+                "shed deficit thresholds must be strictly increasing, got "
+                f"{self.shed_brownout1_deficit} / {self.shed_brownout2_deficit} "
+                f"/ {self.shed_blackstart_deficit}"
+            )
+        if self.shed_default_class not in SHED_CLASSES:
+            raise ValueError(
+                f"shed_default_class must be one of {SHED_CLASSES}, got "
+                f"{self.shed_default_class!r}"
+            )
+        for claimed, cls in (self.shed_classes or {}).items():
+            if cls not in SHED_CLASSES:
+                raise ValueError(
+                    f"shed_classes[{claimed!r}] must be one of {SHED_CLASSES}, "
+                    f"got {cls!r}"
+                )
         # Ordering inversions (the _MIN_STRIDE > _MAX_STRIDE class of bug).
         if self.reliable_max_backoff < self.reliable_base_backoff:
             raise ValueError(
@@ -499,6 +552,25 @@ class AnorSystem:
                 period=cfg.manager_period,
                 hysteresis_watts=cfg.plan_hysteresis_watts,
             )
+        shed = None
+        if cfg.shed_enabled:
+            # Fresh controller per manager build: shed state (severity,
+            # hysteresis streaks, the ramped recovery ceiling) is head-local
+            # and does not survive a head-node crash — a restarted head
+            # re-grades the feed from new observations.
+            shed = ShedController(
+                ladder=ShedLadder(
+                    brownout1_deficit=cfg.shed_brownout1_deficit,
+                    brownout2_deficit=cfg.shed_brownout2_deficit,
+                    blackstart_deficit=cfg.shed_blackstart_deficit,
+                    escalate_rounds=cfg.shed_escalate_rounds,
+                    clear_rounds=cfg.shed_clear_rounds,
+                    ramp_watts_per_round=cfg.shed_ramp_watts,
+                ),
+                classes=dict(cfg.shed_classes or {}),
+                default_class=cfg.shed_default_class,
+                nominal_watts=cfg.shed_nominal_watts,
+            )
         return ClusterPowerManager(
             budgeter=self.budgeter,
             target_source=self.target_source,
@@ -516,6 +588,7 @@ class AnorSystem:
             breaker=breaker,
             auditor=auditor,
             planner=planner,
+            shed=shed,
             telemetry=self.telemetry,
         )
 
@@ -666,6 +739,12 @@ class AnorSystem:
     def _start_ready(self, now: float) -> None:
         """Start queued jobs according to the configured scheduler."""
         if not self._queue:
+            return
+        shed = self.manager.shed if self.manager is not None else None
+        if shed is not None and shed.active:
+            # Admission hold: launching into a brownout would hand the
+            # ladder fresh work to shed right back.  Launches resume when
+            # severity returns to normal.
             return
         pending = [
             PendingJob(
@@ -863,6 +942,65 @@ class AnorSystem:
             )
             self._journal("job-evict", now, kind="killed", job_id=killed)
         return killed
+
+    def _apply_shed_actions(self, now: float) -> None:
+        """Execute the manager's queued shed decisions (preempt / kill).
+
+        The manager only *queues* the actions — it has no handle on the
+        cluster emulator — so the framework is the enforcement arm, the
+        role the resource-manager plugin plays on a real head node.
+        Preempted jobs requeue from their checkpointed submission spec
+        (they restart once the ladder returns to normal); killed jobs are
+        evicted for good.
+        """
+        actions = list(self.manager.shed.pending_actions)
+        self.manager.shed.pending_actions.clear()
+        for job_id, action in actions:
+            self._shed_job(job_id, action, now)
+
+    def _shed_job(self, job_id: str, action: str, now: float) -> None:
+        if job_id not in self.cluster.running:
+            # Completed (or crashed) between the shed decision and now.
+            return
+        self.cluster.kill_job(job_id)
+        self.endpoints.pop(job_id, None)
+        self._endpoint_restarts = [
+            r for r in self._endpoint_restarts if r[1] != job_id
+        ]
+        tracer = self._tracers.pop(job_id, None)
+        if tracer is not None:
+            tracer.close()
+        self._running_view.pop(job_id, None)
+        spec = self._job_specs.get(job_id)
+        attempts = self._attempts.get(job_id, 1)
+        if (
+            action == "preempt"
+            and spec is not None
+            and attempts <= self.config.max_requeues
+        ):
+            self._attempts[job_id] = attempts + 1
+            self._queue.append(spec)
+            self.requeued.append(job_id)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "job-requeue", now, job_id=job_id, attempt=attempts + 1
+                )
+            self.warnings.append(
+                f"t={now:.1f}: job {job_id} preempted by power shed "
+                f"(checkpointed and requeued)"
+            )
+            self._journal(
+                "job-admit",
+                now,
+                kind="requeue",
+                spec=self._spec_dict(spec),
+                attempt=attempts + 1,
+            )
+        else:
+            self.warnings.append(
+                f"t={now:.1f}: job {job_id} killed by power shed"
+            )
+            self._journal("job-evict", now, kind="shed", job_id=job_id)
 
     def crash_endpoint(self, job_id: str, now: float | None = None) -> bool:
         """Kill a job's endpoint process; the job itself keeps running.
@@ -1199,6 +1337,11 @@ class AnorSystem:
                 self.manager.step(now)
                 if self.manager.orphaned:
                     self._handle_orphans(now)
+                if (
+                    self.manager.shed is not None
+                    and self.manager.shed.pending_actions
+                ):
+                    self._apply_shed_actions(now)
         if (
             not self._head_down
             and self.durable is not None
@@ -1321,6 +1464,12 @@ class AnorSystem:
         event or a completion (both stride boundaries).
         """
         if not self._queue or self._head_down:
+            return False
+        shed = self.manager.shed
+        if shed is not None and shed.active:
+            # Admission hold: ``_start_ready`` is inert while shedding, and
+            # severity only changes inside manager rounds — gate events, so
+            # stride boundaries.  The queue cannot act mid-stride.
             return False
         if not self.scheduler.time_invariant:
             return True

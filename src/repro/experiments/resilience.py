@@ -43,14 +43,18 @@ from repro.experiments.fig9 import (
     Fig9Result,
     build_demand_response_system,
 )
+from repro.facility.shed import SEVERITY_VALUES
 from repro.faults.events import (
     ByzantineModel,
+    DemandResponseEmergency,
+    FeederLoss,
     HeadNodeCrash,
     MeterDrift,
     NetworkPartition,
     PartitionEnd,
     PartitionStart,
     StuckActuator,
+    ThermalDerate,
 )
 from repro.faults.schedule import FaultSchedule
 from repro.modeling.classifier import JobClassifier
@@ -77,6 +81,9 @@ __all__ = [
     "ForecastDrillResult",
     "run_forecast_drill",
     "format_forecast_table",
+    "ShedDrillResult",
+    "run_shed_drill",
+    "format_shed_table",
 ]
 
 
@@ -256,6 +263,9 @@ def _build_static_system(
     breaker_margin: float | None = None,
     audit_enabled: bool = False,
     correction_gain: float | None = None,
+    shed_enabled: bool = False,
+    shed_classes: dict | None = None,
+    shed_ramp_watts: float = 100.0,
 ) -> AnorSystem:
     """The head-node recovery workload: long jobs under a *static* target.
 
@@ -282,6 +292,9 @@ def _build_static_system(
         reliable_messaging=reliable_messaging,
         breaker_margin=breaker_margin,
         audit_enabled=audit_enabled,
+        shed_enabled=shed_enabled,
+        shed_classes=shed_classes,
+        shed_ramp_watts=shed_ramp_watts,
     )
     system = AnorSystem(
         budgeter=EvenSlowdownBudgeter(),
@@ -1479,4 +1492,342 @@ def format_forecast_table(res: ForecastDrillResult) -> str:
         f"predictive {len(res.predictive.completed)}  "
         f"adversarial {len(res.adversarial.completed)}",
     ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- shed drill
+
+
+#: Shed-class assignment for the long-running mix: one third of the types in
+#: each class, so every severity level has work to act on.
+_SHED_CLASS_MAP = {
+    "cg": "preemptible",
+    "mg": "preemptible",
+    "bt": "checkpointable",
+    "lu": "checkpointable",
+    "ft": "protected",
+    "sp": "protected",
+}
+
+
+def _parse_shed_actions(events) -> list[tuple[float, str, str]]:
+    """``(time, job_id, action)`` rows from a manager's event log.
+
+    The manager records every queued preempt/kill as
+    ``t=<when> <job>: shed <action> (severity=<level>)``.
+    """
+    actions: list[tuple[float, str, str]] = []
+    for line in events:
+        fields = line.split()
+        if len(fields) < 4 or not fields[0].startswith("t="):
+            continue
+        if fields[2] != "shed" or fields[3] not in ("preempt", "kill"):
+            continue
+        when = float(fields[0][len("t="):])
+        actions.append((when, fields[1].rstrip(":"), fields[3]))
+    return actions
+
+
+def _drive_shed(
+    system: AnorSystem, *, max_time: float
+) -> tuple[AnorResult, np.ndarray]:
+    """Run a shed-enabled system to drain, sampling the ladder per round.
+
+    Returns ``(result, shed_rows)`` where shed_rows columns are (time,
+    severity value, recovery ceiling in W) — the raw material for the
+    ramp-rate and no-flapping claims.  Rows with an infinite ceiling (ladder
+    not yet fed) are skipped.
+    """
+    rows: list[tuple[float, float, float]] = []
+    last_time = None
+    while (
+        system._pending or system._queue or system.cluster.running
+    ) and system.cluster.clock.now < max_time:
+        system.step()
+        mgr = system.manager
+        rnd = mgr.last_round if mgr is not None else None
+        if rnd is not None and rnd.time != last_time:
+            last_time = rnd.time
+            shed = mgr.shed
+            if shed is not None and math.isfinite(shed.ladder.ceiling):
+                rows.append(
+                    (rnd.time, float(SEVERITY_VALUES[shed.severity]),
+                     shed.ladder.ceiling)
+                )
+    result = system.run(0.0)
+    shed_rows = np.asarray(rows) if rows else np.empty((0, 3))
+    return result, shed_rows
+
+
+@dataclass
+class ShedDrillResult:
+    """Golden-vs-incident comparison of the graceful-degradation ladder.
+
+    Both runs share the seed, workload, static target, and shed
+    configuration; only the facility incidents differ.  The incident arm
+    takes three staggered feed events — a :class:`~repro.faults.ThermalDerate`
+    (brownout-1), a :class:`~repro.faults.FeederLoss` (brownout-2), and a
+    :class:`~repro.faults.DemandResponseEmergency` deep enough for blackstart
+    — so every rung of the ladder fires and recovers in one run.
+    """
+
+    golden: AnorResult
+    incident: AnorResult
+    target_power: float
+    ramp_watts: float
+    manager_period: float
+    num_incidents: int
+    job_classes: dict[str, str]  # job_id -> shed class, from the schedule
+    shed_actions: list  # (time, job_id, action) rows, incident arm
+    golden_actions: list
+    severity_log: list  # ladder transition lines, incident arm
+    golden_severity_log: list
+    escalations: int
+    golden_escalations: int
+    preempts: int
+    kills: int
+    restores: int
+    shed_rows: np.ndarray  # (time, severity, ceiling) per round, incident arm
+    injector_quiescent: bool
+    incident_counts: dict = field(default_factory=dict)
+    ramp_slack_watts: float = 1.0
+
+    @property
+    def killed_jobs(self) -> list[str]:
+        return sorted({j for _, j, a in self.shed_actions if a == "kill"})
+
+    @property
+    def preempted_jobs(self) -> list[str]:
+        return sorted({j for _, j, a in self.shed_actions if a == "preempt"})
+
+    @property
+    def protected_jobs(self) -> list[str]:
+        return sorted(
+            j for j, cls in self.job_classes.items() if cls == "protected"
+        )
+
+    @property
+    def protected_shed(self) -> list[str]:
+        """Protected-class jobs that were ever preempted or killed (must be
+        empty — the plan table makes this structurally impossible)."""
+        touched = {j for _, j, _ in self.shed_actions}
+        return sorted(touched & set(self.protected_jobs))
+
+    @property
+    def kill_order_violations(self) -> list[str]:
+        """Killed jobs outside the preemptible class."""
+        return [
+            j for j in self.killed_jobs
+            if self.job_classes.get(j) != "preemptible"
+        ]
+
+    @property
+    def preempt_order_violations(self) -> list[str]:
+        """Preempted jobs outside the preemptible/checkpointable classes."""
+        return [
+            j for j in self.preempted_jobs
+            if self.job_classes.get(j) not in ("preemptible", "checkpointable")
+        ]
+
+    @property
+    def max_ramp_step(self) -> float:
+        """Largest per-round recovery-ceiling increase, normalised to one
+        manager period (rounds the sampler missed widen the allowance)."""
+        rows = self.shed_rows
+        if len(rows) < 2:
+            return 0.0
+        worst = 0.0
+        for i in range(1, len(rows)):
+            gain = rows[i, 2] - rows[i - 1, 2]
+            if gain <= 0:
+                continue
+            periods = max(
+                1.0, round((rows[i, 0] - rows[i - 1, 0]) / self.manager_period)
+            )
+            worst = max(worst, float(gain / periods))
+        return worst
+
+    @property
+    def ramp_bound(self) -> float:
+        return self.ramp_watts + self.ramp_slack_watts
+
+    @property
+    def flap_bound(self) -> int:
+        """Escalations beyond one per scheduled incident would be flapping."""
+        return self.num_incidents + 1
+
+    @property
+    def double_shed(self) -> list[str]:
+        """Jobs preempted/killed twice inside one episode (must be empty;
+        re-shedding a requeued job in a *later* episode is legitimate)."""
+        out = []
+        seen: dict[str, float] = {}
+        episode_len = 400.0  # staggered incidents are > this far apart
+        for when, job_id, _ in sorted(self.shed_actions):
+            if job_id in seen and when - seen[job_id] < episode_len / 2:
+                out.append(job_id)
+            seen[job_id] = when
+        return sorted(set(out))
+
+    @property
+    def preempted_unaccounted(self) -> list[str]:
+        """Preempted jobs that neither completed nor were later killed."""
+        done = {t.job_id for t in self.incident.completed}
+        killed = set(self.killed_jobs)
+        return sorted(set(self.preempted_jobs) - done - killed)
+
+    @property
+    def protected_incomplete(self) -> list[str]:
+        """Protected jobs the incident arm failed to complete."""
+        done = {t.job_id for t in self.incident.completed}
+        return sorted(set(self.protected_jobs) - done)
+
+    @property
+    def golden_clean(self) -> bool:
+        """The golden arm must never shed: same knobs, no incidents."""
+        return (
+            not self.golden_actions
+            and not self.golden_severity_log
+            and self.golden_escalations == 0
+        )
+
+    @property
+    def recovered_to_normal(self) -> bool:
+        """The last severity sample is back at normal (full recovery)."""
+        return bool(len(self.shed_rows)) and self.shed_rows[-1, 1] == 0.0
+
+
+def run_shed_drill(
+    *,
+    duration: float = 900.0,
+    seed: int = 11,
+    num_nodes: int = 16,
+    target_power: float | None = None,
+    ramp_watts: float = 100.0,
+) -> ShedDrillResult:
+    """Walk the degradation ladder through all three severities and back.
+
+    Incident arm schedule (against a static target):
+
+    * t=180s: :class:`~repro.faults.ThermalDerate` at 15 % for 120 s —
+      brownout-1, preemptible jobs capped to floor;
+    * t=420s: :class:`~repro.faults.FeederLoss` at 30 % for 150 s —
+      brownout-2, preemptible jobs preempted, checkpointable floored;
+    * t=660s: :class:`~repro.faults.DemandResponseEmergency` at 55 % for
+      120 s — blackstart, preemptible killed, checkpointable preempted,
+      protected floored (never preempted or killed).
+
+    After each window the feed returns and the budget ceiling ramps back at
+    ``ramp_watts`` per manager round while severity steps down one rung per
+    clear window — the asymmetric hysteresis that prevents flapping.
+    """
+    if target_power is None:
+        target_power = num_nodes * 180.0
+    incidents = [
+        ThermalDerate(time=180.0, magnitude=0.15, duration=120.0),
+        FeederLoss(time=420.0, magnitude=0.30, duration=150.0),
+        DemandResponseEmergency(time=660.0, magnitude=0.55, duration=120.0),
+    ]
+    common = dict(
+        duration=duration,
+        seed=seed,
+        target_power=target_power,
+        num_nodes=num_nodes,
+        checkpoint_dir=None,
+        checkpoint_period=30.0,
+        recovery_timeout=30.0,
+        shed_enabled=True,
+        shed_classes=dict(_SHED_CLASS_MAP),
+        shed_ramp_watts=ramp_watts,
+    )
+    max_time = duration + 7200.0
+    golden_sys = _build_static_system(fault_schedule=None, **common)
+    golden, _ = _drive_shed(golden_sys, max_time=max_time)
+    golden_shed = golden_sys.manager.shed
+    golden_actions = _parse_shed_actions(golden_sys.manager.events)
+    golden_severity_log = list(golden_shed.ladder.transitions)
+    golden_escalations = golden_shed.ladder.escalations
+
+    incident_sys = _build_static_system(
+        fault_schedule=FaultSchedule(incidents), **common
+    )
+    incident, shed_rows = _drive_shed(incident_sys, max_time=max_time)
+    shed = incident_sys.manager.shed
+    job_classes = {
+        req.job_id: _SHED_CLASS_MAP.get(req.type_name, "checkpointable")
+        for req in incident_sys.schedule.requests
+    }
+    quiescent = (
+        incident_sys.faults.quiescent if incident_sys.faults is not None else True
+    )
+    return ShedDrillResult(
+        golden=golden,
+        incident=incident,
+        target_power=target_power,
+        ramp_watts=ramp_watts,
+        manager_period=incident_sys.config.manager_period,
+        num_incidents=len(incidents),
+        job_classes=job_classes,
+        shed_actions=_parse_shed_actions(incident_sys.manager.events),
+        golden_actions=golden_actions,
+        severity_log=list(shed.ladder.transitions),
+        golden_severity_log=golden_severity_log,
+        escalations=shed.ladder.escalations,
+        golden_escalations=golden_escalations,
+        preempts=shed.preempts,
+        kills=shed.kills,
+        restores=shed.restores,
+        shed_rows=shed_rows,
+        injector_quiescent=quiescent,
+        incident_counts=dict(incident_sys.telemetry.incident_counts),
+    )
+
+
+def format_shed_table(res: ShedDrillResult) -> str:
+    by_class: dict[str, int] = {}
+    for cls in res.job_classes.values():
+        by_class[cls] = by_class.get(cls, 0) + 1
+    lines = [
+        f"target (static)                : {res.target_power:.0f}W, "
+        f"{res.num_incidents} staggered facility incidents",
+        f"jobs by shed class             : "
+        + "  ".join(f"{c}={n}" for c, n in sorted(by_class.items())),
+        f"ladder escalations             : {res.escalations} "
+        f"(flap bound {res.flap_bound}; golden {res.golden_escalations})",
+        f"shed actions (incident arm)    : preempts={res.preempts} "
+        f"kills={res.kills} restores={res.restores}",
+        f"protected jobs shed            : {len(res.protected_shed)}"
+        + (f"  {res.protected_shed}" if res.protected_shed else ""),
+        f"shed-order violations          : "
+        f"kill={len(res.kill_order_violations)} "
+        f"preempt={len(res.preempt_order_violations)}",
+        f"double-shed in one episode     : {len(res.double_shed)}"
+        + (f"  {res.double_shed}" if res.double_shed else ""),
+        f"recovery ramp per round        : {res.max_ramp_step:.1f}W "
+        f"(bound {res.ramp_bound:.1f}W)",
+        f"recovered to normal            : "
+        f"{'yes' if res.recovered_to_normal else 'NO'}",
+        f"jobs completed golden/incident : "
+        f"{len(res.golden.completed)}/{len(res.incident.completed)}",
+        f"preempted unaccounted for      : {len(res.preempted_unaccounted)}"
+        + (f"  {res.preempted_unaccounted}" if res.preempted_unaccounted else ""),
+        f"protected jobs incomplete      : {len(res.protected_incomplete)}"
+        + (f"  {res.protected_incomplete}" if res.protected_incomplete else ""),
+        f"golden arm shed-free           : "
+        f"{'yes' if res.golden_clean else 'NO'}",
+        f"fault windows all closed       : "
+        f"{'yes' if res.injector_quiescent else 'NO'}",
+        "severity transitions (incident arm):",
+    ]
+    lines.extend(f"  {line}" for line in res.severity_log)
+    if res.shed_actions:
+        lines.append("shed actions:")
+        lines.extend(
+            f"  t={when:7.1f} {job_id}: {action} "
+            f"({res.job_classes.get(job_id, '?')})"
+            for when, job_id, action in res.shed_actions
+        )
+    if res.incident_counts:
+        lines.append("incident summary:")
+        lines.extend(summarize_incidents(res.incident_counts))
     return "\n".join(lines)

@@ -30,6 +30,7 @@ __all__ = [
     "score_byzantine",
     "score_soak",
     "score_forecast",
+    "score_shed",
 ]
 
 
@@ -382,3 +383,39 @@ FORECAST_CLAIMS = (
 
 def score_forecast(result) -> Scorecard:
     return _evaluate(FORECAST_CLAIMS, result)
+
+
+# ---------------------------------------------------------------- shed drill
+
+SHED_CLAIMS = (
+    Claim("shed", "every rung of the ladder fired: preempts, kills, and "
+          "ramped restores all occurred under the staggered incidents",
+          lambda r: r.preempts > 0 and r.kills > 0 and r.restores > 0),
+    Claim("shed", "protected jobs are never preempted or killed",
+          lambda r: not r.protected_shed),
+    Claim("shed", "shed ordering is respected: kills hit only the "
+          "preemptible class, preempts never reach the protected class",
+          lambda r: not r.kill_order_violations
+          and not r.preempt_order_violations),
+    Claim("shed", "no job is shed twice within one incident episode",
+          lambda r: not r.double_shed),
+    Claim("shed", "the recovery ceiling ramps back at no more than the "
+          "configured watts per round",
+          lambda r: r.max_ramp_step <= r.ramp_bound),
+    Claim("shed", "severity does not flap: at most one escalation per "
+          "scheduled incident (plus slack), and the run ends at normal",
+          lambda r: r.escalations <= r.flap_bound and r.recovered_to_normal),
+    Claim("shed", "every preempted job completes after recovery (or is "
+          "legitimately killed by a deeper rung)",
+          lambda r: not r.preempted_unaccounted),
+    Claim("shed", "every protected job runs to completion",
+          lambda r: not r.protected_incomplete),
+    Claim("shed", "the golden arm (same knobs, no incidents) never sheds",
+          lambda r: r.golden_clean),
+    Claim("shed", "every fault window closed (injector quiescent)",
+          lambda r: r.injector_quiescent),
+)
+
+
+def score_shed(result) -> Scorecard:
+    return _evaluate(SHED_CLAIMS, result)

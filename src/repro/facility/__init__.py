@@ -19,11 +19,27 @@ from repro.facility.coordinator import (
     MutableTarget,
     aggregate_cluster_model,
 )
+from repro.facility.shed import (
+    SEVERITY_LEVELS,
+    SEVERITY_VALUES,
+    SHED_ACTIONS,
+    SHED_CLASSES,
+    SHED_PLANS,
+    ShedController,
+    ShedLadder,
+)
 
 __all__ = [
     "ClusterMember",
     "FacilityCoordinator",
     "MutableTarget",
     "PowerBreaker",
+    "ShedController",
+    "ShedLadder",
+    "SEVERITY_LEVELS",
+    "SEVERITY_VALUES",
+    "SHED_ACTIONS",
+    "SHED_CLASSES",
+    "SHED_PLANS",
     "aggregate_cluster_model",
 ]

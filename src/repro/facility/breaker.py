@@ -23,12 +23,17 @@ nothing until its owner acts on ``tripped``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["PowerBreaker", "BREAKER_STATE_VALUES"]
+__all__ = ["PowerBreaker", "BREAKER_STATE_VALUES", "TRANSITION_LOG_LIMIT"]
 
 #: Gauge encoding for ``anor_breaker_state`` (Prometheus wants a number).
 BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+#: Bound on the in-memory transition log: a flapping feed during a chaos
+#: soak must not grow memory without limit.
+TRANSITION_LOG_LIMIT = 256
 
 
 @dataclass
@@ -57,8 +62,12 @@ class PowerBreaker:
     strikes: int = field(default=0, init=False)
     clean: int = field(default=0, init=False)
     trips: int = field(default=0, init=False)
-    #: Human-readable transition log (mirrors manager/coordinator events).
-    transitions: list[str] = field(default_factory=list, init=False)
+    #: Bounded human-readable transition log (mirrors manager/coordinator
+    #: events); ``transitions_dropped`` counts evicted lines.
+    transitions: deque = field(
+        default_factory=lambda: deque(maxlen=TRANSITION_LOG_LIMIT), init=False
+    )
+    transitions_dropped: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.margin < 0:
@@ -110,6 +119,8 @@ class PowerBreaker:
         return self.state
 
     def _transition(self, new_state: str, now: float) -> None:
+        if len(self.transitions) == TRANSITION_LOG_LIMIT:
+            self.transitions_dropped += 1
         self.transitions.append(f"t={now:.1f} breaker {self.state} -> {new_state}")
         self.state = new_state
         self.strikes = 0

@@ -12,6 +12,7 @@ shared feed than one running insensitive jobs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -21,14 +22,23 @@ from repro.budget.base import JobBudgetRequest, PowerBudgeter
 from repro.budget.even_slowdown import EvenSlowdownBudgeter
 from repro.core.targets import PowerTargetSource
 from repro.facility.breaker import PowerBreaker
+from repro.facility.shed import ShedLadder
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "MutableTarget",
     "ClusterMember",
     "FacilityCoordinator",
     "aggregate_cluster_model",
+    "HISTORY_LIMIT",
+    "EVENT_LOG_LIMIT",
 ]
+
+#: Bounds on the coordinator's in-memory logs: chaos soaks run for
+#: simulated days, and an unbounded per-round history is a slow leak.
+HISTORY_LIMIT = 4096
+EVENT_LOG_LIMIT = 256
 
 
 class MutableTarget(PowerTargetSource):
@@ -137,7 +147,9 @@ class FacilityCoordinator:
     facility_target: PowerTargetSource
     budgeter: PowerBudgeter = field(default_factory=EvenSlowdownBudgeter)
     members: dict[str, ClusterMember] = field(default_factory=dict)
-    history: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+    #: Bounded per-round (time, caps) log; ``history_dropped`` counts evictions.
+    history: deque = field(
+        default_factory=lambda: deque(maxlen=HISTORY_LIMIT))
     # Facility-level breaker (DESIGN.md §4e): when the summed facility meter
     # exceeds the facility target past the breaker's margin for its trip
     # window, every member is assigned its p_min — an emergency uniform
@@ -145,7 +157,32 @@ class FacilityCoordinator:
     # returns total measured facility power; both default to None (off).
     meter: Callable[[], float] | None = None
     breaker: PowerBreaker | None = None
-    events: list[str] = field(default_factory=list)
+    #: Graceful-degradation ladder (DESIGN.md §10): with one installed, a
+    #: tripped breaker or a sagging feed degrades the pool in severity
+    #: stages and recovery ramps back up, instead of the binary floor slam.
+    ladder: ShedLadder | None = None
+    telemetry: Telemetry = NULL_TELEMETRY
+    #: Bounded event log; ``events_dropped`` counts evictions.
+    events: deque = field(
+        default_factory=lambda: deque(maxlen=EVENT_LOG_LIMIT))
+    history_dropped: int = 0
+    events_dropped: int = 0
+    _high_water: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        reg = self.telemetry.registry
+        self._mx_breaker_state = reg.gauge(
+            "anor_facility_breaker_state",
+            "facility breaker state (0 closed / 1 half-open / 2 open)",
+        )
+        self._mx_assigned = reg.gauge(
+            "anor_facility_assigned_watts",
+            "total watts assigned to member clusters this round",
+        )
+        self._mx_severity = reg.gauge(
+            "anor_facility_shed_severity",
+            "degradation-ladder severity (0 normal .. 3 blackstart)",
+        )
 
     def add_member(self, member: ClusterMember) -> None:
         if member.name in self.members:
@@ -168,16 +205,47 @@ class FacilityCoordinator:
         if not self.members:
             return {}
         total = self.facility_target.target(now)
+        floor_total = sum(m.p_min for m in self.members.values())
+        tel = self.telemetry
         if self.breaker is not None and self.meter is not None:
             measured = float(self.meter())
             prev = self.breaker.state
             state = self.breaker.observe(measured, total, now=now)
             if state != prev:
-                self.events.append(
+                self._record_event(
                     f"t={now:.1f} facility breaker {prev} -> {state} "
                     f"(measured={measured:.0f}W target={total:.0f}W)"
                 )
-        if self.breaker is not None and self.breaker.tripped:
+                if tel.enabled:
+                    tel.incident(
+                        f"facility-breaker-{state}", now,
+                        measured=measured, target=total,
+                    )
+            self._mx_breaker_state.set(self.breaker.gauge_value)
+        tripped = self.breaker is not None and self.breaker.tripped
+        if self.ladder is not None:
+            # Graceful degradation: a tripped breaker means the feed cannot
+            # be trusted above the enforceable floor; otherwise supply is
+            # the feed itself.  Severity grades off the deficit against the
+            # high-water feed, and the pool ramps back up after an incident
+            # instead of stepping.
+            supply = floor_total if tripped else total
+            self._high_water = max(self._high_water, total)
+            prev_severity = self.ladder.severity
+            severity = self.ladder.observe(supply, self._high_water, now=now)
+            if severity != prev_severity:
+                self._record_event(
+                    f"t={now:.1f} facility shed {prev_severity} -> {severity} "
+                    f"(supply={supply:.0f}W nominal={self._high_water:.0f}W)"
+                )
+                if tel.enabled:
+                    tel.incident(
+                        f"facility-shed-{severity}", now,
+                        supply=supply, nominal=self._high_water,
+                    )
+            self._mx_severity.set(self.ladder.gauge_value)
+            pool = max(min(supply, self.ladder.ceiling), floor_total)
+        elif tripped:
             # Emergency: every member to its enforceable floor.  Clusters
             # cannot draw less than p_min anyway, so this is the hardest
             # uniform throttle the facility can command.
@@ -185,18 +253,46 @@ class FacilityCoordinator:
             for name, member in self.members.items():
                 member.target.set(caps[name])
                 member.last_assigned = caps[name]
-            self.history.append((now, dict(caps)))
-            return caps
+            return self._finish(now, caps, total)
+        else:
+            pool = total
         requests = [
             m.to_request() for m in sorted(self.members.values(), key=lambda m: m.name)
         ]
-        allocation = self.budgeter.allocate(requests, total)
+        allocation = self.budgeter.allocate(requests, pool)
         for name, member in self.members.items():
             share = allocation.caps[name]
             member.target.set(share)
             member.last_assigned = share
-        self.history.append((now, dict(allocation.caps)))
-        return dict(allocation.caps)
+        return self._finish(now, dict(allocation.caps), total)
+
+    def _finish(self, now: float, caps: dict[str, float],
+                feed: float) -> dict[str, float]:
+        """Log the round, flag over-assignment against the physical feed."""
+        assigned = sum(caps.values())
+        if assigned > feed + 1e-9:
+            # Σ p_min above the feed: nothing enforceable can close the gap,
+            # so name the shortfall instead of over-assigning silently.
+            shortfall = assigned - feed
+            self._record_event(
+                f"t={now:.1f} facility shortfall {shortfall:.0f}W "
+                f"(assigned={assigned:.0f}W feed={feed:.0f}W)"
+            )
+            if self.telemetry.enabled:
+                self.telemetry.incident(
+                    "facility-shortfall", now,
+                    shortfall_watts=shortfall, assigned=assigned, feed=feed,
+                )
+        self._mx_assigned.set(assigned)
+        if len(self.history) == HISTORY_LIMIT:
+            self.history_dropped += 1
+        self.history.append((now, dict(caps)))
+        return caps
+
+    def _record_event(self, line: str) -> None:
+        if len(self.events) == EVENT_LOG_LIMIT:
+            self.events_dropped += 1
+        self.events.append(line)
 
     @property
     def total_assigned(self) -> float:

@@ -1,0 +1,322 @@
+"""Graceful-degradation ladder: staged power shedding with ramped recovery.
+
+The facility tier's original emergency response was binary: a tripped
+breaker slammed every member to ``p_min`` regardless of how deep the
+shortfall actually was.  The ladder replaces that with four severity
+states driven by the *supply deficit* (how far the available feed has
+fallen below nominal demand):
+
+* **normal** — no deficit worth acting on; every job runs under its
+  budgeted cap.
+* **brownout-1** — shallow deficit.  Preemptible jobs are capped to their
+  power floor; nothing is evicted.
+* **brownout-2** — deep deficit.  Preemptible jobs are preempted (killed
+  and requeued for after the incident); checkpointable jobs are capped to
+  their floor.
+* **blackstart** — existential deficit.  Preemptible jobs are killed
+  outright, checkpointable jobs are preempted (their checkpoints make the
+  requeue cheap), and protected jobs — the only survivors — are capped to
+  their floor.  Protected jobs are *never* preempted or killed at any
+  severity: the plan table simply has no such entry, so the guarantee is
+  structural rather than behavioural.
+
+Two mechanisms stop an oscillating feed from flapping jobs in and out of
+preemption, both borrowed from the :class:`~repro.facility.breaker
+.PowerBreaker`'s asymmetric-hysteresis shape:
+
+* **severity hysteresis** — escalation needs only ``escalate_rounds``
+  consecutive worse rounds (and then jumps straight to the indicated
+  severity: a 60 % feeder loss must not dwell in brownout-1), while
+  recovery needs ``clear_rounds`` consecutive better rounds *per step*
+  and always steps down one level at a time.  Any round at or above the
+  current severity resets recovery progress.
+* **budget ramp** — the effective budget ceiling follows a falling supply
+  immediately but recovers at most ``ramp_watts_per_round`` per control
+  round, so restored feed re-inflates caps on a bounded slope instead of
+  a step.
+
+Like the breaker, the ladder is pure bookkeeping: it consumes no RNG and
+keeps no wall-clock state, so constructing one changes nothing until its
+owner acts on ``severity`` / ``ceiling``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "ShedLadder",
+    "ShedController",
+    "SEVERITY_LEVELS",
+    "SEVERITY_VALUES",
+    "SHED_CLASSES",
+    "SHED_ACTIONS",
+    "SHED_PLANS",
+    "TRANSITION_LOG_LIMIT",
+]
+
+#: Severity states, mildest first.  Order is load-bearing: escalation and
+#: recovery move along this tuple.
+SEVERITY_LEVELS = ("normal", "brownout-1", "brownout-2", "blackstart")
+
+#: Gauge encoding for ``anor_shed_severity`` (Prometheus wants a number).
+SEVERITY_VALUES = {name: i for i, name in enumerate(SEVERITY_LEVELS)}
+
+#: Shed classes a job may declare, most expendable first.
+SHED_CLASSES = ("preemptible", "checkpointable", "protected")
+
+#: Escalation chain of per-job actions, mildest first.
+SHED_ACTIONS = ("none", "cap-to-floor", "preempt", "kill")
+
+#: The priority-tiered shedding plan: severity → shed class → action.
+#: ``protected`` never maps to ``preempt`` or ``kill`` — that absence is
+#: the scorecard's "protected jobs survive" guarantee.
+SHED_PLANS: dict[str, dict[str, str]] = {
+    "normal": {
+        "preemptible": "none", "checkpointable": "none", "protected": "none",
+    },
+    "brownout-1": {
+        "preemptible": "cap-to-floor", "checkpointable": "none",
+        "protected": "none",
+    },
+    "brownout-2": {
+        "preemptible": "preempt", "checkpointable": "cap-to-floor",
+        "protected": "none",
+    },
+    "blackstart": {
+        "preemptible": "kill", "checkpointable": "preempt",
+        "protected": "cap-to-floor",
+    },
+}
+
+#: Bound on in-memory transition logs (ladder and breaker alike): chaos
+#: soaks run for simulated days and must not grow memory without limit.
+TRANSITION_LOG_LIMIT = 256
+
+
+@dataclass
+class ShedLadder:
+    """Severity state machine + ramped budget ceiling.
+
+    Parameters
+    ----------
+    brownout1_deficit / brownout2_deficit / blackstart_deficit:
+        Fractional supply deficits (``1 - supply/demand``) at which each
+        severity is indicated.  Must be strictly increasing in (0, 1).
+    escalate_rounds:
+        Consecutive rounds a worse severity must be indicated before the
+        ladder escalates (straight to the indicated level).
+    clear_rounds:
+        Consecutive rounds a better severity must be indicated before the
+        ladder steps down — one level per ``clear_rounds`` streak.
+    ramp_watts_per_round:
+        Maximum per-round increase of the effective budget ceiling during
+        recovery.  Decreases are never limited.
+    """
+
+    brownout1_deficit: float = 0.10
+    brownout2_deficit: float = 0.25
+    blackstart_deficit: float = 0.50
+    escalate_rounds: int = 2
+    clear_rounds: int = 5
+    ramp_watts_per_round: float = 100.0
+
+    severity: str = field(default="normal", init=False)
+    escalations: int = field(default=0, init=False)
+    #: Bounded transition log; ``transitions_dropped`` counts evictions.
+    transitions: deque = field(
+        default_factory=lambda: deque(maxlen=TRANSITION_LOG_LIMIT), init=False
+    )
+    transitions_dropped: int = field(default=0, init=False)
+    _worse_streak: int = field(default=0, init=False)
+    _better_streak: int = field(default=0, init=False)
+    _ceiling: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        thresholds = (
+            ("brownout1_deficit", self.brownout1_deficit),
+            ("brownout2_deficit", self.brownout2_deficit),
+            ("blackstart_deficit", self.blackstart_deficit),
+        )
+        for name, value in thresholds:
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if not (self.brownout1_deficit < self.brownout2_deficit
+                < self.blackstart_deficit):
+            raise ValueError(
+                "deficit thresholds must be strictly increasing, got "
+                f"{self.brownout1_deficit} / {self.brownout2_deficit} / "
+                f"{self.blackstart_deficit}"
+            )
+        for name in ("escalate_rounds", "clear_rounds"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be ≥ 1, got {getattr(self, name)}")
+        if self.ramp_watts_per_round <= 0:
+            raise ValueError(
+                f"ramp_watts_per_round must be positive, "
+                f"got {self.ramp_watts_per_round}"
+            )
+
+    @property
+    def gauge_value(self) -> int:
+        return SEVERITY_VALUES[self.severity]
+
+    @property
+    def ceiling(self) -> float:
+        """Effective budget ceiling after the recovery ramp (inf until fed)."""
+        return float("inf") if self._ceiling is None else self._ceiling
+
+    @property
+    def plan(self) -> dict[str, str]:
+        """Shed class → action at the current severity."""
+        return SHED_PLANS[self.severity]
+
+    def indicated(self, deficit: float) -> str:
+        """The severity a sustained ``deficit`` would indicate."""
+        if deficit >= self.blackstart_deficit:
+            return "blackstart"
+        if deficit >= self.brownout2_deficit:
+            return "brownout-2"
+        if deficit >= self.brownout1_deficit:
+            return "brownout-1"
+        return "normal"
+
+    def observe(self, supply: float, demand: float, now: float = 0.0) -> str:
+        """Feed one control round's (supply, demand) pair; returns severity.
+
+        A non-positive demand carries no deficit information and leaves
+        the severity untouched; the ceiling still tracks the supply.
+        """
+        self._update_ceiling(supply)
+        if demand <= 0:
+            return self.severity
+        deficit = max(0.0, 1.0 - supply / demand)
+        indicated = self.indicated(deficit)
+        current = SEVERITY_VALUES[self.severity]
+        candidate = SEVERITY_VALUES[indicated]
+        if candidate > current:
+            self._worse_streak += 1
+            self._better_streak = 0
+            if self._worse_streak >= self.escalate_rounds:
+                self._transition(indicated, now, deficit)
+                self.escalations += 1
+        elif candidate < current:
+            self._better_streak += 1
+            self._worse_streak = 0
+            if self._better_streak >= self.clear_rounds:
+                self._transition(SEVERITY_LEVELS[current - 1], now, deficit)
+        else:
+            # A round at the current severity resets recovery progress —
+            # the breaker-style asymmetry that prevents flapping.
+            self._worse_streak = 0
+            self._better_streak = 0
+        return self.severity
+
+    def _update_ceiling(self, supply: float) -> None:
+        if self._ceiling is None or supply <= self._ceiling:
+            self._ceiling = supply
+        else:
+            self._ceiling = min(supply, self._ceiling + self.ramp_watts_per_round)
+
+    def _transition(self, new_severity: str, now: float, deficit: float) -> None:
+        if (self.transitions.maxlen is not None
+                and len(self.transitions) == self.transitions.maxlen):
+            self.transitions_dropped += 1
+        self.transitions.append(
+            f"t={now:.1f} shed {self.severity} -> {new_severity} "
+            f"deficit={deficit:.2f}"
+        )
+        self.severity = new_severity
+        self._worse_streak = 0
+        self._better_streak = 0
+
+
+@dataclass
+class ShedController:
+    """Binds a :class:`ShedLadder` to a job population.
+
+    The cluster manager owns one (when ``shed_enabled``): each control
+    round it feeds the assigned budget through :meth:`observe`, caps
+    ``cap-to-floor`` classes itself, and queues ``preempt``/``kill``
+    actions here for the framework to execute between rounds (mirroring
+    how orphaned jobs are drained).
+
+    ``classes`` maps a job's claimed type to its shed class; unmapped
+    types fall back to ``default_class``.  ``nominal_watts`` is the demand
+    reference for the deficit; when ``None`` the controller tracks the
+    high-water mark of observed budgets instead (the feed seen before the
+    incident *is* nominal demand).
+    """
+
+    ladder: ShedLadder
+    classes: Mapping[str, str] = field(default_factory=dict)
+    default_class: str = "checkpointable"
+    nominal_watts: float | None = None
+
+    #: (job_id, action) pairs awaiting execution by the framework.
+    pending_actions: list = field(default_factory=list, init=False)
+    preempts: int = field(default=0, init=False)
+    kills: int = field(default=0, init=False)
+    floor_capped: int = field(default=0, init=False)
+    #: Severity-cleared episodes (each ends one incident's shed set).
+    restores: int = field(default=0, init=False)
+    _high_water: float = field(default=0.0, init=False)
+    _shed_jobs: set = field(default_factory=set, init=False)
+
+    def __post_init__(self) -> None:
+        if self.default_class not in SHED_CLASSES:
+            raise ValueError(
+                f"default_class must be one of {SHED_CLASSES}, "
+                f"got {self.default_class!r}"
+            )
+        for type_name, shed_class in self.classes.items():
+            if shed_class not in SHED_CLASSES:
+                raise ValueError(
+                    f"shed class for {type_name!r} must be one of "
+                    f"{SHED_CLASSES}, got {shed_class!r}"
+                )
+
+    @property
+    def severity(self) -> str:
+        return self.ladder.severity
+
+    @property
+    def active(self) -> bool:
+        """True while any degradation (or its recovery ramp) is in force."""
+        return self.ladder.severity != "normal"
+
+    def observe(self, supply: float, now: float = 0.0) -> float:
+        """Feed one round's assigned budget; returns the effective ceiling."""
+        if self.nominal_watts is None and supply > self._high_water:
+            self._high_water = supply
+        demand = (self.nominal_watts if self.nominal_watts is not None
+                  else self._high_water)
+        before = self.ladder.severity
+        self.ladder.observe(supply, demand, now)
+        if before != "normal" and self.ladder.severity == "normal":
+            self._shed_jobs.clear()
+            self.restores += 1
+        return min(supply, self.ladder.ceiling)
+
+    def class_of(self, claimed_type: str) -> str:
+        return self.classes.get(claimed_type, self.default_class)
+
+    def action_for(self, claimed_type: str) -> str:
+        """The plan's action for a job of ``claimed_type`` right now."""
+        return self.ladder.plan[self.class_of(claimed_type)]
+
+    def request_shed(self, job_id: str, action: str) -> bool:
+        """Queue a preempt/kill for the framework; idempotent per episode."""
+        if action not in ("preempt", "kill"):
+            raise ValueError(f"not a shedding action: {action!r}")
+        if job_id in self._shed_jobs:
+            return False
+        self._shed_jobs.add(job_id)
+        self.pending_actions.append((job_id, action))
+        if action == "kill":
+            self.kills += 1
+        else:
+            self.preempts += 1
+        return True

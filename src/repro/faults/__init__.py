@@ -18,8 +18,10 @@ event stream.
 from repro.faults.events import (
     ByzantineModel,
     CorruptStatus,
+    DemandResponseEmergency,
     EndpointCrash,
     FaultEvent,
+    FeederLoss,
     HeadNodeCrash,
     HeadNodeRestart,
     LinkDegradation,
@@ -31,6 +33,7 @@ from repro.faults.events import (
     PartitionStart,
     StuckActuator,
     TargetOutage,
+    ThermalDerate,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
@@ -51,6 +54,9 @@ __all__ = [
     "ByzantineModel",
     "StuckActuator",
     "MeterDrift",
+    "FeederLoss",
+    "ThermalDerate",
+    "DemandResponseEmergency",
     "FaultSchedule",
     "FaultInjector",
 ]

@@ -28,6 +28,9 @@ __all__ = [
     "ByzantineModel",
     "StuckActuator",
     "MeterDrift",
+    "FeederLoss",
+    "ThermalDerate",
+    "DemandResponseEmergency",
 ]
 
 #: Corruption modes a :class:`CorruptStatus` event can inject.
@@ -261,6 +264,70 @@ class StuckActuator(FaultEvent):
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class FeederLoss(FaultEvent):
+    """A utility feeder drops: available facility power falls by ``magnitude``.
+
+    The feed scales to ``(1 - magnitude)`` of nominal for ``duration``
+    seconds, then the feeder is re-energised.  Concurrent facility
+    incidents compose multiplicatively (two 30 % losses leave 49 %).
+    """
+
+    magnitude: float = 0.3
+    duration: float = 120.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"magnitude must be in (0, 1), got {self.magnitude}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class ThermalDerate(FaultEvent):
+    """Cooling-plant derate: sustained capacity loss of ``magnitude``.
+
+    Semantically a slow facility incident (condenser fouling, hot-day
+    derate) — typically smaller in magnitude but longer in duration than a
+    :class:`FeederLoss`.  The feed scales to ``(1 - magnitude)`` of nominal
+    for ``duration`` seconds.
+    """
+
+    magnitude: float = 0.15
+    duration: float = 300.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"magnitude must be in (0, 1), got {self.magnitude}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class DemandResponseEmergency(FaultEvent):
+    """Grid demand-response emergency: a mandatory step-down of ``magnitude``.
+
+    The sharpest of the facility incidents — the grid operator orders an
+    immediate load reduction the facility must honour for ``duration``
+    seconds or face disconnection.
+    """
+
+    magnitude: float = 0.4
+    duration: float = 180.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"magnitude must be in (0, 1), got {self.magnitude}")
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
 

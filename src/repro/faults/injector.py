@@ -24,8 +24,10 @@ from repro.core.targets import HoldLastGoodTarget, PowerTargetSource
 from repro.faults.events import (
     ByzantineModel,
     CorruptStatus,
+    DemandResponseEmergency,
     EndpointCrash,
     FaultEvent,
+    FeederLoss,
     HeadNodeCrash,
     HeadNodeRestart,
     LinkDegradation,
@@ -37,6 +39,7 @@ from repro.faults.events import (
     PartitionStart,
     StuckActuator,
     TargetOutage,
+    ThermalDerate,
 )
 from repro.faults.schedule import FaultSchedule
 from repro.geopm.agent import AgentPolicy
@@ -49,16 +52,23 @@ __all__ = ["FaultInjector"]
 
 
 class _SwitchableTarget(PowerTargetSource):
-    """Passes through to ``inner`` unless switched into outage (NaN)."""
+    """Passes through to ``inner`` unless switched into outage (NaN).
+
+    ``scale`` models facility incidents (feeder loss, thermal derate,
+    demand-response steps) that *reduce* the feed rather than blind it:
+    the target stays finite, just smaller, so downstream hold-last-good
+    logic passes it through and the control plane must actually shed.
+    """
 
     def __init__(self, inner: PowerTargetSource) -> None:
         self.inner = inner
         self.down = False
+        self.scale = 1.0
 
     def target(self, now: float) -> float:
         if self.down:
             return math.nan
-        return self.inner.target(now)
+        return self.inner.target(now) * self.scale
 
 
 class FaultInjector:
@@ -78,6 +88,10 @@ class FaultInjector:
         # stuck actuator, meter drift): auto-targeted rogue events skip
         # them so a storm spreads across distinct victims.
         self._rogued: set[str] = set()
+        # Open facility-incident windows: key -> feed factor.  Concurrent
+        # incidents compose multiplicatively via _sync_feed_scale.
+        self._feed_factors: dict[tuple[str, int], float] = {}
+        self._feed_seq = 0
         self._install_meter_hook()
         self._target_switch = self._install_target_hook()
 
@@ -113,6 +127,7 @@ class FaultInjector:
         self._install_meter_hook()
         switch = self._install_target_hook()
         switch.down = self._target_switch.down
+        switch.scale = self._target_switch.scale
         self._target_switch = switch
 
     def _record(self, now: float, line: str) -> None:
@@ -210,6 +225,15 @@ class FaultInjector:
             self._fire_stuck_actuator(event, now)
         elif isinstance(event, MeterDrift):
             self._fire_meter_drift(event, now)
+        elif isinstance(event, FeederLoss):
+            self._fire_feed_reduction("feeder-loss", event.magnitude,
+                                      event.duration, now)
+        elif isinstance(event, ThermalDerate):
+            self._fire_feed_reduction("thermal-derate", event.magnitude,
+                                      event.duration, now)
+        elif isinstance(event, DemandResponseEmergency):
+            self._fire_feed_reduction("demand-response", event.magnitude,
+                                      event.duration, now)
         else:  # pragma: no cover - exhaustive over the vocabulary
             raise TypeError(f"unknown fault event {event!r}")
 
@@ -218,6 +242,35 @@ class FaultInjector:
 
     def _target_up(self) -> None:
         self._target_switch.down = False
+
+    # ----------------------------------------------- facility feed incidents
+
+    def _fire_feed_reduction(self, label: str, magnitude: float,
+                             duration: float, now: float) -> None:
+        """Open a facility-incident window scaling the feed to (1 - magnitude).
+
+        Concurrent windows compose multiplicatively (two 30 % losses leave
+        49 % of the feed); each closes independently after its duration.
+        """
+        key = (label, self._feed_seq)
+        self._feed_seq += 1
+        self._feed_factors[key] = 1.0 - magnitude
+        self._sync_feed_scale()
+        self._record(
+            now, f"{label} start magnitude={magnitude:.2f} duration={duration:.1f}"
+        )
+
+        def restore() -> None:
+            self._feed_factors.pop(key, None)
+            self._sync_feed_scale()
+
+        self._defer(now + duration, f"{label} end", restore)
+
+    def _sync_feed_scale(self) -> None:
+        scale = 1.0
+        for factor in self._feed_factors.values():
+            scale *= factor
+        self._target_switch.scale = scale
 
     def _fire_node_crash(self, event: NodeCrash, now: float) -> None:
         cluster = self.system.cluster

@@ -22,8 +22,10 @@ from repro.faults.events import (
     CORRUPTION_KINDS,
     ByzantineModel,
     CorruptStatus,
+    DemandResponseEmergency,
     EndpointCrash,
     FaultEvent,
+    FeederLoss,
     HeadNodeCrash,
     LinkDegradation,
     MeterDrift,
@@ -31,6 +33,7 @@ from repro.faults.events import (
     NodeCrash,
     StuckActuator,
     TargetOutage,
+    ThermalDerate,
 )
 from repro.util.rng import Seedlike, ensure_rng
 
@@ -125,6 +128,9 @@ class FaultSchedule:
         byzantine_rate: float = 0.0,
         stuck_actuator_rate: float = 0.0,
         meter_drift_rate: float = 0.0,
+        feeder_loss_rate: float = 0.0,
+        thermal_derate_rate: float = 0.0,
+        demand_response_rate: float = 0.0,
         node_down_time: float = 300.0,
         head_down_time: float = 60.0,
         burst_duration: float = 60.0,
@@ -132,6 +138,12 @@ class FaultSchedule:
         outage_duration: float = 60.0,
         rogue_duration: float = 120.0,
         drift_ramp: float = 0.004,
+        feeder_loss_magnitude: float = 0.3,
+        feeder_loss_duration: float = 120.0,
+        thermal_derate_magnitude: float = 0.15,
+        thermal_derate_duration: float = 300.0,
+        demand_response_step: float = 0.4,
+        demand_response_duration: float = 180.0,
     ) -> "FaultSchedule":
         """Draw a schedule from Poisson arrivals per fault class.
 
@@ -157,6 +169,9 @@ class FaultSchedule:
             "byzantine_rate": byzantine_rate,
             "stuck_actuator_rate": stuck_actuator_rate,
             "meter_drift_rate": meter_drift_rate,
+            "feeder_loss_rate": feeder_loss_rate,
+            "thermal_derate_rate": thermal_derate_rate,
+            "demand_response_rate": demand_response_rate,
         }
         for name, rate in rates.items():
             if rate < 0:
@@ -167,6 +182,9 @@ class FaultSchedule:
             "burst_duration": burst_duration,
             "outage_duration": outage_duration,
             "rogue_duration": rogue_duration,
+            "feeder_loss_duration": feeder_loss_duration,
+            "thermal_derate_duration": thermal_derate_duration,
+            "demand_response_duration": demand_response_duration,
         }
         for name, value in durations.items():
             if value <= 0:
@@ -175,6 +193,14 @@ class FaultSchedule:
             raise ValueError(f"burst_drop must be in [0, 1], got {burst_drop}")
         if drift_ramp < 0:
             raise ValueError(f"drift_ramp must be ≥ 0, got {drift_ramp}")
+        magnitudes = {
+            "feeder_loss_magnitude": feeder_loss_magnitude,
+            "thermal_derate_magnitude": thermal_derate_magnitude,
+            "demand_response_step": demand_response_step,
+        }
+        for name, value in magnitudes.items():
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
         rng = ensure_rng(seed)
         events: list[FaultEvent] = []
 
@@ -227,6 +253,32 @@ class FaultSchedule:
                     time=t,
                     factor_rate=sign * drift_ramp,
                     duration=rogue_duration,
+                )
+            )
+        # Facility incidents last: a zero rate draws nothing from the RNG,
+        # so schedules built before these knobs existed stay bit-identical.
+        for t in arrivals(feeder_loss_rate):
+            events.append(
+                FeederLoss(
+                    time=t,
+                    magnitude=feeder_loss_magnitude,
+                    duration=feeder_loss_duration,
+                )
+            )
+        for t in arrivals(thermal_derate_rate):
+            events.append(
+                ThermalDerate(
+                    time=t,
+                    magnitude=thermal_derate_magnitude,
+                    duration=thermal_derate_duration,
+                )
+            )
+        for t in arrivals(demand_response_rate):
+            events.append(
+                DemandResponseEmergency(
+                    time=t,
+                    magnitude=demand_response_step,
+                    duration=demand_response_duration,
                 )
             )
         return cls(events)

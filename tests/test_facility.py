@@ -5,13 +5,16 @@ import pytest
 from repro.budget.base import JobBudgetRequest
 from repro.budget.even_power import EvenPowerBudgeter
 from repro.core.targets import ConstantTarget
+from repro.facility.breaker import PowerBreaker
 from repro.facility.coordinator import (
     ClusterMember,
     FacilityCoordinator,
     MutableTarget,
     aggregate_cluster_model,
 )
+from repro.facility.shed import ShedLadder
 from repro.modeling.quadratic import QuadraticPowerModel
+from repro.telemetry import Telemetry
 from repro.workloads.nas import NAS_TYPES
 
 
@@ -156,3 +159,188 @@ class TestCoordinator:
         fac.step(10.0)
         assert len(fac.history) == 2
         assert fac.total_assigned > 0
+
+
+class _Meter:
+    """A mutable facility power meter for driving the breaker in tests."""
+
+    def __init__(self, watts):
+        self.watts = watts
+
+    def __call__(self):
+        return self.watts
+
+
+def breaker_facility(*, feed, meter_watts, telemetry=None, ladder=None):
+    meter = _Meter(meter_watts)
+    kwargs = dict(
+        facility_target=ConstantTarget(feed),
+        meter=meter,
+        breaker=PowerBreaker(
+            margin=0.1, trip_rounds=2, reset_rounds=2, confirm_rounds=2
+        ),
+        ladder=ladder,
+    )
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    fac = FacilityCoordinator(**kwargs)
+    fac.add_member(make_member("a", "bt", "sp"))
+    fac.add_member(make_member("b", "ep", "lu"))
+    return fac, meter
+
+
+class TestCoordinatorBreaker:
+    def test_trip_forces_every_member_to_floor(self):
+        """Open breaker = emergency uniform throttle: each cluster pinned
+        at its enforceable p_min, regardless of the budgeter's split."""
+        fac, meter = breaker_facility(feed=4000.0, meter_watts=6000.0)
+        fac.step(0.0)  # strike 1
+        caps = fac.step(10.0)  # strike 2 -> open
+        assert fac.breaker.tripped
+        for name, member in fac.members.items():
+            assert caps[name] == pytest.approx(member.p_min)
+            assert member.target.target(10.0) == pytest.approx(member.p_min)
+
+    def test_one_glitch_round_does_not_trip(self):
+        fac, meter = breaker_facility(feed=4000.0, meter_watts=6000.0)
+        fac.step(0.0)
+        meter.watts = 4000.0  # meter glitch over; clean round resets strikes
+        fac.step(10.0)
+        meter.watts = 6000.0
+        fac.step(20.0)
+        assert not fac.breaker.tripped
+
+    def test_half_open_recovery_and_reopen(self):
+        fac, meter = breaker_facility(feed=4000.0, meter_watts=6000.0)
+        fac.step(0.0)
+        fac.step(10.0)
+        assert fac.breaker.state == "open"
+        meter.watts = 3000.0
+        fac.step(20.0)
+        fac.step(30.0)
+        assert fac.breaker.state == "half-open"
+        meter.watts = 6000.0  # one strike on probation re-opens immediately
+        fac.step(40.0)
+        assert fac.breaker.state == "open"
+        meter.watts = 3000.0
+        for t in (50.0, 60.0, 70.0, 80.0):
+            fac.step(t)
+        assert fac.breaker.state == "closed"
+        caps = fac.step(90.0)
+        assert sum(caps.values()) > sum(m.p_min for m in fac.members.values())
+
+    def test_breaker_transitions_emit_events_and_incidents(self):
+        tel = Telemetry(ring_size=64)
+        fac, meter = breaker_facility(
+            feed=4000.0, meter_watts=6000.0, telemetry=tel
+        )
+        fac.step(0.0)
+        fac.step(10.0)
+        assert any("breaker closed -> open" in line for line in fac.events)
+        assert tel.incident_counts.get("facility-breaker-open") == 1
+        assert tel.registry.get_value("anor_facility_breaker_state") == 2
+
+    def test_tripped_floor_above_feed_names_shortfall(self):
+        """When Σ p_min exceeds the physical feed there is no enforceable
+        fix; the coordinator must say so rather than over-assign silently."""
+        tel = Telemetry(ring_size=64)
+        fac, meter = breaker_facility(
+            feed=500.0, meter_watts=5000.0, telemetry=tel
+        )
+        floor_total = sum(m.p_min for m in fac.members.values())
+        assert floor_total > 500.0  # precondition for the scenario
+        fac.step(0.0)
+        fac.step(10.0)  # open -> emergency floor caps > feed
+        assert tel.incident_counts.get("facility-shortfall", 0) >= 1
+        incident = next(
+            i for i in tel.incidents()
+            if i["attrs"]["category"] == "facility-shortfall"
+        )
+        assert incident["attrs"]["shortfall_watts"] == pytest.approx(
+            floor_total - 500.0
+        )
+        assert any("shortfall" in line for line in fac.events)
+
+    def test_assigned_gauge_tracks_round(self):
+        tel = Telemetry(ring_size=64)
+        fac = FacilityCoordinator(
+            facility_target=ConstantTarget(2500.0), telemetry=tel
+        )
+        fac.add_member(make_member("a", "bt", "sp"))
+        caps = fac.step(0.0)
+        assert tel.registry.get_value(
+            "anor_facility_assigned_watts"
+        ) == pytest.approx(sum(caps.values()))
+
+
+class TestCoordinatorLadder:
+    def test_sagging_feed_degrades_and_ramps_back(self):
+        """With a ladder installed, a feed sag walks severity up against
+        the high-water nominal; restoring the feed ramps the pool back at
+        the configured watts-per-round instead of snapping."""
+        tel = Telemetry(ring_size=64)
+        # Members span p_min 840 W / p_max 1570 W in total; the feed must
+        # sit inside that band for the sag to actually bind the split.
+        feed = MutableTarget(1500.0)
+        fac = FacilityCoordinator(
+            facility_target=feed,
+            ladder=ShedLadder(
+                escalate_rounds=1, clear_rounds=2, ramp_watts_per_round=100.0
+            ),
+            telemetry=tel,
+        )
+        fac.add_member(make_member("a", "bt", "sp"))
+        fac.add_member(make_member("b", "ep", "lu"))
+        baseline = sum(fac.step(0.0).values())  # high-water nominal split
+        assert fac.ladder.severity == "normal"
+        feed.set(900.0)  # 40 % deficit -> brownout-2 at escalate_rounds=1
+        caps = fac.step(10.0)
+        assert fac.ladder.severity == "brownout-2"
+        assert tel.registry.get_value("anor_facility_shed_severity") == 2
+        assert tel.incident_counts.get("facility-shed-brownout-2") == 1
+        assert sum(caps.values()) == pytest.approx(900.0, rel=0.02)
+        feed.set(1500.0)
+        prev = sum(fac.step(20.0).values())
+        ramped = sum(fac.step(30.0).values())
+        assert ramped - prev == pytest.approx(100.0, rel=0.05)
+        for t in range(40, 200, 10):
+            fac.step(float(t))
+        assert fac.ladder.severity == "normal"
+        # Fully recovered: the split matches the pre-incident round.
+        assert sum(fac.step(999.0).values()) == pytest.approx(baseline)
+
+    def test_tripped_breaker_feeds_floor_supply_to_ladder(self):
+        """Breaker open + ladder installed: supply collapses to Σ p_min, so
+        the ladder (not the binary floor slam) grades the emergency."""
+        ladder = ShedLadder(escalate_rounds=1, clear_rounds=2)
+        fac, meter = breaker_facility(
+            feed=4000.0, meter_watts=6000.0, ladder=ladder
+        )
+        fac.step(0.0)
+        caps = fac.step(10.0)  # breaker opens this round
+        assert fac.breaker.tripped
+        assert fac.ladder.severity != "normal"
+        floor_total = sum(m.p_min for m in fac.members.values())
+        assert sum(caps.values()) == pytest.approx(floor_total, rel=0.02)
+
+
+class TestCoordinatorBoundedLogs:
+    def test_history_and_events_bounded(self, monkeypatch):
+        import repro.facility.coordinator as coord_mod
+
+        monkeypatch.setattr(coord_mod, "HISTORY_LIMIT", 8)
+        monkeypatch.setattr(coord_mod, "EVENT_LOG_LIMIT", 4)
+        feed = MutableTarget(4000.0)
+        fac = FacilityCoordinator(
+            facility_target=feed,
+            ladder=ShedLadder(escalate_rounds=1, clear_rounds=1),
+        )
+        fac.add_member(make_member("a", "bt", "sp"))
+        for i in range(20):
+            # Alternate sag/restore so every round logs a severity event.
+            feed.set(2000.0 if i % 2 else 4000.0)
+            fac.step(float(i * 10))
+        assert len(fac.history) == 8
+        assert fac.history_dropped == 20 - 8
+        assert len(fac.events) == 4
+        assert fac.events_dropped > 0

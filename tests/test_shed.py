@@ -1,0 +1,308 @@
+"""Tests for the graceful-degradation ladder (DESIGN.md §10)."""
+
+import pytest
+
+from repro.core.framework import AnorConfig, AnorSystem
+from repro.facility.shed import (
+    SEVERITY_LEVELS,
+    SHED_CLASSES,
+    SHED_PLANS,
+    ShedController,
+    ShedLadder,
+)
+from repro.faults.events import (
+    DemandResponseEmergency,
+    FeederLoss,
+    ThermalDerate,
+)
+from repro.faults.schedule import FaultSchedule
+
+
+class TestPlanTable:
+    def test_protected_never_evicted(self):
+        """The headline guarantee is structural: no severity maps the
+        protected class to preempt or kill."""
+        for severity, plan in SHED_PLANS.items():
+            assert plan["protected"] in ("none", "cap-to-floor"), severity
+
+    def test_every_severity_covers_every_class(self):
+        for plan in SHED_PLANS.values():
+            assert set(plan) == set(SHED_CLASSES)
+
+    def test_normal_is_a_noop(self):
+        assert all(a == "none" for a in SHED_PLANS["normal"].values())
+
+    def test_escalation_is_monotone_per_class(self):
+        """Walking down the ladder never softens any class's action."""
+        from repro.facility.shed import SHED_ACTIONS
+
+        rank = {a: i for i, a in enumerate(SHED_ACTIONS)}
+        for cls in SHED_CLASSES:
+            actions = [SHED_PLANS[s][cls] for s in SEVERITY_LEVELS]
+            assert actions == sorted(actions, key=rank.__getitem__)
+
+
+class TestShedLadder:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ShedLadder(brownout1_deficit=0.3, brownout2_deficit=0.2)
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            ShedLadder(brownout1_deficit=0.0)
+        with pytest.raises(ValueError, match="ramp_watts_per_round"):
+            ShedLadder(ramp_watts_per_round=0.0)
+        with pytest.raises(ValueError, match="escalate_rounds"):
+            ShedLadder(escalate_rounds=0)
+
+    def test_one_bad_round_never_escalates(self):
+        ladder = ShedLadder(escalate_rounds=2)
+        assert ladder.observe(700.0, 1000.0) == "normal"
+        assert ladder.observe(1000.0, 1000.0) == "normal"
+        assert ladder.escalations == 0
+
+    def test_sustained_deficit_jumps_to_indicated_severity(self):
+        """A deep deficit must not dwell in brownout-1 on the way down."""
+        ladder = ShedLadder(escalate_rounds=2)
+        ladder.observe(400.0, 1000.0)  # deficit 0.6 indicates blackstart
+        assert ladder.observe(400.0, 1000.0) == "blackstart"
+        assert ladder.escalations == 1
+
+    def test_recovery_steps_down_one_level_per_clear_window(self):
+        ladder = ShedLadder(escalate_rounds=1, clear_rounds=3)
+        ladder.observe(300.0, 1000.0)  # 0.7 deficit -> blackstart
+        assert ladder.severity == "blackstart"
+        seen = []
+        for _ in range(9):
+            seen.append(ladder.observe(1000.0, 1000.0))
+        assert seen == (
+            ["blackstart"] * 2 + ["brownout-2"]
+            + ["brownout-2"] * 2 + ["brownout-1"]
+            + ["brownout-1"] * 2 + ["normal"]
+        )
+
+    def test_round_at_current_severity_resets_recovery(self):
+        ladder = ShedLadder(escalate_rounds=1, clear_rounds=3)
+        ladder.observe(800.0, 1000.0)  # brownout-1
+        ladder.observe(1000.0, 1000.0)
+        ladder.observe(1000.0, 1000.0)
+        ladder.observe(800.0, 1000.0)  # back at brownout-1: streak resets
+        ladder.observe(1000.0, 1000.0)
+        ladder.observe(1000.0, 1000.0)
+        assert ladder.severity == "brownout-1"
+        assert ladder.observe(1000.0, 1000.0) == "normal"
+
+    def test_oscillating_feed_does_not_flap(self):
+        """Alternating good/bad rounds never complete either streak."""
+        ladder = ShedLadder(escalate_rounds=2, clear_rounds=2)
+        for i in range(40):
+            ladder.observe(700.0 if i % 2 else 1000.0, 1000.0)
+        assert ladder.severity == "normal"
+        assert ladder.escalations == 0
+
+    def test_ceiling_follows_supply_down_instantly(self):
+        ladder = ShedLadder()
+        ladder.observe(1000.0, 1000.0)
+        ladder.observe(400.0, 1000.0)
+        assert ladder.ceiling == 400.0
+
+    def test_ceiling_recovers_at_ramp_rate(self):
+        ladder = ShedLadder(ramp_watts_per_round=100.0)
+        ladder.observe(1000.0, 1000.0)
+        ladder.observe(400.0, 1000.0)
+        assert ladder.observe(1000.0, 1000.0) == ladder.severity
+        assert ladder.ceiling == 500.0
+        ladder.observe(1000.0, 1000.0)
+        assert ladder.ceiling == 600.0
+        for _ in range(10):
+            ladder.observe(1000.0, 1000.0)
+        assert ladder.ceiling == 1000.0  # clamped at supply, never beyond
+
+    def test_zero_demand_leaves_severity_untouched(self):
+        ladder = ShedLadder()
+        assert ladder.observe(500.0, 0.0) == "normal"
+        assert ladder.ceiling == 500.0
+
+    def test_transition_log_bounded(self, monkeypatch):
+        import repro.facility.shed as shed_mod
+
+        monkeypatch.setattr(shed_mod, "TRANSITION_LOG_LIMIT", 4)
+        ladder = ShedLadder(escalate_rounds=1, clear_rounds=1)
+        for _ in range(10):
+            ladder.observe(800.0, 1000.0)  # up to brownout-1
+            ladder.observe(1000.0, 1000.0)  # back down
+        assert len(ladder.transitions) == 4
+        assert ladder.transitions_dropped == 20 - 4
+
+
+class TestShedController:
+    def make(self, **kwargs):
+        return ShedController(
+            ladder=ShedLadder(escalate_rounds=1, clear_rounds=1),
+            classes={"cg": "preemptible", "ft": "protected"},
+            **kwargs,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="default_class"):
+            self.make(default_class="vip")
+        with pytest.raises(ValueError, match="shed class"):
+            ShedController(ladder=ShedLadder(), classes={"cg": "soft"})
+
+    def test_class_lookup_with_default(self):
+        ctl = self.make()
+        assert ctl.class_of("cg") == "preemptible"
+        assert ctl.class_of("ft") == "protected"
+        assert ctl.class_of("bt") == "checkpointable"
+
+    def test_action_follows_severity(self):
+        ctl = self.make()
+        assert ctl.action_for("cg") == "none"
+        ctl.observe(600.0)  # learn high water
+        ctl.observe(100.0)  # 0.83 deficit -> blackstart (escalate_rounds=1)
+        assert ctl.severity == "blackstart"
+        assert ctl.action_for("cg") == "kill"
+        assert ctl.action_for("ft") == "cap-to-floor"
+
+    def test_request_shed_idempotent_per_episode(self):
+        ctl = self.make()
+        assert ctl.request_shed("j1", "preempt")
+        assert not ctl.request_shed("j1", "kill")
+        assert ctl.pending_actions == [("j1", "preempt")]
+        assert (ctl.preempts, ctl.kills) == (1, 0)
+        with pytest.raises(ValueError, match="not a shedding action"):
+            ctl.request_shed("j2", "cap-to-floor")
+
+    def test_restore_clears_episode_and_counts(self):
+        ctl = self.make()
+        ctl.observe(1000.0)
+        ctl.observe(100.0)
+        ctl.request_shed("j1", "preempt")
+        assert ctl.active
+        for _ in range(6):
+            ctl.observe(1000.0)
+        assert not ctl.active
+        assert ctl.restores == 1
+        assert ctl.request_shed("j1", "preempt")  # next episode may re-shed
+
+    def test_fixed_nominal_overrides_high_water(self):
+        ctl = ShedController(
+            ladder=ShedLadder(escalate_rounds=1), nominal_watts=2000.0
+        )
+        ctl.observe(1000.0)  # 0.5 deficit against the fixed nominal
+        assert ctl.severity == "blackstart"
+
+    def test_observe_returns_ramped_ceiling(self):
+        ctl = ShedController(ladder=ShedLadder(ramp_watts_per_round=50.0))
+        assert ctl.observe(1000.0) == 1000.0
+        assert ctl.observe(400.0) == 400.0
+        assert ctl.observe(1000.0) == 450.0
+
+
+class TestConfigValidation:
+    def test_defaults_pass(self):
+        AnorConfig(shed_enabled=True)
+
+    def test_bad_threshold_order(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            AnorConfig(shed_brownout1_deficit=0.4, shed_brownout2_deficit=0.3)
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError, match="shed_blackstart_deficit"):
+            AnorConfig(shed_blackstart_deficit=1.0)
+
+    def test_bad_default_class(self):
+        with pytest.raises(ValueError, match="shed_default_class"):
+            AnorConfig(shed_default_class="vip")
+
+    def test_bad_class_map(self):
+        with pytest.raises(ValueError, match="shed_classes"):
+            AnorConfig(shed_classes={"cg": "soft"})
+
+    def test_knob_ranges(self):
+        with pytest.raises(ValueError, match="shed_ramp_watts"):
+            AnorConfig(shed_ramp_watts=0.0)
+        with pytest.raises(ValueError, match="shed_nominal_watts"):
+            AnorConfig(shed_nominal_watts=-1.0)
+
+    def test_off_by_default_builds_no_controller(self):
+        system = AnorSystem(config=AnorConfig())
+        assert system.manager.shed is None
+
+
+class TestFacilityIncidents:
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FeederLoss(time=0.0, magnitude=1.0)
+        with pytest.raises(ValueError, match="magnitude"):
+            ThermalDerate(time=0.0, magnitude=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            DemandResponseEmergency(time=0.0, duration=0.0)
+
+    def test_zero_rates_keep_schedules_bit_identical(self):
+        """Appending the new rate knobs at 0.0 must not perturb the RNG
+        stream of schedules built before they existed."""
+        old = FaultSchedule.random(600.0, seed=42, byzantine_rate=1 / 200.0)
+        new = FaultSchedule.random(
+            600.0,
+            seed=42,
+            byzantine_rate=1 / 200.0,
+            feeder_loss_rate=0.0,
+            thermal_derate_rate=0.0,
+            demand_response_rate=0.0,
+        )
+        assert list(old) == list(new)
+
+    def test_random_schedule_draws_facility_incidents(self):
+        schedule = FaultSchedule.random(
+            3600.0,
+            seed=5,
+            feeder_loss_rate=1 / 600.0,
+            thermal_derate_rate=1 / 600.0,
+            demand_response_rate=1 / 600.0,
+        )
+        kinds = {type(e) for e in schedule}
+        assert kinds & {FeederLoss, ThermalDerate, DemandResponseEmergency}
+
+    def test_overlapping_incidents_compose_multiplicatively(self):
+        """Two open feed windows scale the manager's target by the product
+        of their magnitudes; each restores independently."""
+        system = AnorSystem(
+            config=AnorConfig(num_nodes=4),
+            fault_schedule=FaultSchedule(
+                [
+                    FeederLoss(time=5.0, magnitude=0.3, duration=30.0),
+                    ThermalDerate(time=10.0, magnitude=0.2, duration=10.0),
+                ]
+            ),
+        )
+        nominal = system.target_source.target(0.0)
+        seen = {}
+        for _ in range(50):
+            system.step()
+            now = system.cluster.clock.now
+            seen[now] = system.manager.target_source.target(now)
+        assert seen[3.0] == pytest.approx(nominal)
+        assert seen[8.0] == pytest.approx(nominal * 0.7)
+        assert seen[15.0] == pytest.approx(nominal * 0.7 * 0.8)
+        assert seen[25.0] == pytest.approx(nominal * 0.7)
+        assert seen[40.0] == pytest.approx(nominal)
+        log = system.faults.log_lines()
+        assert any("feeder-loss start" in line for line in log)
+        assert any("feeder-loss end" in line for line in log)
+        assert any("thermal-derate" in line for line in log)
+
+    def test_end_to_end_ladder_rides_a_feeder_loss(self):
+        """A 40 % feeder loss walks the ladder up and, after the window
+        closes, recovery steps back to normal."""
+        system = AnorSystem(
+            config=AnorConfig(num_nodes=4, shed_enabled=True,
+                              shed_ramp_watts=200.0),
+            fault_schedule=FaultSchedule(
+                [FeederLoss(time=10.0, magnitude=0.4, duration=20.0)]
+            ),
+        )
+        system.submit_now("j1", "bt", nodes=4)
+        system.run(duration=90.0, max_time=3600.0)
+        shed = system.manager.shed
+        assert shed.ladder.escalations >= 1
+        assert any("brownout-2" in line for line in shed.ladder.transitions)
+        assert shed.severity == "normal"
